@@ -1,0 +1,105 @@
+//! Runtime of the three delay-analysis algorithms — the paper's
+//! *efficiency* requirement ("simple and fast in order to be used as part
+//! of online connection admission control"). One full analysis of the
+//! tandem network per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnc_bench::{paper_tandem, Algo};
+use dnc_num::Rat;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    for &(n, u_num, u_den) in &[(4usize, 3i128, 5i128), (8, 9, 10)] {
+        let u = Rat::new(u_num, u_den);
+        let t = paper_tandem(n, u);
+        for algo in [Algo::Decomposed, Algo::ServiceCurve, Algo::Integrated] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("n{n}_u{u_num}of{u_den}")),
+                &t,
+                |b, t| {
+                    b.iter(|| {
+                        let r = algo.analyze(&t.net).expect("analysis succeeds");
+                        criterion::black_box(r.bound(t.conn0))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_admission_decision(c: &mut Criterion) {
+    // A single online admission decision: analyze with the candidate
+    // included (the operation a switch controller runs per request).
+    use dnc_core::admission::{try_admit, Deadline};
+    use dnc_core::integrated::Integrated;
+    use dnc_net::Flow;
+    use dnc_traffic::TrafficSpec;
+
+    let t = paper_tandem(8, Rat::new(1, 2));
+    let deadlines: Vec<Deadline> = vec![Deadline {
+        flow: t.conn0,
+        deadline: Rat::from(200),
+    }];
+    c.bench_function("admission_decision_n8", |b| {
+        b.iter(|| {
+            let candidate = Flow {
+                name: "cand".into(),
+                spec: TrafficSpec::paper_source(Rat::ONE, Rat::new(1, 64)),
+                route: t.middle.clone(),
+                priority: 0,
+            };
+            let r = try_admit(
+                &t.net,
+                candidate,
+                Rat::from(500),
+                &deadlines,
+                &Integrated::paper(),
+            )
+            .unwrap();
+            criterion::black_box(r.is_some())
+        })
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use dnc_core::cyclic::TimeStopping;
+    use dnc_core::fifo_family::FifoFamily;
+    use dnc_core::DelayAnalysis;
+    use dnc_net::builders::ring;
+    use dnc_traffic::TrafficSpec;
+
+    // Time-stopping on a cyclic ring (the feedforward algorithms cannot
+    // touch this topology at all).
+    let spec = TrafficSpec::paper_source(Rat::from(2), Rat::new(1, 8));
+    let (ring_net, _, _) = ring(6, 2, &spec);
+    c.bench_function("time_stopping_ring6", |b| {
+        b.iter(|| {
+            let r = TimeStopping::default().analyze(&ring_net).unwrap();
+            assert!(r.converged);
+            criterion::black_box(r.iterations)
+        })
+    });
+
+    // The θ-family coordinate descent (the expensive modern baseline).
+    let t = paper_tandem(4, Rat::new(3, 5));
+    c.bench_function("fifo_family_n4", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                FifoFamily::default()
+                    .analyze(&t.net)
+                    .unwrap()
+                    .bound(t.conn0),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_admission_decision,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the min-plus substrate: the inner loops every
+//! analysis is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnc_curves::{bounds, minplus, Curve};
+use dnc_num::{rat, Rat};
+
+/// A concave arrival-like curve with `k` pieces.
+fn concave(k: i128) -> Curve {
+    let buckets: Vec<(Rat, Rat)> = (1..=k)
+        .map(|i| (rat(8 * i, 1), rat(1, 2 * i)))
+        .collect();
+    Curve::multi_token_bucket(&buckets).min(&Curve::rate(Rat::from(2)))
+}
+
+/// A convex service-like curve with `k` pieces.
+fn convex(k: i128) -> Curve {
+    let curves: Vec<Curve> = (1..=k)
+        .map(|i| Curve::rate_latency(rat(3, i), rat(i, 2)))
+        .collect();
+    minplus::conv_all(curves.iter())
+}
+
+fn bench_curve_ops(c: &mut Criterion) {
+    let a4 = concave(4);
+    let a8 = concave(8);
+    let b4 = convex(4);
+    let b8 = convex(8);
+
+    c.bench_function("add_8x8", |b| {
+        b.iter(|| criterion::black_box(a8.add(&b8)))
+    });
+    c.bench_function("min_8x8", |b| {
+        b.iter(|| criterion::black_box(a8.min(&a4)))
+    });
+    c.bench_function("conv_4x4", |b| {
+        b.iter(|| criterion::black_box(minplus::conv(&b4, &b4)))
+    });
+    c.bench_function("conv_8x8", |b| {
+        b.iter(|| criterion::black_box(minplus::conv(&b8, &b8)))
+    });
+    c.bench_function("deconv_8x8", |b| {
+        b.iter(|| criterion::black_box(minplus::deconv(&a8, &b8).unwrap()))
+    });
+    c.bench_function("hdev_8x8", |b| {
+        b.iter(|| criterion::black_box(bounds::hdev(&a8, &b8).unwrap()))
+    });
+    c.bench_function("busy_period_8", |b| {
+        b.iter(|| criterion::black_box(bounds::busy_period(&a8, Rat::from(2)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_curve_ops);
+criterion_main!(benches);

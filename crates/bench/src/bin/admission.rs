@@ -1,0 +1,66 @@
+//! Admission-control effectiveness table (our extension of the paper's
+//! evaluation): the largest tandem work load each analysis can certify
+//! for a family of Connection-0 deadlines — a direct measure of how many
+//! connections each method lets a bounded-delay service carry.
+
+use dnc_bench::results_dir;
+use dnc_core::admission::max_admissible_utilization;
+use dnc_core::{decomposed::Decomposed, integrated::Integrated, service_curve::ServiceCurve};
+use dnc_core::DelayAnalysis;
+use dnc_num::Rat;
+use std::io::Write;
+
+fn main() {
+    let ns = [2usize, 4, 8];
+    let deadlines: [Rat; 4] = [
+        Rat::from(8),
+        Rat::from(16),
+        Rat::from(32),
+        Rat::from(64),
+    ];
+    let algos: [(&'static str, Box<dyn DelayAnalysis>); 3] = [
+        ("service_curve", Box::new(ServiceCurve::paper())),
+        ("decomposed", Box::new(Decomposed::paper())),
+        ("integrated", Box::new(Integrated::paper())),
+    ];
+
+    println!(
+        "{:>3} {:>9} {:>15} {:>15} {:>15}",
+        "n", "deadline", "service_curve", "decomposed", "integrated"
+    );
+    let mut csv = String::from("n,deadline,service_curve,decomposed,integrated\n");
+    for &n in &ns {
+        for &dl in &deadlines {
+            let mut cells: Vec<String> = Vec::new();
+            for (_, alg) in &algos {
+                let u = max_admissible_utilization(n, Rat::ONE, dl, alg.as_ref(), 40);
+                cells.push(match u {
+                    Some(u) => format!("{:.3}", u.to_f64()),
+                    None => "-".to_string(),
+                });
+            }
+            println!(
+                "{:>3} {:>9} {:>15} {:>15} {:>15}",
+                n,
+                dl.to_f64(),
+                cells[0],
+                cells[1],
+                cells[2]
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{}\n",
+                n,
+                dl.to_f64(),
+                cells[0],
+                cells[1],
+                cells[2]
+            ));
+        }
+    }
+
+    let path = results_dir().join("admission.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(csv.as_bytes()).unwrap();
+    println!("wrote {}", path.display());
+}

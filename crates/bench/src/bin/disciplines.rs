@@ -1,0 +1,91 @@
+//! Discipline comparison (our addition, spanning the paper's intro
+//! survey): the same two-class traffic mix — urgent small flows and
+//! relaxed bulk flows — served FIFO, static-priority, EDF, and GPS, on
+//! one shared unit link. Reports each class's certified delay bound per
+//! discipline, showing *why* the 1990s produced this zoo of schedulers
+//! and where the paper's FIFO focus sits in it.
+
+use dnc_bench::results_dir;
+use dnc_core::{decomposed::Decomposed, DelayAnalysis};
+use dnc_net::{Discipline, Flow, FlowId, Network, Server};
+use dnc_num::{int, rat, Rat};
+use std::io::Write as _;
+
+fn build(discipline: Discipline) -> (Network, Vec<FlowId>, Vec<FlowId>) {
+    use dnc_traffic::TrafficSpec;
+    let mut net = Network::new();
+    let s = net.add_server(Server {
+        name: "link".into(),
+        rate: Rat::ONE,
+        discipline,
+    });
+    let mut urgent = Vec::new();
+    let mut bulk = Vec::new();
+    for k in 0..2 {
+        let f = net
+            .add_flow(Flow {
+                name: format!("urgent{k}"),
+                spec: TrafficSpec::token_bucket(int(1), rat(1, 16)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        if discipline == Discipline::Edf {
+            net.set_local_deadline(f, s, int(3));
+        }
+        if discipline == Discipline::Gps {
+            net.reserve(f, s, rat(1, 4));
+        }
+        urgent.push(f);
+    }
+    for k in 0..2 {
+        let f = net
+            .add_flow(Flow {
+                name: format!("bulk{k}"),
+                spec: TrafficSpec::token_bucket(int(8), rat(1, 4)),
+                route: vec![s],
+                priority: 4,
+            })
+            .unwrap();
+        if discipline == Discipline::Edf {
+            net.set_local_deadline(f, s, int(40));
+        }
+        if discipline == Discipline::Gps {
+            net.reserve(f, s, rat(1, 4));
+        }
+        bulk.push(f);
+    }
+    (net, urgent, bulk)
+}
+
+fn main() {
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "discipline", "urgent bound", "bulk bound"
+    );
+    let mut csv = String::from("discipline,urgent_bound,bulk_bound\n");
+    for (label, d) in [
+        ("fifo", Discipline::Fifo),
+        ("static-priority", Discipline::StaticPriority),
+        ("edf", Discipline::Edf),
+        ("gps", Discipline::Gps),
+    ] {
+        let (net, urgent, bulk) = build(d);
+        match Decomposed::paper().analyze(&net) {
+            Ok(r) => {
+                let u = r.bound(urgent[0]);
+                let b = r.bound(bulk[0]);
+                println!("{label:<16} {:>14.4} {:>14.4}", u.to_f64(), b.to_f64());
+                csv.push_str(&format!("{label},{:.6},{:.6}\n", u.to_f64(), b.to_f64()));
+            }
+            Err(e) => println!("{label:<16} {e}"),
+        }
+    }
+    let path = results_dir().join("disciplines.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(csv.as_bytes())
+        .unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,26 @@
+//! Regenerate **Figure 5**: Integrated vs Decomposed end-to-end delay of
+//! Connection 0 on the tandem network, plus the relative improvement
+//! `R_{D,I}`, for n ∈ {2, 4, 8} over the work-load grid.
+//!
+//! Expected shape (paper): Integrated always outperforms Decomposed, and
+//! for loads up to ~80% the improvement grows with network size.
+
+use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+
+fn main() {
+    let algos = [Algo::Decomposed, Algo::Integrated];
+    let ns = [2usize, 4, 8];
+    let pts = sweep(&ns, &u_grid(), &algos, num_workers());
+    print!("{}", render_table(&pts, &algos));
+    let path = results_dir().join("fig5.csv");
+    write_csv(&path, &pts, &algos).expect("write fig5.csv");
+    println!("wrote {}", path.display());
+    let svg = dnc_bench::chart::figure_chart("Figure 5: Integrated vs Decomposed", &pts, &algos).to_svg();
+    let svg_path = results_dir().join("fig5.svg");
+    std::fs::write(&svg_path, svg).expect("write fig5.svg");
+    println!("wrote {}", svg_path.display());
+}
+
+fn num_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}

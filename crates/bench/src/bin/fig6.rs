@@ -1,0 +1,26 @@
+//! Regenerate **Figure 6**: Integrated vs Service Curve end-to-end delay
+//! of Connection 0 on the tandem network, plus the relative improvement
+//! `R_{SC,I}`, for n ∈ {2, 4, 6, 8} over the work-load grid.
+//!
+//! Expected shape (paper): significant gains for Integrated, except for
+//! large systems under very high load where the gap narrows.
+
+use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+
+fn main() {
+    let algos = [Algo::ServiceCurve, Algo::Integrated];
+    let ns = [2usize, 4, 6, 8];
+    let pts = sweep(&ns, &u_grid(), &algos, num_workers());
+    print!("{}", render_table(&pts, &algos));
+    let path = results_dir().join("fig6.csv");
+    write_csv(&path, &pts, &algos).expect("write fig6.csv");
+    println!("wrote {}", path.display());
+    let svg = dnc_bench::chart::figure_chart("Figure 6: Integrated vs Service Curve", &pts, &algos).to_svg();
+    let svg_path = results_dir().join("fig6.svg");
+    std::fs::write(&svg_path, svg).expect("write fig6.svg");
+    println!("wrote {}", svg_path.display());
+}
+
+fn num_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}

@@ -1,0 +1,20 @@
+//! Beyond the paper: compare Algorithm Integrated with the θ-optimized
+//! FIFO service-curve family (the direction the field took after 1999,
+//! culminating in LUDB). Shows where the paper's integrated method stands
+//! against later pure service-curve machinery.
+
+use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+
+fn main() {
+    let algos = [Algo::FifoFamily, Algo::Integrated];
+    let ns = [2usize, 4, 8];
+    let pts = sweep(&ns, &u_grid(), &algos, num_workers());
+    print!("{}", render_table(&pts, &algos));
+    let path = results_dir().join("modern.csv");
+    write_csv(&path, &pts, &algos).expect("write modern.csv");
+    println!("wrote {}", path.display());
+}
+
+fn num_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}

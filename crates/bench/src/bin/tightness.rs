@@ -1,0 +1,79 @@
+//! Tightness profile of the two-server theorem (our addition): on the
+//! paper's Figure-1 subsystem, compare
+//!
+//! * the exact fluid worst case of the greedy sample path (Lemmas 1–4),
+//! * the Theorem-1′ integrated bound,
+//! * the decomposed bound `d1 + d2`,
+//!
+//! over a grid of bursts and loads. The ratio `exact / bound` measures
+//! how much of each bound is real; the gap between the two bound columns
+//! is the integration gain.
+
+use dnc_bench::results_dir;
+use dnc_core::exact::TwoServerScenario;
+use dnc_core::integrated::pair_delay_bound;
+use dnc_core::OutputCap;
+use dnc_curves::Curve;
+use dnc_num::Rat;
+use std::io::Write as _;
+
+fn main() {
+    let sigmas: [i64; 3] = [1, 4, 8];
+    let loads: [(i128, i128); 4] = [(1, 8), (1, 4), (3, 8), (7, 16)];
+
+    println!(
+        "{:>4} {:>6} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "σ", "ρ", "exact", "integrated", "decomposed", "tight_I", "tight_D"
+    );
+    let mut csv = String::from("sigma,rho,exact,integrated,decomposed,tightness_int,tightness_dec\n");
+    for &s in &sigmas {
+        for &(rn, rd) in &loads {
+            let rho = Rat::new(rn, rd);
+            let sigma = Rat::from(s);
+            // Symmetric subsystem: equal bursts on all three flow sets.
+            let mk = || Curve::token_bucket_peak(sigma, rho, Rat::ONE);
+            let (f12, f1, f2) = (mk(), mk(), mk());
+            let pb = pair_delay_bound(&f12, &f1, &f2, Rat::ONE, Rat::ONE, OutputCap::Shift)
+                .expect("stable");
+            let exact = TwoServerScenario {
+                a12: f12,
+                a1: f1,
+                a2: f2,
+                c1: Rat::ONE,
+                c2: Rat::ONE,
+            }
+            .max_s12_delay(192);
+            let dec = pb.d1 + pb.d2;
+            let tight_i = (exact / pb.through).to_f64();
+            let tight_d = (exact / dec).to_f64();
+            println!(
+                "{:>4} {:>6.3} {:>10.4} {:>12.4} {:>12.4} {:>10.3} {:>10.3}",
+                s,
+                rho.to_f64(),
+                exact.to_f64(),
+                pb.through.to_f64(),
+                dec.to_f64(),
+                tight_i,
+                tight_d
+            );
+            csv.push_str(&format!(
+                "{},{:.4},{:.6},{:.6},{:.6},{:.4},{:.4}\n",
+                s,
+                rho.to_f64(),
+                exact.to_f64(),
+                pb.through.to_f64(),
+                dec.to_f64(),
+                tight_i,
+                tight_d
+            ));
+            assert!(exact <= pb.through && pb.through <= dec);
+        }
+    }
+    let path = results_dir().join("tightness.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(csv.as_bytes())
+        .unwrap();
+    println!("wrote {}", path.display());
+}

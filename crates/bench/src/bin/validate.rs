@@ -1,0 +1,94 @@
+//! Validation run: adversarial (greedy) and randomized simulations of the
+//! tandem network against all three analytic bounds. Every observed delay
+//! must stay below every bound; the output also shows how much headroom
+//! each method leaves (tightness).
+
+use dnc_bench::{paper_tandem, results_dir, Algo};
+use dnc_num::Rat;
+use dnc_sim::{all_greedy, batch, SimConfig};
+use dnc_traffic::SourceModel;
+use std::io::Write;
+
+fn main() {
+    let ns = [2usize, 4, 8];
+    let us = [Rat::new(1, 4), Rat::new(1, 2), Rat::new(3, 4), Rat::new(9, 10)];
+    let algos = [Algo::ServiceCurve, Algo::Decomposed, Algo::Integrated];
+    let cfg = SimConfig {
+        ticks: 16384,
+        ..SimConfig::default()
+    };
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut violations = 0usize;
+    println!(
+        "{:>3} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "n", "U", "sim_max", "svc_curve", "decomposed", "integrated"
+    );
+    for &n in &ns {
+        for &u in &us {
+            let t = paper_tandem(n, u);
+            // Adversarial greedy plus a few randomized workloads.
+            let greedy = dnc_sim::simulate(&t.net, &all_greedy(&t.net), &cfg);
+            let onoff = vec![
+                SourceModel::OnOff {
+                    on: 8,
+                    off: 8,
+                    phase: 3
+                };
+                t.net.flows().len()
+            ];
+            let rand_reports = batch::seed_sweep(&t.net, &onoff, &cfg, &[1, 2, 3], 3);
+            let observed = greedy.flows[t.conn0.0]
+                .max_delay
+                .max(batch::worst_delay(&rand_reports, t.conn0.0));
+
+            let bounds: Vec<Option<Rat>> = algos
+                .iter()
+                .map(|a| a.analyze(&t.net).ok().map(|r| r.bound(t.conn0)))
+                .collect();
+            let obs = Rat::from(observed as i64);
+            for b in bounds.iter().flatten() {
+                if obs > *b {
+                    violations += 1;
+                }
+            }
+            let fmt = |b: &Option<Rat>| match b {
+                Some(v) => format!("{:.3}", v.to_f64()),
+                None => "inf".to_string(),
+            };
+            println!(
+                "{:>3} {:>5.2} {:>12} {:>12} {:>12} {:>12}",
+                n,
+                u.to_f64(),
+                observed,
+                fmt(&bounds[0]),
+                fmt(&bounds[1]),
+                fmt(&bounds[2])
+            );
+            rows.push(format!(
+                "{},{:.3},{},{},{},{}",
+                n,
+                u.to_f64(),
+                observed,
+                fmt(&bounds[0]),
+                fmt(&bounds[1]),
+                fmt(&bounds[2])
+            ));
+        }
+    }
+
+    let path = results_dir().join("validate.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "n,u,sim_max,service_curve,decomposed,integrated").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    println!("wrote {}", path.display());
+
+    if violations > 0 {
+        eprintln!("BOUND VIOLATIONS: {violations}");
+        std::process::exit(1);
+    }
+    println!("all observed delays within all bounds");
+}

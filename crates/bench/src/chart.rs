@@ -1,0 +1,252 @@
+//! A minimal dependency-free SVG line-chart renderer, so the `fig*`
+//! binaries regenerate actual figures (one polyline per series, log-like
+//! or linear y, axes, ticks, legend) alongside their CSVs.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart description.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 760.0;
+const H: f64 = 480.0;
+const ML: f64 = 64.0; // margins
+const MR: f64 = 180.0;
+const MT: f64 = 44.0;
+const MB: f64 = 52.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+impl Chart {
+    /// Render to a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (0.0f64, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_max = y_max.max(y);
+                y_min = y_min.min(y);
+            }
+        }
+        if !x_min.is_finite() {
+            x_min = 0.0;
+            x_max = 1.0;
+            y_max = 1.0;
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        let px = |x: f64| ML + (x - x_min) / (x_max - x_min) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y - y_min) / (y_max - y_min) * (H - MT - MB);
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+            ML + (W - ML - MR) / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Axes.
+        let _ = writeln!(
+            s,
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            H - MB
+        );
+        let _ = writeln!(
+            s,
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        // Ticks (5 per axis) + grid.
+        for i in 0..=5 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+            let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+            let (tx, ty) = (px(fx), py(fy));
+            let _ = writeln!(
+                s,
+                r##"<line x1="{tx}" y1="{MT}" x2="{tx}" y2="{}" stroke="#eeeeee"/>"##,
+                H - MB
+            );
+            let _ = writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{ty}" x2="{}" y2="{ty}" stroke="#eeeeee"/>"##,
+                W - MR
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{tx}" y="{}" font-size="11" text-anchor="middle">{:.2}</text>"#,
+                H - MB + 16.0,
+                fx
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{:.1}</text>"#,
+                ML - 6.0,
+                ty + 4.0,
+                fy
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+            ML + (W - ML - MR) / 2.0,
+            H - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MT + (H - MT - MB) / 2.0,
+            MT + (H - MT - MB) / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Series + legend.
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", px(x), py(y)))
+                .collect();
+            let _ = writeln!(
+                s,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                pts.join(" ")
+            );
+            let ly = MT + 8.0 + i as f64 * 18.0;
+            let _ = writeln!(
+                s,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+                W - MR + 10.0,
+                W - MR + 34.0
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                W - MR + 40.0,
+                ly + 4.0,
+                xml_escape(&series.label)
+            );
+        }
+        let _ = writeln!(s, "</svg>");
+        s
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Build the standard figure chart from sweep points: one series per
+/// `(algorithm, n)` combination.
+pub fn figure_chart(
+    title: &str,
+    points: &[crate::SweepPoint],
+    algos: &[crate::Algo],
+) -> Chart {
+    let mut ns: Vec<usize> = points.iter().map(|p| p.n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    let mut series = Vec::new();
+    for (ai, a) in algos.iter().enumerate() {
+        for &n in &ns {
+            let pts: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|p| p.n == n)
+                .filter_map(|p| p.bounds[ai].map(|b| (p.u.to_f64(), b.to_f64())))
+                .collect();
+            if !pts.is_empty() {
+                series.push(Series {
+                    label: format!("{} (n={n})", a.label()),
+                    points: pts,
+                });
+            }
+        }
+    }
+    Chart {
+        title: title.to_string(),
+        x_label: "work load U".to_string(),
+        y_label: "end-to-end delay bound (ticks)".to_string(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let chart = Chart {
+            title: "t & t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "<s>".into(),
+                points: vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)],
+            }],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("t &amp; t"), "title escaped");
+        assert!(svg.contains("&lt;s&gt;"), "legend escaped");
+    }
+
+    #[test]
+    fn empty_series_does_not_panic() {
+        let chart = Chart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn figure_chart_from_sweep() {
+        use dnc_num::rat;
+        let pts = crate::sweep(&[2], &[rat(1, 4), rat(1, 2)], &[crate::Algo::Decomposed], 1);
+        let c = figure_chart("fig", &pts, &[crate::Algo::Decomposed]);
+        assert_eq!(c.series.len(), 1);
+        assert_eq!(c.series[0].points.len(), 2);
+        assert!(c.series[0].label.contains("n=2"));
+    }
+}

@@ -1,0 +1,259 @@
+#![warn(missing_docs)]
+
+//! # dnc-bench — harness regenerating the paper's evaluation
+//!
+//! Shared machinery for the figure-regeneration binaries (`fig4`, `fig5`,
+//! `fig6`, `validate`, `admission`) and the Criterion benches: tandem
+//! parameter sweeps over network size `n` and work load `U = 4ρ`,
+//! parallelized with crossbeam, plus small CSV/table writers.
+//!
+//! The paper's evaluation reports, for Connection 0 of the tandem
+//! network:
+//!
+//! * Figure 4 — Decomposed vs Service Curve (delays and `R_{SC,D}`),
+//! * Figure 5 — Integrated vs Decomposed (delays and `R_{D,I}`),
+//! * Figure 6 — Integrated vs Service Curve (delays and `R_{SC,I}`),
+//!
+//! each for several network sizes as functions of `U`. Absolute numbers
+//! differ from the paper (whose exact parameters are lost to OCR); the
+//! *shapes* — orderings, growth with load and size, crossovers — are the
+//! reproduction target, recorded in `EXPERIMENTS.md`.
+
+pub mod chart;
+
+use dnc_core::{
+    decomposed::Decomposed, fifo_family::FifoFamily, integrated::Integrated,
+    service_curve::ServiceCurve, AnalysisReport, DelayAnalysis,
+};
+use dnc_net::builders::{tandem, Tandem, TandemOptions};
+use dnc_num::Rat;
+use std::io::Write;
+use std::path::Path;
+
+/// The three algorithms under comparison, as a sendable enum (the benches
+/// fan sweeps out across threads).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Algorithm Decomposed (Cruz).
+    Decomposed,
+    /// Algorithm Service Curve (induced FIFO curves).
+    ServiceCurve,
+    /// Algorithm Integrated (the paper's contribution).
+    Integrated,
+    /// θ-parameterized FIFO service-curve family (post-paper baseline).
+    FifoFamily,
+}
+
+impl Algo {
+    /// Short label used in CSV headers (matches the paper's terminology).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Decomposed => "decomposed",
+            Algo::ServiceCurve => "service_curve",
+            Algo::Integrated => "integrated",
+            Algo::FifoFamily => "fifo_family",
+        }
+    }
+
+    /// Run the algorithm.
+    pub fn analyze(self, net: &dnc_net::Network) -> Result<AnalysisReport, dnc_core::AnalysisError> {
+        match self {
+            Algo::Decomposed => Decomposed::paper().analyze(net),
+            Algo::ServiceCurve => ServiceCurve::paper().analyze(net),
+            Algo::Integrated => Integrated::paper().analyze(net),
+            Algo::FifoFamily => FifoFamily::default().analyze(net),
+        }
+    }
+}
+
+/// One point of a tandem sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Network size (number of switches / hops of Connection 0).
+    pub n: usize,
+    /// Work load `U` (interior-link utilization), exact.
+    pub u: Rat,
+    /// Connection 0's end-to-end bound per algorithm, in `algos` order;
+    /// `None` when the algorithm diverged at this load.
+    pub bounds: Vec<Option<Rat>>,
+}
+
+/// The standard work-load grid `U = k/20, k = 1..=19` (0.05 … 0.95).
+pub fn u_grid() -> Vec<Rat> {
+    (1..=19).map(|k| Rat::new(k, 20)).collect()
+}
+
+/// Build the paper's tandem for a given size and work load (`ρ = U/4`,
+/// `σ = 1`).
+pub fn paper_tandem(n: usize, u: Rat) -> Tandem {
+    tandem(n, Rat::ONE, u / Rat::from(4), TandemOptions::default())
+}
+
+/// Sweep `algos` over all `(n, U)` combinations, in parallel.
+pub fn sweep(ns: &[usize], us: &[Rat], algos: &[Algo], workers: usize) -> Vec<SweepPoint> {
+    let combos: Vec<(usize, Rat)> = ns
+        .iter()
+        .flat_map(|&n| us.iter().map(move |&u| (n, u)))
+        .collect();
+    let mut results: Vec<Option<SweepPoint>> = vec![None; combos.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot = std::sync::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.max(1).min(combos.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= combos.len() {
+                    break;
+                }
+                let (n, u) = combos[i];
+                let t = paper_tandem(n, u);
+                let bounds = algos
+                    .iter()
+                    .map(|a| a.analyze(&t.net).ok().map(|r| r.bound(t.conn0)))
+                    .collect();
+                slot.lock().unwrap()[i] = Some(SweepPoint { n, u, bounds });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results.into_iter().map(|p| p.expect("all points run")).collect()
+}
+
+/// The paper's relative-improvement metric `R_{X,Y} = (D_X − D_Y)/D_X`.
+pub fn relative_improvement(dx: Rat, dy: Rat) -> Rat {
+    if dx.is_zero() {
+        Rat::ZERO
+    } else {
+        (dx - dy) / dx
+    }
+}
+
+/// Write sweep results as CSV: one row per `(n, U)`, a `bound_<algo>`
+/// column per algorithm, plus `R_first_second` when two algorithms are
+/// present (the paper's pairing convention: `R_{X,Y}` with `X` the first
+/// algorithm).
+pub fn write_csv(
+    path: &Path,
+    points: &[SweepPoint],
+    algos: &[Algo],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(out, "n,u")?;
+    for a in algos {
+        write!(out, ",bound_{}", a.label())?;
+    }
+    if algos.len() == 2 {
+        writeln!(out, ",rel_improvement")?;
+    } else {
+        writeln!(out)?;
+    }
+    for p in points {
+        write!(out, "{},{:.4}", p.n, p.u.to_f64())?;
+        for b in &p.bounds {
+            match b {
+                Some(v) => write!(out, ",{:.6}", v.to_f64())?,
+                None => write!(out, ",inf")?,
+            }
+        }
+        if algos.len() == 2 {
+            match (&p.bounds[0], &p.bounds[1]) {
+                (Some(x), Some(y)) => writeln!(out, ",{:.6}", relative_improvement(*x, *y).to_f64())?,
+                _ => writeln!(out, ",")?,
+            }
+        } else {
+            writeln!(out)?;
+        }
+    }
+    out.flush()
+}
+
+/// Render a sweep as a fixed-width text table (one block per `n`),
+/// mirroring the series the paper plots.
+pub fn render_table(points: &[SweepPoint], algos: &[Algo]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let mut ns: Vec<usize> = points.iter().map(|p| p.n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    for n in ns {
+        let _ = writeln!(s, "== n = {n} hops ==");
+        let _ = write!(s, "{:>6}", "U");
+        for a in algos {
+            let _ = write!(s, "{:>16}", a.label());
+        }
+        if algos.len() == 2 {
+            let _ = write!(s, "{:>10}", "R");
+        }
+        let _ = writeln!(s);
+        for p in points.iter().filter(|p| p.n == n) {
+            let _ = write!(s, "{:>6.2}", p.u.to_f64());
+            for b in &p.bounds {
+                match b {
+                    Some(v) => {
+                        let _ = write!(s, "{:>16.4}", v.to_f64());
+                    }
+                    None => {
+                        let _ = write!(s, "{:>16}", "inf");
+                    }
+                }
+            }
+            if algos.len() == 2 {
+                if let (Some(x), Some(y)) = (&p.bounds[0], &p.bounds[1]) {
+                    let _ = write!(s, "{:>10.4}", relative_improvement(*x, *y).to_f64());
+                }
+            }
+            let _ = writeln!(s);
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Default output directory for the figure binaries (`results/`),
+/// honouring `DNC_RESULTS_DIR`.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("DNC_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::rat;
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let pts = sweep(&[2, 4], &[rat(1, 4), rat(1, 2)], &[Algo::Decomposed], 2);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.bounds[0].is_some()));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let us = [rat(1, 4), rat(1, 2), rat(3, 4)];
+        let a = sweep(&[2, 4], &us, &[Algo::Integrated, Algo::Decomposed], 4);
+        let b = sweep(&[2, 4], &us, &[Algo::Integrated, Algo::Decomposed], 1);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.bounds, y.bounds);
+        }
+    }
+
+    #[test]
+    fn table_and_csv_smoke() {
+        let pts = sweep(&[2], &[rat(1, 2)], &[Algo::Decomposed, Algo::Integrated], 1);
+        let table = render_table(&pts, &[Algo::Decomposed, Algo::Integrated]);
+        assert!(table.contains("n = 2"));
+        let dir = std::env::temp_dir().join("dnc_bench_test");
+        let path = dir.join("smoke.csv");
+        write_csv(&path, &pts, &[Algo::Decomposed, Algo::Integrated]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,u,bound_decomposed,bound_integrated,rel_improvement"));
+        assert_eq!(content.lines().count(), 2);
+    }
+}

@@ -1,0 +1,704 @@
+//! Command implementations. Every command produces its report as a
+//! `String` so the whole CLI is testable without spawning processes.
+
+use crate::parse::{parse_spec, BuiltNetwork};
+use dnc_core::decomposed::{backlog_bounds, Decomposed};
+use dnc_core::fifo_family::FifoFamily;
+use dnc_core::integrated::Integrated;
+use dnc_core::service_curve::ServiceCurve;
+use dnc_core::{AnalysisReport, DelayAnalysis, OutputCap};
+use dnc_net::pairing::{partition, PairingStrategy};
+use dnc_net::ServerId;
+use dnc_num::Rat;
+use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_traffic::SourceModel;
+use std::fmt::Write as _;
+
+/// CLI failure: a message and a suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+fn load(path: &str) -> Result<(BuiltNetwork, crate::parse::NetworkSpec), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    let spec = parse_spec(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let built = spec
+        .build()
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    // Tolerate cyclic networks (the time-stopping analysis handles them);
+    // reject only structural overload.
+    match built.net.validate() {
+        Ok(()) | Err(dnc_net::NetworkError::NotFeedforward) => {}
+        Err(e) => return Err(CliError::new(format!("{path}: invalid network: {e}"))),
+    }
+    Ok((built, spec))
+}
+
+const USAGE: &str = "\
+usage: dnc <command> <file.dnc> [options]
+
+commands:
+  check     structure report: topology, utilizations, integrated pairing
+  analyze   end-to-end delay bounds   [--algo integrated|decomposed|service-curve|
+                                       fifo-family|time-stopping|all] [--csv <path>]
+  backlog   per-server buffer bounds
+  simulate  adversarial simulation    [--ticks N] [--seed S]
+  tandem    emit the paper's tandem as a .dnc file: dnc tandem <n> <U>
+  provision minimal GPS reservations meeting the declared deadlines
+
+`.dnc` format: see the dnc-cli crate documentation.";
+
+/// Entry point: interpret `args` (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| CliError::new(USAGE))?;
+    match cmd.as_str() {
+        "check" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            check(path)
+        }
+        "analyze" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            let mut algo = "all".to_string();
+            let mut csv: Option<String> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--algo" => {
+                        algo = rest
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::new("--algo needs a value"))?
+                            .to_string();
+                        i += 2;
+                    }
+                    "--csv" => {
+                        csv = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::new("--csv needs a path"))?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            analyze(path, &algo, csv.as_deref())
+        }
+        "backlog" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            backlog(path)
+        }
+        "simulate" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            let mut ticks = 8192u64;
+            let mut seed = 1u64;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--ticks" => {
+                        ticks = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError::new("--ticks needs an integer"))?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError::new("--seed needs an integer"))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            simulate_cmd(path, ticks, seed)
+        }
+        "provision" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            provision(path)
+        }
+        "tandem" => {
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| CliError::new("usage: dnc tandem <n> <U>"))?;
+            let u: Rat = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| CliError::new("usage: dnc tandem <n> <U>"))?;
+            tandem_file(n, u)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::new(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn algorithms(which: &str) -> Result<Vec<Box<dyn DelayAnalysis>>, CliError> {
+    let one = |name: &str| -> Option<Box<dyn DelayAnalysis>> {
+        match name {
+            "integrated" => Some(Box::new(Integrated::paper())),
+            "decomposed" => Some(Box::new(Decomposed::paper())),
+            "service-curve" => Some(Box::new(ServiceCurve::paper())),
+            "fifo-family" => Some(Box::new(FifoFamily::default())),
+            _ => None,
+        }
+    };
+    if which == "all" {
+        Ok(vec![
+            one("service-curve").unwrap(),
+            one("decomposed").unwrap(),
+            one("integrated").unwrap(),
+        ])
+    } else {
+        one(which)
+            .map(|a| vec![a])
+            .ok_or_else(|| CliError::new(format!("unknown algorithm {which:?}")))
+    }
+}
+
+fn check(path: &str) -> Result<String, CliError> {
+    let (built, _) = load(path)?;
+    let net = &built.net;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} servers, {} flows",
+        path,
+        net.servers().len(),
+        net.flows().len()
+    );
+    let cyclic = match net.topological_order() {
+        Ok(order) => {
+            let names: Vec<&str> =
+                order.iter().map(|&s| net.server(s).name.as_str()).collect();
+            let _ = writeln!(out, "topological order: {}", names.join(" -> "));
+            false
+        }
+        Err(_) => {
+            let _ = writeln!(
+                out,
+                "topology: CYCLIC (feedforward algorithms unavailable; use time-stopping)"
+            );
+            true
+        }
+    };
+    let _ = writeln!(out, "servers:");
+    for (i, s) in net.servers().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<12} rate {:<6} {:<5} load {:<8} util {:.3}",
+            s.name,
+            s.rate.to_string(),
+            match s.discipline {
+                dnc_net::Discipline::Fifo => "fifo",
+                dnc_net::Discipline::StaticPriority => "sp",
+                dnc_net::Discipline::Gps => "gps",
+                dnc_net::Discipline::Edf => "edf",
+            },
+            net.load(ServerId(i)).to_string(),
+            net.utilization(ServerId(i)).to_f64()
+        );
+    }
+    if !cyclic {
+        let part = partition(net, PairingStrategy::GreedyChain).expect("feedforward");
+        let _ = writeln!(out, "integrated pairing ({} pairs):", part.pair_count());
+        for g in &part.groups {
+            let names: Vec<&str> = g
+                .servers()
+                .iter()
+                .map(|&s| net.server(s).name.as_str())
+                .collect();
+            let _ = writeln!(out, "  {}", names.join(" + "));
+        }
+    }
+    Ok(out)
+}
+
+fn format_report(
+    out: &mut String,
+    report: &AnalysisReport,
+    deadlines: &[Option<Rat>],
+) {
+    let _ = writeln!(out, "[{}]", report.algorithm);
+    for (i, f) in report.flows.iter().enumerate() {
+        let verdict = match deadlines.get(i).copied().flatten() {
+            Some(d) if f.e2e <= d => "  MEETS",
+            Some(_) => "  MISSES",
+            None => "",
+        };
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>12} = {:>10.4} ticks{}",
+            f.name,
+            f.e2e.to_string(),
+            f.e2e.to_f64(),
+            verdict
+        );
+    }
+}
+
+fn analyze(path: &str, which: &str, csv: Option<&str>) -> Result<String, CliError> {
+    let (built, _) = load(path)?;
+    let mut out = String::new();
+    let mut csv_rows = String::from("algorithm,flow,name,bound,bound_f64\n");
+    let mut record = |report: &AnalysisReport| {
+        for line in report.to_csv().lines().skip(1) {
+            csv_rows.push_str(report.algorithm);
+            csv_rows.push(',');
+            csv_rows.push_str(line);
+            csv_rows.push('\n');
+        }
+    };
+    let cyclic = built.net.topological_order().is_err();
+    if which == "time-stopping" || (cyclic && which == "all") {
+        let r = dnc_core::cyclic::TimeStopping::default()
+            .analyze(&built.net)
+            .map_err(|e| CliError::new(format!("time-stopping failed: {e}")))?;
+        if !r.converged {
+            return Err(CliError {
+                message: format!(
+                    "time-stopping did not converge after {} iterations (no valid bound)",
+                    r.iterations
+                ),
+                code: 1,
+            });
+        }
+        let _ = writeln!(out, "# converged after {} iterations", r.iterations);
+        format_report(&mut out, &r.report, &built.deadlines);
+        record(&r.report);
+        if let Some(p) = csv {
+            std::fs::write(p, &csv_rows)
+                .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+            let _ = writeln!(out, "wrote {p}");
+        }
+        return Ok(out);
+    }
+    if cyclic {
+        return Err(CliError::new(
+            "network is cyclic: only `--algo time-stopping` applies",
+        ));
+    }
+    for alg in algorithms(which)? {
+        match alg.analyze(&built.net) {
+            Ok(report) => {
+                format_report(&mut out, &report, &built.deadlines);
+                record(&report);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "[{}] failed: {e}", alg.name());
+            }
+        }
+    }
+    if let Some(p) = csv {
+        std::fs::write(p, &csv_rows)
+            .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+        let _ = writeln!(out, "wrote {p}");
+    }
+    Ok(out)
+}
+
+fn backlog(path: &str) -> Result<String, CliError> {
+    let (built, _) = load(path)?;
+    let bounds = backlog_bounds(&built.net, OutputCap::Shift)
+        .map_err(|e| CliError::new(format!("analysis failed: {e}")))?;
+    let mut out = String::from("worst-case buffer requirements (cells):\n");
+    for (i, s) in built.net.servers().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} = {:>9.3}",
+            s.name,
+            bounds[i].to_string(),
+            bounds[i].to_f64()
+        );
+    }
+    Ok(out)
+}
+
+fn simulate_cmd(path: &str, ticks: u64, seed: u64) -> Result<String, CliError> {
+    let (built, _) = load(path)?;
+    let net = &built.net;
+    let cfg = SimConfig {
+        ticks,
+        seed,
+        ..SimConfig::default()
+    };
+    let greedy = simulate(net, &all_greedy(net), &cfg);
+    // A second, randomized workload for contrast.
+    let onoff = vec![
+        SourceModel::OnOff {
+            on: 8,
+            off: 8,
+            phase: 3,
+        };
+        net.flows().len()
+    ];
+    let random = simulate(net, &onoff, &cfg);
+    let bound = Integrated::paper()
+        .analyze(net)
+        .map_err(|e| CliError::new(format!("analysis failed: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9} {:>9} {:>12}",
+        "flow", "greedy", "on-off", "bound", "verdict"
+    );
+    let mut violations = 0;
+    for (i, f) in net.flows().iter().enumerate() {
+        let worst = greedy.flows[i].max_delay.max(random.flows[i].max_delay);
+        let b = bound.flows[i].e2e;
+        let ok = Rat::from(worst as i64) <= b;
+        if !ok {
+            violations += 1;
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>9} {:>9.3} {:>12}",
+            f.name,
+            greedy.flows[i].max_delay,
+            random.flows[i].max_delay,
+            b.to_f64(),
+            if ok { "ok" } else { "VIOLATION" }
+        );
+    }
+    if violations > 0 {
+        return Err(CliError {
+            message: format!("{out}\n{violations} bound violation(s)"),
+            code: 1,
+        });
+    }
+    Ok(out)
+}
+
+/// For every flow with a deadline that crosses GPS servers, find the
+/// minimal uniform reservation (on a 1/64 grid) that certifies the
+/// deadline, allocating flows greedily in declaration order.
+fn provision(path: &str) -> Result<String, CliError> {
+    use dnc_net::Discipline;
+    let (built, spec) = load(path)?;
+    let mut net = built.net.clone();
+    let mut gps_flows: Vec<usize> = (0..net.flows().len())
+        .filter(|&i| {
+            built.deadlines[i].is_some()
+                && net.flows()[i]
+                    .route
+                    .iter()
+                    .any(|&s| net.server(s).discipline == Discipline::Gps)
+        })
+        .collect();
+    // Allocate the tightest deadlines first so loose flows cannot starve
+    // urgent ones.
+    gps_flows.sort_by_key(|&i| built.deadlines[i].expect("filtered"));
+    if gps_flows.is_empty() {
+        return Err(CliError::new(
+            "provision: no flow has both a deadline and a GPS hop",
+        ));
+    }
+
+    let analyzer = Decomposed::paper();
+    let mut out = String::from("minimal GPS reservations meeting the deadlines (1/64 grid):
+");
+    for &i in &gps_flows {
+        let f = dnc_net::FlowId(i);
+        let deadline = built.deadlines[i].expect("filtered");
+        let gps_hops: Vec<dnc_net::ServerId> = net.flows()[i]
+            .route
+            .iter()
+            .copied()
+            .filter(|&s| net.server(s).discipline == Discipline::Gps)
+            .collect();
+        // Sustained rate is the floor; search upward on the grid.
+        let floor = net.flows()[i].spec.sustained_rate();
+        let mut chosen: Option<Rat> = None;
+        for k in 1..=256u32 {
+            let r = floor + Rat::new(k as i128, 64);
+            let mut trial = net.clone();
+            for &s in &gps_hops {
+                trial.reserve(f, s, r);
+            }
+            if trial.validate().is_err() {
+                break; // ran out of capacity
+            }
+            if let Ok(rep) = analyzer.analyze(&trial) {
+                if rep.bound(f) <= deadline {
+                    chosen = Some(r);
+                    net = trial;
+                    break;
+                }
+            }
+        }
+        let name = &spec.flows[i].name;
+        match chosen {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} reserve {:>8}  (deadline {}, bound {:.3})",
+                    name,
+                    r.to_string(),
+                    deadline,
+                    analyzer.analyze(&net).unwrap().bound(f).to_f64()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} INFEASIBLE within remaining capacity (deadline {deadline})",
+                    name
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Emit the paper's `n`-switch tandem at work load `U` as a `.dnc`
+/// document (σ = 1, ρ = U/4, unit links, unit peaks).
+fn tandem_file(n: usize, u: Rat) -> Result<String, CliError> {
+    if n == 0 {
+        return Err(CliError::new("tandem: n must be at least 1"));
+    }
+    if !u.is_positive() || u >= Rat::ONE {
+        return Err(CliError::new("tandem: U must be in (0, 1)"));
+    }
+    let rho = u / Rat::from(4);
+    let mut out = format!(
+        "# ICPP'99 evaluation tandem: n = {n}, U = {u} (rho = {rho})\n"
+    );
+    for j in 0..n {
+        let _ = writeln!(out, "server L{j} rate 1 fifo");
+    }
+    let route: Vec<String> = (0..n).map(|j| format!("L{j}")).collect();
+    let _ = writeln!(
+        out,
+        "flow conn0 route {} bucket 1 {rho} peak 1 prio 1",
+        route.join(" ")
+    );
+    for j in 0..n {
+        let _ = writeln!(out, "flow upper{j} route L{j} bucket 1 {rho} peak 1");
+        if j + 1 < n {
+            let _ = writeln!(
+                out,
+                "flow lower{j} route L{j} L{} bucket 1 {rho} peak 1",
+                j + 1
+            );
+        } else {
+            let _ = writeln!(out, "flow lower{j} route L{j} bucket 1 {rho} peak 1");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnc_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.dnc");
+        std::fs::write(
+            &path,
+            "\
+server L0 rate 1 fifo
+server L1 rate 1 fifo
+flow conn0 route L0 L1 bucket 1 1/8 peak 1 deadline 10
+flow upper0 route L0 bucket 1 1/8 peak 1
+flow upper1 route L1 bucket 1 1/8 peak 1
+",
+        )
+        .unwrap();
+        path
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn check_reports_structure() {
+        let p = sample_file();
+        let out = run(&args(&["check", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 servers, 3 flows"));
+        assert!(out.contains("topological order: L0 -> L1"));
+        assert!(out.contains("integrated pairing (1 pairs)"));
+    }
+
+    #[test]
+    fn analyze_all_algorithms() {
+        let p = sample_file();
+        let out = run(&args(&["analyze", p.to_str().unwrap(), "--algo", "all"])).unwrap();
+        assert!(out.contains("[decomposed]"));
+        assert!(out.contains("[integrated]"));
+        assert!(out.contains("[service-curve]"));
+        assert!(out.contains("conn0"));
+        assert!(out.contains("MEETS") || out.contains("MISSES"));
+    }
+
+    #[test]
+    fn analyze_csv_output() {
+        let p = sample_file();
+        let dir = p.parent().unwrap().to_path_buf();
+        let csv_path = dir.join("out.csv");
+        let out = run(&args(&[
+            "analyze",
+            p.to_str().unwrap(),
+            "--algo",
+            "integrated",
+            "--csv",
+            csv_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("algorithm,flow,name,bound,bound_f64"));
+        assert!(csv.contains("integrated,0,conn0,"));
+        assert_eq!(csv.lines().count(), 4, "header + three flows");
+    }
+
+    #[test]
+    fn analyze_single_algorithm() {
+        let p = sample_file();
+        let out = run(&args(&["analyze", p.to_str().unwrap(), "--algo", "integrated"])).unwrap();
+        assert!(out.contains("[integrated]"));
+        assert!(!out.contains("[decomposed]"));
+    }
+
+    #[test]
+    fn backlog_lists_every_server() {
+        let p = sample_file();
+        let out = run(&args(&["backlog", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("L0"));
+        assert!(out.contains("L1"));
+    }
+
+    #[test]
+    fn simulate_reports_ok() {
+        let p = sample_file();
+        let out = run(&args(&[
+            "simulate",
+            p.to_str().unwrap(),
+            "--ticks",
+            "2048",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("conn0"));
+        assert!(out.contains("ok"));
+        assert!(!out.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn bad_inputs_fail_cleanly() {
+        assert!(run(&args(&["analyze", "/nonexistent.dnc"])).is_err());
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&[])).is_err());
+        let p = sample_file();
+        assert!(run(&args(&["analyze", p.to_str().unwrap(), "--algo", "magic"])).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("usage: dnc"));
+    }
+
+    fn ring_file() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnc_cli_ring_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.dnc");
+        std::fs::write(
+            &path,
+            "\
+server r0 rate 1
+server r1 rate 1
+server r2 rate 1
+flow f0 route r0 r1 bucket 1 1/8 peak 1
+flow f1 route r1 r2 bucket 1 1/8 peak 1
+flow f2 route r2 r0 bucket 1 1/8 peak 1
+",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn cyclic_file_is_checked_and_analyzed() {
+        let p = ring_file();
+        let out = run(&args(&["check", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("CYCLIC"));
+        // `analyze` with the default routes to time-stopping.
+        let out = run(&args(&["analyze", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("[time-stopping]"));
+        assert!(out.contains("converged"));
+        // Feedforward-only algorithms are refused with a clear message.
+        let err =
+            run(&args(&["analyze", p.to_str().unwrap(), "--algo", "integrated"])).unwrap_err();
+        assert!(err.message.contains("cyclic"));
+    }
+
+    #[test]
+    fn provision_allocates_reservations() {
+        let dir = std::env::temp_dir().join(format!("dnc_cli_prov_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prov.dnc");
+        std::fs::write(
+            &path,
+            "\
+server core rate 2 gps
+flow video route core bucket 8 1/8 peak 1 deadline 20
+flow voice route core bucket 1 1/16 peak 1 deadline 8
+",
+        )
+        .unwrap();
+        let out = run(&args(&["provision", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("video"));
+        assert!(out.contains("voice"));
+        assert!(out.contains("reserve"), "at least one allocation: {out}");
+        assert!(!out.contains("INFEASIBLE"), "both must fit: {out}");
+        // A FIFO-only file is rejected with a clear message.
+        let fifo = dir.join("fifo.dnc");
+        std::fs::write(&fifo, "server a rate 1\nflow f route a bucket 1 1/8 deadline 5\n").unwrap();
+        assert!(run(&args(&["provision", fifo.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn tandem_generator_round_trips() {
+        // Generate the paper tandem, parse it back, and verify it matches
+        // the builder exactly (same bounds).
+        use dnc_net::builders::{tandem, TandemOptions};
+        let text = run(&args(&["tandem", "4", "3/5"])).unwrap();
+        let spec = crate::parse::parse_spec(&text).unwrap();
+        let built = spec.build().unwrap();
+        built.net.validate().unwrap();
+        let t = tandem(4, Rat::ONE, Rat::new(3, 20), TandemOptions::default());
+        let from_file = Integrated::paper().analyze(&built.net).unwrap();
+        let from_builder = Integrated::paper().analyze(&t.net).unwrap();
+        let conn0 = spec.flow_id("conn0").unwrap();
+        assert_eq!(from_file.bound(conn0), from_builder.bound(t.conn0));
+    }
+
+    #[test]
+    fn tandem_generator_rejects_bad_params() {
+        assert!(run(&args(&["tandem", "0", "1/2"])).is_err());
+        assert!(run(&args(&["tandem", "4", "1"])).is_err());
+        assert!(run(&args(&["tandem", "4"])).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! The `dnc` binary: thin wrapper over [`dnc_cli::commands::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dnc_cli::commands::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Parser for the `.dnc` network-description format.
+
+use dnc_net::{Discipline, Flow, FlowId, Network, Server};
+use dnc_num::Rat;
+use dnc_traffic::{TokenBucket, TrafficSpec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed description, convertible into a [`Network`].
+#[derive(Clone, Debug, Default)]
+pub struct NetworkSpec {
+    /// Declared servers in file order.
+    pub servers: Vec<ServerDecl>,
+    /// Declared flows in file order.
+    pub flows: Vec<FlowDecl>,
+}
+
+/// One `server` line.
+#[derive(Clone, Debug)]
+pub struct ServerDecl {
+    /// Server name.
+    pub name: String,
+    /// Service rate in cells/tick.
+    pub rate: Rat,
+    /// Scheduling discipline.
+    pub discipline: Discipline,
+}
+
+/// One `flow` line.
+#[derive(Clone, Debug)]
+pub struct FlowDecl {
+    /// Flow name.
+    pub name: String,
+    /// Route as server names.
+    pub route: Vec<String>,
+    /// Token buckets `(σ, ρ)`.
+    pub buckets: Vec<(Rat, Rat)>,
+    /// Optional peak-rate cap.
+    pub peak: Option<Rat>,
+    /// Priority (for `sp` servers).
+    pub priority: u8,
+    /// GPS rate reservation applied at every `gps` hop (defaults to the
+    /// flow's sustained rate).
+    pub reserve: Option<Rat>,
+    /// EDF local deadline applied at every `edf` hop.
+    pub local_deadline: Option<Rat>,
+    /// Optional end-to-end deadline.
+    pub deadline: Option<Rat>,
+}
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_rat(tok: &str, line: usize, what: &str) -> Result<Rat, ParseError> {
+    tok.parse::<Rat>()
+        .map_err(|_| err(line, format!("invalid {what} {tok:?} (expected e.g. 3, 1/4, 0.25)")))
+}
+
+/// Parse a full `.dnc` document.
+pub fn parse_spec(input: &str) -> Result<NetworkSpec, ParseError> {
+    let mut spec = NetworkSpec::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "server" => spec.servers.push(parse_server(&toks, line_no)?),
+            "flow" => spec.flows.push(parse_flow(&toks, line_no)?),
+            other => {
+                return Err(err(
+                    line_no,
+                    format!("unknown directive {other:?} (expected `server` or `flow`)"),
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_server(toks: &[&str], line: usize) -> Result<ServerDecl, ParseError> {
+    // server <name> rate <rat> [fifo|sp]
+    if toks.len() < 4 || toks[2] != "rate" {
+        return Err(err(line, "usage: server <name> rate <rat> [fifo|sp]"));
+    }
+    const RESERVED: [&str; 7] = ["bucket", "peak", "prio", "deadline", "reserve", "ldl", "route"];
+    if RESERVED.contains(&toks[1]) {
+        return Err(err(
+            line,
+            format!("server name {:?} collides with a flow keyword", toks[1]),
+        ));
+    }
+    let rate = parse_rat(toks[3], line, "rate")?;
+    if !rate.is_positive() {
+        return Err(err(line, "server rate must be positive"));
+    }
+    let discipline = match toks.get(4) {
+        None | Some(&"fifo") => Discipline::Fifo,
+        Some(&"sp") => Discipline::StaticPriority,
+        Some(&"gps") => Discipline::Gps,
+        Some(&"edf") => Discipline::Edf,
+        Some(other) => {
+            return Err(err(
+                line,
+                format!("unknown discipline {other:?} (expected fifo, sp, gps, or edf)"),
+            ))
+        }
+    };
+    if toks.len() > 5 {
+        return Err(err(line, format!("unexpected trailing token {:?}", toks[5])));
+    }
+    Ok(ServerDecl {
+        name: toks[1].to_string(),
+        rate,
+        discipline,
+    })
+}
+
+fn parse_flow(toks: &[&str], line: usize) -> Result<FlowDecl, ParseError> {
+    // flow <name> route <s>... bucket <σ> <ρ> [bucket ...] [peak <r>]
+    //      [prio <n>] [deadline <rat>]
+    if toks.len() < 3 || toks[2] != "route" {
+        return Err(err(
+            line,
+            "usage: flow <name> route <server>... bucket <σ> <ρ> [peak <r>] [prio <n>] [deadline <d>]",
+        ));
+    }
+    let mut decl = FlowDecl {
+        name: toks[1].to_string(),
+        route: Vec::new(),
+        buckets: Vec::new(),
+        peak: None,
+        priority: 0,
+        reserve: None,
+        local_deadline: None,
+        deadline: None,
+    };
+    let mut i = 3;
+    // Route servers until the next keyword.
+    while i < toks.len() && !matches!(toks[i], "bucket" | "peak" | "prio" | "deadline" | "reserve" | "ldl") {
+        decl.route.push(toks[i].to_string());
+        i += 1;
+    }
+    if decl.route.is_empty() {
+        return Err(err(line, "flow route is empty"));
+    }
+    while i < toks.len() {
+        match toks[i] {
+            "bucket" => {
+                if i + 2 >= toks.len() {
+                    return Err(err(line, "bucket needs two arguments: <σ> <ρ>"));
+                }
+                let sigma = parse_rat(toks[i + 1], line, "bucket σ")?;
+                let rho = parse_rat(toks[i + 2], line, "bucket ρ")?;
+                if sigma.is_negative() || rho.is_negative() {
+                    return Err(err(line, "bucket parameters must be non-negative"));
+                }
+                decl.buckets.push((sigma, rho));
+                i += 3;
+            }
+            "peak" => {
+                if i + 1 >= toks.len() {
+                    return Err(err(line, "peak needs an argument"));
+                }
+                let p = parse_rat(toks[i + 1], line, "peak")?;
+                if !p.is_positive() {
+                    return Err(err(line, "peak must be positive"));
+                }
+                decl.peak = Some(p);
+                i += 2;
+            }
+            "prio" => {
+                if i + 1 >= toks.len() {
+                    return Err(err(line, "prio needs an argument"));
+                }
+                decl.priority = toks[i + 1]
+                    .parse()
+                    .map_err(|_| err(line, format!("invalid priority {:?}", toks[i + 1])))?;
+                i += 2;
+            }
+            "deadline" => {
+                if i + 1 >= toks.len() {
+                    return Err(err(line, "deadline needs an argument"));
+                }
+                decl.deadline = Some(parse_rat(toks[i + 1], line, "deadline")?);
+                i += 2;
+            }
+            "reserve" => {
+                if i + 1 >= toks.len() {
+                    return Err(err(line, "reserve needs an argument"));
+                }
+                let r = parse_rat(toks[i + 1], line, "reserve")?;
+                if !r.is_positive() {
+                    return Err(err(line, "reservation must be positive"));
+                }
+                decl.reserve = Some(r);
+                i += 2;
+            }
+            "ldl" => {
+                if i + 1 >= toks.len() {
+                    return Err(err(line, "ldl needs an argument"));
+                }
+                let d = parse_rat(toks[i + 1], line, "local deadline")?;
+                if !d.is_positive() {
+                    return Err(err(line, "local deadline must be positive"));
+                }
+                decl.local_deadline = Some(d);
+                i += 2;
+            }
+            other => return Err(err(line, format!("unexpected token {other:?}"))),
+        }
+    }
+    if decl.buckets.is_empty() {
+        return Err(err(line, "flow needs at least one `bucket <σ> <ρ>`"));
+    }
+    Ok(decl)
+}
+
+/// A spec lowered into an analyzable network plus name/deadline tables.
+#[derive(Clone, Debug)]
+pub struct BuiltNetwork {
+    /// The network.
+    pub net: Network,
+    /// Flow deadlines by id.
+    pub deadlines: Vec<Option<Rat>>,
+}
+
+impl NetworkSpec {
+    /// Lower into a [`Network`]; resolves server names and reports
+    /// unknown references.
+    pub fn build(&self) -> Result<BuiltNetwork, String> {
+        let mut net = Network::new();
+        let mut by_name: HashMap<&str, dnc_net::ServerId> = HashMap::new();
+        for s in &self.servers {
+            if by_name.contains_key(s.name.as_str()) {
+                return Err(format!("duplicate server name {:?}", s.name));
+            }
+            let id = net.add_server(Server {
+                name: s.name.clone(),
+                rate: s.rate,
+                discipline: s.discipline,
+            });
+            by_name.insert(&s.name, id);
+        }
+        let mut deadlines = Vec::with_capacity(self.flows.len());
+        for f in &self.flows {
+            let route = f
+                .route
+                .iter()
+                .map(|n| {
+                    by_name
+                        .get(n.as_str())
+                        .copied()
+                        .ok_or_else(|| format!("flow {:?} references unknown server {n:?}", f.name))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let buckets = f
+                .buckets
+                .iter()
+                .map(|&(s, r)| TokenBucket::new(s, r))
+                .collect();
+            let spec = TrafficSpec::new(buckets, f.peak);
+            let id = net
+                .add_flow(Flow {
+                    name: f.name.clone(),
+                    spec,
+                    route: route.clone(),
+                    priority: f.priority,
+                })
+                .map_err(|e| format!("flow {:?}: {e}", f.name))?;
+            if let Some(r) = f.reserve {
+                for &s in &route {
+                    if net.server(s).discipline == Discipline::Gps {
+                        net.reserve(id, s, r);
+                    }
+                }
+            }
+            if let Some(d) = f.local_deadline {
+                for &s in &route {
+                    if net.server(s).discipline == Discipline::Edf {
+                        net.set_local_deadline(id, s, d);
+                    }
+                }
+            }
+            deadlines.push(f.deadline);
+        }
+        Ok(BuiltNetwork { net, deadlines })
+    }
+
+    /// Find a flow id by name (after [`NetworkSpec::build`]).
+    pub fn flow_id(&self, name: &str) -> Option<FlowId> {
+        self.flows.iter().position(|f| f.name == name).map(FlowId)
+    }
+
+    /// Serialize back to the `.dnc` text format
+    /// (`parse_spec(spec.to_dnc())` round-trips).
+    pub fn to_dnc(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.servers {
+            let disc = match s.discipline {
+                Discipline::Fifo => "fifo",
+                Discipline::StaticPriority => "sp",
+                Discipline::Gps => "gps",
+                Discipline::Edf => "edf",
+            };
+            let _ = writeln!(out, "server {} rate {} {}", s.name, s.rate, disc);
+        }
+        for f in &self.flows {
+            let _ = write!(out, "flow {} route {}", f.name, f.route.join(" "));
+            for (sigma, rho) in &f.buckets {
+                let _ = write!(out, " bucket {sigma} {rho}");
+            }
+            if let Some(p) = f.peak {
+                let _ = write!(out, " peak {p}");
+            }
+            if f.priority != 0 {
+                let _ = write!(out, " prio {}", f.priority);
+            }
+            if let Some(r) = f.reserve {
+                let _ = write!(out, " reserve {r}");
+            }
+            if let Some(d) = f.local_deadline {
+                let _ = write!(out, " ldl {d}");
+            }
+            if let Some(d) = f.deadline {
+                let _ = write!(out, " deadline {d}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    const SAMPLE: &str = "\
+# two-hop sample
+server L0 rate 1 fifo
+server L1 rate 1
+flow conn0 route L0 L1 bucket 1 1/4 peak 1 prio 1 deadline 12
+flow cross route L0 bucket 2 0.125
+";
+
+    #[test]
+    fn parses_sample() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        assert_eq!(spec.servers.len(), 2);
+        assert_eq!(spec.flows.len(), 2);
+        assert_eq!(spec.servers[0].rate, int(1));
+        assert_eq!(spec.flows[0].buckets, vec![(int(1), rat(1, 4))]);
+        assert_eq!(spec.flows[0].peak, Some(int(1)));
+        assert_eq!(spec.flows[0].priority, 1);
+        assert_eq!(spec.flows[0].deadline, Some(int(12)));
+        assert_eq!(spec.flows[1].buckets, vec![(int(2), rat(1, 8))]);
+        assert_eq!(spec.flows[1].deadline, None);
+    }
+
+    #[test]
+    fn builds_network() {
+        let built = parse_spec(SAMPLE).unwrap().build().unwrap();
+        assert_eq!(built.net.servers().len(), 2);
+        assert_eq!(built.net.flows().len(), 2);
+        built.net.validate().unwrap();
+        assert_eq!(built.deadlines[0], Some(int(12)));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_spec("server a rate 1\nbogus x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown directive"));
+        let e = parse_spec("server a rate 0\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+        let e = parse_spec("flow f route a\n").unwrap_err();
+        assert!(e.message.contains("bucket"));
+        let e = parse_spec("server a rate 1 lifo\n").unwrap_err();
+        assert!(e.message.contains("discipline"));
+        let e = parse_spec("server peak rate 1\n").unwrap_err();
+        assert!(e.message.contains("collides"));
+    }
+
+    #[test]
+    fn unknown_server_reference() {
+        let spec = parse_spec("server a rate 1\nflow f route ghost bucket 1 1/8\n").unwrap();
+        let e = spec.build().unwrap_err();
+        assert!(e.contains("unknown server"));
+    }
+
+    #[test]
+    fn duplicate_server_rejected() {
+        let spec = parse_spec("server a rate 1\nserver a rate 2\n").unwrap();
+        assert!(spec.build().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn multi_bucket_flow() {
+        let spec = parse_spec(
+            "server a rate 1\nflow f route a bucket 10 1/8 bucket 2 1/2 peak 1\n",
+        )
+        .unwrap();
+        assert_eq!(spec.flows[0].buckets.len(), 2);
+        let built = spec.build().unwrap();
+        assert!(built.net.flows()[0].spec.arrival_curve().is_concave());
+    }
+
+    #[test]
+    fn sp_discipline_parses() {
+        let spec = parse_spec("server s rate 2 sp\n").unwrap();
+        assert_eq!(spec.servers[0].discipline, Discipline::StaticPriority);
+    }
+}

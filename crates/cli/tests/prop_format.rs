@@ -1,0 +1,114 @@
+//! Property tests for the `.dnc` format: serialize → parse round-trips
+//! for arbitrary valid specs.
+
+use dnc_cli::parse::{parse_spec, FlowDecl, NetworkSpec, ServerDecl};
+use dnc_net::Discipline;
+use dnc_num::{Rat};
+use proptest::prelude::*;
+
+fn arb_name(prefix: &'static str) -> impl Strategy<Value = String> {
+    (0u32..1000).prop_map(move |n| format!("{prefix}{n}"))
+}
+
+fn arb_rat_pos() -> impl Strategy<Value = Rat> {
+    (1i128..100, 1i128..16).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn arb_rat_nonneg() -> impl Strategy<Value = Rat> {
+    (0i128..100, 1i128..16).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
+    let servers = proptest::collection::vec(
+        (arb_rat_pos(), proptest::bool::ANY),
+        1..5,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (rate, sp))| ServerDecl {
+                name: format!("s{i}"),
+                rate,
+                discipline: if sp {
+                    Discipline::StaticPriority
+                } else {
+                    Discipline::Fifo
+                },
+            })
+            .collect::<Vec<_>>()
+    });
+    (servers, arb_name("ignored"), 1usize..4).prop_flat_map(|(servers, _, n_flows)| {
+        let n_servers = servers.len();
+        let flows = proptest::collection::vec(
+            (
+                proptest::collection::vec((arb_rat_nonneg(), arb_rat_nonneg()), 1..3),
+                proptest::option::of(arb_rat_pos()),
+                0u8..4,
+                proptest::option::of(arb_rat_pos()),
+                proptest::sample::subsequence((0..n_servers).collect::<Vec<_>>(), 1..=n_servers),
+            ),
+            n_flows..=n_flows,
+        )
+        .prop_map(move |fv| {
+            fv.into_iter()
+                .enumerate()
+                .map(|(i, (buckets, peak, prio, deadline, route))| FlowDecl {
+                    name: format!("f{i}"),
+                    route: route.iter().map(|&j| format!("s{j}")).collect(),
+                    buckets,
+                    peak,
+                    priority: prio,
+                    reserve: deadline, // reuse the optional-rat generator
+                    local_deadline: peak, // likewise
+                    deadline,
+                })
+                .collect::<Vec<_>>()
+        });
+        (proptest::strategy::Just(servers), flows)
+    })
+    .prop_map(|(servers, flows)| NetworkSpec { servers, flows })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn to_dnc_round_trips(spec in arb_spec()) {
+        let text = spec.to_dnc();
+        let parsed = parse_spec(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(spec.servers.len(), parsed.servers.len());
+        prop_assert_eq!(spec.flows.len(), parsed.flows.len());
+        for (a, b) in spec.servers.iter().zip(parsed.servers.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.rate, b.rate);
+            prop_assert_eq!(a.discipline, b.discipline);
+        }
+        for (a, b) in spec.flows.iter().zip(parsed.flows.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.route, &b.route);
+            prop_assert_eq!(&a.buckets, &b.buckets);
+            prop_assert_eq!(a.peak, b.peak);
+            prop_assert_eq!(a.priority, b.priority);
+            prop_assert_eq!(a.reserve, b.reserve);
+            prop_assert_eq!(a.local_deadline, b.local_deadline);
+            prop_assert_eq!(a.deadline, b.deadline);
+        }
+    }
+
+    #[test]
+    fn built_networks_match_after_round_trip(spec in arb_spec()) {
+        let text = spec.to_dnc();
+        let parsed = parse_spec(&text).unwrap();
+        let a = spec.build();
+        let b = parsed.build();
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a.net.servers().len(), b.net.servers().len());
+            prop_assert_eq!(a.net.flows().len(), b.net.flows().len());
+            for (fa, fb) in a.net.flows().iter().zip(b.net.flows().iter()) {
+                prop_assert_eq!(fa.spec.arrival_curve(), fb.spec.arrival_curve());
+                prop_assert_eq!(&fa.route, &fb.route);
+            }
+        }
+    }
+}

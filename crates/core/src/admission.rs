@@ -1,0 +1,169 @@
+//! Connection admission control — the application the paper's analysis
+//! exists for: a bounded-delay service admits a connection only if the
+//! analysis can certify every affected deadline.
+//!
+//! A tighter analysis admits more connections at the same deadlines; the
+//! paper's *effectiveness* claim translates directly into
+//! [`max_admissible_utilization`] being larger for Algorithm Integrated
+//! than for Algorithm Decomposed (and much larger than for Algorithm
+//! Service Curve).
+
+use crate::{AnalysisError, DelayAnalysis};
+use dnc_net::builders::{tandem, TandemOptions};
+use dnc_net::{Flow, FlowId, Network};
+use dnc_num::Rat;
+
+/// A deadline attached to a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    /// The connection.
+    pub flow: FlowId,
+    /// Its end-to-end delay requirement, in ticks.
+    pub deadline: Rat,
+}
+
+/// Check whether every listed deadline is certified by `analysis` on
+/// `net`.
+pub fn all_deadlines_met(
+    net: &Network,
+    deadlines: &[Deadline],
+    analysis: &dyn DelayAnalysis,
+) -> Result<bool, AnalysisError> {
+    let report = analysis.analyze(net)?;
+    Ok(deadlines
+        .iter()
+        .all(|d| report.bound(d.flow) <= d.deadline))
+}
+
+/// The admission-control test: may `candidate` join `net` without breaking
+/// any existing deadline or its own? Returns the admitted flow's id on
+/// success.
+///
+/// An analysis failure caused by the candidate (e.g. it overloads a
+/// server) is a rejection, not an error.
+pub fn try_admit(
+    net: &Network,
+    candidate: Flow,
+    candidate_deadline: Rat,
+    existing: &[Deadline],
+    analysis: &dyn DelayAnalysis,
+) -> Result<Option<(Network, FlowId)>, AnalysisError> {
+    let mut trial = net.clone();
+    let id = match trial.add_flow(candidate) {
+        Ok(id) => id,
+        Err(_) => return Ok(None),
+    };
+    let report = match analysis.analyze(&trial) {
+        Ok(r) => r,
+        Err(AnalysisError::Network(_)) | Err(AnalysisError::Curve { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let ok = report.bound(id) <= candidate_deadline
+        && existing.iter().all(|d| report.bound(d.flow) <= d.deadline);
+    Ok(ok.then_some((trial, id)))
+}
+
+/// The largest tandem work load `U = k/resolution` (interior-link
+/// utilization) at which `analysis` still certifies `deadline` for
+/// Connection 0 on the `n`-switch tandem with bucket size `sigma`.
+/// Returns `None` when even the lightest grid point fails.
+pub fn max_admissible_utilization(
+    n: usize,
+    sigma: Rat,
+    deadline: Rat,
+    analysis: &dyn DelayAnalysis,
+    resolution: u32,
+) -> Option<Rat> {
+    assert!(resolution >= 2);
+    let mut best: Option<Rat> = None;
+    for k in 1..resolution {
+        let u = Rat::new(k as i128, resolution as i128);
+        let rho = u / Rat::from(4); // interior links carry 4 connections
+        let t = tandem(n, sigma, rho, TandemOptions::default());
+        match analysis.analyze(&t.net) {
+            Ok(report) if report.bound(t.conn0) <= deadline => best = Some(u),
+            _ => break, // bounds are monotone in load; stop at first failure
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposed::Decomposed;
+    use crate::integrated::Integrated;
+    use crate::service_curve::ServiceCurve;
+    use dnc_net::builders;
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    #[test]
+    fn deadline_check_basic() {
+        let t = builders::tandem(2, int(1), rat(1, 16), TandemOptions::default());
+        let loose = [Deadline {
+            flow: t.conn0,
+            deadline: int(100),
+        }];
+        let tight = [Deadline {
+            flow: t.conn0,
+            deadline: rat(1, 100),
+        }];
+        let alg = Decomposed::paper();
+        assert!(all_deadlines_met(&t.net, &loose, &alg).unwrap());
+        assert!(!all_deadlines_met(&t.net, &tight, &alg).unwrap());
+    }
+
+    #[test]
+    fn try_admit_accepts_and_rejects() {
+        let t = builders::tandem(2, int(1), rat(1, 16), TandemOptions::default());
+        let alg = Integrated::paper();
+        let mk = |rho: Rat| Flow {
+            name: "new".into(),
+            spec: TrafficSpec::paper_source(int(1), rho),
+            route: t.middle.clone(),
+            priority: 0,
+        };
+        // A light extra flow with a loose deadline is admitted.
+        let admitted = try_admit(&t.net, mk(rat(1, 16)), int(100), &[], &alg).unwrap();
+        assert!(admitted.is_some());
+        // A flow that overloads the interior links is rejected cleanly.
+        let rejected = try_admit(&t.net, mk(int(1)), int(100), &[], &alg).unwrap();
+        assert!(rejected.is_none());
+    }
+
+    #[test]
+    fn admission_respects_existing_deadlines() {
+        let t = builders::tandem(2, int(1), rat(1, 16), TandemOptions::default());
+        let alg = Integrated::paper();
+        let base = alg.analyze(&t.net).unwrap().bound(t.conn0);
+        // Deadline exactly at the current bound: any added contention on
+        // the path breaks it.
+        let existing = [Deadline {
+            flow: t.conn0,
+            deadline: base,
+        }];
+        let candidate = Flow {
+            name: "new".into(),
+            spec: TrafficSpec::paper_source(int(1), rat(1, 16)),
+            route: vec![t.middle[0]],
+            priority: 0,
+        };
+        let r = try_admit(&t.net, candidate, int(100), &existing, &alg).unwrap();
+        assert!(r.is_none(), "must protect the existing deadline");
+    }
+
+    #[test]
+    fn integrated_admits_no_less_than_decomposed() {
+        let deadline = int(12);
+        let dec = max_admissible_utilization(4, int(1), deadline, &Decomposed::paper(), 16);
+        let int_ = max_admissible_utilization(4, int(1), deadline, &Integrated::paper(), 16);
+        let sc = max_admissible_utilization(4, int(1), deadline, &ServiceCurve::paper(), 16);
+        let dec = dec.expect("decomposed admits something");
+        let int_ = int_.expect("integrated admits something");
+        assert!(int_ >= dec, "integrated {int_} < decomposed {dec}");
+        if let Some(sc) = sc {
+            assert!(sc <= dec, "service curve should be the most conservative");
+        }
+    }
+}

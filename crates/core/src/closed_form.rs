@@ -1,0 +1,143 @@
+//! Hand-derived closed forms for the paper's tandem topology, used to
+//! cross-check the generic curve pipeline.
+//!
+//! The paper's Section 4.2 gives closed-form recursions for Algorithm
+//! Decomposed on the tandem network; the published text is OCR-corrupted,
+//! so the forms here are re-derived from first principles for the two
+//! source models:
+//!
+//! * **Peak-capped sources** (the paper's `b(I) = min{I, σ+ρI}`): the
+//!   first middle link carries three such connections on a unit link, so
+//!   the aggregate climbs at slope 3 until each source's crossover
+//!   `t* = σ/(1−ρ)` and the local delay is `E₁ = 2σ/(1−ρ)` — exactly the
+//!   paper's first recursion term.
+//! * **Uncapped token buckets**: every local FIFO delay is the aggregate
+//!   burst over the rate, giving the clean recursion implemented by
+//!   [`decomposed_tandem_uncapped`].
+
+use dnc_num::Rat;
+
+/// The paper's `E₁ = 2σ/(1−ρ)`: local delay of the first tandem link
+/// (three peak-capped connections, unit link).
+pub fn first_link_delay_capped(sigma: Rat, rho: Rat) -> Rat {
+    assert!(rho < Rat::ONE);
+    Rat::TWO * sigma / (Rat::ONE - rho)
+}
+
+/// Per-link local delays of Algorithm Decomposed on the `n`-switch tandem
+/// with **uncapped** token-bucket sources `(σ, ρ)` and unit links.
+///
+/// Derivation: with uncapped buckets and total rate `4ρ < 1`, each local
+/// FIFO delay equals the aggregate burst. Writing `S_j = Σ_{k≤j} E_k`:
+///
+/// * link 0 carries three fresh connections: `E₀ = 3σ`;
+/// * link `j ≥ 1` carries Connection 0 (burst `σ + ρ·S_{j−1}`), fresh
+///   `upper_j` and `lower_j` (`σ` each), and `lower_{j−1}` delayed once
+///   (`σ + ρ·E_{j−1}`):
+///   `E_j = 4σ + ρ·(S_{j−1} + E_{j−1})`.
+pub fn decomposed_tandem_uncapped(n: usize, sigma: Rat, rho: Rat) -> Vec<Rat> {
+    assert!(n >= 1);
+    assert!(rho * Rat::from(4) < Rat::ONE, "need 4ρ < 1 for stability");
+    let mut delays = Vec::with_capacity(n);
+    let mut prefix = Rat::ZERO; // S_{j-1}
+    for j in 0..n {
+        let e = if j == 0 {
+            sigma * Rat::from(3)
+        } else {
+            let prev = *delays.last().unwrap();
+            sigma * Rat::from(4) + rho * (prefix + prev)
+        };
+        prefix += e;
+        delays.push(e);
+    }
+    delays
+}
+
+/// End-to-end Decomposed bound for Connection 0 on the uncapped tandem:
+/// the sum of [`decomposed_tandem_uncapped`].
+pub fn decomposed_tandem_uncapped_e2e(n: usize, sigma: Rat, rho: Rat) -> Rat {
+    decomposed_tandem_uncapped(n, sigma, rho).into_iter().sum()
+}
+
+/// Closed form of the Theorem-1′ pair bound for **uncapped** token
+/// buckets on unit-rate servers: with `F12 = σ12 + ρ12·t`,
+/// `F1 = σ1 + ρ1·t`, `F2 = σ2 + ρ2·t` and `C1 = C2 = 1`:
+///
+/// * `D1 = σ12 + σ1` (burst sum over rate, stability `ρ12 + ρ1 < 1`);
+/// * the rate-cap crossing is at `Δ* = (σ12 + ρ12·D1) / (1 − ρ12)`;
+/// * the inner maximum is `σ2 + ρ2·Δ*`;
+/// * `through = D1 + σ2 + ρ2·Δ*`.
+pub fn integrated_pair_uncapped(
+    sigma12: Rat,
+    rho12: Rat,
+    sigma1: Rat,
+    sigma2: Rat,
+    rho2: Rat,
+) -> Rat {
+    assert!(rho12 < Rat::ONE);
+    let d1 = sigma12 + sigma1;
+    let delta_star = (sigma12 + rho12 * d1) / (Rat::ONE - rho12);
+    d1 + sigma2 + rho2 * delta_star
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn integrated_pair_closed_form_matches_generic() {
+        use crate::integrated::pair_delay_bound;
+        use crate::OutputCap;
+        use dnc_curves::Curve;
+        for (s12, s1, s2) in [(2i64, 1i64, 3i64), (4, 0, 1), (1, 5, 2)] {
+            for (r12_n, r1_n, r2_n) in [(1i128, 1i128, 1i128), (2, 1, 1), (1, 3, 2)] {
+                let (rho12, rho1, rho2) =
+                    (Rat::new(r12_n, 8), Rat::new(r1_n, 8), Rat::new(r2_n, 8));
+                let f12 = Curve::token_bucket(int(s12), rho12);
+                let f1 = Curve::token_bucket(int(s1), rho1);
+                let f2 = Curve::token_bucket(int(s2), rho2);
+                let pb = pair_delay_bound(&f12, &f1, &f2, Rat::ONE, Rat::ONE, OutputCap::Shift)
+                    .unwrap();
+                let closed =
+                    integrated_pair_uncapped(int(s12), rho12, int(s1), int(s2), rho2);
+                assert_eq!(
+                    pb.through, closed,
+                    "σ=({s12},{s1},{s2}) ρ=({rho12},{rho1},{rho2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_link_formula() {
+        assert_eq!(first_link_delay_capped(int(1), rat(1, 8)), rat(16, 7));
+        assert_eq!(first_link_delay_capped(int(2), rat(1, 2)), int(8));
+    }
+
+    #[test]
+    fn uncapped_recursion_small_cases() {
+        // σ=1, ρ=1/8: E0 = 3, E1 = 4 + (3 + 3)/8 = 19/4.
+        let d = decomposed_tandem_uncapped(2, int(1), rat(1, 8));
+        assert_eq!(d[0], int(3));
+        assert_eq!(d[1], rat(19, 4));
+        assert_eq!(
+            decomposed_tandem_uncapped_e2e(2, int(1), rat(1, 8)),
+            rat(31, 4)
+        );
+    }
+
+    #[test]
+    fn uncapped_recursion_grows() {
+        let d = decomposed_tandem_uncapped(8, int(1), rat(3, 16));
+        for w in d.windows(2) {
+            assert!(w[1] > w[0], "local delays must grow along the chain");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4ρ < 1")]
+    fn rejects_overload() {
+        let _ = decomposed_tandem_uncapped(2, int(1), rat(1, 4));
+    }
+}

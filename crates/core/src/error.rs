@@ -1,0 +1,61 @@
+//! Error type shared by the analysis algorithms.
+
+use dnc_curves::CurveError;
+use dnc_net::{NetworkError, ServerId};
+use std::fmt;
+
+/// Why an analysis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Structural problem with the network (cycle, overload, bad route).
+    Network(NetworkError),
+    /// A curve operation diverged (usually a local instability).
+    Curve {
+        /// Server at which the operation failed, when known.
+        server: Option<ServerId>,
+        /// The underlying curve error.
+        source: CurveError,
+    },
+    /// An algorithm-specific precondition failed.
+    Unsupported(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Network(e) => write!(f, "network error: {e}"),
+            AnalysisError::Curve { server, source } => match server {
+                Some(s) => write!(f, "curve error at server {s}: {source}"),
+                None => write!(f, "curve error: {source}"),
+            },
+            AnalysisError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<NetworkError> for AnalysisError {
+    fn from(e: NetworkError) -> Self {
+        AnalysisError::Network(e)
+    }
+}
+
+impl AnalysisError {
+    /// Wrap a curve error with the server it occurred at.
+    pub fn at(server: ServerId, source: CurveError) -> AnalysisError {
+        AnalysisError::Curve {
+            server: Some(server),
+            source,
+        }
+    }
+}
+
+impl From<CurveError> for AnalysisError {
+    fn from(source: CurveError) -> Self {
+        AnalysisError::Curve {
+            server: None,
+            source,
+        }
+    }
+}

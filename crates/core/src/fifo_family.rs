@@ -1,0 +1,271 @@
+//! A **modern baseline** that post-dates the paper: the θ-parameterized
+//! family of per-flow FIFO service curves
+//!
+//! ```text
+//! β_θ(t) = [ C·t − α_cross(t − θ) ]⁺ · 1_{t > θ} ,   θ ≥ 0,
+//! ```
+//!
+//! every member of which is a valid service curve for a flow at a FIFO
+//! server with `α_cross`-constrained competing traffic (Cruz 1998; Le
+//! Boudec & Thiran, *Network Calculus*, Prop. 6.2.1). Choosing `θ = 0`
+//! recovers the blind-multiplexing residual curve used by the paper's
+//! Algorithm Service Curve; larger `θ` trades latency for rate and is the
+//! basis of the LUDB method (Lenzini, Mingozzi, Stea 2008).
+//!
+//! This module implements the family with a per-server coordinate-descent
+//! search over `θ`, as a *post-1999 comparison point* for the paper's
+//! Algorithm Integrated: it shows how far pure service-curve machinery
+//! eventually got on FIFO networks (see EXPERIMENTS.md). By construction
+//! the result is never worse than Algorithm Service Curve (θ = 0 is in
+//! the search space).
+//!
+//! Implementation notes: `β_θ` has a jump at `θ` and may dip while cross
+//! traffic outruns the link; we under-approximate soundly by (i) capping
+//! the jump with a steep ramp of slope `K ≫ C` and (ii) monotonizing with
+//! [`Curve::future_min`] (any lower bound of a service curve is a service
+//! curve). End-to-end bounds use the general-shape horizontal deviation
+//! [`dnc_curves::bounds::hdev_general`].
+
+use crate::propagate::Propagation;
+use crate::{fifo, AnalysisError, AnalysisReport, DelayAnalysis, FlowReport, OutputCap};
+use dnc_curves::{bounds, minplus, Curve};
+use dnc_net::{Discipline, FlowId, Network};
+use dnc_num::Rat;
+
+/// Build the (monotonized, ramp-capped) family member `β_θ`.
+pub fn family_curve(rate: Rat, alpha_cross: &Curve, theta: Rat) -> Curve {
+    assert!(rate.is_positive(), "family_curve: rate must be positive");
+    assert!(!theta.is_negative(), "family_curve: θ must be non-negative");
+    let base = Curve::rate(rate).sub(&alpha_cross.shift_right_hold(theta));
+    // Steep ramp enforcing the `1_{t > θ}` indicator; K > C makes the cap
+    // inactive wherever the true curve is below the ramp, so θ = 0
+    // reproduces the blind-multiplexing curve exactly.
+    let k = (rate + alpha_cross.final_slope() + Rat::ONE) * Rat::from(1i64 << 20);
+    let capped = base.min(&Curve::rate_latency(k, theta)).pos();
+    capped.future_min()
+}
+
+/// The FIFO service-curve family analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct FifoFamily {
+    /// Output model for characterizing cross traffic at interior servers.
+    pub cap: OutputCap,
+    /// Coordinate-descent passes over the per-server θ values.
+    pub passes: usize,
+    /// Candidate multipliers per server are derived from the local
+    /// aggregate delay scale; this many geometric steps are tried.
+    pub grid: usize,
+}
+
+impl Default for FifoFamily {
+    fn default() -> Self {
+        FifoFamily {
+            cap: OutputCap::Shift,
+            passes: 2,
+            grid: 5,
+        }
+    }
+}
+
+impl DelayAnalysis for FifoFamily {
+    fn name(&self) -> &'static str {
+        "fifo-family"
+    }
+
+    fn analyze(&self, net: &Network) -> Result<AnalysisReport, AnalysisError> {
+        net.validate()?;
+        for s in net.servers() {
+            if s.discipline != Discipline::Fifo {
+                return Err(AnalysisError::Unsupported(format!(
+                    "fifo-family analysis requires FIFO servers (server {:?})",
+                    s.name
+                )));
+            }
+        }
+        let order = net.topological_order()?;
+
+        // Decomposed-style propagation for cross-traffic characterization
+        // (identical to Algorithm Service Curve's first pass) plus the
+        // local delay at each server as the θ scale.
+        let mut prop = Propagation::new(net, self.cap);
+        let mut hop_curves: Vec<Vec<Curve>> = net
+            .flows()
+            .iter()
+            .map(|f| Vec::with_capacity(f.route.len()))
+            .collect();
+        let mut local_delay: Vec<Rat> = vec![Rat::ZERO; net.servers().len()];
+        for server in &order {
+            let incident = net.flows_through(*server);
+            if incident.is_empty() {
+                continue;
+            }
+            let curves: Vec<_> = incident
+                .iter()
+                .map(|&f| prop.curve_at(f, *server).clone())
+                .collect();
+            let g = fifo::aggregate_curve(curves.iter());
+            let d = fifo::local_delay(&g, net.server(*server).rate, *server)?;
+            local_delay[server.0] = d;
+            for (&f, c) in incident.iter().zip(curves.iter()) {
+                hop_curves[f.0].push(c.clone());
+                prop.advance(f, *server, d);
+            }
+        }
+
+        let mut flows_out = Vec::with_capacity(net.flows().len());
+        for (i, f) in net.flows().iter().enumerate() {
+            let id = FlowId(i);
+            let alpha = f.spec.arrival_curve();
+
+            // Per-hop cross constraints and rates.
+            let mut rates: Vec<Rat> = Vec::new();
+            let mut crosses: Vec<Option<Curve>> = Vec::new();
+            let mut scales: Vec<Rat> = Vec::new();
+            for &server in &f.route {
+                rates.push(net.server(server).rate);
+                scales.push(local_delay[server.0]);
+                let cross_ids: Vec<FlowId> = net
+                    .flows_through(server)
+                    .into_iter()
+                    .filter(|&g| g != id)
+                    .collect();
+                if cross_ids.is_empty() {
+                    crosses.push(None);
+                } else {
+                    let cs: Vec<Curve> = cross_ids
+                        .iter()
+                        .map(|&g| {
+                            let h = net.hop_index(g, server).expect("cross flow on server");
+                            hop_curves[g.0][h].clone()
+                        })
+                        .collect();
+                    crosses.push(Some(fifo::aggregate_curve(cs.iter())));
+                }
+            }
+
+            // Coordinate descent over per-hop θ.
+            let hops = f.route.len();
+            let mut thetas: Vec<Rat> = vec![Rat::ZERO; hops];
+            let eval = |thetas: &[Rat]| -> Result<Rat, AnalysisError> {
+                let betas: Vec<Curve> = (0..hops)
+                    .map(|k| match &crosses[k] {
+                        Some(c) => family_curve(rates[k], c, thetas[k]),
+                        None => Curve::rate(rates[k]),
+                    })
+                    .collect();
+                let beta_net = minplus::conv_all(betas.iter());
+                bounds::hdev_general(&alpha, &beta_net)
+                    .map_err(|e| AnalysisError::at(f.route[0], e))
+            };
+            let mut best = eval(&thetas)?;
+            for _ in 0..self.passes {
+                for k in 0..hops {
+                    if crosses[k].is_none() {
+                        continue;
+                    }
+                    let scale = scales[k].max(Rat::ONE);
+                    for step in 1..=self.grid {
+                        // Geometric grid: scale · 2^{step - grid/2 - 1}.
+                        let exp = step as i32 - (self.grid as i32 / 2) - 1;
+                        let cand = scale * Rat::TWO.powi(exp);
+                        let old = thetas[k];
+                        thetas[k] = cand;
+                        match eval(&thetas) {
+                            Ok(d) if d < best => best = d,
+                            _ => thetas[k] = old,
+                        }
+                    }
+                }
+            }
+
+            flows_out.push(FlowReport {
+                flow: id,
+                name: f.name.clone(),
+                e2e: best,
+                stages: vec![("fifo-family network curve".into(), best)],
+            });
+        }
+
+        Ok(AnalysisReport {
+            algorithm: self.name(),
+            flows: flows_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service_curve::ServiceCurve;
+    use dnc_net::builders;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn family_theta_zero_is_blind_mux() {
+        let cross = Curve::token_bucket(int(2), rat(1, 2));
+        let blind = crate::service_curve::residual_curve(int(1), &cross);
+        assert_eq!(family_curve(int(1), &cross, Rat::ZERO), blind);
+    }
+
+    #[test]
+    fn family_curve_is_zero_before_theta() {
+        let cross = Curve::token_bucket_peak(int(1), rat(1, 4), int(1));
+        let beta = family_curve(int(1), &cross, int(3));
+        assert_eq!(beta.eval(int(3)), int(0));
+        assert!(beta.eval(int(10)).is_positive());
+        assert!(beta.is_nondecreasing());
+    }
+
+    #[test]
+    fn family_curve_below_unconstrained_rate() {
+        let cross = Curve::token_bucket(int(3), rat(1, 4));
+        let beta = family_curve(int(1), &cross, int(2));
+        for k in 0..30 {
+            let t = rat(k, 2);
+            assert!(beta.eval(t) <= t, "service above the raw link at {t}");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_service_curve_algorithm() {
+        for u_num in [2i128, 3] {
+            let t = builders::tandem(
+                4,
+                int(1),
+                Rat::new(u_num, 16),
+                builders::TandemOptions::default(),
+            );
+            let sc = ServiceCurve::paper().analyze(&t.net).unwrap();
+            let ff = FifoFamily::default().analyze(&t.net).unwrap();
+            for (a, b) in ff.flows.iter().zip(sc.flows.iter()) {
+                assert!(
+                    a.e2e <= b.e2e,
+                    "flow {}: family {} > blind {}",
+                    a.name,
+                    a.e2e,
+                    b.e2e
+                );
+            }
+            // And strictly better somewhere for the long connection.
+            assert!(ff.bound(t.conn0) < sc.bound(t.conn0));
+        }
+    }
+
+    #[test]
+    fn rejects_static_priority() {
+        use dnc_net::Discipline;
+        let t = builders::tandem(
+            2,
+            int(1),
+            rat(1, 16),
+            builders::TandemOptions {
+                discipline: Discipline::StaticPriority,
+                ..builders::TandemOptions::default()
+            },
+        );
+        assert!(matches!(
+            FifoFamily::default().analyze(&t.net),
+            Err(AnalysisError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! Guaranteed-rate (GPS / idealized fair-queueing) analysis — the class
+//! of disciplines the paper *contrasts* FIFO with: "for guaranteed-rate
+//! scheduling algorithms, such as fair queueing, delay computation based
+//! on Cruz' service curve model performs very well."
+//!
+//! Under fluid GPS with reservations `r_f` (`Σ r_f ≤ C`), every
+//! backlogged flow is served at rate at least `r_f`. A *packetized*
+//! implementation (PGPS/WFQ, or this workspace's slotted simulator) can
+//! fall one cell behind the fluid schedule, so each flow owns the
+//! **strict per-flow service curve**
+//!
+//! ```text
+//! β_f(t) = [ r_f · t − 1 ]⁺  =  rate-latency(r_f, 1/r_f)
+//! ```
+//!
+//! (the cell-size analogue of Parekh–Gallager's `L/r` terms). No
+//! residual-curve pessimism, no aggregate coupling. Consequently:
+//!
+//! * the local delay is `h(α_f, β_f)` per flow;
+//! * the end-to-end service curve convolves to
+//!   `rate-latency(min_k r_{f,k}, Σ_k 1/r_{f,k})`, so the service-curve
+//!   method pays the **burst** once (only the per-hop packetization
+//!   latencies accumulate) — the exact opposite of its FIFO behaviour
+//!   (Figure 4);
+//! * Algorithm Integrated has nothing left to integrate: per-flow curves
+//!   already decouple the servers.
+
+use crate::AnalysisError;
+use dnc_curves::{bounds, Curve};
+use dnc_net::{FlowId, Network, ServerId};
+use dnc_num::Rat;
+
+/// Per-flow local delays at a GPS server: `h(α_f, β_f)` with the
+/// packetized per-flow curve `β_f = rate-latency(r_f, 1/r_f)`, for each
+/// incident flow with its constraint at this server.
+pub fn local_delays(
+    net: &Network,
+    server: ServerId,
+    curves: &[(FlowId, Curve)],
+) -> Result<Vec<(FlowId, Rat)>, AnalysisError> {
+    curves
+        .iter()
+        .map(|(f, c)| {
+            bounds::hdev(c, &service_curve(net, *f, server))
+                .map(|d| (*f, d))
+                .map_err(|e| AnalysisError::at(server, e))
+        })
+        .collect()
+}
+
+/// The per-flow service curve a (packetized) GPS server guarantees:
+/// `rate-latency(r_f, 1/r_f)`.
+pub fn service_curve(net: &Network, flow: FlowId, server: ServerId) -> Curve {
+    let r = net.reserved_rate(flow, server);
+    Curve::rate_latency(r, r.recip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decomposed::Decomposed, service_curve::ServiceCurve, DelayAnalysis};
+    use dnc_net::{Discipline, Flow, Network, Server};
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    fn gps_chain(n: usize, specs: &[(TrafficSpec, Rat)]) -> (Network, Vec<FlowId>) {
+        let mut net = Network::new();
+        let servers: Vec<_> = (0..n)
+            .map(|i| {
+                net.add_server(Server {
+                    name: format!("g{i}"),
+                    rate: Rat::ONE,
+                    discipline: Discipline::Gps,
+                })
+            })
+            .collect();
+        let flows: Vec<FlowId> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, _))| {
+                net.add_flow(Flow {
+                    name: format!("f{i}"),
+                    spec: spec.clone(),
+                    route: servers.clone(),
+                    priority: 0,
+                })
+                .unwrap()
+            })
+            .collect();
+        for (f, (_, r)) in flows.iter().zip(specs.iter()) {
+            for &s in &servers {
+                net.reserve(*f, s, *r);
+            }
+        }
+        (net, flows)
+    }
+
+    #[test]
+    fn local_delay_is_burst_over_reservation() {
+        // σ = 4 uncapped at reserved rate 1/2: fluid part 8 plus the
+        // one-cell packetization latency 1/r = 2.
+        let (net, flows) = gps_chain(
+            1,
+            &[
+                (TrafficSpec::token_bucket(int(4), rat(1, 4)), rat(1, 2)),
+                (TrafficSpec::token_bucket(int(2), rat(1, 4)), rat(1, 2)),
+            ],
+        );
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        assert_eq!(r.bound(flows[0]), int(10));
+        assert_eq!(r.bound(flows[1]), int(6));
+    }
+
+    #[test]
+    fn service_curve_pays_burst_once_on_gps() {
+        // The paper's premise: on a guaranteed-rate chain the service
+        // curve method beats decomposition (which re-pays the burst at
+        // every hop).
+        let (net, flows) = gps_chain(
+            4,
+            &[
+                (TrafficSpec::token_bucket(int(4), rat(1, 8)), rat(1, 2)),
+                (TrafficSpec::token_bucket(int(4), rat(1, 8)), rat(1, 2)),
+            ],
+        );
+        let sc = ServiceCurve::paper().analyze(&net).unwrap();
+        let dec = Decomposed::paper().analyze(&net).unwrap();
+        // Service curve: burst/rate once (8) plus four packetization
+        // latencies (4 · 2). Decomposed: re-pays the growing burst at
+        // every hop.
+        assert_eq!(sc.bound(flows[0]), int(16));
+        assert!(dec.bound(flows[0]) > sc.bound(flows[0]) * Rat::TWO);
+    }
+
+    #[test]
+    fn default_reservation_is_sustained_rate() {
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "g".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Gps,
+        });
+        let f = net
+            .add_flow(Flow {
+                name: "f".into(),
+                spec: TrafficSpec::token_bucket(int(1), rat(1, 4)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        assert_eq!(net.reserved_rate(f, s), rat(1, 4));
+        // Delay with the default reservation: σ/ρ + 1/ρ = 4 + 4.
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        assert_eq!(r.bound(f), int(8));
+    }
+
+    #[test]
+    fn over_reservation_rejected() {
+        let (mut net, flows) = gps_chain(
+            1,
+            &[(TrafficSpec::token_bucket(int(1), rat(1, 4)), rat(3, 4))],
+        );
+        assert!(net.validate().is_ok());
+        net.reserve(flows[0], dnc_net::ServerId(0), rat(5, 4));
+        assert!(net.validate().is_err());
+    }
+}

@@ -1,0 +1,616 @@
+//! **Algorithm Integrated** — the paper's contribution: analyze pairs of
+//! consecutive FIFO servers *jointly*, so that the delay dependency
+//! between them ("a packet maximally delayed at server 1 enters server 2
+//! inside traffic that server 1 has already smoothed") is captured
+//! instead of paying every burst at every hop.
+//!
+//! # The two-server bound (Theorem 1′)
+//!
+//! The paper's Theorem 1 is stated in an OCR-corrupted form and proved in
+//! an unavailable technical report, so this crate implements a bound
+//! re-derived from scratch in the same spirit (see DESIGN.md §5). Setting:
+//! FIFO work-conserving servers 1 and 2 with rates `C₁, C₂`; flow sets
+//! `S12` (through both), `S1` (server 1 only), `S2` (enters at server 2);
+//! entry constraints `F12`, `F1`, `F2`; `Ḡ₁ = F12 + F1`;
+//! `D₁ = h(Ḡ₁, λ_{C₁})` the server-1 local bound.
+//!
+//! Take any S12 bit: it arrives at server 1 at `h`, leaves it at
+//! `u = h + δ₁` (with `δ₁ ≤ D₁`), and leaves server 2 at `w`. Let `q ≤ u`
+//! start the server-2 busy period containing `u`; server 2 is busy on
+//! `[q, w]`, so with `Δ = u − q`:
+//!
+//! ```text
+//! w − u = [G₂(u) − G₂(q)]/C₂ − Δ
+//! G₂(u) − G₂(q) ≤ min( C₁·Δ , F12(Δ + D₁) ) + F2(Δ)
+//! ```
+//!
+//! The `C₁·Δ` branch is the server-1 **rate cap** (S12 traffic enters
+//! server 2 no faster than server 1 can emit it); the volume branch holds
+//! because every S12 bit departing server 1 in `(q, u]` arrived there in
+//! `(q − D₁, h] ⊆` a window of length `Δ + D₁ − δ₁ ≤ Δ + D₁`. Hence
+//!
+//! ```text
+//! d_S12 ≤ D₁ + max_{Δ ≥ 0} { [ min(C₁Δ, F12(Δ + D₁)) + F2(Δ) ]/C₂ − Δ }.
+//! ```
+//!
+//! Dropping the `C₁Δ` branch recovers exactly the decomposed bound
+//! `D₁ + D₂`, so **Integrated ≤ Decomposed holds by construction**; the
+//! strict gain comes from the rate cap, which removes S12's (inflated)
+//! burst from the server-2 backlog — the "pay bursts only once"
+//! phenomenon. The maximization is a vertical-deviation computation on
+//! exact PWL curves, so the bound is exact and cheap (the paper's
+//! *efficiency* requirement for on-line admission control).
+
+use crate::propagate::Propagation;
+use crate::{fifo, AnalysisError, AnalysisReport, DelayAnalysis, FlowReport, OutputCap};
+use dnc_curves::{bounds, Curve, CurveError};
+use dnc_net::pairing::{classify_pair_flows, partition, Group, PairingStrategy};
+use dnc_net::{Discipline, FlowId, Network, ServerId};
+use dnc_num::Rat;
+
+/// The three delay figures of one analyzed pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairBound {
+    /// Local bound at server 1 (applies to S1 flows).
+    pub d1: Rat,
+    /// Local bound at server 2 (applies to S2 flows).
+    pub d2: Rat,
+    /// Joint bound through both servers (applies to S12 flows);
+    /// guaranteed `≤ d1 + d2`.
+    pub through: Rat,
+}
+
+/// Compute the two-server bound from aggregate entry constraints, for
+/// unit-class (FIFO) servers of rates `c1` and `c2`.
+///
+/// * `f12` — aggregate constraint of flows traversing server 1 then 2;
+/// * `f1` — aggregate of flows leaving after server 1;
+/// * `f2` — aggregate of flows entering at server 2;
+/// * `c1`, `c2` — server rates;
+/// * `cap` — output model used for the S12 constraint at server 2 when
+///   computing the (decomposed-style) `d2`.
+pub fn pair_delay_bound(
+    f12: &Curve,
+    f1: &Curve,
+    f2: &Curve,
+    c1: Rat,
+    c2: Rat,
+    cap: OutputCap,
+) -> Result<PairBound, CurveError> {
+    assert!(c1.is_positive() && c2.is_positive(), "rates must be positive");
+    pair_delay_bound_curves(f12, f1, f2, c1, &Curve::rate(c1), &Curve::rate(c2), cap)
+}
+
+/// The service-curve generalization of the two-server theorem — the
+/// paper's announced static-priority extension.
+///
+/// The tagged class of traffic (a priority level, or everything at a
+/// FIFO server) receives **strict** service curves `beta1` at server 1
+/// and `beta2` at server 2 (for FIFO these are the full rates `λ_C`; for
+/// static priority the residual curves `[C·t − α_higher(t)]⁺`, which are
+/// strict). The derivation of DESIGN.md §5 goes through verbatim with two
+/// substitutions:
+///
+/// * `D₁ = h(F12 + F1, β₁)` — the class's local bound at server 1;
+/// * the server-2 busy-period argument uses `β₂` instead of `C₂·t`:
+///   `w − u ≤ β₂⁻¹( min(C₁Δ, F12(Δ+D₁)) + F2(Δ) ) − Δ`, whose supremum
+///   over `Δ` is exactly the horizontal deviation
+///   `h( min(λ_{C₁}, F12(·+D₁)) + F2 , β₂ )`.
+///
+/// The rate cap keeps the **full** server-1 rate `c1_total` (nothing can
+/// leave server 1 faster, whatever the discipline). Order within the
+/// class must be FIFO (true per priority level of an SP server).
+pub fn pair_delay_bound_curves(
+    f12: &Curve,
+    f1: &Curve,
+    f2: &Curve,
+    c1_total: Rat,
+    beta1: &Curve,
+    beta2: &Curve,
+    cap: OutputCap,
+) -> Result<PairBound, CurveError> {
+    assert!(c1_total.is_positive(), "server-1 rate must be positive");
+    let g1 = f12.add(f1);
+    let d1 = bounds::hdev(&g1, beta1)?;
+
+    // Decomposed-style local bound at server 2 (needed for S2 flows and as
+    // a sanity envelope for the joint bound).
+    let f12_at_2 = fifo::propagate_output(f12, d1, c1_total, cap);
+    let g2 = f2.add(&f12_at_2);
+    let d2 = bounds::hdev(&g2, beta2)?;
+
+    // Joint bound: D1 + sup_{Δ≥0} [ β₂⁻¹(min(C1·Δ, F12(Δ+D1)) + F2(Δ)) − Δ ].
+    let m = Curve::rate(c1_total).min(&f12.shift_left(d1));
+    let inner = bounds::hdev(&m.add(f2), beta2)?;
+    let through = (d1 + inner).min(d1 + d2);
+
+    Ok(PairBound { d1, d2, through })
+}
+
+/// Algorithm Integrated.
+#[derive(Clone, Copy, Debug)]
+pub struct Integrated {
+    /// Output re-characterization model (paper: [`OutputCap::Shift`]).
+    pub cap: OutputCap,
+    /// How servers are grouped into subnetworks (paper: pairs along the
+    /// chain; [`PairingStrategy::Singletons`] degenerates to Decomposed).
+    pub strategy: PairingStrategy,
+}
+
+impl Default for Integrated {
+    fn default() -> Self {
+        Integrated {
+            cap: OutputCap::Shift,
+            strategy: PairingStrategy::GreedyChain,
+        }
+    }
+}
+
+impl Integrated {
+    /// The paper's configuration.
+    pub fn paper() -> Integrated {
+        Integrated::default()
+    }
+}
+
+impl DelayAnalysis for Integrated {
+    fn name(&self) -> &'static str {
+        "integrated"
+    }
+
+    fn analyze(&self, net: &Network) -> Result<AnalysisReport, AnalysisError> {
+        net.validate()?;
+        let part = partition(net, self.strategy)?;
+        let mut prop = Propagation::new(net, self.cap);
+        let mut stages: Vec<Vec<(String, Rat)>> = vec![Vec::new(); net.flows().len()];
+
+        for group in &part.groups {
+            match *group {
+                Group::Single(s) => {
+                    self.analyze_single(net, s, &mut prop, &mut stages)?;
+                }
+                Group::Pair(a, b) => {
+                    let (da, db) = (net.server(a).discipline, net.server(b).discipline);
+                    match (da, db) {
+                        (Discipline::Fifo, Discipline::Fifo) => {
+                            self.analyze_pair(net, a, b, &mut prop, &mut stages)?;
+                        }
+                        (Discipline::StaticPriority, Discipline::StaticPriority) => {
+                            self.analyze_pair_sp(net, a, b, &mut prop, &mut stages)?;
+                        }
+                        // Mixed-discipline pairs fall back to sequential
+                        // single-server analysis (still correct, no joint
+                        // gain).
+                        _ => {
+                            self.analyze_single(net, a, &mut prop, &mut stages)?;
+                            self.analyze_single(net, b, &mut prop, &mut stages)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(AnalysisReport {
+            algorithm: self.name(),
+            flows: net
+                .flows()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| FlowReport {
+                    flow: FlowId(i),
+                    name: f.name.clone(),
+                    e2e: stages[i].iter().map(|(_, d)| *d).sum(),
+                    stages: std::mem::take(&mut stages[i]),
+                })
+                .collect(),
+        })
+    }
+}
+
+impl Integrated {
+    fn analyze_single(
+        &self,
+        net: &Network,
+        server: ServerId,
+        prop: &mut Propagation<'_>,
+        stages: &mut [Vec<(String, Rat)>],
+    ) -> Result<(), AnalysisError> {
+        let incident = net.flows_through(server);
+        if incident.is_empty() {
+            return Ok(());
+        }
+        let srv = net.server(server);
+        let delays: Vec<(FlowId, Rat)> = match srv.discipline {
+            Discipline::Fifo => {
+                let curves: Vec<_> = incident
+                    .iter()
+                    .map(|&f| prop.curve_at(f, server).clone())
+                    .collect();
+                let g = fifo::aggregate_curve(curves.iter());
+                let d = fifo::local_delay(&g, srv.rate, server)?;
+                incident.iter().map(|&f| (f, d)).collect()
+            }
+            Discipline::StaticPriority => {
+                let curves: Vec<_> = incident
+                    .iter()
+                    .map(|&f| (f, prop.curve_at(f, server).clone()))
+                    .collect();
+                crate::sp::local_delays(net, server, &curves)?
+            }
+            Discipline::Gps => {
+                let curves: Vec<_> = incident
+                    .iter()
+                    .map(|&f| (f, prop.curve_at(f, server).clone()))
+                    .collect();
+                crate::gps::local_delays(net, server, &curves)?
+            }
+            Discipline::Edf => {
+                let curves: Vec<_> = incident
+                    .iter()
+                    .map(|&f| (f, prop.curve_at(f, server).clone()))
+                    .collect();
+                crate::edf::local_delays(net, server, &curves)?
+            }
+        };
+        for (f, d) in delays {
+            stages[f.0].push((srv.name.clone(), d));
+            prop.advance(f, server, d);
+        }
+        Ok(())
+    }
+
+    /// Joint analysis of a static-priority pair, level by level (lower
+    /// priority number = more urgent; levels are FIFO internally, which
+    /// is what [`pair_delay_bound_curves`] requires). Each level gets the
+    /// residual strict service curves `[C·t − α_higher(t)]⁺` at both
+    /// servers, with the higher-priority constraint at server 2 taken as
+    /// its server-1 constraint delayed by that level's own server-1
+    /// bound.
+    fn analyze_pair_sp(
+        &self,
+        net: &Network,
+        a: ServerId,
+        b: ServerId,
+        prop: &mut Propagation<'_>,
+        stages: &mut [Vec<(String, Rat)>],
+    ) -> Result<(), AnalysisError> {
+        use std::collections::BTreeMap;
+        let (s12, s1, s2) = classify_pair_flows(net, a, b);
+        let c1 = net.server(a).rate;
+        let c2 = net.server(b).rate;
+        let label = format!("{}+{}", net.server(a).name, net.server(b).name);
+
+        // Group every involved flow by priority level.
+        let mut levels: BTreeMap<u8, (Vec<_>, Vec<_>, Vec<_>)> = BTreeMap::new();
+        for &f in &s12 {
+            levels.entry(net.flow(f).priority).or_default().0.push(f);
+        }
+        for &f in &s1 {
+            levels.entry(net.flow(f).priority).or_default().1.push(f);
+        }
+        for &f in &s2 {
+            levels.entry(net.flow(f).priority).or_default().2.push(f);
+        }
+
+        // Higher-priority interference accumulated while walking levels in
+        // urgency order.
+        let mut higher1: Vec<Curve> = Vec::new(); // at server 1 (S12 ∪ S1)
+        let mut higher2: Vec<Curve> = Vec::new(); // at server 2 (S12' ∪ S2)
+        for (_prio, (l12, l1, l2)) in levels {
+            let f12 = fifo::aggregate_curve(
+                l12.iter()
+                    .map(|&f| prop.curve_at(f, a).clone())
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
+            let f1 = fifo::aggregate_curve(
+                l1.iter()
+                    .map(|&f| prop.curve_at(f, a).clone())
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
+            let f2 = fifo::aggregate_curve(
+                l2.iter()
+                    .map(|&f| prop.curve_at(f, b).clone())
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
+            let residual = |rate: Rat, interference: &[Curve]| -> Curve {
+                if interference.is_empty() {
+                    Curve::rate(rate)
+                } else {
+                    Curve::rate(rate)
+                        .sub(&fifo::aggregate_curve(interference.iter()))
+                        .pos()
+                }
+            };
+            let beta1 = residual(c1, &higher1);
+            let beta2 = residual(c2, &higher2);
+            let pb = pair_delay_bound_curves(&f12, &f1, &f2, c1, &beta1, &beta2, self.cap)
+                .map_err(|e| AnalysisError::at(a, e))?;
+
+            for &f in &l12 {
+                stages[f.0].push((label.clone(), pb.through));
+                prop.advance_pair(f, a, b, pb.through);
+            }
+            for &f in &l1 {
+                stages[f.0].push((net.server(a).name.clone(), pb.d1));
+                prop.advance(f, a, pb.d1);
+            }
+            for &f in &l2 {
+                stages[f.0].push((net.server(b).name.clone(), pb.d2));
+                prop.advance(f, b, pb.d2);
+            }
+
+            // This level now interferes with everything less urgent.
+            higher1.push(f12.add(&f1));
+            higher2.push(f2.add(&fifo::propagate_output(&f12, pb.d1, c1, self.cap)));
+        }
+        Ok(())
+    }
+
+    fn analyze_pair(
+        &self,
+        net: &Network,
+        a: ServerId,
+        b: ServerId,
+        prop: &mut Propagation<'_>,
+        stages: &mut [Vec<(String, Rat)>],
+    ) -> Result<(), AnalysisError> {
+        let (s12, s1, s2) = classify_pair_flows(net, a, b);
+        let f12 = fifo::aggregate_curve(
+            s12.iter()
+                .map(|&f| prop.curve_at(f, a).clone())
+                .collect::<Vec<_>>()
+                .iter(),
+        );
+        let f1 = fifo::aggregate_curve(
+            s1.iter()
+                .map(|&f| prop.curve_at(f, a).clone())
+                .collect::<Vec<_>>()
+                .iter(),
+        );
+        let f2 = fifo::aggregate_curve(
+            s2.iter()
+                .map(|&f| prop.curve_at(f, b).clone())
+                .collect::<Vec<_>>()
+                .iter(),
+        );
+        let c1 = net.server(a).rate;
+        let c2 = net.server(b).rate;
+        let pb = pair_delay_bound(&f12, &f1, &f2, c1, c2, self.cap)
+            .map_err(|e| AnalysisError::at(a, e))?;
+
+        let label = format!("{}+{}", net.server(a).name, net.server(b).name);
+        for &f in &s12 {
+            stages[f.0].push((label.clone(), pb.through));
+            prop.advance_pair(f, a, b, pb.through);
+        }
+        for &f in &s1 {
+            stages[f.0].push((net.server(a).name.clone(), pb.d1));
+            prop.advance(f, a, pb.d1);
+        }
+        for &f in &s2 {
+            stages[f.0].push((net.server(b).name.clone(), pb.d2));
+            prop.advance(f, b, pb.d2);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposed::Decomposed;
+    use dnc_net::builders;
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    #[test]
+    fn pair_bound_hand_computed() {
+        // C1 = C2 = 1, F12 = 2 + t/4, F1 = 1 + t/4, F2 = 3 + t/4.
+        // D1 = 3. Joint inner max at Δ = 11/3 gives 47/12,
+        // so through = 3 + 47/12 = 83/12. Decomposed d2 = 23/4.
+        let f12 = Curve::token_bucket(int(2), rat(1, 4));
+        let f1 = Curve::token_bucket(int(1), rat(1, 4));
+        let f2 = Curve::token_bucket(int(3), rat(1, 4));
+        let pb =
+            pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
+        assert_eq!(pb.d1, int(3));
+        assert_eq!(pb.d2, rat(23, 4));
+        assert_eq!(pb.through, rat(83, 12));
+        assert!(pb.through < pb.d1 + pb.d2);
+    }
+
+    #[test]
+    fn pair_bound_never_exceeds_decomposed_sum() {
+        // Over a grid of parameters the joint bound stays within d1 + d2.
+        for s12 in 1..4i64 {
+            for s2 in 1..4i64 {
+                for rho_num in 1..4i64 {
+                    let rho = Rat::new(rho_num as i128, 10);
+                    let f12 = Curve::token_bucket(int(s12), rho);
+                    let f1 = Curve::token_bucket(int(1), rho);
+                    let f2 = Curve::token_bucket(int(s2), rho);
+                    let pb = pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift)
+                        .unwrap();
+                    assert!(pb.through <= pb.d1 + pb.d2);
+                    assert!(pb.through >= pb.d1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_bound_empty_cross_sets() {
+        // Lone S12 aggregate through two unit servers: D1 = σ, and the
+        // rate cap kills any extra queueing at server 2 (C1 = C2).
+        let f12 = Curve::token_bucket(int(4), rat(1, 2));
+        let zero = Curve::zero();
+        let pb =
+            pair_delay_bound(&f12, &zero, &zero, int(1), int(1), OutputCap::Shift).unwrap();
+        assert_eq!(pb.d1, int(4));
+        assert_eq!(pb.through, int(4), "no second burst to pay");
+    }
+
+    #[test]
+    fn slower_second_server_queues_again() {
+        // C2 < C1: even smoothed S12 traffic backs up at server 2.
+        let f12 = Curve::token_bucket(int(4), rat(1, 4));
+        let zero = Curve::zero();
+        let pb =
+            pair_delay_bound(&f12, &zero, &zero, int(1), rat(1, 2), OutputCap::Shift).unwrap();
+        assert!(pb.through > pb.d1);
+        assert!(pb.through <= pb.d1 + pb.d2);
+    }
+
+    #[test]
+    fn integrated_beats_decomposed_on_tandem() {
+        for n in [2usize, 4, 8] {
+            for u_16 in [4i128, 8, 12] {
+                let rho = Rat::new(u_16, 64); // ρ = U/4, U = u_16/16
+                let t = builders::tandem(n, int(1), rho, builders::TandemOptions::default());
+                let di = Integrated::paper().analyze(&t.net).unwrap();
+                let dd = Decomposed::paper().analyze(&t.net).unwrap();
+                assert!(
+                    di.bound(t.conn0) <= dd.bound(t.conn0),
+                    "n={n} U={}/16: integrated {} > decomposed {}",
+                    u_16,
+                    di.bound(t.conn0),
+                    dd.bound(t.conn0)
+                );
+                // Strict improvement at interior pairs for n >= 2.
+                assert!(
+                    di.bound(t.conn0) < dd.bound(t.conn0),
+                    "expected strict improvement (n={n}, U={}/16)",
+                    u_16
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_strategy_equals_decomposed() {
+        let t = builders::tandem(4, int(1), rat(1, 8), builders::TandemOptions::default());
+        let int_single = Integrated {
+            cap: OutputCap::Shift,
+            strategy: PairingStrategy::Singletons,
+        }
+        .analyze(&t.net)
+        .unwrap();
+        let dd = Decomposed::paper().analyze(&t.net).unwrap();
+        for (a, b) in int_single.flows.iter().zip(dd.flows.iter()) {
+            assert_eq!(a.e2e, b.e2e, "flow {}", a.name);
+        }
+    }
+
+    #[test]
+    fn all_flows_get_bounds() {
+        let t = builders::tandem(5, int(1), rat(3, 16), builders::TandemOptions::default());
+        let r = Integrated::paper().analyze(&t.net).unwrap();
+        assert_eq!(r.flows.len(), t.net.flows().len());
+        for f in &r.flows {
+            assert!(f.e2e.is_positive());
+            assert!(!f.stages.is_empty());
+        }
+    }
+
+    #[test]
+    fn sp_pair_matches_fifo_when_single_level() {
+        // With every flow on one priority level, the SP pair analysis is
+        // the FIFO pair analysis.
+        let f12 = Curve::token_bucket(int(2), rat(1, 4));
+        let f1 = Curve::token_bucket(int(1), rat(1, 4));
+        let f2 = Curve::token_bucket(int(3), rat(1, 4));
+        let fifo =
+            pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
+        let via_curves = pair_delay_bound_curves(
+            &f12,
+            &f1,
+            &f2,
+            int(1),
+            &Curve::rate(int(1)),
+            &Curve::rate(int(1)),
+            OutputCap::Shift,
+        )
+        .unwrap();
+        assert_eq!(fifo, via_curves);
+    }
+
+    #[test]
+    fn sp_pair_with_residual_curves() {
+        // Tagged level behind higher-priority interference 1 + t/4 at
+        // both servers: residual β = (3/4)(t − 4/3)⁺.
+        let f12 = Curve::token_bucket(int(2), rat(1, 8));
+        let zero = Curve::zero();
+        let beta = Curve::rate(int(1))
+            .sub(&Curve::token_bucket(int(1), rat(1, 4)))
+            .pos();
+        let pb = pair_delay_bound_curves(
+            &f12,
+            &zero,
+            &zero,
+            int(1),
+            &beta,
+            &beta,
+            OutputCap::Shift,
+        )
+        .unwrap();
+        // D1 = h(2 + t/8, (3/4)(t − 4/3)⁺) = 4/3 + (2 + ρ·…) — exact value
+        // checked against the standard burst/R + T with the burst evaluated
+        // at the deviation point; sandwich properties must hold regardless.
+        assert!(pb.d1 > int(2), "residual service must hurt");
+        assert!(pb.through >= pb.d1);
+        assert!(pb.through <= pb.d1 + pb.d2);
+        // The joint bound must beat the naive sum: the rate cap still
+        // applies at full C1 = 1.
+        assert!(pb.through < pb.d1 + pb.d2);
+    }
+
+    #[test]
+    fn integrated_beats_decomposed_on_sp_tandem() {
+        use dnc_net::Discipline;
+        for rho_num in [1i128, 2, 3] {
+            let t = builders::tandem(
+                4,
+                int(1),
+                Rat::new(rho_num, 16),
+                builders::TandemOptions {
+                    discipline: Discipline::StaticPriority,
+                    ..builders::TandemOptions::default()
+                },
+            );
+            let di = Integrated::paper().analyze(&t.net).unwrap();
+            let dd = Decomposed::paper().analyze(&t.net).unwrap();
+            for (a, b) in di.flows.iter().zip(dd.flows.iter()) {
+                assert!(
+                    a.e2e <= b.e2e,
+                    "SP ρ={rho_num}/16 flow {}: integrated {} > decomposed {}",
+                    a.name,
+                    a.e2e,
+                    b.e2e
+                );
+            }
+            // Connection 0 (priority 1, behind the cross flows) must gain
+            // strictly from pairing.
+            assert!(di.bound(t.conn0) < dd.bound(t.conn0));
+        }
+    }
+
+    #[test]
+    fn two_server_subsystem_all_sets() {
+        let sp = |s: i64, d: i128| TrafficSpec::token_bucket(int(s), Rat::new(1, d));
+        let (net, _, _, f12, f1, f2) = builders::two_server(
+            int(1),
+            int(1),
+            &[sp(2, 4)],
+            &[sp(1, 4)],
+            &[sp(3, 4)],
+        );
+        let r = Integrated::paper().analyze(&net).unwrap();
+        // Matches pair_bound_hand_computed.
+        assert_eq!(r.bound(f12[0]), rat(83, 12));
+        assert_eq!(r.bound(f1[0]), int(3));
+        assert_eq!(r.bound(f2[0]), rat(23, 4));
+    }
+}

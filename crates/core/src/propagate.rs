@@ -1,0 +1,98 @@
+//! Hop-by-hop constraint propagation shared by the algorithms.
+
+use crate::fifo::{propagate_output, OutputCap};
+use dnc_curves::Curve;
+use dnc_net::{FlowId, Network, ServerId};
+use dnc_num::Rat;
+
+/// Tracks, for every flow, its traffic-constraint curve at the entrance of
+/// each hop of its route, filled in as the analysis walks the network in
+/// topological order.
+pub(crate) struct Propagation<'a> {
+    net: &'a Network,
+    cap: OutputCap,
+    /// `curves[flow][hop]` — constraint entering hop `hop` of the flow's
+    /// route; hop 0 is the source spec, later hops are produced by
+    /// [`Propagation::advance`].
+    curves: Vec<Vec<Option<Curve>>>,
+}
+
+impl<'a> Propagation<'a> {
+    pub(crate) fn new(net: &'a Network, cap: OutputCap) -> Propagation<'a> {
+        let curves = net
+            .flows()
+            .iter()
+            .map(|f| {
+                let mut v: Vec<Option<Curve>> = vec![None; f.route.len()];
+                v[0] = Some(f.spec.arrival_curve());
+                v
+            })
+            .collect();
+        Propagation { net, cap, curves }
+    }
+
+    /// The constraint of `flow` entering `server`.
+    ///
+    /// # Panics
+    /// Panics if the flow does not traverse the server or if the upstream
+    /// hops have not been processed yet (topological-order violation).
+    pub(crate) fn curve_at(&self, flow: FlowId, server: ServerId) -> &Curve {
+        let hop = self
+            .net
+            .hop_index(flow, server)
+            .unwrap_or_else(|| panic!("{flow} does not traverse {server}"));
+        self.curves[flow.0][hop]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{flow}@{server}: upstream not yet analyzed"))
+    }
+
+    /// Record that `flow` cleared `server` within `delay`, installing its
+    /// constraint at the next hop (if any).
+    pub(crate) fn advance(&mut self, flow: FlowId, server: ServerId, delay: Rat) {
+        let hop = self
+            .net
+            .hop_index(flow, server)
+            .unwrap_or_else(|| panic!("{flow} does not traverse {server}"));
+        let rate = self.net.server(server).rate;
+        let next = {
+            let cur = self.curves[flow.0][hop]
+                .as_ref()
+                .expect("advance past unanalyzed hop");
+            propagate_output(cur, delay, rate, self.cap)
+        };
+        if hop + 1 < self.curves[flow.0].len() {
+            self.curves[flow.0][hop + 1] = Some(next);
+        }
+    }
+
+    /// Like [`Propagation::advance`] but jumps **two** hops at once (a
+    /// paired subnetwork): the constraint after the pair is the entry
+    /// constraint shifted by the pair delay.
+    pub(crate) fn advance_pair(
+        &mut self,
+        flow: FlowId,
+        first: ServerId,
+        second: ServerId,
+        delay: Rat,
+    ) {
+        let hop = self
+            .net
+            .hop_index(flow, first)
+            .unwrap_or_else(|| panic!("{flow} does not traverse {first}"));
+        debug_assert_eq!(
+            self.net.flow(flow).route.get(hop + 1),
+            Some(&second),
+            "advance_pair: servers not consecutive on the route"
+        );
+        let rate = self.net.server(second).rate;
+        let next = {
+            let cur = self.curves[flow.0][hop]
+                .as_ref()
+                .expect("advance_pair past unanalyzed hop");
+            propagate_output(cur, delay, rate, self.cap)
+        };
+        if hop + 2 < self.curves[flow.0].len() {
+            self.curves[flow.0][hop + 2] = Some(next);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Analysis results: per-connection end-to-end bounds with a per-stage
+//! breakdown.
+
+use dnc_net::FlowId;
+use dnc_num::Rat;
+use std::fmt;
+
+/// One connection's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowReport {
+    /// The connection.
+    pub flow: FlowId,
+    /// Connection name (copied from the network for readability).
+    pub name: String,
+    /// End-to-end worst-case delay bound, in ticks.
+    pub e2e: Rat,
+    /// Per-stage local bounds `(stage label, delay)` summing to `e2e`.
+    /// Stages are servers for Decomposed, subnetworks for Integrated, and
+    /// a single "network service curve" stage for Service Curve.
+    pub stages: Vec<(String, Rat)>,
+}
+
+/// The full result of one analysis run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Algorithm that produced the report.
+    pub algorithm: &'static str,
+    /// Per-connection results, indexed by flow id order.
+    pub flows: Vec<FlowReport>,
+}
+
+impl AnalysisReport {
+    /// The end-to-end bound of `flow`.
+    ///
+    /// # Panics
+    /// Panics if the flow is not in the report.
+    pub fn bound(&self, flow: FlowId) -> Rat {
+        self.flows
+            .iter()
+            .find(|f| f.flow == flow)
+            .unwrap_or_else(|| panic!("flow {flow} missing from report"))
+            .e2e
+    }
+
+    /// The largest end-to-end bound over all connections.
+    pub fn max_bound(&self) -> Rat {
+        self.flows
+            .iter()
+            .map(|f| f.e2e)
+            .max()
+            .unwrap_or(Rat::ZERO)
+    }
+
+    /// Relative improvement of `other` over `self` for `flow`, the paper's
+    /// metric `R_{X,Y} = (D_X − D_Y) / D_X` with `X = self`, `Y = other`.
+    pub fn relative_improvement(&self, other: &AnalysisReport, flow: FlowId) -> Rat {
+        let dx = self.bound(flow);
+        let dy = other.bound(flow);
+        if dx.is_zero() {
+            Rat::ZERO
+        } else {
+            (dx - dy) / dx
+        }
+    }
+
+    /// Render as CSV: one row per connection with the exact rational bound
+    /// and its decimal approximation (`flow,name,bound,bound_f64`). Names
+    /// containing commas, quotes, or newlines are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let escape = |name: &str| -> String {
+            if name.contains([',', '"', '\n']) {
+                format!("\"{}\"", name.replace('"', "\"\""))
+            } else {
+                name.to_string()
+            }
+        };
+        let mut out = String::from("flow,name,bound,bound_f64\n");
+        for f in &self.flows {
+            out.push_str(&format!(
+                "{},{},{},{:.6}\n",
+                f.flow.0,
+                escape(&f.name),
+                f.e2e,
+                f.e2e.to_f64()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.algorithm)?;
+        for fr in &self.flows {
+            writeln!(
+                f,
+                "  {:<12} e2e = {} ({:.4})",
+                fr.name,
+                fr.e2e,
+                fr.e2e.to_f64()
+            )?;
+            for (label, d) in &fr.stages {
+                writeln!(f, "      {:<16} {}", label, d)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::int;
+
+    fn report(bounds: &[(usize, i64)]) -> AnalysisReport {
+        AnalysisReport {
+            algorithm: "test",
+            flows: bounds
+                .iter()
+                .map(|&(id, b)| FlowReport {
+                    flow: FlowId(id),
+                    name: format!("f{id}"),
+                    e2e: int(b),
+                    stages: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bound_lookup_and_max() {
+        let r = report(&[(0, 5), (1, 9), (2, 3)]);
+        assert_eq!(r.bound(FlowId(1)), int(9));
+        assert_eq!(r.max_bound(), int(9));
+    }
+
+    #[test]
+    fn relative_improvement_metric() {
+        let x = report(&[(0, 10)]);
+        let y = report(&[(0, 6)]);
+        assert_eq!(
+            x.relative_improvement(&y, FlowId(0)),
+            dnc_num::rat(2, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from report")]
+    fn missing_flow_panics() {
+        report(&[(0, 1)]).bound(FlowId(9));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = report(&[(0, 5), (1, 9)]).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "flow,name,bound,bound_f64");
+        assert_eq!(lines[1], "0,f0,5,5.000000");
+        assert_eq!(lines[2], "1,f1,9,9.000000");
+    }
+
+    #[test]
+    fn csv_escapes_awkward_names() {
+        let r = AnalysisReport {
+            algorithm: "test",
+            flows: vec![FlowReport {
+                flow: FlowId(0),
+                name: "video, site \"A\"".into(),
+                e2e: int(2),
+                stages: vec![],
+            }],
+        };
+        let csv = r.to_csv();
+        assert!(csv.contains("\"video, site \"\"A\"\"\"" ), "{csv}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Bound sensitivity — how much each connection's end-to-end bound moves
+//! when a source parameter moves: the capacity-planning companion of the
+//! admission test ("which knob do I turn to win back my deadline?").
+//!
+//! Because all bounds are exact rationals and piecewise linear in the
+//! inputs, one-sided finite differences with an exact step give the exact
+//! one-sided derivative once the step is inside the active linear piece;
+//! we report the difference quotient at a caller-chosen step, which is
+//! already what an operator acts on ("adding 1 cell of burst costs X
+//! ticks of bound").
+
+use crate::{AnalysisError, DelayAnalysis};
+use dnc_net::{Flow, FlowId, Network};
+use dnc_num::Rat;
+use dnc_traffic::{TokenBucket, TrafficSpec};
+
+/// Which source parameter is perturbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Param {
+    /// Bucket depth σ of the flow's first token bucket.
+    Sigma,
+    /// Token rate ρ of the flow's first token bucket.
+    Rho,
+}
+
+/// One sensitivity figure.
+#[derive(Clone, Debug)]
+pub struct Sensitivity {
+    /// The perturbed flow.
+    pub perturbed: FlowId,
+    /// The parameter moved.
+    pub param: Param,
+    /// The observed flow whose bound moved.
+    pub observed: FlowId,
+    /// `[bound(x + step) − bound(x)] / step`, in ticks per unit.
+    pub gradient: Rat,
+}
+
+/// Rebuild `net` with `flow`'s first bucket parameter increased by `step`.
+fn perturb(net: &Network, flow: FlowId, param: Param, step: Rat) -> Result<Network, AnalysisError> {
+    let mut out = Network::new();
+    for s in net.servers() {
+        out.add_server(s.clone());
+    }
+    for (i, f) in net.flows().iter().enumerate() {
+        let spec = if FlowId(i) == flow {
+            let mut buckets: Vec<TokenBucket> = f.spec.buckets().to_vec();
+            let b0 = buckets[0];
+            buckets[0] = match param {
+                Param::Sigma => TokenBucket::new(b0.sigma + step, b0.rho),
+                Param::Rho => TokenBucket::new(b0.sigma, b0.rho + step),
+            };
+            TrafficSpec::new(buckets, f.spec.peak())
+        } else {
+            f.spec.clone()
+        };
+        out.add_flow(Flow {
+            name: f.name.clone(),
+            spec,
+            route: f.route.clone(),
+            priority: f.priority,
+        })
+        .map_err(AnalysisError::Network)?;
+    }
+    // Preserve GPS reservations and EDF deadlines.
+    for (i, f) in net.flows().iter().enumerate() {
+        for &s in &f.route {
+            if net.server(s).discipline == dnc_net::Discipline::Gps {
+                out.reserve(FlowId(i), s, net.reserved_rate(FlowId(i), s));
+            }
+            if let Some(d) = net.local_deadline(FlowId(i), s) {
+                out.set_local_deadline(FlowId(i), s, d);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sensitivity of every connection's bound to a `step`-sized increase of
+/// `flow`'s parameter, under `analysis`. Returns one entry per observed
+/// flow (including `flow` itself).
+pub fn bound_sensitivities(
+    net: &Network,
+    flow: FlowId,
+    param: Param,
+    step: Rat,
+    analysis: &dyn DelayAnalysis,
+) -> Result<Vec<Sensitivity>, AnalysisError> {
+    assert!(step.is_positive(), "sensitivity step must be positive");
+    let base = analysis.analyze(net)?;
+    let bumped_net = perturb(net, flow, param, step)?;
+    let bumped = analysis.analyze(&bumped_net)?;
+    Ok(base
+        .flows
+        .iter()
+        .zip(bumped.flows.iter())
+        .map(|(a, b)| Sensitivity {
+            perturbed: flow,
+            param,
+            observed: a.flow,
+            gradient: (b.e2e - a.e2e) / step,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposed::Decomposed;
+    use crate::integrated::Integrated;
+    use dnc_net::builders::{chain, tandem, TandemOptions};
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn burst_sensitivity_is_nonnegative_everywhere() {
+        let t = tandem(3, int(1), rat(3, 16), TandemOptions::default());
+        for alg in [
+            &Decomposed::paper() as &dyn DelayAnalysis,
+            &Integrated::paper(),
+        ] {
+            let s = bound_sensitivities(&t.net, t.conn0, Param::Sigma, rat(1, 4), alg).unwrap();
+            for entry in &s {
+                assert!(
+                    !entry.gradient.is_negative(),
+                    "{}: more burst cannot shrink a bound ({} for {})",
+                    alg.name(),
+                    entry.gradient,
+                    entry.observed
+                );
+            }
+            // The perturbed flow itself is affected.
+            let own = s.iter().find(|e| e.observed == t.conn0).unwrap();
+            assert!(own.gradient.is_positive());
+        }
+    }
+
+    #[test]
+    fn uncapped_single_server_gradient_is_exact() {
+        // One uncapped bucket alone on a unit server: bound = σ, so
+        // dBound/dσ = 1 and dBound/dρ = 0 (stable region).
+        let (net, flows, _) = chain(1, &[TrafficSpec::token_bucket(int(3), rat(1, 4))]);
+        let alg = Decomposed::paper();
+        let ds = bound_sensitivities(&net, flows[0], Param::Sigma, rat(1, 2), &alg).unwrap();
+        assert_eq!(ds[0].gradient, int(1));
+        let dr = bound_sensitivities(&net, flows[0], Param::Rho, rat(1, 8), &alg).unwrap();
+        assert_eq!(dr[0].gradient, int(0));
+    }
+
+    #[test]
+    fn cross_flow_sensitivity_captures_coupling() {
+        // On a shared FIFO link, inflating one flow's burst raises the
+        // OTHER flow's bound by exactly the same amount (aggregate bound).
+        let (net, flows, _) = chain(
+            1,
+            &[
+                TrafficSpec::token_bucket(int(2), rat(1, 8)),
+                TrafficSpec::token_bucket(int(2), rat(1, 8)),
+            ],
+        );
+        let s = bound_sensitivities(&net, flows[0], Param::Sigma, int(1), &Decomposed::paper())
+            .unwrap();
+        let other = s.iter().find(|e| e.observed == flows[1]).unwrap();
+        assert_eq!(other.gradient, int(1));
+    }
+
+    #[test]
+    fn gps_isolation_shows_zero_cross_sensitivity() {
+        use dnc_net::{Discipline, Flow, Network, Server};
+        let mut net = Network::new();
+        let g = net.add_server(Server {
+            name: "gps".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Gps,
+        });
+        let mut flows = Vec::new();
+        for k in 0..2 {
+            let f = net
+                .add_flow(Flow {
+                    name: format!("f{k}"),
+                    spec: TrafficSpec::token_bucket(int(2), rat(1, 4)),
+                    route: vec![g],
+                    priority: 0,
+                })
+                .unwrap();
+            net.reserve(f, g, rat(1, 2));
+            flows.push(f);
+        }
+        let s = bound_sensitivities(&net, flows[0], Param::Sigma, int(1), &Decomposed::paper())
+            .unwrap();
+        let own = s.iter().find(|e| e.observed == flows[0]).unwrap();
+        let other = s.iter().find(|e| e.observed == flows[1]).unwrap();
+        assert!(own.gradient.is_positive());
+        assert_eq!(other.gradient, int(0), "GPS isolates neighbours");
+    }
+
+    #[test]
+    fn overload_perturbation_is_an_error() {
+        let t = tandem(2, int(1), rat(63, 256), TandemOptions::default());
+        // Interior utilization is 252/256; bumping conn0's ρ by 1/32
+        // (8/256) pushes it past 1.
+        assert!(bound_sensitivities(
+            &t.net,
+            t.conn0,
+            Param::Rho,
+            rat(1, 32),
+            &Decomposed::paper()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Static-priority local delay analysis — the extension the paper's
+//! conclusion announces ("we are currently extending the applicability of
+//! this approach to the static-priority discipline"), following the
+//! authors' companion RTSS'97 work on SP ATM networks.
+//!
+//! Fluid model: a priority level `p` at a rate-`C` server receives the
+//! residual service curve `β_p(t) = [C·t − Σ_{q < p} α_q(t)]⁺` (lower
+//! numbers more urgent, FIFO within a level), and the level's worst-case
+//! delay is the horizontal deviation of its aggregate from `β_p`.
+
+use crate::{fifo, AnalysisError};
+use dnc_curves::{bounds, Curve};
+use dnc_net::{FlowId, Network, ServerId};
+use dnc_num::Rat;
+use std::collections::BTreeMap;
+
+/// Per-flow local delays at a static-priority server.
+///
+/// `curves` supplies each incident flow together with its constraint at
+/// this server. Flows on the same priority level share a bound.
+pub fn local_delays(
+    net: &Network,
+    server: ServerId,
+    curves: &[(FlowId, Curve)],
+) -> Result<Vec<(FlowId, Rat)>, AnalysisError> {
+    let rate = net.server(server).rate;
+
+    // Group constraints by priority level.
+    let mut by_prio: BTreeMap<u8, Vec<(FlowId, &Curve)>> = BTreeMap::new();
+    for (f, c) in curves {
+        by_prio
+            .entry(net.flow(*f).priority)
+            .or_default()
+            .push((*f, c));
+    }
+
+    let mut result = Vec::with_capacity(curves.len());
+    let mut higher: Vec<Curve> = Vec::new();
+    for (_prio, level) in by_prio {
+        let level_curves: Vec<Curve> = level.iter().map(|(_, c)| (*c).clone()).collect();
+        let level_aggregate = fifo::aggregate_curve(level_curves.iter());
+        let beta = if higher.is_empty() {
+            Curve::rate(rate)
+        } else {
+            let interference = fifo::aggregate_curve(higher.iter());
+            Curve::rate(rate).sub(&interference).pos()
+        };
+        let d = bounds::hdev(&level_aggregate, &beta).map_err(|e| AnalysisError::at(server, e))?;
+        for (f, _) in &level {
+            result.push((*f, d));
+        }
+        higher.extend(level_curves);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decomposed::Decomposed, DelayAnalysis};
+    use dnc_net::{Discipline, Flow, Network, Server};
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    fn sp_server_net(specs_prios: &[(TrafficSpec, u8)]) -> (Network, Vec<FlowId>) {
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "sp".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::StaticPriority,
+        });
+        let flows = specs_prios
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, prio))| {
+                net.add_flow(Flow {
+                    name: format!("f{i}"),
+                    spec: spec.clone(),
+                    route: vec![s],
+                    priority: *prio,
+                })
+                .unwrap()
+            })
+            .collect();
+        (net, flows)
+    }
+
+    #[test]
+    fn top_priority_sees_full_rate() {
+        let (net, flows) = sp_server_net(&[
+            (TrafficSpec::token_bucket(int(2), rat(1, 4)), 0),
+            (TrafficSpec::token_bucket(int(5), rat(1, 4)), 1),
+        ]);
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        // Priority 0: delay = its own burst only.
+        assert_eq!(r.bound(flows[0]), int(2));
+        // Priority 1 suffers the high-priority interference.
+        assert!(r.bound(flows[1]) > int(5));
+    }
+
+    #[test]
+    fn low_priority_delay_hand_computed() {
+        // High: σ=2, ρ=1/4. Low: σ=1, ρ=1/4. β_low = [t − (2 + t/4)]⁺ =
+        // (3/4)(t − 8/3)⁺. Delay = burst/rate + latency = 1/(3/4) + 8/3 = 4.
+        let (net, flows) = sp_server_net(&[
+            (TrafficSpec::token_bucket(int(2), rat(1, 4)), 0),
+            (TrafficSpec::token_bucket(int(1), rat(1, 4)), 1),
+        ]);
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        assert_eq!(r.bound(flows[1]), int(4));
+    }
+
+    #[test]
+    fn same_priority_is_fifo_like() {
+        // Two flows at the same level: both get the aggregate-FIFO bound.
+        let (net, flows) = sp_server_net(&[
+            (TrafficSpec::token_bucket(int(2), rat(1, 4)), 0),
+            (TrafficSpec::token_bucket(int(3), rat(1, 4)), 0),
+        ]);
+        let r = Decomposed::paper().analyze(&net).unwrap();
+        assert_eq!(r.bound(flows[0]), int(5));
+        assert_eq!(r.bound(flows[1]), int(5));
+    }
+
+    #[test]
+    fn priority_beats_fifo_for_urgent_traffic() {
+        // Same traffic through FIFO vs SP: the urgent flow's SP bound must
+        // not exceed its FIFO bound.
+        let specs = [
+            (TrafficSpec::token_bucket(int(1), rat(1, 8)), 0u8),
+            (TrafficSpec::token_bucket(int(6), rat(1, 8)), 1u8),
+        ];
+        let (sp_net, sp_flows) = sp_server_net(&specs);
+        let mut fifo_net = Network::new();
+        let s = fifo_net.add_server(Server::unit_fifo("fifo"));
+        let fifo_flows: Vec<FlowId> = specs
+            .iter()
+            .map(|(spec, _)| {
+                fifo_net
+                    .add_flow(Flow {
+                        name: "f".into(),
+                        spec: spec.clone(),
+                        route: vec![s],
+                        priority: 0,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let rsp = Decomposed::paper().analyze(&sp_net).unwrap();
+        let rf = Decomposed::paper().analyze(&fifo_net).unwrap();
+        assert!(rsp.bound(sp_flows[0]) <= rf.bound(fifo_flows[0]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Edge-case tests for the analysis crate: degenerate networks, error
+//! paths, report plumbing, and admission corner cases.
+
+use dnc_core::admission::{all_deadlines_met, max_admissible_utilization, try_admit, Deadline};
+use dnc_core::integrated::{pair_delay_bound, Integrated};
+use dnc_core::{
+    decomposed::Decomposed, service_curve::ServiceCurve, AnalysisError, DelayAnalysis, OutputCap,
+};
+use dnc_curves::Curve;
+use dnc_net::builders::{chain, tandem, TandemOptions};
+use dnc_net::{Flow, Network, Server};
+use dnc_num::{int, rat, Rat};
+use dnc_traffic::TrafficSpec;
+
+#[test]
+fn empty_network_analyzes_to_empty_report() {
+    let net = Network::new();
+    for alg in [
+        &Decomposed::paper() as &dyn DelayAnalysis,
+        &ServiceCurve::paper(),
+        &Integrated::paper(),
+    ] {
+        let r = alg.analyze(&net).unwrap();
+        assert!(r.flows.is_empty(), "{}", alg.name());
+        assert_eq!(r.max_bound(), Rat::ZERO);
+    }
+}
+
+#[test]
+fn single_flow_single_server_all_algorithms_agree() {
+    // One uncapped bucket alone on a unit server: everyone says σ.
+    let (net, flows, _) = chain(1, &[TrafficSpec::token_bucket(int(3), rat(1, 4))]);
+    for alg in [
+        &Decomposed::paper() as &dyn DelayAnalysis,
+        &ServiceCurve::paper(),
+        &Integrated::paper(),
+    ] {
+        assert_eq!(alg.analyze(&net).unwrap().bound(flows[0]), int(3), "{}", alg.name());
+    }
+}
+
+#[test]
+fn zero_traffic_flow_has_zero_delay() {
+    let (net, flows, _) = chain(2, &[TrafficSpec::token_bucket(int(0), Rat::ZERO)]);
+    let r = Decomposed::paper().analyze(&net).unwrap();
+    assert_eq!(r.bound(flows[0]), int(0));
+}
+
+#[test]
+fn pair_bound_zero_rates_panic() {
+    let f = Curve::token_bucket(int(1), rat(1, 8));
+    let z = Curve::zero();
+    let r = std::panic::catch_unwind(|| {
+        pair_delay_bound(&f, &z, &z, Rat::ZERO, Rat::ONE, OutputCap::Shift)
+    });
+    assert!(r.is_err());
+}
+
+#[test]
+fn pair_bound_unstable_server_two() {
+    // S12 + S2 rates exceed C2: error, not a bogus bound.
+    let f12 = Curve::token_bucket(int(1), rat(3, 4));
+    let f2 = Curve::token_bucket(int(1), rat(1, 2));
+    let z = Curve::zero();
+    assert!(pair_delay_bound(&f12, &z, &f2, Rat::ONE, Rat::ONE, OutputCap::Shift).is_err());
+}
+
+#[test]
+fn analysis_error_display() {
+    let t = tandem(2, int(1), rat(1, 4), TandemOptions::default()); // overload
+    let e = Decomposed::paper().analyze(&t.net).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("overloaded"), "{msg}");
+    assert!(matches!(e, AnalysisError::Network(_)));
+}
+
+#[test]
+fn report_relative_improvement_zero_base() {
+    let (net, flows, _) = chain(1, &[TrafficSpec::token_bucket(int(0), Rat::ZERO)]);
+    let a = Decomposed::paper().analyze(&net).unwrap();
+    let b = Integrated::paper().analyze(&net).unwrap();
+    // D_X = 0: metric defined as 0, no division by zero.
+    assert_eq!(a.relative_improvement(&b, flows[0]), Rat::ZERO);
+}
+
+#[test]
+fn report_display_contains_stages() {
+    let t = tandem(3, int(1), rat(1, 8), TandemOptions::default());
+    let r = Decomposed::paper().analyze(&t.net).unwrap();
+    let text = r.to_string();
+    assert!(text.contains("[decomposed]"));
+    assert!(text.contains("conn0"));
+    assert!(text.contains("L0"));
+}
+
+#[test]
+fn deadline_checks_empty_list() {
+    let t = tandem(2, int(1), rat(1, 8), TandemOptions::default());
+    assert!(all_deadlines_met(&t.net, &[], &Decomposed::paper()).unwrap());
+}
+
+#[test]
+fn try_admit_flow_with_bad_route_is_rejection() {
+    let t = tandem(2, int(1), rat(1, 8), TandemOptions::default());
+    let candidate = Flow {
+        name: "ghost".into(),
+        spec: TrafficSpec::paper_source(int(1), rat(1, 8)),
+        route: vec![dnc_net::ServerId(99)],
+        priority: 0,
+    };
+    let r = try_admit(&t.net, candidate, int(10), &[], &Integrated::paper()).unwrap();
+    assert!(r.is_none(), "unknown route = clean rejection");
+}
+
+#[test]
+fn max_admissible_none_when_deadline_impossible() {
+    let u = max_admissible_utilization(8, int(1), rat(1, 100), &Decomposed::paper(), 10);
+    assert!(u.is_none());
+}
+
+#[test]
+fn max_admissible_full_grid_when_deadline_huge() {
+    let u = max_admissible_utilization(2, int(1), int(10_000), &Decomposed::paper(), 10);
+    assert_eq!(u, Some(rat(9, 10)));
+}
+
+#[test]
+fn deadline_ordering_is_rational_exact() {
+    // A bound of exactly 16/7 must pass a deadline of 16/7 and fail
+    // 15/7 — no epsilon fuzz.
+    let mut net = Network::new();
+    let s = net.add_server(Server::unit_fifo("s"));
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        ids.push(
+            net.add_flow(Flow {
+                name: "f".into(),
+                spec: TrafficSpec::paper_source(int(1), rat(1, 8)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap(),
+        );
+    }
+    let alg = Decomposed::paper();
+    assert_eq!(alg.analyze(&net).unwrap().bound(ids[0]), rat(16, 7));
+    let pass = [Deadline { flow: ids[0], deadline: rat(16, 7) }];
+    let fail = [Deadline { flow: ids[0], deadline: rat(15, 7) }];
+    assert!(all_deadlines_met(&net, &pass, &alg).unwrap());
+    assert!(!all_deadlines_met(&net, &fail, &alg).unwrap());
+}
+
+#[test]
+fn integrated_on_disconnected_components() {
+    // Two disjoint chains in one network: bounds equal the isolated runs.
+    let mut net = Network::new();
+    let a0 = net.add_server(Server::unit_fifo("a0"));
+    let a1 = net.add_server(Server::unit_fifo("a1"));
+    let b0 = net.add_server(Server::unit_fifo("b0"));
+    let spec = TrafficSpec::paper_source(int(2), rat(1, 8));
+    let fa = net
+        .add_flow(Flow {
+            name: "fa".into(),
+            spec: spec.clone(),
+            route: vec![a0, a1],
+            priority: 0,
+        })
+        .unwrap();
+    let fb = net
+        .add_flow(Flow {
+            name: "fb".into(),
+            spec: spec.clone(),
+            route: vec![b0],
+            priority: 0,
+        })
+        .unwrap();
+    let joint = Integrated::paper().analyze(&net).unwrap();
+
+    let (iso_a, ia, _) = chain(2, std::slice::from_ref(&spec));
+    let (iso_b, ib, _) = chain(1, &[spec]);
+    assert_eq!(
+        joint.bound(fa),
+        Integrated::paper().analyze(&iso_a).unwrap().bound(ia[0])
+    );
+    assert_eq!(
+        joint.bound(fb),
+        Integrated::paper().analyze(&iso_b).unwrap().bound(ib[0])
+    );
+}
+
+#[test]
+fn stage_sums_equal_e2e() {
+    let t = tandem(5, int(1), rat(3, 16), TandemOptions::default());
+    for alg in [&Decomposed::paper() as &dyn DelayAnalysis, &Integrated::paper()] {
+        let r = alg.analyze(&t.net).unwrap();
+        for f in &r.flows {
+            let sum: Rat = f.stages.iter().map(|(_, d)| *d).sum();
+            assert_eq!(sum, f.e2e, "{} / {}", alg.name(), f.name);
+        }
+    }
+}

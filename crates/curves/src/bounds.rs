@@ -1,0 +1,388 @@
+//! Bound extraction: horizontal deviation (delay), vertical deviation
+//! (backlog), and busy-period length.
+
+use crate::{Curve, CurveError};
+use dnc_num::Rat;
+
+/// Horizontal deviation `h(α, β) = sup_{t≥0} inf { d ≥ 0 : α(t) ≤ β(t+d) }`
+/// — the worst-case *delay* of a flow with arrival curve `α` through a
+/// server with service curve `β`.
+///
+/// Requires a concave nondecreasing `α` and a convex nondecreasing `β`
+/// (always the case in this workspace: arrivals are concave hulls of token
+/// buckets, services are rate-latency/residual curves). Under these shapes
+/// `t ↦ β⁻¹(α(t)) − t` is concave, so the supremum is attained at a
+/// breakpoint of `α` or at a preimage under `α` of a breakpoint value of
+/// `β`; we enumerate exactly those candidates.
+///
+/// Errors with [`CurveError::Unstable`] when `rate(α) > rate(β)` and with
+/// [`CurveError::NeverServed`] when `α` outgrows a bounded `β`.
+pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    if !alpha.is_nondecreasing() || !alpha.is_concave() {
+        return Err(CurveError::BadShape("hdev: α must be concave nondecreasing"));
+    }
+    if !beta.is_nondecreasing() || !beta.is_convex() {
+        return Err(CurveError::BadShape("hdev: β must be convex nondecreasing"));
+    }
+    if alpha.final_slope() > beta.final_slope() {
+        return Err(CurveError::Unstable {
+            arrival_rate: alpha.final_slope().to_string(),
+            service_rate: beta.final_slope().to_string(),
+        });
+    }
+
+    // Candidate abscissae: breakpoints of α and α-preimages of β's
+    // breakpoint values.
+    let mut cands: Vec<Rat> = alpha.breakpoint_xs();
+    for &(_, v) in beta.points() {
+        if let Some(t) = alpha.pseudo_inverse(v) {
+            cands.push(t);
+        }
+    }
+    cands.push(Rat::ZERO);
+    cands.sort();
+    cands.dedup();
+
+    let mut best = Rat::ZERO;
+
+    // β's pseudo-inverse jumps at y = 0 when β has a latency (an initial
+    // zero-valued flat): β⁻¹(0) = 0 but β⁻¹(0⁺) = T. If α leaves zero at
+    // some t₀ (α(t₀)=0, α > 0 after), the deviation supremum is approached
+    // as t → t₀⁺ with limit T − t₀, which no breakpoint candidate sees.
+    let latency = beta
+        .points()
+        .iter()
+        .rev()
+        .find(|&&(_, y)| y.is_zero())
+        .map(|&(x, _)| x);
+    if let Some(t_lat) = latency {
+        // t₀ = sup { t : α(t) = 0 } (α concave nondecreasing: zero set is
+        // an initial interval).
+        let t0 = alpha
+            .points()
+            .iter()
+            .rev()
+            .find(|&&(_, y)| y.is_zero())
+            .map(|&(x, _)| x);
+        if let Some(t0) = t0 {
+            // Only relevant if α actually becomes positive after t₀.
+            let becomes_positive = alpha.final_slope().is_positive()
+                || alpha.points().iter().any(|&(_, y)| y.is_positive());
+            if becomes_positive && t_lat > t0 {
+                best = best.max(t_lat - t0);
+            }
+        }
+    }
+
+    for t in cands {
+        let need = alpha.eval(t);
+        match beta.pseudo_inverse(need) {
+            Some(tau) => {
+                let d = tau - t;
+                if d > best {
+                    best = d;
+                }
+            }
+            None => return Err(CurveError::NeverServed),
+        }
+    }
+    // Equal ultimate rates: the deviation is constant on the far tail; the
+    // last candidate already covers it (φ is concave). If β is bounded
+    // (rate 0) and α keeps growing, pseudo_inverse above already errored.
+    if alpha.final_slope() == beta.final_slope() && alpha.final_slope().is_positive() {
+        // Evaluate one point deep in the joint tail for safety.
+        let t = alpha.tail_start().max(beta.tail_start()) + Rat::ONE;
+        if let Some(tau) = beta.pseudo_inverse(alpha.eval(t)) {
+            let d = tau - t;
+            if d > best {
+                best = d;
+            }
+        } else {
+            return Err(CurveError::NeverServed);
+        }
+    }
+    Ok(best)
+}
+
+/// Horizontal deviation for **arbitrary nondecreasing** PWL curves —
+/// used when the service curve is not convex (e.g. monotonized
+/// FIFO-family curves, convolutions of ramps).
+///
+/// For fixed `t` the needed delay is `β⁻¹(α(t)) − t` (lower
+/// pseudo-inverse). Between consecutive candidate abscissae — breakpoints
+/// of `α` and α-preimages (lower *and* upper) of β's breakpoint values —
+/// the deviation is linear in `t`, so its supremum is attained at a
+/// candidate; β's flat segments additionally contribute limit values
+/// `β⁻¹₊(v) − α⁻¹₊(v)` approached as `α(t) → v⁺`.
+pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    if !alpha.is_nondecreasing() {
+        return Err(CurveError::BadShape("hdev_general: α must be nondecreasing"));
+    }
+    if !beta.is_nondecreasing() {
+        return Err(CurveError::BadShape("hdev_general: β must be nondecreasing"));
+    }
+    if alpha.final_slope() > beta.final_slope() {
+        return Err(CurveError::Unstable {
+            arrival_rate: alpha.final_slope().to_string(),
+            service_rate: beta.final_slope().to_string(),
+        });
+    }
+
+    let mut cands: Vec<Rat> = alpha.breakpoint_xs();
+    cands.push(Rat::ZERO);
+    for &(_, v) in beta.points() {
+        if let Some(t) = alpha.pseudo_inverse(v) {
+            cands.push(t);
+        }
+        if let Some(t) = alpha.pseudo_inverse_upper(v) {
+            cands.push(t);
+        }
+    }
+    // Deep-tail candidate for the equal-ultimate-rate case.
+    let tail = alpha.tail_start().max(beta.tail_start()) + Rat::ONE;
+    cands.push(tail);
+    cands.sort();
+    cands.dedup();
+
+    let mut best = Rat::ZERO;
+    for t in cands {
+        match beta.pseudo_inverse(alpha.eval(t)) {
+            Some(tau) => best = best.max(tau - t),
+            None => return Err(CurveError::NeverServed),
+        }
+    }
+    // Jump (flat-segment) limit contributions: as α(t) → v⁺ just past
+    // t_v = sup{t : α(t) ≤ v}, the needed delay approaches β⁻¹₊(v) − t_v.
+    for &(_, v) in beta.points() {
+        let (Some(t_v), Some(tau)) = (alpha.pseudo_inverse_upper(v), beta.pseudo_inverse_upper(v))
+        else {
+            continue;
+        };
+        // Only relevant if α actually exceeds v after t_v.
+        best = best.max(tau - t_v);
+    }
+    Ok(best.max(Rat::ZERO))
+}
+
+/// Vertical deviation `v(α, β) = sup_{t≥0} [α(t) − β(t)]` — the worst-case
+/// *backlog*. Errors when the difference grows without bound.
+pub fn vdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    let diff = alpha.sub(beta);
+    if diff.final_slope().is_positive() {
+        return Err(CurveError::Unstable {
+            arrival_rate: alpha.final_slope().to_string(),
+            service_rate: beta.final_slope().to_string(),
+        });
+    }
+    Ok(diff
+        .points()
+        .iter()
+        .map(|&(_, y)| y)
+        .max()
+        .expect("non-empty curve"))
+}
+
+/// Longest busy period of a constant-rate-`c` work-conserving server fed
+/// by arrivals constrained by `f`: `sup { t ≥ 0 : f(t) ≥ c·t }`.
+///
+/// Errors with [`CurveError::Unstable`] when the arrivals never fall below
+/// the service line (`rate(f) > c`, or `rate(f) = c` with positive excess).
+pub fn busy_period(f: &Curve, c: Rat) -> Result<Rat, CurveError> {
+    assert!(c.is_positive(), "busy_period: rate must be positive");
+    let diff = f.sub(&Curve::rate(c));
+    let unstable = || CurveError::Unstable {
+        arrival_rate: f.final_slope().to_string(),
+        service_rate: c.to_string(),
+    };
+    if diff.final_slope().is_positive() {
+        return Err(unstable());
+    }
+    let pts = diff.points();
+    let last = *pts.last().unwrap();
+    if diff.final_slope().is_zero() {
+        return if last.1.is_positive() {
+            Err(unstable())
+        } else if last.1.is_zero() {
+            Ok(last.0)
+        } else {
+            // Tail strictly below: last crossing is interior (found below).
+            interior_last_root(&diff).ok_or_else(unstable)
+        };
+    }
+    // Negative tail slope.
+    if !last.1.is_negative() {
+        // Root on the tail segment: y + slope·Δ = 0.
+        return Ok(last.0 + last.1 / (-diff.final_slope()));
+    }
+    interior_last_root(&diff).ok_or_else(unstable)
+}
+
+/// The largest interior `t` with `diff(t) = 0` given `diff` ends negative;
+/// `None` if `diff` never reaches `≥ 0` (cannot happen for `diff(0) ≥ 0`).
+fn interior_last_root(diff: &Curve) -> Option<Rat> {
+    let pts = diff.points();
+    // Find the last breakpoint with value >= 0; the crossing lies in the
+    // segment that follows (whose right endpoint is negative).
+    for i in (0..pts.len()).rev() {
+        let (x0, y0) = pts[i];
+        if !y0.is_negative() {
+            if y0.is_zero() {
+                return Some(x0);
+            }
+            // Segment from (x0, y0 > 0) down to a negative value.
+            let slope = if i + 1 < pts.len() {
+                let (x1, y1) = pts[i + 1];
+                (y1 - y0) / (x1 - x0)
+            } else {
+                diff.final_slope()
+            };
+            debug_assert!(slope.is_negative());
+            return Some(x0 + y0 / (-slope));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn hdev_token_bucket_rate_latency() {
+        // Classic: h(γ_{σ,ρ}, β_{R,T}) = σ/R + T for ρ ≤ R.
+        let a = Curve::token_bucket(int(4), int(1));
+        let b = Curve::rate_latency(int(2), int(3));
+        assert_eq!(hdev(&a, &b).unwrap(), int(5));
+    }
+
+    #[test]
+    fn hdev_aggregate_through_rate() {
+        // FIFO local delay: h(G, λ_C) with G = 3 + t/2, C = 1 -> delay 3.
+        let g = Curve::token_bucket(int(3), rat(1, 2));
+        assert_eq!(hdev(&g, &Curve::rate(int(1))).unwrap(), int(3));
+    }
+
+    #[test]
+    fn hdev_peak_capped_is_smaller() {
+        // Peak cap flattens the early burst: delay shrinks.
+        let capped = Curve::token_bucket_peak(int(3), rat(1, 2), int(1));
+        let d = hdev(&capped, &Curve::rate(int(1))).unwrap();
+        assert_eq!(d, int(0)); // never exceeds the unit service line
+        let d2 = hdev(&capped, &Curve::rate(rat(3, 4))).unwrap();
+        assert!(d2.is_positive());
+    }
+
+    #[test]
+    fn hdev_unstable() {
+        let a = Curve::token_bucket(int(1), int(2));
+        let b = Curve::rate(int(1));
+        assert!(matches!(hdev(&a, &b), Err(CurveError::Unstable { .. })));
+    }
+
+    #[test]
+    fn hdev_never_served() {
+        // A truncated (concave) service curve violates hdev's convexity
+        // precondition.
+        let a = Curve::token_bucket(int(10), rat(1, 2));
+        let trunc = Curve::from_points(vec![(int(0), int(0)), (int(4), int(4))], int(0));
+        assert!(matches!(hdev(&a, &trunc), Err(CurveError::BadShape(_))));
+        // Bounded arrival exceeding a constant (convex) service: never served.
+        let a2 = Curve::constant(int(10));
+        let b = Curve::constant(int(4));
+        assert!(matches!(hdev(&a2, &b), Err(CurveError::NeverServed)));
+    }
+
+    #[test]
+    fn hdev_equal_rates() {
+        // α = 2 + t, β = (t − 3)⁺ ... equal unit rates: deviation settles
+        // at 5 (burst 2 / rate 1 + latency 3).
+        let a = Curve::token_bucket(int(2), int(1));
+        let b = Curve::rate_latency(int(1), int(3));
+        assert_eq!(hdev(&a, &b).unwrap(), int(5));
+    }
+
+    #[test]
+    fn hdev_general_agrees_with_hdev_on_convex() {
+        let a = Curve::token_bucket(int(4), int(1));
+        let b = Curve::rate_latency(int(2), int(3));
+        assert_eq!(hdev_general(&a, &b).unwrap(), hdev(&a, &b).unwrap());
+        let a2 = Curve::token_bucket_peak(int(3), rat(1, 2), int(1));
+        let b2 = Curve::rate(rat(3, 4));
+        assert_eq!(hdev_general(&a2, &b2).unwrap(), hdev(&a2, &b2).unwrap());
+    }
+
+    #[test]
+    fn hdev_general_nonconvex_service() {
+        // β: fast ramp to 2 by t=1, flat to t=3, then slope 1 — not
+        // convex. α = 1 + t/2.
+        let beta = Curve::from_points(
+            vec![(int(0), int(0)), (int(1), int(2)), (int(3), int(2))],
+            int(1),
+        );
+        let alpha = Curve::token_bucket(int(1), rat(1, 2));
+        let d = hdev_general(&alpha, &beta).unwrap();
+        // Brute-force the deviation on a fine grid (lower bound on sup).
+        let mut brute = Rat::ZERO;
+        for k in 0..200 {
+            let t = rat(k, 8);
+            let need = beta.pseudo_inverse(alpha.eval(t)).unwrap() - t;
+            brute = brute.max(need);
+        }
+        assert!(d >= brute, "missed the brute-force sup");
+        // Soundness: α(t) ≤ β(t + d) sampled.
+        for k in 0..200 {
+            let t = rat(k, 8);
+            assert!(alpha.eval(t) <= beta.eval(t + d));
+        }
+        // The flat segment of β forces a deviation past the naive one:
+        // as α(t) → 2⁺ (t → 2⁺), β⁻¹ jumps from 1 to 3.
+        assert!(d >= int(1));
+    }
+
+    #[test]
+    fn hdev_general_rejects_unstable() {
+        let a = Curve::token_bucket(int(1), int(2));
+        let b = Curve::rate(int(1));
+        assert!(matches!(
+            hdev_general(&a, &b),
+            Err(CurveError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn vdev_basics() {
+        // Backlog of γ_{4,1} over β_{2,3}: peak at t = 3: 4+3 − 0 = 7.
+        let a = Curve::token_bucket(int(4), int(1));
+        let b = Curve::rate_latency(int(2), int(3));
+        assert_eq!(vdev(&a, &b).unwrap(), int(7));
+        assert!(matches!(
+            vdev(&Curve::rate(int(2)), &Curve::rate(int(1))),
+            Err(CurveError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn busy_period_token_bucket() {
+        // f = 3 + t/2 vs rate 1: crossing at t = 6.
+        let f = Curve::token_bucket(int(3), rat(1, 2));
+        assert_eq!(busy_period(&f, int(1)).unwrap(), int(6));
+    }
+
+    #[test]
+    fn busy_period_unstable_cases() {
+        assert!(busy_period(&Curve::token_bucket(int(1), int(2)), int(1)).is_err());
+        // Equal-rate with positive burst: never drains.
+        assert!(busy_period(&Curve::token_bucket(int(1), int(1)), int(1)).is_err());
+        // Equal-rate with zero burst: busy period 0.
+        assert_eq!(busy_period(&Curve::rate(int(1)), int(1)).unwrap(), int(0));
+    }
+
+    #[test]
+    fn busy_period_peak_capped() {
+        // min{t, 2 + t/2} vs rate 3/4: f(t) = t up to t=4 beats 3t/4; after
+        // t=4: 2 + t/2 vs 3t/4 -> crossing at t=8.
+        let f = Curve::token_bucket_peak(int(2), rat(1, 2), int(1));
+        assert_eq!(busy_period(&f, rat(3, 4)).unwrap(), int(8));
+    }
+}

@@ -1,0 +1,143 @@
+//! Named constructors for the curve shapes network calculus uses.
+
+use crate::curve::Curve;
+use dnc_num::Rat;
+
+impl Curve {
+    /// The identically-zero curve.
+    pub fn zero() -> Curve {
+        Curve::from_points(vec![(Rat::ZERO, Rat::ZERO)], Rat::ZERO)
+    }
+
+    /// The constant curve `f(t) = c`.
+    pub fn constant(c: Rat) -> Curve {
+        Curve::from_points(vec![(Rat::ZERO, c)], Rat::ZERO)
+    }
+
+    /// The affine curve `f(t) = b + r·t`.
+    pub fn affine(b: Rat, r: Rat) -> Curve {
+        Curve::from_points(vec![(Rat::ZERO, b)], r)
+    }
+
+    /// The pure rate curve `λ_r(t) = r·t`.
+    pub fn rate(r: Rat) -> Curve {
+        Curve::affine(Rat::ZERO, r)
+    }
+
+    /// Token-bucket arrival curve `γ_{σ,ρ}(t) = σ + ρ·t` (burst `σ`,
+    /// sustained rate `ρ`). No peak-rate cap; see
+    /// [`Curve::token_bucket_peak`] for the capped form.
+    ///
+    /// # Panics
+    /// Panics if `σ < 0` or `ρ < 0`.
+    pub fn token_bucket(sigma: Rat, rho: Rat) -> Curve {
+        assert!(!sigma.is_negative(), "token_bucket: σ < 0");
+        assert!(!rho.is_negative(), "token_bucket: ρ < 0");
+        Curve::affine(sigma, rho)
+    }
+
+    /// Peak-rate-capped token bucket `min{ p·t, σ + ρ·t }` — the paper's
+    /// source model `b(I) = min{ I, σ + ρ·I }` with `p = 1` (unit links).
+    ///
+    /// # Panics
+    /// Panics unless `p > ρ ≥ 0` and `σ ≥ 0` (with `σ = 0` degenerating to
+    /// the pure rate curve).
+    pub fn token_bucket_peak(sigma: Rat, rho: Rat, p: Rat) -> Curve {
+        assert!(!sigma.is_negative(), "token_bucket_peak: σ < 0");
+        assert!(!rho.is_negative(), "token_bucket_peak: ρ < 0");
+        assert!(p > rho, "token_bucket_peak: peak {p} must exceed rate {rho}");
+        if sigma.is_zero() {
+            return Curve::rate(rho);
+        }
+        // Crossover where p·t = σ + ρ·t.
+        let t_star = sigma / (p - rho);
+        Curve::from_points(vec![(Rat::ZERO, Rat::ZERO), (t_star, p * t_star)], rho)
+    }
+
+    /// Rate-latency service curve `β_{R,T}(t) = R·(t − T)⁺`.
+    ///
+    /// # Panics
+    /// Panics if `R < 0` or `T < 0`.
+    pub fn rate_latency(r: Rat, t: Rat) -> Curve {
+        assert!(!r.is_negative(), "rate_latency: R < 0");
+        assert!(!t.is_negative(), "rate_latency: T < 0");
+        if t.is_zero() {
+            return Curve::rate(r);
+        }
+        Curve::from_points(vec![(Rat::ZERO, Rat::ZERO), (t, Rat::ZERO)], r)
+    }
+
+    /// Concave hull of several token buckets: `min_i γ_{σ_i, ρ_i}` — the
+    /// standard multi-leaky-bucket constraint.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn multi_token_bucket(buckets: &[(Rat, Rat)]) -> Curve {
+        assert!(!buckets.is_empty(), "multi_token_bucket: empty");
+        let mut acc = Curve::token_bucket(buckets[0].0, buckets[0].1);
+        for &(s, r) in &buckets[1..] {
+            acc = acc.min(&Curve::token_bucket(s, r));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn zero_and_constant() {
+        assert!(Curve::zero().is_zero());
+        let c = Curve::constant(int(5));
+        assert_eq!(c.eval(int(100)), int(5));
+    }
+
+    #[test]
+    fn token_bucket_shape() {
+        let tb = Curve::token_bucket(int(3), rat(1, 2));
+        assert_eq!(tb.eval(int(0)), int(3));
+        assert_eq!(tb.eval(int(4)), int(5));
+        assert!(tb.is_concave());
+    }
+
+    #[test]
+    fn token_bucket_peak_shape() {
+        // min{ t, 1 + t/4 }: crossover at t = 4/3.
+        let tb = Curve::token_bucket_peak(int(1), rat(1, 4), int(1));
+        assert_eq!(tb.eval(int(0)), int(0));
+        assert_eq!(tb.eval(int(1)), int(1));
+        assert_eq!(tb.eval(rat(4, 3)), rat(4, 3));
+        assert_eq!(tb.eval(int(4)), int(2));
+        assert!(tb.is_concave());
+        assert!(tb.is_nondecreasing());
+    }
+
+    #[test]
+    fn token_bucket_peak_zero_burst() {
+        let tb = Curve::token_bucket_peak(int(0), rat(1, 4), int(1));
+        assert_eq!(tb, Curve::rate(rat(1, 4)));
+    }
+
+    #[test]
+    fn rate_latency_shape() {
+        let b = Curve::rate_latency(int(2), int(3));
+        assert_eq!(b.eval(int(0)), int(0));
+        assert_eq!(b.eval(int(3)), int(0));
+        assert_eq!(b.eval(int(5)), int(4));
+        assert!(b.is_convex());
+        assert!(b.is_nondecreasing());
+        assert_eq!(Curve::rate_latency(int(2), int(0)), Curve::rate(int(2)));
+    }
+
+    #[test]
+    fn multi_token_bucket_is_min() {
+        let m = Curve::multi_token_bucket(&[(int(4), rat(1, 4)), (int(1), int(1))]);
+        assert!(m.is_concave());
+        assert_eq!(m.eval(int(0)), int(1));
+        // Crossover where 1 + t = 4 + t/4 -> t = 4.
+        assert_eq!(m.eval(int(4)), int(5));
+        assert_eq!(m.eval(int(8)), int(6));
+    }
+}

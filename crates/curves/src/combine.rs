@@ -1,0 +1,205 @@
+//! Pointwise combinations of curves: sum, difference, minimum, maximum.
+
+use crate::curve::Curve;
+use dnc_num::Rat;
+
+/// Merge the breakpoint abscissae of two curves (sorted, deduplicated).
+fn merged_xs(f: &Curve, g: &Curve) -> Vec<Rat> {
+    let mut xs: Vec<Rat> = f
+        .breakpoint_xs()
+        .into_iter()
+        .chain(g.breakpoint_xs())
+        .collect();
+    xs.sort();
+    xs.dedup();
+    xs
+}
+
+impl Curve {
+    /// Pointwise sum `f + g`.
+    pub fn add(&self, g: &Curve) -> Curve {
+        let xs = merged_xs(self, g);
+        let pts = xs
+            .into_iter()
+            .map(|x| (x, self.eval(x) + g.eval(x)))
+            .collect();
+        Curve::from_points(pts, self.final_slope() + g.final_slope())
+    }
+
+    /// Pointwise difference `f − g`.
+    pub fn sub(&self, g: &Curve) -> Curve {
+        self.add(&g.scale_y(-Rat::ONE))
+    }
+
+    /// Sum of many curves.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
+        let mut it = curves.into_iter();
+        let first = it.next().expect("Curve::sum of empty iterator").clone();
+        it.fold(first, |acc, c| acc.add(c))
+    }
+
+    /// Pointwise minimum `min(f, g)` (exact: inserts crossing points).
+    pub fn min(&self, g: &Curve) -> Curve {
+        self.extremum(g, true)
+    }
+
+    /// Pointwise maximum `max(f, g)` (exact: inserts crossing points).
+    pub fn max(&self, g: &Curve) -> Curve {
+        self.extremum(g, false)
+    }
+
+    fn extremum(&self, g: &Curve, take_min: bool) -> Curve {
+        let pick = |a: Rat, b: Rat| if take_min { a.min(b) } else { a.max(b) };
+        let mut xs = merged_xs(self, g);
+
+        // Insert interior crossing points: between consecutive xs both
+        // curves are linear, so f − g is linear and crosses at most once.
+        let mut crossings: Vec<Rat> = Vec::new();
+        for w in xs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let da = self.eval(a) - g.eval(a);
+            let db = self.eval(b) - g.eval(b);
+            if (da.is_positive() && db.is_negative()) || (da.is_negative() && db.is_positive()) {
+                // Linear interpolation root of the difference.
+                let t = a + (b - a) * (da / (da - db));
+                crossings.push(t);
+            }
+        }
+        // Tail crossing after the last breakpoint.
+        let last = *xs.last().unwrap();
+        let dv = self.eval(last) - g.eval(last);
+        let ds = self.final_slope() - g.final_slope();
+        if !ds.is_zero() {
+            // diff(t) = dv + ds (t - last) = 0 at t = last - dv/ds, when
+            // strictly beyond `last`.
+            let t = last - dv / ds;
+            if t > last {
+                crossings.push(t);
+            }
+        }
+        xs.extend(crossings);
+        xs.sort();
+        xs.dedup();
+
+        let pts: Vec<(Rat, Rat)> = xs
+            .iter()
+            .map(|&x| (x, pick(self.eval(x), g.eval(x))))
+            .collect();
+
+        // Tail: after the last point there are no more crossings, so the
+        // extremum follows a single curve. Decide by value then slope.
+        let lx = *xs.last().unwrap();
+        let (fv, gv) = (self.eval(lx), g.eval(lx));
+        let final_slope = if fv == gv {
+            pick(self.final_slope(), g.final_slope())
+        } else if (fv < gv) == take_min {
+            self.final_slope()
+        } else {
+            g.final_slope()
+        };
+        Curve::from_points(pts, final_slope)
+    }
+
+    /// Minimum of many curves.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn min_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
+        let mut it = curves.into_iter();
+        let first = it.next().expect("Curve::min_all of empty iterator").clone();
+        it.fold(first, |acc, c| acc.min(c))
+    }
+
+    /// Maximum of many curves.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn max_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
+        let mut it = curves.into_iter();
+        let first = it.next().expect("Curve::max_all of empty iterator").clone();
+        it.fold(first, |acc, c| acc.max(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn add_merges_breakpoints() {
+        let f = Curve::rate_latency(int(2), int(1));
+        let g = Curve::token_bucket(int(3), int(1));
+        let s = f.add(&g);
+        assert_eq!(s.eval(int(0)), int(3));
+        assert_eq!(s.eval(int(1)), int(4));
+        assert_eq!(s.eval(int(2)), int(7));
+        assert_eq!(s.final_slope(), int(3));
+    }
+
+    #[test]
+    fn sub_inverse_of_add() {
+        let f = Curve::token_bucket(int(5), rat(1, 3));
+        let g = Curve::rate_latency(int(1), int(2));
+        assert_eq!(f.add(&g).sub(&g), f);
+    }
+
+    #[test]
+    fn min_inserts_crossing() {
+        // f = 1 + t/4, g = t: cross at t = 4/3.
+        let f = Curve::token_bucket(int(1), rat(1, 4));
+        let g = Curve::rate(int(1));
+        let m = g.min(&f);
+        assert_eq!(m, Curve::token_bucket_peak(int(1), rat(1, 4), int(1)));
+    }
+
+    #[test]
+    fn max_tail_crossing() {
+        // f = 10 (constant), g = t: cross in the tail at t = 10.
+        let f = Curve::constant(int(10));
+        let g = Curve::rate(int(1));
+        let m = f.max(&g);
+        assert_eq!(m.eval(int(5)), int(10));
+        assert_eq!(m.eval(int(10)), int(10));
+        assert_eq!(m.eval(int(12)), int(12));
+        assert_eq!(m.final_slope(), int(1));
+        let mi = f.min(&g);
+        assert_eq!(mi.eval(int(5)), int(5));
+        assert_eq!(mi.eval(int(12)), int(10));
+        assert_eq!(mi.final_slope(), int(0));
+    }
+
+    #[test]
+    fn min_of_identical() {
+        let f = Curve::token_bucket(int(2), int(1));
+        assert_eq!(f.min(&f), f);
+        assert_eq!(f.max(&f), f);
+    }
+
+    #[test]
+    fn pos_clamps_negative_dip() {
+        // t - 4: negative before t=4.
+        let f = Curve::affine(int(-4), int(1));
+        let p = f.pos();
+        assert_eq!(p.eval(int(0)), int(0));
+        assert_eq!(p.eval(int(4)), int(0));
+        assert_eq!(p.eval(int(6)), int(2));
+        assert_eq!(p, Curve::rate_latency(int(1), int(4)));
+    }
+
+    #[test]
+    fn sum_and_min_all() {
+        let curves = [Curve::token_bucket(int(1), int(1)),
+            Curve::token_bucket(int(2), rat(1, 2)),
+            Curve::token_bucket(int(4), rat(1, 4))];
+        let s = Curve::sum(curves.iter());
+        assert_eq!(s.eval(int(0)), int(7));
+        assert_eq!(s.final_slope(), rat(7, 4));
+        let m = Curve::min_all(curves.iter());
+        assert!(m.is_concave());
+        assert_eq!(m.eval(int(0)), int(1));
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for curve operations that can fail on unstable inputs.
+
+use std::fmt;
+
+/// Errors from min-plus / deviation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CurveError {
+    /// A deviation or deconvolution diverges because the arrival's ultimate
+    /// rate exceeds the service's ultimate rate (the system is unstable).
+    Unstable {
+        /// Ultimate rate of the arrival side.
+        arrival_rate: String,
+        /// Ultimate rate of the service side.
+        service_rate: String,
+    },
+    /// The demanded amount of data is never served (bounded service curve).
+    NeverServed,
+    /// An operation received a curve violating its shape precondition.
+    BadShape(&'static str),
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Unstable {
+                arrival_rate,
+                service_rate,
+            } => write!(
+                f,
+                "unstable: arrival rate {arrival_rate} exceeds service rate {service_rate}"
+            ),
+            CurveError::NeverServed => write!(f, "demanded data is never served"),
+            CurveError::BadShape(what) => write!(f, "shape precondition violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}

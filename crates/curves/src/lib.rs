@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # dnc-curves — piecewise-linear min-plus curve algebra
+//!
+//! Deterministic network calculus manipulates *wide-sense increasing
+//! piecewise-linear functions* on `[0, ∞)`: traffic-constraint functions
+//! (arrival curves), service curves, output bounds. This crate provides the
+//! exact algebra those computations need, over [`dnc_num::Rat`] rationals:
+//!
+//! * the [`Curve`] type: continuous PWL functions with finitely many
+//!   breakpoints and an ultimately-affine tail;
+//! * pointwise operations: [`Curve::add`], [`Curve::sub`], [`Curve::min`],
+//!   [`Curve::max`], scaling and shifting;
+//! * min-plus operations: [`minplus::conv`] (⊗) and [`minplus::deconv`] (⊘);
+//! * bound extraction: [`bounds::hdev`] (delay = horizontal deviation),
+//!   [`bounds::vdev`] (backlog = vertical deviation),
+//!   [`bounds::busy_period`];
+//! * shape predicates ([`Curve::is_concave`], [`Curve::is_convex`],
+//!   [`Curve::is_nondecreasing`]) that the analysis layers use to check
+//!   their preconditions.
+//!
+//! All operations are **exact**: results are the true PWL functions, not
+//! samples, so `(f ⊗ g) ⊗ h == f ⊗ (g ⊗ h)` holds as structural equality.
+//!
+//! ```
+//! use dnc_curves::{Curve, minplus, bounds};
+//! use dnc_num::{rat, int};
+//!
+//! // A token-bucket arrival curve and a rate-latency service curve.
+//! let alpha = Curve::token_bucket(int(4), rat(1, 2));
+//! let beta = Curve::rate_latency(int(1), int(3));
+//! // Worst-case delay: burst/r + latency = 4/1 + 3.
+//! assert_eq!(bounds::hdev(&alpha, &beta).unwrap(), int(7));
+//! // Two servers in tandem: convolution adds latencies, takes min rate.
+//! let net = minplus::conv(&beta, &Curve::rate_latency(int(2), int(1)));
+//! assert_eq!(net, Curve::rate_latency(int(1), int(4)));
+//! ```
+
+mod build;
+mod combine;
+mod curve;
+mod error;
+
+pub mod bounds;
+pub mod minplus;
+pub mod transform;
+
+pub use curve::{Curve, Segment};
+pub use error::CurveError;

@@ -1,0 +1,220 @@
+//! Min-plus convolution (⊗) and deconvolution (⊘) of piecewise-linear
+//! curves.
+//!
+//! Both operations are computed **exactly** for wide-sense increasing,
+//! ultimately affine PWL functions by candidate-envelope construction:
+//!
+//! * `(f ⊗ g)(t) = inf_{0≤s≤t} f(s) + g(t−s)` — for each fixed `t` the
+//!   infimum of the piecewise-linear function `s ↦ f(s) + g(t−s)` over a
+//!   closed interval is attained at one of its vertices, i.e. at a
+//!   breakpoint of `f` (`s = x_i`) or a breakpoint of `g` (`t − s = u_j`).
+//!   Each vertex family, viewed as a function of `t`, is a shifted copy of
+//!   the other curve; extending it leftwards by a constant never goes below
+//!   an already-present candidate (monotonicity), so the pointwise minimum
+//!   of the extended candidates equals the convolution everywhere.
+//! * `(f ⊘ g)(t) = sup_{s≥0} f(t+s) − g(s)` — symmetric argument with
+//!   maxima; requires `rate(f) ≤ rate(g)`, otherwise the supremum is `+∞`
+//!   and [`CurveError::Unstable`] is returned.
+//!
+//! The brute-force definitions are re-checked against these constructions
+//! by the property tests in `tests/prop_minplus.rs`.
+
+use crate::{Curve, CurveError};
+use dnc_num::Rat;
+
+/// Min-plus convolution `f ⊗ g`.
+///
+/// # Panics
+/// Panics (debug) if either curve is not nondecreasing.
+pub fn conv(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_nondecreasing(), "conv: f must be nondecreasing");
+    debug_assert!(g.is_nondecreasing(), "conv: g must be nondecreasing");
+
+    let mut candidates: Vec<Curve> = Vec::new();
+    for &(x, y) in f.points() {
+        // f(x) + g(t − x), held constant at f(x) + g(0) before t = x.
+        candidates.push(g.shift_right_hold(x).shift_up(y));
+    }
+    for &(u, v) in g.points() {
+        candidates.push(f.shift_right_hold(u).shift_up(v));
+    }
+    Curve::min_all(candidates.iter())
+}
+
+/// Min-plus convolution of many curves (left fold).
+///
+/// # Panics
+/// Panics on an empty iterator.
+pub fn conv_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
+    let mut it = curves.into_iter();
+    let first = it.next().expect("conv_all of empty iterator").clone();
+    it.fold(first, |acc, c| conv(&acc, c))
+}
+
+/// Min-plus deconvolution `f ⊘ g`.
+///
+/// Returns [`CurveError::Unstable`] when `rate(f) > rate(g)` (the result
+/// would be `+∞` everywhere).
+///
+/// # Panics
+/// Panics (debug) if either curve is not nondecreasing.
+pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
+    debug_assert!(f.is_nondecreasing(), "deconv: f must be nondecreasing");
+    debug_assert!(g.is_nondecreasing(), "deconv: g must be nondecreasing");
+    if f.final_slope() > g.final_slope() {
+        return Err(CurveError::Unstable {
+            arrival_rate: f.final_slope().to_string(),
+            service_rate: g.final_slope().to_string(),
+        });
+    }
+
+    let mut candidates: Vec<Curve> = Vec::new();
+    // Family A: s pinned to a breakpoint u_j of g: f(t + u_j) − g(u_j).
+    for &(u, v) in g.points() {
+        candidates.push(f.shift_left(u).shift_up(-v));
+    }
+    // Family B: t + s pinned to a breakpoint x_i of f:
+    // b_i(t) = f(x_i) − g(x_i − t) on [0, x_i], constant f(x_i) − g(0) after.
+    for &(x, y) in f.points() {
+        candidates.push(reverse_about(g, x).scale_y(-Rat::ONE).shift_up(y));
+    }
+    Ok(Curve::max_all(candidates.iter()))
+}
+
+/// The curve `t ↦ g(x − t)` on `[0, x]`, extended by the constant `g(0)`
+/// for `t ≥ x` (used by deconvolution's family-B candidates).
+fn reverse_about(g: &Curve, x: Rat) -> Curve {
+    if x.is_zero() {
+        return Curve::constant(g.at_zero());
+    }
+    let mut pts: Vec<(Rat, Rat)> = Vec::new();
+    // t = 0 corresponds to g(x).
+    pts.push((Rat::ZERO, g.eval(x)));
+    // Breakpoints u of g with 0 < u < x map to t = x − u (descending u =>
+    // ascending t).
+    let mut inner: Vec<Rat> = g
+        .breakpoint_xs()
+        .into_iter()
+        .filter(|&u| u.is_positive() && u < x)
+        .collect();
+    inner.sort_by(|a, b| b.cmp(a));
+    for u in inner {
+        pts.push((x - u, g.eval(u)));
+    }
+    // t = x corresponds to g(0); constant afterwards.
+    pts.push((x, g.at_zero()));
+    Curve::from_points(pts, Rat::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn conv_rate_latency_adds_latency_min_rate() {
+        let b1 = Curve::rate_latency(int(3), int(2));
+        let b2 = Curve::rate_latency(int(1), int(5));
+        assert_eq!(conv(&b1, &b2), Curve::rate_latency(int(1), int(7)));
+        assert_eq!(conv(&b2, &b1), Curve::rate_latency(int(1), int(7)));
+    }
+
+    #[test]
+    fn conv_token_buckets() {
+        // γ_{σ1,ρ1} ⊗ γ_{σ2,ρ2} = σ1+σ2 + min(ρ1,ρ2)·t.
+        let g1 = Curve::token_bucket(int(2), int(3));
+        let g2 = Curve::token_bucket(int(5), int(1));
+        assert_eq!(conv(&g1, &g2), Curve::token_bucket(int(7), int(1)));
+    }
+
+    #[test]
+    fn conv_concave_zero_at_zero_is_min() {
+        // Both concave with f(0)=g(0)=0: f ⊗ g = min(f, g).
+        let f = Curve::token_bucket_peak(int(1), rat(1, 4), int(1));
+        let g = Curve::token_bucket_peak(int(3), rat(1, 2), int(2));
+        assert_eq!(conv(&f, &g), f.min(&g));
+    }
+
+    #[test]
+    fn conv_with_zero_collapses() {
+        // f ⊗ 0 = f(0) held constant... actually inf_s f(s) + 0 = f(0).
+        let f = Curve::token_bucket(int(2), int(1));
+        assert_eq!(conv(&f, &Curve::zero()), Curve::constant(int(2)));
+    }
+
+    #[test]
+    fn conv_matches_definition_pointwise() {
+        let f = Curve::rate_latency(int(2), int(1));
+        let g = Curve::token_bucket_peak(int(2), rat(1, 2), int(3));
+        let c = conv(&f, &g);
+        // Dense check of inf over s grid (s on 1/8 grid up to t).
+        for tn in 0..48 {
+            let t = rat(tn, 8);
+            let mut best = f.eval(Rat::ZERO) + g.eval(t);
+            let mut sn = 0;
+            while rat(sn, 8) <= t {
+                let s = rat(sn, 8);
+                let v = f.eval(s) + g.eval(t - s);
+                if v < best {
+                    best = v;
+                }
+                sn += 1;
+            }
+            assert!(c.eval(t) <= best, "conv above definition at t={t}");
+        }
+    }
+
+    #[test]
+    fn deconv_token_bucket_by_rate_latency() {
+        // γ_{σ,ρ} ⊘ β_{R,T} = γ_{σ+ρT, ρ} when ρ ≤ R.
+        let a = Curve::token_bucket(int(2), int(1));
+        let b = Curve::rate_latency(int(3), int(4));
+        assert_eq!(deconv(&a, &b).unwrap(), Curve::token_bucket(int(6), int(1)));
+    }
+
+    #[test]
+    fn deconv_unstable() {
+        let a = Curve::token_bucket(int(1), int(2));
+        let b = Curve::rate_latency(int(1), int(0));
+        assert!(matches!(
+            deconv(&a, &b),
+            Err(CurveError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn deconv_peak_capped_by_slower_rate_latency() {
+        // α = min{t, 1 + t/4}, β = β_{1/2, 2}. Output burst grows: the sup
+        // walks past the latency and the fast initial slope.
+        let a = Curve::token_bucket_peak(int(1), rat(1, 4), int(1));
+        let b = Curve::rate_latency(rat(1, 2), int(2));
+        let d = deconv(&a, &b).unwrap();
+        // Definition cross-check on a grid.
+        for tn in 0..32 {
+            let t = rat(tn, 4);
+            let mut best = a.eval(t) - b.eval(Rat::ZERO);
+            for sn in 0..64 {
+                let s = rat(sn, 4);
+                let v = a.eval(t + s) - b.eval(s);
+                if v > best {
+                    best = v;
+                }
+            }
+            assert!(d.eval(t) >= best, "deconv below definition at t={t}");
+        }
+        assert!(d.is_nondecreasing());
+        assert!(d.is_concave());
+    }
+
+    #[test]
+    fn conv_all_associativity_example() {
+        let a = Curve::rate_latency(int(5), int(1));
+        let b = Curve::rate_latency(int(3), int(2));
+        let c = Curve::rate_latency(int(4), int(3));
+        let left = conv(&conv(&a, &b), &c);
+        let right = conv(&a, &conv(&b, &c));
+        assert_eq!(left, right);
+        assert_eq!(left, Curve::rate_latency(int(3), int(6)));
+        assert_eq!(conv_all([&a, &b, &c]), left);
+    }
+}

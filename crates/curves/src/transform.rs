@@ -1,0 +1,87 @@
+//! Functional transforms: exact composition and inversion of PWL curves.
+//!
+//! These power the "exact fluid" machinery (the paper's Lemmas 2–4): a
+//! FIFO server's bit-index bookkeeping is the composition of cumulative
+//! functions with (inverses of) other cumulative functions.
+
+use crate::Curve;
+use dnc_num::Rat;
+
+/// Functional inverse of a *strictly increasing* curve with `f(0) = 0`
+/// (every piece has positive slope). The result maps amount → time.
+///
+/// # Panics
+/// Panics if a piece has non-positive slope or `f(0) != 0`.
+pub fn inverse_strict(f: &Curve) -> Curve {
+    let mut pts: Vec<(Rat, Rat)> = Vec::with_capacity(f.points().len());
+    for seg in f.segments() {
+        assert!(
+            seg.slope.is_positive(),
+            "inverse_strict: curve not strictly increasing"
+        );
+        pts.push((seg.value, seg.start));
+    }
+    assert!(
+        pts[0].0.is_zero(),
+        "inverse_strict: expected f(0) = 0 (cumulative function)"
+    );
+    let final_slope = f.final_slope().recip();
+    Curve::from_points(pts, final_slope)
+}
+
+/// Composition `outer ∘ inner` of PWL curves (`inner` nondecreasing with
+/// non-negative values). Exact: the result's breakpoints are `inner`'s
+/// own plus the `inner`-preimages of `outer`'s.
+pub fn compose(outer: &Curve, inner: &Curve) -> Curve {
+    debug_assert!(inner.is_nondecreasing(), "compose: inner must be monotone");
+    let mut ts: Vec<Rat> = inner.breakpoint_xs();
+    for &(x, _) in outer.points() {
+        if let Some(t) = inner.pseudo_inverse(x) {
+            ts.push(t);
+        }
+    }
+    ts.push(Rat::ZERO);
+    ts.sort();
+    ts.dedup();
+    let pts: Vec<(Rat, Rat)> = ts.iter().map(|&t| (t, outer.eval(inner.eval(t)))).collect();
+    // Beyond the last candidate both curves are affine on the relevant
+    // ranges, so one extra sample pins the final slope.
+    let last = *ts.last().unwrap();
+    let probe = last + Rat::ONE;
+    let final_slope = outer.eval(inner.eval(probe)) - outer.eval(inner.eval(last));
+    Curve::from_points(pts, final_slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn inverse_of_rate() {
+        let f = Curve::rate(rat(1, 2));
+        let inv = inverse_strict(&f);
+        assert_eq!(inv, Curve::rate(int(2)));
+    }
+
+    #[test]
+    fn inverse_round_trip_composition() {
+        let f = Curve::from_points(vec![(int(0), int(0)), (int(3), int(6))], rat(1, 3));
+        let inv = inverse_strict(&f);
+        let id = compose(&inv, &f);
+        for t in [int(0), int(1), int(3), int(7), rat(5, 2)] {
+            assert_eq!(id.eval(t), t);
+        }
+    }
+
+    #[test]
+    fn compose_preserves_monotonicity() {
+        let outer = Curve::token_bucket_peak(int(2), rat(1, 4), int(1));
+        let inner = Curve::rate_latency(int(2), int(1));
+        let c = compose(&outer, &inner);
+        assert!(c.is_nondecreasing());
+        for t in [int(0), int(1), int(2), int(5)] {
+            assert_eq!(c.eval(t), outer.eval(inner.eval(t)));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Edge-case tests for the curve algebra: degenerate inputs, boundary
+//! behaviour, and canonical-form guarantees that the property tests'
+//! generators rarely produce.
+
+use dnc_curves::{bounds, minplus, transform, Curve, CurveError};
+use dnc_num::{int, rat, Rat};
+
+#[test]
+fn zero_curve_identities() {
+    let z = Curve::zero();
+    let f = Curve::token_bucket(int(3), rat(1, 2));
+    assert_eq!(f.add(&z), f);
+    assert_eq!(f.sub(&z), f);
+    assert_eq!(f.min(&z), z);
+    assert_eq!(f.max(&z), f);
+    assert!(z.is_concave() && z.is_convex() && z.is_nondecreasing());
+}
+
+#[test]
+fn constant_curve_behaviour() {
+    let c = Curve::constant(int(5));
+    assert_eq!(c.eval(int(1_000_000)), int(5));
+    assert_eq!(c.final_slope(), int(0));
+    assert_eq!(c.sup_value(), Some(int(5)));
+    // Deconvolving a constant by anything nondecreasing keeps it constant
+    // minus the service's starting value.
+    let beta = Curve::rate_latency(int(1), int(2));
+    let d = minplus::deconv(&c, &beta).unwrap();
+    assert_eq!(d, Curve::constant(int(5)));
+}
+
+#[test]
+fn eval_at_exact_breakpoints() {
+    let f = Curve::from_points(
+        vec![(int(0), int(1)), (int(2), int(3)), (int(5), int(3))],
+        int(2),
+    );
+    assert_eq!(f.eval(int(0)), int(1));
+    assert_eq!(f.eval(int(2)), int(3));
+    assert_eq!(f.eval(int(5)), int(3));
+    assert_eq!(f.eval(int(6)), int(5));
+}
+
+#[test]
+fn canonicalization_is_idempotent_under_roundtrip() {
+    let f = Curve::from_points(
+        vec![
+            (int(0), int(0)),
+            (int(1), int(1)),
+            (int(2), int(2)),
+            (int(3), int(3)),
+            (int(4), int(5)),
+        ],
+        int(2),
+    );
+    // Three collinear interior points collapse; the final point collapses
+    // into the final slope.
+    assert_eq!(f.points().len(), 2);
+    let g = Curve::from_points(f.points().to_vec(), f.final_slope());
+    assert_eq!(f, g);
+}
+
+#[test]
+fn min_max_of_identical_curves() {
+    let f = Curve::token_bucket_peak(int(2), rat(1, 3), int(1));
+    assert_eq!(f.min(&f), f);
+    assert_eq!(f.max(&f), f);
+    assert_eq!(minplus::conv(&f, &f), f, "concave, f(0)=0: f ⊗ f = f");
+}
+
+#[test]
+fn conv_with_identity_like_steep_ramp() {
+    // A very steep rate curve approximates the min-plus identity δ₀.
+    let f = Curve::rate_latency(int(2), int(1));
+    let steep = Curve::rate(int(1_000_000));
+    let c = minplus::conv(&f, &steep);
+    for t in [int(0), int(1), int(2), int(10)] {
+        assert!(f.eval(t) - c.eval(t) <= rat(1, 10));
+        assert!(c.eval(t) <= f.eval(t));
+    }
+}
+
+#[test]
+fn deconv_by_zero_latency_rate_is_bounded_shift() {
+    // f ⊘ λ_R for concave f with rate ≤ R is f itself.
+    let f = Curve::token_bucket(int(3), rat(1, 4));
+    let d = minplus::deconv(&f, &Curve::rate(int(1))).unwrap();
+    assert_eq!(d, f);
+}
+
+#[test]
+fn hdev_zero_arrival() {
+    let z = Curve::zero();
+    let beta = Curve::rate_latency(int(1), int(7));
+    // No data: no delay, even with big latency.
+    assert_eq!(bounds::hdev(&z, &beta).unwrap(), int(0));
+}
+
+#[test]
+fn hdev_equal_curves_rate() {
+    let f = Curve::rate(rat(1, 2));
+    assert_eq!(bounds::hdev(&f, &f).unwrap(), int(0));
+}
+
+#[test]
+fn vdev_of_dominated_curve_is_nonpositive() {
+    let small = Curve::rate(rat(1, 4));
+    let big = Curve::affine(int(1), rat(1, 2));
+    let v = bounds::vdev(&small, &big).unwrap();
+    assert!(v <= Rat::ZERO);
+}
+
+#[test]
+fn busy_period_zero_arrivals() {
+    assert_eq!(bounds::busy_period(&Curve::zero(), int(1)).unwrap(), int(0));
+}
+
+#[test]
+fn shift_left_past_all_breakpoints() {
+    let f = Curve::token_bucket_peak(int(2), rat(1, 4), int(1));
+    let far = f.shift_left(int(100));
+    // Beyond the crossover everything is affine.
+    assert_eq!(far.points().len(), 1);
+    assert_eq!(far.final_slope(), rat(1, 4));
+    assert_eq!(far.eval(int(0)), f.eval(int(100)));
+}
+
+#[test]
+fn shift_zero_is_identity() {
+    let f = Curve::token_bucket(int(1), int(1));
+    assert_eq!(f.shift_left(Rat::ZERO), f);
+    assert_eq!(f.shift_right_hold(Rat::ZERO), f);
+}
+
+#[test]
+fn scale_y_by_zero_flattens() {
+    let f = Curve::token_bucket(int(3), int(2));
+    assert_eq!(f.scale_y(Rat::ZERO), Curve::zero());
+}
+
+#[test]
+fn pseudo_inverse_at_exact_plateau_boundaries() {
+    // Plateau [2,4] at value 3.
+    let f = Curve::from_points(
+        vec![(int(0), int(0)), (int(2), int(3)), (int(4), int(3))],
+        rat(3, 2),
+    );
+    assert_eq!(f.pseudo_inverse(int(3)), Some(int(2)), "lower: first hit");
+    assert_eq!(f.pseudo_inverse_upper(int(3)), Some(int(4)), "upper: last hit");
+    assert_eq!(f.pseudo_inverse(rat(31, 10)), f.pseudo_inverse_upper(rat(31, 10)));
+}
+
+#[test]
+fn compose_with_identity() {
+    let id = Curve::rate(int(1));
+    let f = Curve::token_bucket_peak(int(3), rat(1, 2), int(2));
+    assert_eq!(transform::compose(&f, &id), f);
+    assert_eq!(transform::compose(&id, &f), f);
+}
+
+#[test]
+fn inverse_strict_of_inverse_is_original() {
+    let f = Curve::from_points(vec![(int(0), int(0)), (int(2), int(8))], rat(1, 2));
+    let ff = transform::inverse_strict(&transform::inverse_strict(&f));
+    assert_eq!(ff, f);
+}
+
+#[test]
+fn future_min_of_convex_dip_to_zero() {
+    // Ct − α shape: starts 0, dips negative, recovers — clamp then
+    // monotonize must equal monotonize of the clamp.
+    let raw = Curve::rate(int(1)).sub(&Curve::token_bucket(int(2), rat(1, 2)));
+    let a = raw.pos().future_min();
+    let b = raw.future_min().pos();
+    for t in 0..20 {
+        assert_eq!(a.eval(int(t)), b.eval(int(t)), "t={t}");
+    }
+}
+
+#[test]
+fn hdev_general_equal_rate_tail() {
+    // α and β with equal ultimate rates and α permanently above by a
+    // fixed burst: deviation settles at burst/rate + latency.
+    let alpha = Curve::token_bucket(int(2), rat(1, 2));
+    let beta = Curve::rate_latency(rat(1, 2), int(1));
+    assert_eq!(bounds::hdev_general(&alpha, &beta).unwrap(), int(5));
+    assert_eq!(
+        bounds::hdev(&alpha, &beta).unwrap(),
+        bounds::hdev_general(&alpha, &beta).unwrap()
+    );
+}
+
+#[test]
+fn error_types_display() {
+    let e = CurveError::Unstable {
+        arrival_rate: "2".into(),
+        service_rate: "1".into(),
+    };
+    assert!(e.to_string().contains("unstable"));
+    assert!(CurveError::NeverServed.to_string().contains("never"));
+    assert!(CurveError::BadShape("x").to_string().contains("x"));
+}
+
+#[test]
+fn display_and_debug_formats() {
+    let f = Curve::token_bucket_peak(int(1), rat(1, 4), int(1));
+    let s = format!("{f}");
+    assert!(s.contains("slope 1/4"));
+    assert!(s.contains("(0,0)"));
+}
+
+#[test]
+fn conv_all_single_element() {
+    let f = Curve::rate_latency(int(2), int(1));
+    assert_eq!(minplus::conv_all([&f]), f);
+}
+
+#[test]
+#[should_panic(expected = "empty")]
+fn conv_all_empty_panics() {
+    let _ = minplus::conv_all::<[&Curve; 0]>([]);
+}
+
+#[test]
+#[should_panic(expected = "negative")]
+fn eval_negative_panics() {
+    let _ = Curve::zero().eval(int(-1));
+}
+
+#[test]
+#[should_panic(expected = "strictly increasing")]
+fn from_points_rejects_duplicate_x() {
+    let _ = Curve::from_points(vec![(int(0), int(0)), (int(0), int(1))], int(1));
+}

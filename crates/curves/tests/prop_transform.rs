@@ -1,0 +1,94 @@
+//! Property tests for curve composition and inversion.
+
+use dnc_curves::{transform, Curve};
+use dnc_num::{rat, Rat};
+use proptest::prelude::*;
+
+/// Strictly increasing cumulative-like curve with f(0) = 0.
+fn arb_strict() -> impl Strategy<Value = Curve> {
+    (
+        proptest::collection::vec((1i128..6, 1i128..4), 1..4),
+        (1i128..4, 1i128..4),
+    )
+        .prop_map(|(segs, (fs_n, fs_d))| {
+            let mut pts = vec![(Rat::ZERO, Rat::ZERO)];
+            let mut x = Rat::ZERO;
+            let mut y = Rat::ZERO;
+            for (dx, slope_n) in segs {
+                x += Rat::from_int(dx);
+                y += Rat::from_int(dx) * Rat::new(slope_n, 2);
+                pts.push((x, y));
+            }
+            Curve::from_points(pts, Rat::new(fs_n, fs_d))
+        })
+}
+
+/// Nondecreasing curve (possibly with flats).
+fn arb_monotone() -> impl Strategy<Value = Curve> {
+    (
+        proptest::collection::vec((1i128..6, 0i128..4), 1..4),
+        (0i128..4, 1i128..4),
+    )
+        .prop_map(|(segs, (fs_n, fs_d))| {
+            let mut pts = vec![(Rat::ZERO, Rat::ZERO)];
+            let mut x = Rat::ZERO;
+            let mut y = Rat::ZERO;
+            for (dx, slope_n) in segs {
+                x += Rat::from_int(dx);
+                y += Rat::from_int(dx) * Rat::new(slope_n, 2);
+                pts.push((x, y));
+            }
+            Curve::from_points(pts, Rat::new(fs_n, fs_d))
+        })
+}
+
+fn grid(limit: i128) -> Vec<Rat> {
+    (0..=limit * 2).map(|n| rat(n, 2)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compose_pointwise(outer in arb_monotone(), inner in arb_monotone()) {
+        let c = transform::compose(&outer, &inner);
+        for t in grid(20) {
+            prop_assert_eq!(c.eval(t), outer.eval(inner.eval(t)), "at {}", t);
+        }
+    }
+
+    #[test]
+    fn compose_associative(f in arb_monotone(), g in arb_monotone(), h in arb_monotone()) {
+        let left = transform::compose(&transform::compose(&f, &g), &h);
+        let right = transform::compose(&f, &transform::compose(&g, &h));
+        for t in grid(16) {
+            prop_assert_eq!(left.eval(t), right.eval(t), "at {}", t);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips(f in arb_strict()) {
+        let inv = transform::inverse_strict(&f);
+        for t in grid(16) {
+            prop_assert_eq!(inv.eval(f.eval(t)), t, "f then inv at {}", t);
+        }
+        let back = transform::inverse_strict(&inv);
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn inverse_matches_pseudo_inverse(f in arb_strict(), y_num in 0i128..40) {
+        // For strictly increasing curves the functional inverse agrees
+        // with the (lower) pseudo-inverse wherever both are defined.
+        let y = rat(y_num, 2);
+        let inv = transform::inverse_strict(&f);
+        if let Some(t) = f.pseudo_inverse(y) {
+            prop_assert_eq!(inv.eval(y), t);
+        }
+    }
+
+    #[test]
+    fn compose_preserves_monotonicity(outer in arb_monotone(), inner in arb_monotone()) {
+        prop_assert!(transform::compose(&outer, &inner).is_nondecreasing());
+    }
+}

@@ -1,0 +1,406 @@
+//! Topology builders: the paper's tandem network, plain chains, and
+//! randomized feedforward networks.
+
+use crate::{Discipline, Flow, FlowId, Network, Server, ServerId};
+use dnc_num::Rat;
+use dnc_traffic::TrafficSpec;
+use rand::Rng;
+
+/// The paper's Figure 3 tandem network, fully constructed.
+#[derive(Clone, Debug)]
+pub struct Tandem {
+    /// The network itself.
+    pub net: Network,
+    /// Connection 0 — the longest connection, through every middle link.
+    pub conn0: FlowId,
+    /// The upper cross connections (one per switch).
+    pub upper: Vec<FlowId>,
+    /// The lower cross connections (one per switch).
+    pub lower: Vec<FlowId>,
+    /// The contended middle output links `L_0 .. L_{n-1}`, in path order.
+    pub middle: Vec<ServerId>,
+}
+
+/// Options for [`tandem`].
+#[derive(Clone, Copy, Debug)]
+pub struct TandemOptions {
+    /// Also model the private (uncontended) exit ports of cross
+    /// connections as unit-rate servers. They do not affect Connection 0's
+    /// delay; the paper's evaluation ignores them, so the default is off.
+    pub include_exit_ports: bool,
+    /// Scheduling discipline of the middle links.
+    pub discipline: Discipline,
+    /// Cap every source at unit peak rate (`b(I) = min{I, σ + ρI}`, the
+    /// paper's model). Turn off for plain uncapped token buckets (used by
+    /// the closed-form cross-checks).
+    pub unit_peak: bool,
+}
+
+impl Default for TandemOptions {
+    fn default() -> Self {
+        TandemOptions {
+            include_exit_ports: false,
+            discipline: Discipline::Fifo,
+            unit_peak: true,
+        }
+    }
+}
+
+/// Build the paper's evaluation topology: `n` 3×3 switches in a chain with
+/// `2n + 1` connections, every source constrained by
+/// `b(I) = min{ I, σ + ρ·I }` (token bucket `σ`, rate `ρ`, unit peak).
+///
+/// Connection 0 runs through all `n` middle links. For each switch `j`, an
+/// *upper* cross connection shares middle link `j` only, and a *lower*
+/// cross connection shares middle links `j` and `j+1` (clipped at the
+/// edge). Every interior middle link therefore carries **four** connections
+/// (Connection 0, upper_j, lower_j, lower_{j-1}) and the first carries
+/// three — matching the paper's description, so the interior-link
+/// utilization is `U = 4ρ`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn tandem(n: usize, sigma: Rat, rho: Rat, opts: TandemOptions) -> Tandem {
+    assert!(n > 0, "tandem: need at least one switch");
+    let mut net = Network::new();
+    let spec = if opts.unit_peak {
+        TrafficSpec::paper_source(sigma, rho)
+    } else {
+        TrafficSpec::token_bucket(sigma, rho)
+    };
+
+    let middle: Vec<ServerId> = (0..n)
+        .map(|j| {
+            net.add_server(Server {
+                name: format!("L{j}"),
+                rate: Rat::ONE,
+                discipline: opts.discipline,
+            })
+        })
+        .collect();
+
+    // Connection 0: middle input of switch 0 -> middle output of switch n-1.
+    let conn0 = net
+        .add_flow(Flow {
+            name: "conn0".into(),
+            spec: spec.clone(),
+            route: middle.clone(),
+            priority: 1,
+        })
+        .expect("valid route");
+
+    let mut upper = Vec::with_capacity(n);
+    let mut lower = Vec::with_capacity(n);
+    for j in 0..n {
+        // Upper cross connection: enters switch j, exits the upper output
+        // port of switch j+1 -> contends only on middle link j.
+        let mut route = vec![middle[j]];
+        if opts.include_exit_ports {
+            route.push(net.add_server(Server::unit_fifo(format!("U{}", j + 1))));
+        }
+        upper.push(
+            net.add_flow(Flow {
+                name: format!("upper{j}"),
+                spec: spec.clone(),
+                route,
+                priority: 0,
+            })
+            .expect("valid route"),
+        );
+
+        // Lower cross connection: enters switch j, exits at switch j+2 ->
+        // contends on middle links j and j+1 (clipped at the edge).
+        let mut route = vec![middle[j]];
+        if j + 1 < n {
+            route.push(middle[j + 1]);
+        }
+        if opts.include_exit_ports {
+            route.push(net.add_server(Server::unit_fifo(format!("W{}", j + 2))));
+        }
+        lower.push(
+            net.add_flow(Flow {
+                name: format!("lower{j}"),
+                spec: spec.clone(),
+                route,
+                priority: 0,
+            })
+            .expect("valid route"),
+        );
+    }
+
+    Tandem {
+        net,
+        conn0,
+        upper,
+        lower,
+        middle,
+    }
+}
+
+/// A plain chain of `n` unit-rate FIFO servers traversed end-to-end by
+/// every provided flow spec. Returns the network, the flow ids (in spec
+/// order), and the chain servers.
+pub fn chain(n: usize, specs: &[TrafficSpec]) -> (Network, Vec<FlowId>, Vec<ServerId>) {
+    assert!(n > 0, "chain: need at least one server");
+    let mut net = Network::new();
+    let servers: Vec<ServerId> = (0..n)
+        .map(|i| net.add_server(Server::unit_fifo(format!("s{i}"))))
+        .collect();
+    let flows = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            net.add_flow(Flow {
+                name: format!("f{i}"),
+                spec: spec.clone(),
+                route: servers.clone(),
+                priority: 0,
+            })
+            .expect("valid route")
+        })
+        .collect();
+    (net, flows, servers)
+}
+
+/// The two-server subsystem of the paper's Section 2 (Figure 1): flows in
+/// `s12` traverse both servers, `s1` only the first, `s2` only the second.
+/// Returns `(network, server1, server2, s12 ids, s1 ids, s2 ids)`.
+#[allow(clippy::type_complexity)]
+pub fn two_server(
+    rate1: Rat,
+    rate2: Rat,
+    s12: &[TrafficSpec],
+    s1: &[TrafficSpec],
+    s2: &[TrafficSpec],
+) -> (
+    Network,
+    ServerId,
+    ServerId,
+    Vec<FlowId>,
+    Vec<FlowId>,
+    Vec<FlowId>,
+) {
+    let mut net = Network::new();
+    let a = net.add_server(Server {
+        name: "srv1".into(),
+        rate: rate1,
+        discipline: Discipline::Fifo,
+    });
+    let b = net.add_server(Server {
+        name: "srv2".into(),
+        rate: rate2,
+        discipline: Discipline::Fifo,
+    });
+    let mut add = |prefix: &str, specs: &[TrafficSpec], route: Vec<ServerId>| -> Vec<FlowId> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                net.add_flow(Flow {
+                    name: format!("{prefix}{i}"),
+                    spec: spec.clone(),
+                    route: route.clone(),
+                    priority: 0,
+                })
+                .expect("valid route")
+            })
+            .collect()
+    };
+    let f12 = add("s12_", s12, vec![a, b]);
+    let f1 = add("s1_", s1, vec![a]);
+    let f2 = add("s2_", s2, vec![b]);
+    (net, a, b, f12, f1, f2)
+}
+
+/// A ring of `n` unit-rate FIFO servers with `n` flows, each entering at
+/// a different server and traversing `hops` consecutive servers (wrapping
+/// around). For `hops >= 2` the precedence graph is cyclic, which the
+/// feedforward algorithms reject — this is the test-bed for the
+/// time-stopping analysis. Returns the network and the flow ids.
+///
+/// # Panics
+/// Panics unless `1 <= hops <= n`.
+pub fn ring(
+    n: usize,
+    hops: usize,
+    spec: &TrafficSpec,
+) -> (Network, Vec<FlowId>, Vec<ServerId>) {
+    assert!(n > 0 && hops >= 1 && hops <= n, "ring: need 1 <= hops <= n");
+    let mut net = Network::new();
+    let servers: Vec<ServerId> = (0..n)
+        .map(|i| net.add_server(Server::unit_fifo(format!("r{i}"))))
+        .collect();
+    let flows = (0..n)
+        .map(|k| {
+            let route: Vec<ServerId> = (0..hops).map(|j| servers[(k + j) % n]).collect();
+            net.add_flow(Flow {
+                name: format!("f{k}"),
+                spec: spec.clone(),
+                route,
+                priority: 0,
+            })
+            .expect("valid route")
+        })
+        .collect();
+    (net, flows, servers)
+}
+
+/// Generate a random feedforward network: `n_servers` unit-rate FIFO
+/// servers with `n_flows` flows routed along random increasing server
+/// subsequences of length up to `max_hops`. Flow rates are scaled so no
+/// server's utilization exceeds `util_target < 1`; bursts are small random
+/// rationals.
+pub fn random_feedforward<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_servers: usize,
+    n_flows: usize,
+    max_hops: usize,
+    util_target: Rat,
+    with_peak: bool,
+) -> Network {
+    assert!(n_servers > 0 && n_flows > 0 && max_hops > 0);
+    assert!(
+        util_target.is_positive() && util_target < Rat::ONE,
+        "util_target must be in (0,1)"
+    );
+    let mut net = Network::new();
+    let servers: Vec<ServerId> = (0..n_servers)
+        .map(|i| net.add_server(Server::unit_fifo(format!("s{i}"))))
+        .collect();
+
+    // Draw routes first to learn per-server flow counts.
+    let mut routes: Vec<Vec<ServerId>> = Vec::with_capacity(n_flows);
+    let mut counts = vec![0usize; n_servers];
+    for _ in 0..n_flows {
+        let hops = rng.gen_range(1..=max_hops.min(n_servers));
+        let mut picks: Vec<usize> = (0..n_servers).collect();
+        // Partial Fisher-Yates to pick `hops` distinct servers, then sort
+        // ascending so the route respects the global server order (which
+        // guarantees feedforwardness).
+        for i in 0..hops {
+            let j = rng.gen_range(i..n_servers);
+            picks.swap(i, j);
+        }
+        let mut route: Vec<usize> = picks[..hops].to_vec();
+        route.sort_unstable();
+        for &s in &route {
+            counts[s] += 1;
+        }
+        routes.push(route.into_iter().map(|i| servers[i]).collect());
+    }
+
+    let max_count = *counts.iter().max().unwrap() as i64;
+    let rho = util_target / Rat::from(max_count);
+    for (i, route) in routes.into_iter().enumerate() {
+        let sigma = Rat::new(rng.gen_range(1..=8), rng.gen_range(1..=2));
+        let spec = if with_peak {
+            TrafficSpec::paper_source(sigma, rho)
+        } else {
+            TrafficSpec::token_bucket(sigma, rho)
+        };
+        net.add_flow(Flow {
+            name: format!("f{i}"),
+            spec,
+            route,
+            priority: (i % 3) as u8,
+        })
+        .expect("valid route");
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tandem_matches_paper_counts() {
+        for n in [1usize, 2, 4, 8] {
+            let t = tandem(n, int(1), rat(1, 8), TandemOptions::default());
+            assert_eq!(t.net.flows().len(), 2 * n + 1);
+            assert_eq!(t.middle.len(), n);
+            // First middle link: 3 connections; interior: 4.
+            assert_eq!(t.net.flows_through(t.middle[0]).len(), 3);
+            for j in 1..n {
+                assert_eq!(
+                    t.net.flows_through(t.middle[j]).len(),
+                    4,
+                    "link {j} of n={n}"
+                );
+            }
+            t.net.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn tandem_interior_utilization_is_4rho() {
+        let t = tandem(4, int(1), rat(1, 8), TandemOptions::default());
+        assert_eq!(t.net.utilization(t.middle[2]), rat(1, 2));
+        assert_eq!(t.net.max_utilization(), rat(1, 2));
+    }
+
+    #[test]
+    fn tandem_with_exit_ports_validates() {
+        let t = tandem(
+            3,
+            int(1),
+            rat(1, 8),
+            TandemOptions {
+                include_exit_ports: true,
+                ..TandemOptions::default()
+            },
+        );
+        t.net.validate().unwrap();
+        // Exit ports carry exactly one flow each.
+        let n_servers = t.net.servers().len();
+        assert_eq!(n_servers, 3 + 6);
+    }
+
+    #[test]
+    fn chain_builder() {
+        let specs = vec![
+            TrafficSpec::paper_source(int(1), rat(1, 4)),
+            TrafficSpec::paper_source(int(2), rat(1, 4)),
+        ];
+        let (net, flows, servers) = chain(3, &specs);
+        assert_eq!(flows.len(), 2);
+        assert_eq!(servers.len(), 3);
+        net.validate().unwrap();
+        assert_eq!(net.flow(flows[0]).route, servers);
+    }
+
+    #[test]
+    fn two_server_builder() {
+        let sp = |s: i64| TrafficSpec::paper_source(int(s), rat(1, 8));
+        let (net, a, b, f12, f1, f2) =
+            two_server(int(1), int(1), &[sp(1), sp(2)], &[sp(1)], &[sp(3)]);
+        assert_eq!(net.flows_through(a).len(), 3);
+        assert_eq!(net.flows_through(b).len(), 3);
+        assert_eq!((f12.len(), f1.len(), f2.len()), (2, 1, 1));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn ring_builder_is_cyclic() {
+        let spec = TrafficSpec::paper_source(int(1), rat(1, 8));
+        let (net, flows, servers) = ring(4, 2, &spec);
+        assert_eq!(flows.len(), 4);
+        assert_eq!(servers.len(), 4);
+        assert!(net.topological_order().is_err(), "2-hop ring must cycle");
+        let (net1, _, _) = ring(4, 1, &spec);
+        assert!(net1.topological_order().is_ok(), "1-hop ring is trivially acyclic");
+    }
+
+    #[test]
+    fn random_feedforward_is_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let net = random_feedforward(&mut rng, 6, 10, 4, rat(3, 4), true);
+            net.validate().unwrap();
+            assert!(net.max_utilization() <= rat(3, 4));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # dnc-net — feedforward network model and topology builders
+//!
+//! A [`Network`] is a set of work-conserving [`Server`]s (switch output
+//! ports with a service rate and a scheduling [`Discipline`]) plus a set of
+//! [`Flow`]s (the paper's *connections*), each with an entry
+//! [`dnc_traffic::TrafficSpec`] and an ordered route of servers.
+//!
+//! The delay-analysis algorithms of `dnc-core` require **feedforward**
+//! (cycle-free) networks, exactly as the paper's Algorithm Integrated does;
+//! [`Network::topological_order`] both checks this and provides the
+//! evaluation order for Step 2 of the algorithm.
+//!
+//! Topology builders:
+//! * [`builders::tandem`] — the paper's Figure 3 network: `n` 3×3 switches
+//!   in a chain, Connection 0 end-to-end plus upper/lower cross connections
+//!   giving four connections on every interior middle link;
+//! * [`builders::chain`] — a plain chain shared by all flows;
+//! * [`builders::random_feedforward`] — randomized DAG workloads for
+//!   stress tests.
+//!
+//! [`pairing`] implements Steps 1–2 of Algorithm Integrated: partition the
+//! servers into subnetworks of at most two servers such that the contracted
+//! subnetwork graph is still acyclic.
+
+pub mod builders;
+mod model;
+pub mod pairing;
+
+pub use model::{Discipline, Flow, FlowId, Network, NetworkError, Server, ServerId};

@@ -1,0 +1,474 @@
+//! Core network model: servers, flows, routes, and feedforward checks.
+
+use dnc_num::Rat;
+use dnc_traffic::TrafficSpec;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a server within its [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub usize);
+
+/// Index of a flow (connection) within its [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub usize);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Packet scheduling discipline of a server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Discipline {
+    /// First-in first-out over all flows (the paper's focus).
+    Fifo,
+    /// Static priority: lower [`Flow::priority`] values served first,
+    /// FIFO within a priority level (the paper's announced extension).
+    StaticPriority,
+    /// Generalized processor sharing (idealized fair queueing): each flow
+    /// is guaranteed its reserved rate (see [`Network::reserve`]); unused
+    /// capacity is redistributed proportionally. The paper's example of a
+    /// *guaranteed-rate* discipline, for which the service-curve method
+    /// is the right tool.
+    Gps,
+    /// Earliest-deadline-first: every cell carries `arrival + local
+    /// deadline` (see [`Network::set_local_deadline`]) and the smallest
+    /// deadline is served first. Another discipline from the paper's
+    /// introduction; analyzed with the classical demand-bound
+    /// schedulability test.
+    Edf,
+}
+
+/// A work-conserving server (one switch output port).
+#[derive(Clone, Debug)]
+pub struct Server {
+    /// Human-readable label (used in reports and traces).
+    pub name: String,
+    /// Service rate, in cells per tick.
+    pub rate: Rat,
+    /// Scheduling discipline.
+    pub discipline: Discipline,
+}
+
+impl Server {
+    /// A unit-rate FIFO server (the paper's evaluation setting).
+    pub fn unit_fifo(name: impl Into<String>) -> Server {
+        Server {
+            name: name.into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Fifo,
+        }
+    }
+}
+
+/// A connection: an entry traffic constraint plus a route.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Human-readable label.
+    pub name: String,
+    /// Entry traffic constraint (token bucket at the source).
+    pub spec: TrafficSpec,
+    /// The servers traversed, in order (no repeats).
+    pub route: Vec<ServerId>,
+    /// Priority for static-priority servers (lower = more urgent).
+    pub priority: u8,
+}
+
+/// Structural errors raised by [`Network`] construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A route references a server id that does not exist.
+    UnknownServer(ServerId),
+    /// A route is empty or visits a server twice.
+    BadRoute(String),
+    /// The server precedence graph has a cycle (not feedforward).
+    NotFeedforward,
+    /// A server's long-term load meets or exceeds its rate.
+    Overloaded {
+        /// The saturated server.
+        server: ServerId,
+        /// The server's declared name.
+        name: String,
+        /// Sum of sustained flow rates.
+        load: String,
+        /// Service rate.
+        rate: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownServer(s) => write!(f, "route references unknown server {s}"),
+            NetworkError::BadRoute(m) => write!(f, "bad route: {m}"),
+            NetworkError::NotFeedforward => write!(f, "network is not feedforward (cycle)"),
+            NetworkError::Overloaded {
+                server,
+                name,
+                load,
+                rate,
+            } => {
+                write!(
+                    f,
+                    "server {name:?} ({server}) overloaded: load {load} >= rate {rate}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A feedforward network of servers and flows.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    servers: Vec<Server>,
+    flows: Vec<Flow>,
+    /// Explicit GPS rate reservations, `(flow, server) -> rate`.
+    reservations: Vec<((FlowId, ServerId), Rat)>,
+    /// EDF local deadlines, `(flow, server) -> deadline`.
+    local_deadlines: Vec<((FlowId, ServerId), Rat)>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Add a server, returning its id.
+    pub fn add_server(&mut self, server: Server) -> ServerId {
+        self.servers.push(server);
+        ServerId(self.servers.len() - 1)
+    }
+
+    /// Add a flow, returning its id.
+    ///
+    /// # Errors
+    /// Rejects empty routes, repeated servers, and unknown server ids.
+    pub fn add_flow(&mut self, flow: Flow) -> Result<FlowId, NetworkError> {
+        if flow.route.is_empty() {
+            return Err(NetworkError::BadRoute(format!(
+                "flow {:?} has an empty route",
+                flow.name
+            )));
+        }
+        for &s in &flow.route {
+            if s.0 >= self.servers.len() {
+                return Err(NetworkError::UnknownServer(s));
+            }
+        }
+        let mut seen = vec![false; self.servers.len()];
+        for &s in &flow.route {
+            if seen[s.0] {
+                return Err(NetworkError::BadRoute(format!(
+                    "flow {:?} visits {s} twice",
+                    flow.name
+                )));
+            }
+            seen[s.0] = true;
+        }
+        self.flows.push(flow);
+        Ok(FlowId(self.flows.len() - 1))
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// All flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Look up a server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.0]
+    }
+
+    /// Look up a flow.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.0]
+    }
+
+    /// Reserve a GPS service rate for `flow` at `server`. Overwrites any
+    /// previous reservation for the pair. Only meaningful at
+    /// [`Discipline::Gps`] servers.
+    pub fn reserve(&mut self, flow: FlowId, server: ServerId, rate: Rat) {
+        assert!(rate.is_positive(), "reservation must be positive");
+        if let Some(slot) = self
+            .reservations
+            .iter_mut()
+            .find(|(k, _)| *k == (flow, server))
+        {
+            slot.1 = rate;
+        } else {
+            self.reservations.push(((flow, server), rate));
+        }
+    }
+
+    /// The GPS rate guaranteed to `flow` at `server`: the explicit
+    /// reservation if present, otherwise the flow's sustained rate (the
+    /// natural default — reserve what you send).
+    pub fn reserved_rate(&self, flow: FlowId, server: ServerId) -> Rat {
+        self.reservations
+            .iter()
+            .find(|(k, _)| *k == (flow, server))
+            .map(|(_, r)| *r)
+            .unwrap_or_else(|| self.flow(flow).spec.sustained_rate())
+    }
+
+    /// Assign an EDF local deadline for `flow` at `server` (ticks).
+    /// Required for every flow crossing an [`Discipline::Edf`] server.
+    pub fn set_local_deadline(&mut self, flow: FlowId, server: ServerId, deadline: Rat) {
+        assert!(deadline.is_positive(), "local deadline must be positive");
+        if let Some(slot) = self
+            .local_deadlines
+            .iter_mut()
+            .find(|(k, _)| *k == (flow, server))
+        {
+            slot.1 = deadline;
+        } else {
+            self.local_deadlines.push(((flow, server), deadline));
+        }
+    }
+
+    /// The EDF local deadline of `flow` at `server`, if assigned.
+    pub fn local_deadline(&self, flow: FlowId, server: ServerId) -> Option<Rat> {
+        self.local_deadlines
+            .iter()
+            .find(|(k, _)| *k == (flow, server))
+            .map(|(_, d)| *d)
+    }
+
+    /// Ids of all flows whose route includes `server`.
+    pub fn flows_through(&self, server: ServerId) -> Vec<FlowId> {
+        (0..self.flows.len())
+            .filter(|&i| self.flows[i].route.contains(&server))
+            .map(FlowId)
+            .collect()
+    }
+
+    /// Position of `server` in `flow`'s route, if visited.
+    pub fn hop_index(&self, flow: FlowId, server: ServerId) -> Option<usize> {
+        self.flow(flow).route.iter().position(|&s| s == server)
+    }
+
+    /// The server a flow visits immediately before `server`, if any.
+    pub fn previous_hop(&self, flow: FlowId, server: ServerId) -> Option<ServerId> {
+        let idx = self.hop_index(flow, server)?;
+        if idx == 0 {
+            None
+        } else {
+            Some(self.flow(flow).route[idx - 1])
+        }
+    }
+
+    /// Directed precedence edges `a → b` (some flow visits `a` immediately
+    /// before `b`), deduplicated.
+    pub fn precedence_edges(&self) -> Vec<(ServerId, ServerId)> {
+        let mut edges: Vec<(ServerId, ServerId)> = self
+            .flows
+            .iter()
+            .flat_map(|f| f.route.windows(2).map(|w| (w[0], w[1])))
+            .collect();
+        edges.sort();
+        edges.dedup();
+        edges
+    }
+
+    /// Topological order of the servers under precedence, or
+    /// [`NetworkError::NotFeedforward`] if the precedence graph has a cycle.
+    pub fn topological_order(&self) -> Result<Vec<ServerId>, NetworkError> {
+        let n = self.servers.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in self.precedence_edges() {
+            adj[a.0].push(b.0);
+            indeg[b.0] += 1;
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(ServerId(u));
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(NetworkError::NotFeedforward)
+        }
+    }
+
+    /// Long-term load offered to a server (sum of sustained flow rates).
+    pub fn load(&self, server: ServerId) -> Rat {
+        self.flows_through(server)
+            .into_iter()
+            .map(|f| self.flow(f).spec.sustained_rate())
+            .sum()
+    }
+
+    /// Utilization `load / rate` of a server.
+    pub fn utilization(&self, server: ServerId) -> Rat {
+        self.load(server) / self.server(server).rate
+    }
+
+    /// The maximum utilization over all servers.
+    pub fn max_utilization(&self) -> Rat {
+        (0..self.servers.len())
+            .map(|i| self.utilization(ServerId(i)))
+            .max()
+            .unwrap_or(Rat::ZERO)
+    }
+
+    /// Full structural validation: feedforward and every server strictly
+    /// under-loaded (`load < rate`), the standing assumptions of all three
+    /// analysis algorithms.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        self.topological_order()?;
+        for i in 0..self.servers.len() {
+            let id = ServerId(i);
+            let load = self.load(id);
+            let rate = self.server(id).rate;
+            if load >= rate {
+                return Err(NetworkError::Overloaded {
+                    server: id,
+                    name: self.server(id).name.clone(),
+                    load: load.to_string(),
+                    rate: rate.to_string(),
+                });
+            }
+            // EDF configuration: every crossing flow needs a deadline.
+            if self.server(id).discipline == Discipline::Edf {
+                for f in self.flows_through(id) {
+                    if self.local_deadline(f, id).is_none() {
+                        return Err(NetworkError::BadRoute(format!(
+                            "flow {f} crosses EDF server {id} without a local deadline"
+                        )));
+                    }
+                }
+            }
+            // GPS admission: the reservations themselves must fit, and
+            // every flow must reserve at least its sustained rate (or its
+            // bound diverges).
+            if self.server(id).discipline == Discipline::Gps {
+                let total: Rat = self
+                    .flows_through(id)
+                    .into_iter()
+                    .map(|f| self.reserved_rate(f, id))
+                    .sum();
+                if total > rate {
+                    return Err(NetworkError::Overloaded {
+                        server: id,
+                        name: self.server(id).name.clone(),
+                        load: total.to_string(),
+                        rate: rate.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec::paper_source(int(1), rat(1, 4))
+    }
+
+    fn flow(name: &str, route: Vec<ServerId>) -> Flow {
+        Flow {
+            name: name.into(),
+            spec: spec(),
+            route,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        let f = net.add_flow(flow("f", vec![a, b])).unwrap();
+        assert_eq!(net.flows_through(a), vec![f]);
+        assert_eq!(net.hop_index(f, b), Some(1));
+        assert_eq!(net.previous_hop(f, b), Some(a));
+        assert_eq!(net.previous_hop(f, a), None);
+    }
+
+    #[test]
+    fn rejects_bad_routes() {
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        assert!(matches!(
+            net.add_flow(flow("empty", vec![])),
+            Err(NetworkError::BadRoute(_))
+        ));
+        assert!(matches!(
+            net.add_flow(flow("dup", vec![a, a])),
+            Err(NetworkError::BadRoute(_))
+        ));
+        assert!(matches!(
+            net.add_flow(flow("ghost", vec![ServerId(7)])),
+            Err(NetworkError::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn topological_order_chain() {
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        let c = net.add_server(Server::unit_fifo("c"));
+        net.add_flow(flow("f", vec![a, b, c])).unwrap();
+        let order = net.topological_order().unwrap();
+        let pos =
+            |s: ServerId| order.iter().position(|&x| x == s).unwrap();
+        assert!(pos(a) < pos(b) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        net.add_flow(flow("f1", vec![a, b])).unwrap();
+        net.add_flow(flow("f2", vec![b, a])).unwrap();
+        assert_eq!(net.topological_order(), Err(NetworkError::NotFeedforward));
+    }
+
+    #[test]
+    fn utilization_and_overload() {
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        for i in 0..3 {
+            net.add_flow(flow(&format!("f{i}"), vec![a])).unwrap();
+        }
+        assert_eq!(net.utilization(a), rat(3, 4));
+        assert!(net.validate().is_ok());
+        net.add_flow(flow("f3", vec![a])).unwrap();
+        assert!(matches!(
+            net.validate(),
+            Err(NetworkError::Overloaded { .. })
+        ));
+    }
+}

@@ -1,0 +1,474 @@
+//! Steps 1–2 of Algorithm Integrated: partition the network into
+//! subnetworks of at most two servers and order them topologically.
+//!
+//! The paper requires that "each input traffic of the (i+1)-th subnetwork
+//! can be estimated by all input traffic of subsystems with order less than
+//! (i+1)" — i.e. the *contracted* subnetwork graph must be acyclic. Pairing
+//! two servers of a DAG can create a contracted cycle (a flow leaving the
+//! pair and re-entering it through a third server), so every tentative pair
+//! is checked before being accepted.
+
+use crate::{FlowId, Network, NetworkError, ServerId};
+use std::collections::VecDeque;
+
+/// One subnetwork of the partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Group {
+    /// A single server analyzed in isolation.
+    Single(ServerId),
+    /// Two servers `first → second` analyzed jointly with the two-server
+    /// theorem. Invariant: at least one flow traverses `first` immediately
+    /// followed by `second`.
+    Pair(ServerId, ServerId),
+}
+
+impl Group {
+    /// The servers of the group, in traversal order.
+    pub fn servers(&self) -> Vec<ServerId> {
+        match *self {
+            Group::Single(s) => vec![s],
+            Group::Pair(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether the group contains `s`.
+    pub fn contains(&self, s: ServerId) -> bool {
+        match *self {
+            Group::Single(a) => a == s,
+            Group::Pair(a, b) => a == s || b == s,
+        }
+    }
+}
+
+/// A partition of all servers into [`Group`]s, stored in a valid
+/// evaluation (topological) order.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Groups in evaluation order.
+    pub groups: Vec<Group>,
+}
+
+impl Partition {
+    /// The group index containing server `s`.
+    pub fn group_of(&self, s: ServerId) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(s))
+            .expect("partition covers all servers")
+    }
+
+    /// Number of paired groups (quality metric: more pairs = more delay
+    /// dependencies captured).
+    pub fn pair_count(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| matches!(g, Group::Pair(..)))
+            .count()
+    }
+}
+
+/// How to choose the pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairingStrategy {
+    /// No pairs at all: Algorithm Integrated degenerates to Algorithm
+    /// Decomposed (useful as an ablation baseline).
+    Singletons,
+    /// Walk the topological order and greedily pair each unassigned server
+    /// with the immediate successor sharing the most flows, subject to the
+    /// contracted graph staying acyclic.
+    GreedyChain,
+    /// Exact maximum-weight acyclic pairing by branch-and-bound (weight =
+    /// flows shared per pair). Exponential in the worst case; intended for
+    /// networks of up to ~16 servers, falling back to
+    /// [`PairingStrategy::GreedyChain`] beyond that.
+    OptimalSmall,
+}
+
+/// Partition `net`'s servers according to `strategy`.
+///
+/// # Errors
+/// Propagates [`NetworkError::NotFeedforward`] from the topological sort.
+pub fn partition(net: &Network, strategy: PairingStrategy) -> Result<Partition, NetworkError> {
+    let order = net.topological_order()?;
+    match strategy {
+        PairingStrategy::Singletons => Ok(Partition {
+            groups: order.into_iter().map(Group::Single).collect(),
+        }),
+        PairingStrategy::GreedyChain => greedy_chain(net, &order),
+        PairingStrategy::OptimalSmall => {
+            if net.servers().len() <= 16 {
+                optimal_small(net, &order)
+            } else {
+                greedy_chain(net, &order)
+            }
+        }
+    }
+}
+
+/// Exact maximum-weight pairing: branch-and-bound over the servers in
+/// topological order, keeping only assignments whose final contraction is
+/// acyclic. Weight of a pair = number of flows making the `a → b`
+/// transition (the traffic whose delay dependency the pair captures).
+fn optimal_small(net: &Network, order: &[ServerId]) -> Result<Partition, NetworkError> {
+    let n = net.servers().len();
+    // Candidate pair edges with weights.
+    let mut weights: Vec<Vec<usize>> = vec![vec![0; n]; n];
+    for f in net.flows() {
+        for w in f.route.windows(2) {
+            weights[w[0].0][w[1].0] += 1;
+        }
+    }
+
+    struct Search<'a> {
+        net: &'a Network,
+        order: &'a [ServerId],
+        weights: Vec<Vec<usize>>,
+        best_weight: usize,
+        best: Option<Vec<Group>>,
+    }
+
+    impl Search<'_> {
+        fn recurse(&mut self, idx: usize, assigned: u32, groups: &mut Vec<Group>, weight: usize) {
+            if idx == self.order.len() {
+                if (weight > self.best_weight || self.best.is_none())
+                    && contracted_order(self.net, groups).is_some()
+                {
+                    self.best_weight = weight;
+                    self.best = Some(groups.clone());
+                }
+                return;
+            }
+            let u = self.order[idx];
+            if assigned & (1 << u.0) != 0 {
+                self.recurse(idx + 1, assigned, groups, weight);
+                return;
+            }
+            // Optimistic bound: every remaining server could add the
+            // single largest outgoing weight; prune when even that cannot
+            // beat the incumbent.
+            let optimistic: usize = self.order[idx..]
+                .iter()
+                .filter(|s| assigned & (1 << s.0) == 0)
+                .map(|s| self.weights[s.0].iter().copied().max().unwrap_or(0))
+                .sum();
+            if self.best.is_some() && weight + optimistic <= self.best_weight {
+                return;
+            }
+            // Try pairing u with each unassigned positive-weight successor.
+            for v in 0..self.weights.len() {
+                if self.weights[u.0][v] > 0 && assigned & (1 << v) == 0 {
+                    groups.push(Group::Pair(u, ServerId(v)));
+                    self.recurse(
+                        idx + 1,
+                        assigned | (1 << u.0) | (1 << v),
+                        groups,
+                        weight + self.weights[u.0][v],
+                    );
+                    groups.pop();
+                }
+            }
+            // Or leave u single.
+            groups.push(Group::Single(u));
+            self.recurse(idx + 1, assigned | (1 << u.0), groups, weight);
+            groups.pop();
+        }
+    }
+
+    let mut search = Search {
+        net,
+        order,
+        weights,
+        best_weight: 0,
+        best: None,
+    };
+    search.recurse(0, 0, &mut Vec::new(), 0);
+    let groups = search.best.ok_or(NetworkError::NotFeedforward)?;
+    let order = contracted_order(net, &groups).ok_or(NetworkError::NotFeedforward)?;
+    Ok(Partition {
+        groups: order.into_iter().map(|i| groups[i]).collect(),
+    })
+}
+
+fn greedy_chain(net: &Network, order: &[ServerId]) -> Result<Partition, NetworkError> {
+    let n = net.servers().len();
+    let mut assigned = vec![false; n];
+    let mut groups: Vec<Group> = Vec::new();
+
+    // Flows sharing the immediate transition a -> b.
+    let shared = |a: ServerId, b: ServerId| -> usize {
+        net.flows()
+            .iter()
+            .filter(|f| f.route.windows(2).any(|w| w[0] == a && w[1] == b))
+            .count()
+    };
+
+    for &u in order {
+        if assigned[u.0] {
+            continue;
+        }
+        // Candidate successors: unassigned servers reached by an immediate
+        // transition from u. Prefer same-discipline pairs (mixed pairs
+        // cannot be analyzed jointly), then the largest shared-flow count.
+        let mut cands: Vec<(bool, usize, ServerId)> = net
+            .precedence_edges()
+            .into_iter()
+            .filter(|&(a, b)| a == u && !assigned[b.0])
+            .map(|(_, b)| {
+                (
+                    net.server(u).discipline == net.server(b).discipline,
+                    shared(u, b),
+                    b,
+                )
+            })
+            .filter(|&(_, c, _)| c > 0)
+            .collect();
+        cands.sort_by(|x, y| y.0.cmp(&x.0).then(y.1.cmp(&x.1)).then(x.2.cmp(&y.2)));
+        let cands: Vec<(usize, ServerId)> = cands.into_iter().map(|(_, c, b)| (c, b)).collect();
+
+        let mut placed = false;
+        for (_, v) in cands {
+            let mut trial = groups.clone();
+            trial.push(Group::Pair(u, v));
+            // Remaining servers as singletons for the acyclicity check.
+            let mut trial_assigned = assigned.clone();
+            trial_assigned[u.0] = true;
+            trial_assigned[v.0] = true;
+            for &w in order {
+                if !trial_assigned[w.0] {
+                    trial.push(Group::Single(w));
+                }
+            }
+            if contracted_order(net, &trial).is_some() {
+                groups.push(Group::Pair(u, v));
+                assigned[u.0] = true;
+                assigned[v.0] = true;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(Group::Single(u));
+            assigned[u.0] = true;
+        }
+    }
+
+    let order = contracted_order(net, &groups).ok_or(NetworkError::NotFeedforward)?;
+    Ok(Partition {
+        groups: order.into_iter().map(|i| groups[i]).collect(),
+    })
+}
+
+/// Topological order of group indices in the contracted graph, or `None`
+/// on a cycle.
+fn contracted_order(net: &Network, groups: &[Group]) -> Option<Vec<usize>> {
+    let ng = groups.len();
+    let group_of = |s: ServerId| -> usize {
+        groups
+            .iter()
+            .position(|g| g.contains(s))
+            .expect("groups cover all servers")
+    };
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); ng];
+    let mut indeg = vec![0usize; ng];
+    let mut edges: Vec<(usize, usize)> = net
+        .precedence_edges()
+        .into_iter()
+        .map(|(a, b)| (group_of(a), group_of(b)))
+        .filter(|&(ga, gb)| ga != gb)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    for (a, b) in edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: VecDeque<usize> = (0..ng).filter(|&i| indeg[i] == 0).collect();
+    let mut out = Vec::with_capacity(ng);
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (out.len() == ng).then_some(out)
+}
+
+/// Classify the flows of a [`Group::Pair`] `(a, b)` into the paper's
+/// Section-2 sets: `(S12, S1, S2)` — through both, through `a` only (then
+/// leaving the subnetwork), and entering directly at `b`.
+pub fn classify_pair_flows(
+    net: &Network,
+    a: ServerId,
+    b: ServerId,
+) -> (Vec<FlowId>, Vec<FlowId>, Vec<FlowId>) {
+    let mut s12 = Vec::new();
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for (i, f) in net.flows().iter().enumerate() {
+        let id = FlowId(i);
+        let through_ab = f.route.windows(2).any(|w| w[0] == a && w[1] == b);
+        if through_ab {
+            s12.push(id);
+        } else if f.route.contains(&a) {
+            s1.push(id);
+        } else if f.route.contains(&b) {
+            s2.push(id);
+        }
+    }
+    (s12, s1, s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{tandem, TandemOptions};
+    use crate::{Flow, Network, Server};
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec::paper_source(int(1), rat(1, 8))
+    }
+
+    #[test]
+    fn singletons_cover_everything() {
+        let t = tandem(4, int(1), rat(1, 8), TandemOptions::default());
+        let p = partition(&t.net, PairingStrategy::Singletons).unwrap();
+        assert_eq!(p.groups.len(), 4);
+        assert_eq!(p.pair_count(), 0);
+    }
+
+    #[test]
+    fn greedy_pairs_tandem_links() {
+        let t = tandem(4, int(1), rat(1, 8), TandemOptions::default());
+        let p = partition(&t.net, PairingStrategy::GreedyChain).unwrap();
+        assert_eq!(p.pair_count(), 2);
+        // Pairs follow the chain: (L0,L1), (L2,L3).
+        assert_eq!(p.groups[0], Group::Pair(t.middle[0], t.middle[1]));
+        assert_eq!(p.groups[1], Group::Pair(t.middle[2], t.middle[3]));
+    }
+
+    #[test]
+    fn greedy_odd_chain_leaves_singleton() {
+        let t = tandem(5, int(1), rat(1, 8), TandemOptions::default());
+        let p = partition(&t.net, PairingStrategy::GreedyChain).unwrap();
+        assert_eq!(p.pair_count(), 2);
+        assert_eq!(p.groups.len(), 3);
+        assert!(matches!(p.groups[2], Group::Single(_)));
+    }
+
+    #[test]
+    fn pairing_refuses_contracted_cycle() {
+        // a -> c -> b and a -> b: pairing (a, b) would create the
+        // contracted cycle {a,b} -> {c} -> {a,b}.
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        let c = net.add_server(Server::unit_fifo("c"));
+        net.add_flow(Flow {
+            name: "direct".into(),
+            spec: spec(),
+            route: vec![a, b],
+            priority: 0,
+        })
+        .unwrap();
+        net.add_flow(Flow {
+            name: "detour".into(),
+            spec: spec(),
+            route: vec![a, c, b],
+            priority: 0,
+        })
+        .unwrap();
+        let p = partition(&net, PairingStrategy::GreedyChain).unwrap();
+        // (a,b) must be rejected; (a,c) is legal.
+        assert!(!p.groups.contains(&Group::Pair(a, b)));
+        assert!(p.groups.contains(&Group::Pair(a, c)));
+    }
+
+    #[test]
+    fn classify_pair_flows_tandem() {
+        let t = tandem(3, int(1), rat(1, 8), TandemOptions::default());
+        let (l0, l1) = (t.middle[0], t.middle[1]);
+        let (s12, s1, s2) = classify_pair_flows(&t.net, l0, l1);
+        // Through both: conn0 and lower0. Through L0 only: upper0.
+        // Entering at L1: upper1 and lower1.
+        assert_eq!(s12.len(), 2);
+        assert!(s12.contains(&t.conn0) && s12.contains(&t.lower[0]));
+        assert_eq!(s1, vec![t.upper[0]]);
+        assert_eq!(s2.len(), 2);
+        assert!(s2.contains(&t.upper[1]) && s2.contains(&t.lower[1]));
+    }
+
+    #[test]
+    fn optimal_matches_greedy_on_tandem() {
+        // On a plain chain the greedy pairing is already optimal.
+        let t = tandem(6, int(1), rat(1, 8), TandemOptions::default());
+        let g = partition(&t.net, PairingStrategy::GreedyChain).unwrap();
+        let o = partition(&t.net, PairingStrategy::OptimalSmall).unwrap();
+        assert_eq!(o.pair_count(), g.pair_count());
+    }
+
+    #[test]
+    fn optimal_beats_greedy_on_forked_topology() {
+        // a feeds b and c; greedy (most shared flows first) can commit to
+        // the wrong partner. Build: 1 flow a->b, 1 flow a->c, 2 flows b->c
+        // wait — make a clean case: greedy pairs (a,b) by tie-break, but
+        // pairing (b,c) and leaving a single carries more weight.
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        let c = net.add_server(Server::unit_fifo("c"));
+        let mk = |name: &str, route: Vec<ServerId>| Flow {
+            name: name.into(),
+            spec: TrafficSpec::paper_source(int(1), rat(1, 32)),
+            route,
+            priority: 0,
+        };
+        // a->b weight 2, b->c weight 3: optimal = {(b,c), a}; a greedy
+        // walk from the topological head pairs (a,b) first and leaves c.
+        net.add_flow(mk("ab1", vec![a, b])).unwrap();
+        net.add_flow(mk("ab2", vec![a, b])).unwrap();
+        net.add_flow(mk("bc1", vec![b, c])).unwrap();
+        net.add_flow(mk("bc2", vec![b, c])).unwrap();
+        net.add_flow(mk("bc3", vec![b, c])).unwrap();
+        let g = partition(&net, PairingStrategy::GreedyChain).unwrap();
+        let o = partition(&net, PairingStrategy::OptimalSmall).unwrap();
+        assert!(g.groups.contains(&Group::Pair(a, b)));
+        assert!(o.groups.contains(&Group::Pair(b, c)));
+    }
+
+    #[test]
+    fn optimal_respects_acyclicity() {
+        // Same cycle trap as the greedy test: (a,b) would contract into a
+        // cycle through c; optimal must avoid it too.
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        let c = net.add_server(Server::unit_fifo("c"));
+        for (name, route) in [("direct", vec![a, b]), ("detour", vec![a, c, b])] {
+            net.add_flow(Flow {
+                name: name.into(),
+                spec: spec(),
+                route,
+                priority: 0,
+            })
+            .unwrap();
+        }
+        let o = partition(&net, PairingStrategy::OptimalSmall).unwrap();
+        assert!(!o.groups.contains(&Group::Pair(a, b)));
+    }
+
+    #[test]
+    fn partition_order_is_topological() {
+        let t = tandem(6, int(1), rat(1, 8), TandemOptions::default());
+        let p = partition(&t.net, PairingStrategy::GreedyChain).unwrap();
+        // Group order must follow the chain.
+        let firsts: Vec<ServerId> = p.groups.iter().map(|g| g.servers()[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort();
+        assert_eq!(firsts, sorted);
+    }
+}

@@ -1,0 +1,220 @@
+//! Edge-case tests for the network model, builders, and pairing.
+
+use dnc_net::builders::{chain, random_feedforward, ring, tandem, two_server, TandemOptions};
+use dnc_net::pairing::{classify_pair_flows, partition, Group, PairingStrategy};
+use dnc_net::{Discipline, Flow, Network, NetworkError, Server, ServerId};
+use dnc_num::{int, rat, Rat};
+use dnc_traffic::TrafficSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec() -> TrafficSpec {
+    TrafficSpec::paper_source(int(1), rat(1, 8))
+}
+
+#[test]
+fn single_server_network() {
+    let mut net = Network::new();
+    let a = net.add_server(Server::unit_fifo("a"));
+    net.add_flow(Flow {
+        name: "f".into(),
+        spec: spec(),
+        route: vec![a],
+        priority: 0,
+    })
+    .unwrap();
+    assert_eq!(net.topological_order().unwrap(), vec![a]);
+    assert_eq!(net.precedence_edges(), vec![]);
+    net.validate().unwrap();
+    let p = partition(&net, PairingStrategy::GreedyChain).unwrap();
+    assert_eq!(p.groups, vec![Group::Single(a)]);
+}
+
+#[test]
+fn empty_network_is_trivially_valid() {
+    let net = Network::new();
+    assert!(net.topological_order().unwrap().is_empty());
+    assert_eq!(net.max_utilization(), Rat::ZERO);
+    net.validate().unwrap();
+}
+
+#[test]
+fn server_without_flows_has_zero_load() {
+    let mut net = Network::new();
+    let a = net.add_server(Server::unit_fifo("a"));
+    assert_eq!(net.load(a), Rat::ZERO);
+    assert_eq!(net.utilization(a), Rat::ZERO);
+    assert!(net.flows_through(a).is_empty());
+}
+
+#[test]
+fn exact_capacity_is_overloaded() {
+    // load == rate must be rejected (busy period never drains).
+    let mut net = Network::new();
+    let a = net.add_server(Server::unit_fifo("a"));
+    for _ in 0..2 {
+        net.add_flow(Flow {
+            name: "f".into(),
+            spec: TrafficSpec::token_bucket(int(1), rat(1, 2)),
+            route: vec![a],
+            priority: 0,
+        })
+        .unwrap();
+    }
+    assert!(matches!(
+        net.validate(),
+        Err(NetworkError::Overloaded { .. })
+    ));
+}
+
+#[test]
+fn tandem_n1_shape() {
+    let t = tandem(1, int(1), rat(1, 8), TandemOptions::default());
+    assert_eq!(t.net.flows().len(), 3);
+    assert_eq!(t.middle.len(), 1);
+    assert_eq!(t.net.flows_through(t.middle[0]).len(), 3);
+}
+
+#[test]
+fn tandem_error_on_zero() {
+    let r = std::panic::catch_unwind(|| tandem(0, int(1), rat(1, 8), TandemOptions::default()));
+    assert!(r.is_err());
+}
+
+#[test]
+fn tandem_sp_discipline_propagates() {
+    let t = tandem(
+        2,
+        int(1),
+        rat(1, 8),
+        TandemOptions {
+            discipline: Discipline::StaticPriority,
+            ..TandemOptions::default()
+        },
+    );
+    for &m in &t.middle {
+        assert_eq!(t.net.server(m).discipline, Discipline::StaticPriority);
+    }
+    // conn0 priority 1, cross flows priority 0, per the builder contract.
+    assert_eq!(t.net.flow(t.conn0).priority, 1);
+    assert_eq!(t.net.flow(t.upper[0]).priority, 0);
+}
+
+#[test]
+fn ring_full_circumference_routes_are_rotations() {
+    let (net, flows, servers) = ring(5, 5, &spec());
+    for (k, &f) in flows.iter().enumerate() {
+        let route = &net.flow(f).route;
+        assert_eq!(route.len(), 5);
+        assert_eq!(route[0], servers[k]);
+        assert_eq!(route[4], servers[(k + 4) % 5]);
+    }
+}
+
+#[test]
+fn two_server_with_empty_sets() {
+    let (net, a, b, f12, f1, f2) = two_server(Rat::ONE, Rat::ONE, &[spec()], &[], &[]);
+    assert_eq!((f12.len(), f1.len(), f2.len()), (1, 0, 0));
+    let (s12, s1, s2) = classify_pair_flows(&net, a, b);
+    assert_eq!(s12, f12);
+    assert!(s1.is_empty() && s2.is_empty());
+}
+
+#[test]
+fn chain_of_one_server() {
+    let (net, flows, servers) = chain(1, &[spec(), spec()]);
+    assert_eq!(servers.len(), 1);
+    assert_eq!(net.flows_through(servers[0]), flows);
+}
+
+#[test]
+fn hop_index_none_for_foreign_server() {
+    let (net, flows, servers) = chain(2, &[spec()]);
+    let mut net = net;
+    let extra = net.add_server(Server::unit_fifo("x"));
+    assert_eq!(net.hop_index(flows[0], extra), None);
+    assert_eq!(net.hop_index(flows[0], servers[1]), Some(1));
+}
+
+#[test]
+fn reserved_rate_default_and_override() {
+    let mut net = Network::new();
+    let g = net.add_server(Server {
+        name: "g".into(),
+        rate: Rat::from(2),
+        discipline: Discipline::Gps,
+    });
+    let f = net
+        .add_flow(Flow {
+            name: "f".into(),
+            spec: TrafficSpec::token_bucket(int(1), rat(1, 4)),
+            route: vec![g],
+            priority: 0,
+        })
+        .unwrap();
+    assert_eq!(net.reserved_rate(f, g), rat(1, 4), "default = sustained");
+    net.reserve(f, g, rat(3, 4));
+    assert_eq!(net.reserved_rate(f, g), rat(3, 4));
+    net.reserve(f, g, rat(1, 2));
+    assert_eq!(net.reserved_rate(f, g), rat(1, 2), "overwrite");
+}
+
+#[test]
+fn pairing_on_parallel_branches() {
+    // Diamond: src -> {mid1, mid2} -> dst via two flows; every pairing
+    // must stay acyclic and cover all servers exactly once.
+    let mut net = Network::new();
+    let src = net.add_server(Server::unit_fifo("src"));
+    let m1 = net.add_server(Server::unit_fifo("m1"));
+    let m2 = net.add_server(Server::unit_fifo("m2"));
+    let dst = net.add_server(Server::unit_fifo("dst"));
+    for route in [vec![src, m1, dst], vec![src, m2, dst]] {
+        net.add_flow(Flow {
+            name: "f".into(),
+            spec: spec(),
+            route,
+            priority: 0,
+        })
+        .unwrap();
+    }
+    for strategy in [
+        PairingStrategy::Singletons,
+        PairingStrategy::GreedyChain,
+        PairingStrategy::OptimalSmall,
+    ] {
+        let p = partition(&net, strategy).unwrap();
+        let mut covered: Vec<ServerId> =
+            p.groups.iter().flat_map(|g| g.servers()).collect();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered.len(), 4, "{strategy:?} must cover all servers once");
+    }
+}
+
+#[test]
+fn group_accessors() {
+    let g1 = Group::Single(ServerId(3));
+    let g2 = Group::Pair(ServerId(1), ServerId(2));
+    assert!(g1.contains(ServerId(3)) && !g1.contains(ServerId(1)));
+    assert!(g2.contains(ServerId(1)) && g2.contains(ServerId(2)));
+    assert_eq!(g2.servers(), vec![ServerId(1), ServerId(2)]);
+}
+
+#[test]
+fn random_feedforward_respects_caps() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = random_feedforward(&mut rng, 4, 6, 2, rat(1, 2), false);
+    for f in net.flows() {
+        assert!(f.route.len() <= 2);
+        assert!(f.spec.peak().is_none());
+    }
+    assert!(net.max_utilization() <= rat(1, 2));
+}
+
+#[test]
+fn display_impls() {
+    assert_eq!(ServerId(4).to_string(), "s4");
+    assert_eq!(dnc_net::FlowId(7).to_string(), "f7");
+    let e = NetworkError::NotFeedforward;
+    assert!(e.to_string().contains("feedforward"));
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # dnc-num — exact rational arithmetic for deterministic network calculus
+//!
+//! Every quantity in a deterministic network-calculus computation (bucket
+//! sizes, token rates, link rates, delay bounds, curve breakpoints) is the
+//! result of finitely many field operations on the input parameters. Doing
+//! those operations in floating point makes bound comparisons (`Integrated ≤
+//! Decomposed`, `bound ≥ simulated delay`) fuzzy; doing them over exact
+//! rationals makes them decidable, which the test-suite of the workspace
+//! leans on heavily.
+//!
+//! [`Rat`] is a reduced fraction over `i128` with denominators kept strictly
+//! positive. Intermediate products are cross-reduced before multiplying, so
+//! overflow only occurs for genuinely astronomical values; when it does, the
+//! operation panics with a diagnostic rather than silently wrapping.
+//!
+//! ```
+//! use dnc_num::Rat;
+//! let third = Rat::new(1, 3);
+//! assert_eq!(third + third + third, Rat::ONE);
+//! assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+//! assert!(Rat::new(-1, 2) < Rat::ZERO);
+//! ```
+
+mod rat;
+
+pub use rat::{gcd_i128, Rat, RatParseError};
+
+/// Convenience constructor: `rat(n, d)` is `Rat::new(n, d)`.
+#[inline]
+pub fn rat<N: Into<i128>, D: Into<i128>>(num: N, den: D) -> Rat {
+    Rat::new(num.into(), den.into())
+}
+
+/// Convenience constructor for integral rationals.
+#[inline]
+pub fn int<N: Into<i128>>(num: N) -> Rat {
+    Rat::from_int(num.into())
+}

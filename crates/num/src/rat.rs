@@ -1,0 +1,570 @@
+//! The [`Rat`] type: a reduced `i128` fraction with total order and exact
+//! field arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Greatest common divisor of two `i128`s (always non-negative; `gcd(0,0)=0`).
+pub fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.unsigned_abs() as i128;
+    b = b.unsigned_abs() as i128;
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// An exact rational number.
+///
+/// Invariants: `den > 0` and `gcd(num, den) == 1` (with `0` stored as `0/1`).
+/// Because of the invariants, derived structural equality would be correct,
+/// but `Eq`/`Ord`/`Hash` are implemented explicitly to make the contract
+/// obvious and independent of field order.
+#[derive(Clone, Copy, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+    /// Two.
+    pub const TWO: Rat = Rat { num: 2, den: 1 };
+
+    /// Construct `num/den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[inline]
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "Rat::new: zero denominator (num={num})");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num, den);
+        if g == 0 {
+            return Rat::ZERO;
+        }
+        Rat {
+            num: sign * (num / g),
+            den: sign * (den / g),
+        }
+    }
+
+    /// Construct an integer-valued rational.
+    #[inline]
+    pub const fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying, reduced).
+    #[inline]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (strictly positive, reduced).
+    #[inline]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is an integer.
+    #[inline]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` iff the value is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Sign of the value as `-1`, `0`, or `1`.
+    #[inline]
+    pub const fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Rat {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[inline]
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "Rat::recip of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            // Round toward negative infinity.
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i128 {
+        -((-self).floor())
+    }
+
+    /// Approximate as `f64` (for plotting / CSV output only — never used in
+    /// bound computations).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamp into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn clamp(self, lo: Rat, hi: Rat) -> Rat {
+        assert!(lo <= hi, "Rat::clamp: lo > hi");
+        self.max(lo).min(hi)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g*d), g = gcd(b, d).
+        let g = gcd_i128(self.den, rhs.den);
+        let db = self.den / g;
+        let dd = rhs.den / g;
+        let num = self
+            .num
+            .checked_mul(dd)?
+            .checked_add(rhs.num.checked_mul(db)?)?;
+        let den = self.den.checked_mul(dd)?;
+        Some(Rat::new(num, den))
+    }
+
+    /// Checked multiplication; `None` on overflow.
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd_i128(self.num, rhs.den);
+        let g2 = gcd_i128(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rat::new(num, den))
+    }
+
+    /// Integer power (negative exponents allowed for nonzero values).
+    pub fn powi(self, mut exp: i32) -> Rat {
+        let mut base = if exp < 0 {
+            exp = -exp;
+            self.recip()
+        } else {
+            self
+        };
+        let mut acc = Rat::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base * base;
+            }
+        }
+        acc
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    pub fn lerp(self, other: Rat, t: Rat) -> Rat {
+        self + t * (other - self)
+    }
+
+    /// The smallest multiple of `1/den` at or above `self` — used to keep
+    /// denominators bounded in iterative computations where rounding *up*
+    /// preserves soundness (e.g. fixed-point delay iterations).
+    ///
+    /// # Panics
+    /// Panics unless `den > 0`.
+    pub fn ceil_to_denom(self, den: i128) -> Rat {
+        assert!(den > 0, "ceil_to_denom: den must be positive");
+        let scaled = self * Rat::from_int(den);
+        Rat::new(scaled.ceil(), den)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl PartialEq for Rat {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Reduced with positive denominator => structural equality is exact.
+        self.num == other.num && self.den == other.den
+    }
+}
+
+impl Eq for Rat {}
+
+impl Hash for Rat {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl PartialOrd for Rat {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b <=> c/d  (b, d > 0)  <=>  a*d <=> c*b; cross-reduce first.
+        let g = gcd_i128(self.den, other.den);
+        let lhs = self
+            .num
+            .checked_mul(other.den / g)
+            .expect("Rat::cmp overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den / g)
+            .expect("Rat::cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    #[inline]
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs)
+            .unwrap_or_else(|| panic!("Rat overflow in {self} + {rhs}"))
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    #[inline]
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    #[inline]
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs)
+            .unwrap_or_else(|| panic!("Rat overflow in {self} * {rhs}"))
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[inline]
+    fn div(self, rhs: Rat) -> Rat {
+        assert!(!rhs.is_zero(), "Rat division by zero: {self} / 0");
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    #[inline]
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Rat> for Rat {
+    fn sum<I: Iterator<Item = &'a Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + *b)
+    }
+}
+
+impl Product for Rat {
+    fn product<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ONE, |a, b| a * b)
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Rat {
+            #[inline]
+            fn from(v: $t) -> Rat { Rat::from_int(v as i128) }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64);
+
+impl From<(i128, i128)> for Rat {
+    #[inline]
+    fn from((n, d): (i128, i128)) -> Rat {
+        Rat::new(n, d)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned by [`Rat::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatParseError(pub String);
+
+impl fmt::Display for RatParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for RatParseError {}
+
+impl FromStr for Rat {
+    type Err = RatParseError;
+
+    /// Parses `"3"`, `"-3/4"`, or decimal literals like `"0.25"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || RatParseError(s.to_string());
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n.trim().parse().map_err(|_| bad())?;
+            let d: i128 = d.trim().parse().map_err(|_| bad())?;
+            if d == 0 {
+                return Err(bad());
+            }
+            Ok(Rat::new(n, d))
+        } else if let Some((int_part, frac_part)) = s.split_once('.') {
+            let neg = int_part.trim_start().starts_with('-');
+            let i: i128 = if int_part.is_empty() || int_part == "-" {
+                0
+            } else {
+                int_part.parse().map_err(|_| bad())?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            if frac_part.len() > 30 {
+                return Err(bad());
+            }
+            let f: i128 = frac_part.parse().map_err(|_| bad())?;
+            let scale = 10i128
+                .checked_pow(frac_part.len() as u32)
+                .ok_or_else(bad)?;
+            let frac = Rat::new(f, scale);
+            let int = Rat::from_int(i);
+            Ok(if neg { int - frac } else { int + frac })
+        } else {
+            let n: i128 = s.parse().map_err(|_| bad())?;
+            Ok(Rat::from_int(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, 4), Rat::new(1, -2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+        assert_eq!(Rat::new(6, -4).numer(), -3);
+        assert_eq!(Rat::new(6, -4).denom(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert!(Rat::new(7, 7) == Rat::ONE);
+        let mut v = vec![Rat::new(3, 4), Rat::ZERO, Rat::new(-5, 2), Rat::ONE];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Rat::new(-5, 2), Rat::ZERO, Rat::new(3, 4), Rat::ONE]
+        );
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from_int(5).floor(), 5);
+        assert_eq!(Rat::from_int(5).ceil(), 5);
+        assert_eq!(Rat::ZERO.floor(), 0);
+    }
+
+    #[test]
+    fn recip_and_powi() {
+        assert_eq!(Rat::new(3, 4).recip(), Rat::new(4, 3));
+        assert_eq!(Rat::new(2, 3).powi(3), Rat::new(8, 27));
+        assert_eq!(Rat::new(2, 3).powi(-2), Rat::new(9, 4));
+        assert_eq!(Rat::new(5, 7).powi(0), Rat::ONE);
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("3".parse::<Rat>().unwrap(), Rat::from_int(3));
+        assert_eq!("-3/4".parse::<Rat>().unwrap(), Rat::new(-3, 4));
+        assert_eq!("0.25".parse::<Rat>().unwrap(), Rat::new(1, 4));
+        assert_eq!("-0.5".parse::<Rat>().unwrap(), Rat::new(-1, 2));
+        assert_eq!("1.125".parse::<Rat>().unwrap(), Rat::new(9, 8));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("abc".parse::<Rat>().is_err());
+        assert!("1.2.3".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for r in [Rat::new(-7, 3), Rat::ZERO, Rat::from_int(42), Rat::new(1, 9)] {
+            let s = r.to_string();
+            assert_eq!(s.parse::<Rat>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let v = [Rat::new(1, 2), Rat::new(1, 3), Rat::new(1, 6)];
+        assert_eq!(v.iter().sum::<Rat>(), Rat::ONE);
+        assert_eq!(v.iter().copied().product::<Rat>(), Rat::new(1, 36));
+    }
+
+    #[test]
+    fn min_max_clamp_lerp() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(2, 3);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Rat::from_int(9).clamp(Rat::ZERO, Rat::ONE), Rat::ONE);
+        assert_eq!(a.lerp(b, Rat::ZERO), a);
+        assert_eq!(a.lerp(b, Rat::ONE), b);
+        assert_eq!(Rat::ZERO.lerp(Rat::from_int(4), Rat::new(1, 4)), Rat::ONE);
+    }
+
+    #[test]
+    fn gcd_edge_cases() {
+        assert_eq!(gcd_i128(0, 0), 0);
+        assert_eq!(gcd_i128(0, 5), 5);
+        assert_eq!(gcd_i128(-4, 6), 2);
+        assert_eq!(gcd_i128(12, -18), 6);
+    }
+
+    #[test]
+    fn to_f64_approx() {
+        assert!((Rat::new(1, 3).to_f64() - 0.333333).abs() < 1e-5);
+    }
+}

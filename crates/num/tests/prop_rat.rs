@@ -1,0 +1,101 @@
+//! Property tests: `Rat` behaves like the field of rationals with a total
+//! order compatible with arithmetic.
+
+use dnc_num::Rat;
+use proptest::prelude::*;
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributive(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in arb_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+        prop_assert_eq!(a - a, Rat::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in arb_rat()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rat::ONE);
+        prop_assert_eq!(a / a, Rat::ONE);
+    }
+
+    #[test]
+    fn order_translation_invariant(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a < b, a + c < b + c);
+    }
+
+    #[test]
+    fn order_scaling(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assume!(c.is_positive());
+        prop_assert_eq!(a < b, a * c < b * c);
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in arb_rat()) {
+        let f = Rat::from_int(a.floor());
+        let c = Rat::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(a - f < Rat::ONE);
+        prop_assert!(c - a < Rat::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(f, a);
+            prop_assert_eq!(c, a);
+        } else {
+            prop_assert_eq!(c - f, Rat::ONE);
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in arb_rat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rat>().unwrap(), a);
+    }
+
+    #[test]
+    fn to_f64_consistent_with_order(a in arb_rat(), b in arb_rat()) {
+        // f64 is a (lossy) order homomorphism for these small values.
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn abs_signum(a in arb_rat()) {
+        prop_assert_eq!(a.abs(), if a.is_negative() { -a } else { a });
+        prop_assert_eq!(Rat::from_int(a.signum()) * a.abs(), a);
+    }
+
+    #[test]
+    fn min_max_consistent(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a.min(b) + a.max(b), a + b);
+        prop_assert!(a.min(b) <= a.max(b));
+    }
+}

@@ -1,0 +1,676 @@
+//! The synchronous tick engine.
+
+use crate::stats::{FlowStats, ServerStats, SimReport};
+use dnc_net::{Discipline, Network, ServerId};
+use dnc_num::Rat;
+use dnc_traffic::{CellSource, SourceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Run parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// How many ticks to simulate.
+    pub ticks: u64,
+    /// RNG seed (only randomized source models consume it).
+    pub seed: u64,
+    /// Delay-histogram size per flow.
+    pub histogram_buckets: usize,
+    /// Record a per-tick cumulative arrival/departure trace of this
+    /// server (`G_j`/`W_j` of the paper's Lemma 1).
+    pub trace_server: Option<usize>,
+    /// Restrict the trace to a single flow (by id). `None` = the whole
+    /// aggregate.
+    pub trace_flow: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            ticks: 4096,
+            seed: 1,
+            histogram_buckets: 256,
+            trace_server: None,
+            trace_flow: None,
+        }
+    }
+}
+
+/// One cell in flight.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    flow: u32,
+    emitted: u64,
+    /// Arrival tick at the server currently queueing the cell.
+    arrived: u64,
+    /// Index into the flow's route of the server this cell is queued at.
+    hop: u32,
+}
+
+/// Per-server run state. FIFO uses a single queue; static priority one
+/// queue per level; GPS one queue *per flow* with per-flow reserved-rate
+/// credit (rate-guarantee semantics: each backlogged flow is served at
+/// its reservation; spare capacity is not redistributed, which can only
+/// increase delays — the conservative direction for bound validation).
+enum ServerState {
+    Shared {
+        queues: Vec<VecDeque<Cell>>,
+        credit: Rat,
+        rate: Rat,
+        priority_levels: bool,
+    },
+    Gps {
+        /// One queue per flow id (lazily sized).
+        queues: Vec<VecDeque<Cell>>,
+        credit: Vec<Rat>,
+        reserved: Vec<Rat>,
+    },
+    Edf {
+        /// Min-heap keyed by (absolute deadline, arrival sequence).
+        heap: BinaryHeap<Reverse<(u64, u64, EdfCell)>>,
+        credit: Rat,
+        rate: Rat,
+        /// Per-flow local deadline (ticks), indexed by flow id.
+        deadline: Vec<u64>,
+        seq: u64,
+    },
+}
+
+/// `Cell` wrapped for heap ordering (order only on the tuple key; the
+/// payload fields participate but deterministically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EdfCell {
+    flow: u32,
+    emitted: u64,
+    arrived: u64,
+    hop: u32,
+}
+
+impl From<Cell> for EdfCell {
+    fn from(c: Cell) -> EdfCell {
+        EdfCell {
+            flow: c.flow,
+            emitted: c.emitted,
+            arrived: c.arrived,
+            hop: c.hop,
+        }
+    }
+}
+
+impl From<EdfCell> for Cell {
+    fn from(c: EdfCell) -> Cell {
+        Cell {
+            flow: c.flow,
+            emitted: c.emitted,
+            arrived: c.arrived,
+            hop: c.hop,
+        }
+    }
+}
+
+impl ServerState {
+    fn backlog(&self) -> u64 {
+        match self {
+            ServerState::Shared { queues, .. } | ServerState::Gps { queues, .. } => {
+                queues.iter().map(|q| q.len() as u64).sum()
+            }
+            ServerState::Edf { heap, .. } => heap.len() as u64,
+        }
+    }
+
+    fn push(&mut self, cell: Cell, priority: u8) {
+        match self {
+            ServerState::Shared {
+                queues,
+                priority_levels,
+                ..
+            } => {
+                let level = if *priority_levels { priority as usize } else { 0 };
+                if level >= queues.len() {
+                    queues.resize_with(level + 1, VecDeque::new);
+                }
+                queues[level].push_back(cell);
+            }
+            ServerState::Gps { queues, .. } => {
+                queues[cell.flow as usize].push_back(cell);
+            }
+            ServerState::Edf {
+                heap,
+                deadline,
+                seq,
+                ..
+            } => {
+                let d = cell.arrived + deadline[cell.flow as usize];
+                heap.push(Reverse((d, *seq, cell.into())));
+                *seq += 1;
+            }
+        }
+    }
+
+    /// Advance one tick of service, returning the cells served.
+    fn serve_tick(&mut self) -> Vec<Cell> {
+        let mut served = Vec::new();
+        match self {
+            ServerState::Shared {
+                queues,
+                credit,
+                rate,
+                ..
+            } => {
+                *credit += *rate;
+                if queues.iter().all(|q| q.is_empty()) {
+                    *credit = Rat::ZERO;
+                    return served;
+                }
+                while *credit >= Rat::ONE {
+                    let Some(cell) = queues.iter_mut().find_map(|q| q.pop_front()) else {
+                        break;
+                    };
+                    *credit -= Rat::ONE;
+                    served.push(cell);
+                }
+            }
+            ServerState::Gps {
+                queues,
+                credit,
+                reserved,
+            } => {
+                for f in 0..queues.len() {
+                    if queues[f].is_empty() {
+                        credit[f] = Rat::ZERO;
+                        continue;
+                    }
+                    credit[f] += reserved[f];
+                    while credit[f] >= Rat::ONE {
+                        let Some(cell) = queues[f].pop_front() else { break };
+                        credit[f] -= Rat::ONE;
+                        served.push(cell);
+                    }
+                }
+            }
+            ServerState::Edf {
+                heap,
+                credit,
+                rate,
+                ..
+            } => {
+                *credit += *rate;
+                if heap.is_empty() {
+                    *credit = Rat::ZERO;
+                } else {
+                    while *credit >= Rat::ONE {
+                        let Some(Reverse((_, _, cell))) = heap.pop() else { break };
+                        *credit -= Rat::ONE;
+                        served.push(cell.into());
+                    }
+                }
+            }
+        }
+        served
+    }
+}
+
+/// A fully-built simulation, stepped tick by tick.
+pub struct Simulation<'a> {
+    net: &'a Network,
+    sources: Vec<CellSource>,
+    servers: Vec<ServerState>,
+    /// Topological server order (per-tick processing order).
+    order: Vec<ServerId>,
+    rng: StdRng,
+    now: u64,
+    flow_stats: Vec<FlowStats>,
+    server_stats: Vec<ServerStats>,
+    traced: Option<usize>,
+    traced_flow: Option<usize>,
+    trace: crate::stats::ServerTrace,
+    trace_arrived: u64,
+    trace_departed: u64,
+}
+
+impl<'a> Simulation<'a> {
+    /// Build a simulation with one source model per flow (same order as
+    /// `net.flows()`).
+    ///
+    /// # Panics
+    /// Panics if `models.len() != net.flows().len()`.
+    ///
+    /// Feedforward networks process servers in topological order, giving
+    /// uncontended cells same-tick cut-through. Cyclic networks fall back
+    /// to server-id order: a cell crossing a "backward" edge simply waits
+    /// for the next tick (still a conservative, valid sample path).
+    pub fn new(net: &'a Network, models: &[SourceModel], cfg: &SimConfig) -> Simulation<'a> {
+        assert_eq!(
+            models.len(),
+            net.flows().len(),
+            "one source model per flow required"
+        );
+        let order = net
+            .topological_order()
+            .unwrap_or_else(|_| (0..net.servers().len()).map(ServerId).collect());
+        let sources = net
+            .flows()
+            .iter()
+            .zip(models)
+            .map(|(f, m)| CellSource::new(&f.spec, m.clone()))
+            .collect();
+        let n_flows = net.flows().len();
+        let servers = net
+            .servers()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s.discipline {
+                Discipline::Fifo | Discipline::StaticPriority => ServerState::Shared {
+                    queues: vec![VecDeque::new()],
+                    credit: Rat::ZERO,
+                    rate: s.rate,
+                    priority_levels: s.discipline == Discipline::StaticPriority,
+                },
+                Discipline::Gps => ServerState::Gps {
+                    queues: (0..n_flows).map(|_| VecDeque::new()).collect(),
+                    credit: vec![Rat::ZERO; n_flows],
+                    reserved: (0..n_flows)
+                        .map(|f| net.reserved_rate(dnc_net::FlowId(f), ServerId(i)))
+                        .collect(),
+                },
+                Discipline::Edf => ServerState::Edf {
+                    heap: BinaryHeap::new(),
+                    credit: Rat::ZERO,
+                    rate: s.rate,
+                    deadline: (0..n_flows)
+                        .map(|f| {
+                            net.local_deadline(dnc_net::FlowId(f), ServerId(i))
+                                .map_or(u64::MAX / 4, |d| d.ceil().max(0) as u64)
+                        })
+                        .collect(),
+                    seq: 0,
+                },
+            })
+            .collect();
+        Simulation {
+            net,
+            sources,
+            servers,
+            order,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now: 0,
+            flow_stats: net
+                .flows()
+                .iter()
+                .map(|_| FlowStats::new(cfg.histogram_buckets))
+                .collect(),
+            server_stats: vec![ServerStats::default(); net.servers().len()],
+            traced: cfg.trace_server,
+            traced_flow: cfg.trace_flow,
+            trace: crate::stats::ServerTrace::default(),
+            trace_arrived: 0,
+            trace_departed: 0,
+        }
+    }
+
+    /// Queue a cell at a server, keeping the trace counters current.
+    fn enqueue(&mut self, sid: ServerId, cell: Cell, priority: u8) {
+        if self.traced == Some(sid.0)
+            && self.traced_flow.is_none_or(|f| f == cell.flow as usize)
+        {
+            self.trace_arrived += 1;
+        }
+        self.servers[sid.0].push(cell, priority);
+    }
+
+    /// Advance one tick.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Sources emit into the first hop of their route.
+        for i in 0..self.sources.len() {
+            let cells = self.sources[i].step(&mut self.rng);
+            if cells == 0 {
+                continue;
+            }
+            let flow = &self.net.flows()[i];
+            let first = flow.route[0];
+            let priority = flow.priority;
+            self.flow_stats[i].emitted += cells;
+            for _ in 0..cells {
+                self.enqueue(
+                    first,
+                    Cell {
+                        flow: i as u32,
+                        emitted: now,
+                        arrived: now,
+                        hop: 0,
+                    },
+                    priority,
+                );
+            }
+        }
+
+        // 2. Servers forward in topological order: a cell can traverse
+        //    several empty servers within one tick (cut-through), matching
+        //    the fluid model's zero minimum latency.
+        for &sid in &self.order.clone() {
+            self.service_server(sid);
+        }
+
+        // 3. Backlog accounting.
+        for (i, s) in self.servers.iter().enumerate() {
+            let b = s.backlog();
+            self.server_stats[i].max_backlog = self.server_stats[i].max_backlog.max(b);
+            if b > 0 {
+                self.server_stats[i].busy_ticks += 1;
+            }
+        }
+
+        if self.traced.is_some() {
+            self.trace.arrivals.push(self.trace_arrived);
+            self.trace.departures.push(self.trace_departed);
+        }
+        self.now += 1;
+    }
+
+    fn service_server(&mut self, sid: ServerId) {
+        // An idle shared server banks no service: for integral rates the
+        // served process then satisfies the discrete Reich recursion
+        // `W[t] = min(G[t], W[t-1] + C)` exactly (checked against Lemma 1
+        // by the integration tests), and never exceeds `C·I` cells over
+        // any window. GPS servers apply the same rule per flow.
+        let served = self.servers[sid.0].serve_tick();
+        self.server_stats[sid.0].forwarded += served.len() as u64;
+        if self.traced == Some(sid.0) {
+            self.trace_departed += served
+                .iter()
+                .filter(|c| self.traced_flow.is_none_or(|f| f == c.flow as usize))
+                .count() as u64;
+        }
+        for cell in served {
+            let sojourn = self.now - cell.arrived;
+            let st = &mut self.server_stats[sid.0];
+            st.max_sojourn = st.max_sojourn.max(sojourn);
+            self.forward(cell);
+        }
+    }
+
+    /// Move a served cell to the next hop, or record its delivery.
+    fn forward(&mut self, cell: Cell) {
+        let flow = &self.net.flows()[cell.flow as usize];
+        let next_hop = cell.hop as usize + 1;
+        if next_hop < flow.route.len() {
+            let next = flow.route[next_hop];
+            let priority = flow.priority;
+            self.enqueue(
+                next,
+                Cell {
+                    hop: next_hop as u32,
+                    arrived: self.now,
+                    ..cell
+                },
+                priority,
+            );
+        } else {
+            let delay = self.now - cell.emitted;
+            self.flow_stats[cell.flow as usize].record(delay);
+        }
+    }
+
+    /// Run `ticks` further ticks and return the measurements. The report's
+    /// `ticks` field records the *total* ticks simulated, including any
+    /// earlier manual [`Simulation::step`] calls.
+    pub fn run(mut self, ticks: u64) -> SimReport {
+        for _ in 0..ticks {
+            self.step();
+        }
+        SimReport {
+            ticks: self.now,
+            flows: self.flow_stats,
+            servers: self.server_stats,
+            trace: self.traced.map(|_| self.trace),
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn simulate(net: &Network, models: &[SourceModel], cfg: &SimConfig) -> SimReport {
+    Simulation::new(net, models, cfg).run(cfg.ticks)
+}
+
+/// All-greedy source assignment (the adversarial workload used for bound
+/// validation).
+pub fn all_greedy(net: &Network) -> Vec<SourceModel> {
+    vec![SourceModel::Greedy; net.flows().len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_net::builders;
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    #[test]
+    fn lone_flow_cuts_through() {
+        // A single peak-capped flow on a 3-server chain: no contention,
+        // zero delay for every cell.
+        let (net, _, _) = builders::chain(3, &[TrafficSpec::paper_source(int(1), rat(1, 4))]);
+        let r = simulate(&net, &all_greedy(&net), &SimConfig::default());
+        assert!(r.flows[0].delivered > 0);
+        assert_eq!(r.flows[0].max_delay, 0);
+    }
+
+    #[test]
+    fn contention_builds_queues() {
+        let t = builders::tandem(
+            2,
+            int(1),
+            rat(3, 16),
+            builders::TandemOptions::default(),
+        );
+        let r = simulate(&t.net, &all_greedy(&t.net), &SimConfig::default());
+        assert!(r.flows[t.conn0.0].max_delay > 0, "greedy load must queue");
+        assert!(r.servers.iter().any(|s| s.max_backlog > 0));
+    }
+
+    #[test]
+    fn conservation_no_cell_lost() {
+        let t = builders::tandem(
+            3,
+            int(1),
+            rat(1, 8),
+            builders::TandemOptions::default(),
+        );
+        let cfg = SimConfig {
+            ticks: 2048,
+            ..SimConfig::default()
+        };
+        let r = simulate(&t.net, &all_greedy(&t.net), &cfg);
+        for (i, f) in r.flows.iter().enumerate() {
+            // Everything emitted is delivered or still queued; with
+            // utilization < 1 the backlog at the end is small.
+            assert!(f.delivered <= f.emitted, "flow {i}");
+            assert!(
+                f.emitted - f.delivered <= 64,
+                "flow {i}: too many cells stuck ({} of {})",
+                f.emitted - f.delivered,
+                f.emitted
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = builders::tandem(
+            2,
+            int(1),
+            rat(1, 8),
+            builders::TandemOptions::default(),
+        );
+        let models = vec![SourceModel::Bernoulli { num: 1, den: 4 }; t.net.flows().len()];
+        let cfg = SimConfig {
+            ticks: 512,
+            seed: 7,
+            histogram_buckets: 64,
+            ..SimConfig::default()
+        };
+        let a = simulate(&t.net, &models, &cfg);
+        let b = simulate(&t.net, &models, &cfg);
+        for (x, y) in a.flows.iter().zip(b.flows.iter()) {
+            assert_eq!(x.emitted, y.emitted);
+            assert_eq!(x.max_delay, y.max_delay);
+        }
+    }
+
+    #[test]
+    fn greedy_delays_below_decomposed_bound() {
+        use dnc_core::{decomposed::Decomposed, DelayAnalysis};
+        for n in [2usize, 4] {
+            let t = builders::tandem(
+                n,
+                int(1),
+                rat(3, 16), // U = 3/4
+                builders::TandemOptions::default(),
+            );
+            let cfg = SimConfig {
+                ticks: 8192,
+                ..SimConfig::default()
+            };
+            let sim = simulate(&t.net, &all_greedy(&t.net), &cfg);
+            let bound = Decomposed::paper().analyze(&t.net).unwrap();
+            for (i, f) in t.net.flows().iter().enumerate() {
+                let observed = sim.max_delay(i);
+                let b = bound.flows[i].e2e;
+                assert!(
+                    observed <= b,
+                    "n={n} flow {}: observed {} > bound {}",
+                    f.name,
+                    observed,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gps_guarantees_reserved_rate() {
+        use dnc_net::{Discipline, Flow, Network, Server};
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "gps".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Gps,
+        });
+        let light = net
+            .add_flow(Flow {
+                name: "light".into(),
+                spec: TrafficSpec::paper_source(int(1), rat(1, 4)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        let heavy = net
+            .add_flow(Flow {
+                name: "heavy".into(),
+                spec: TrafficSpec::token_bucket(int(30), rat(1, 2)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        net.reserve(light, s, rat(1, 4));
+        net.reserve(heavy, s, rat(1, 2));
+        let r = simulate(&net, &all_greedy(&net), &SimConfig::default());
+        // The light flow is isolated from the heavy burst: worst delay is
+        // its own smoothing at rate 1/4 (σ=1, peak 1 -> at most ~4 ticks
+        // of credit wait), not the 30-cell backlog of its neighbour.
+        assert!(
+            r.flows[light.0].max_delay <= 5,
+            "light flow delayed {} ticks despite its reservation",
+            r.flows[light.0].max_delay
+        );
+        assert!(r.flows[heavy.0].max_delay > 10);
+    }
+
+    #[test]
+    fn gps_delays_below_gps_bounds() {
+        use dnc_core::{decomposed::Decomposed, DelayAnalysis};
+        use dnc_net::{Discipline, Flow, Network, Server};
+        let mut net = Network::new();
+        let servers: Vec<_> = (0..3)
+            .map(|i| {
+                net.add_server(Server {
+                    name: format!("g{i}"),
+                    rate: Rat::ONE,
+                    discipline: Discipline::Gps,
+                })
+            })
+            .collect();
+        let mut flows = Vec::new();
+        for k in 0..2 {
+            let f = net
+                .add_flow(Flow {
+                    name: format!("f{k}"),
+                    spec: TrafficSpec::paper_source(int(3), rat(1, 4)),
+                    route: servers.clone(),
+                    priority: 0,
+                })
+                .unwrap();
+            for &s in &servers {
+                net.reserve(f, s, rat(1, 2));
+            }
+            flows.push(f);
+        }
+        let bound = Decomposed::paper().analyze(&net).unwrap();
+        let sim = simulate(&net, &all_greedy(&net), &cfg_ticks(8192));
+        for &f in &flows {
+            // The analytic curve already charges the per-hop
+            // packetization latency, so no slack is needed.
+            assert!(
+                sim.max_delay(f.0) <= bound.bound(f),
+                "flow {f}: sim {} > bound {}",
+                sim.flows[f.0].max_delay,
+                bound.bound(f)
+            );
+        }
+    }
+
+    fn cfg_ticks(ticks: u64) -> SimConfig {
+        SimConfig {
+            ticks,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn static_priority_favors_urgent() {
+        use dnc_net::{Discipline, Flow, Network, Server};
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "sp".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::StaticPriority,
+        });
+        let urgent = net
+            .add_flow(Flow {
+                name: "urgent".into(),
+                spec: TrafficSpec::paper_source(int(1), rat(1, 4)),
+                route: vec![s],
+                priority: 0,
+            })
+            .unwrap();
+        let bulk = net
+            .add_flow(Flow {
+                name: "bulk".into(),
+                spec: TrafficSpec::token_bucket(int(20), rat(1, 2)),
+                route: vec![s],
+                priority: 3,
+            })
+            .unwrap();
+        let r = simulate(&net, &all_greedy(&net), &SimConfig::default());
+        assert!(
+            r.flows[urgent.0].max_delay <= 1,
+            "urgent delayed {} ticks",
+            r.flows[urgent.0].max_delay
+        );
+        assert!(r.flows[bulk.0].max_delay > r.flows[urgent.0].max_delay);
+    }
+}

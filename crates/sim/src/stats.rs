@@ -1,0 +1,169 @@
+//! Simulation measurement: per-flow delay statistics and per-server
+//! backlog statistics.
+
+use dnc_num::Rat;
+
+/// Delay statistics of one flow over a run.
+#[derive(Clone, Debug, Default)]
+pub struct FlowStats {
+    /// Cells emitted by the source.
+    pub emitted: u64,
+    /// Cells that completed their route.
+    pub delivered: u64,
+    /// Largest observed end-to-end delay, in ticks.
+    pub max_delay: u64,
+    /// Smallest observed end-to-end delay (`None` until a delivery).
+    pub min_delay: Option<u64>,
+    /// Sum of delays (for the mean).
+    pub total_delay: u64,
+    /// Delay histogram: `histogram[d]` counts cells delayed exactly `d`
+    /// ticks, saturating in the last bucket.
+    pub histogram: Vec<u64>,
+}
+
+impl FlowStats {
+    pub(crate) fn new(histogram_buckets: usize) -> FlowStats {
+        FlowStats {
+            histogram: vec![0; histogram_buckets.max(1)],
+            ..FlowStats::default()
+        }
+    }
+
+    pub(crate) fn record(&mut self, delay: u64) {
+        self.delivered += 1;
+        self.total_delay += delay;
+        self.max_delay = self.max_delay.max(delay);
+        self.min_delay = Some(self.min_delay.map_or(delay, |m| m.min(delay)));
+        let idx = (delay as usize).min(self.histogram.len() - 1);
+        self.histogram[idx] += 1;
+    }
+
+    /// Observed delay jitter: `max − min` over delivered cells (0 until
+    /// two distinct delays are seen).
+    pub fn jitter(&self) -> u64 {
+        self.min_delay.map_or(0, |m| self.max_delay - m)
+    }
+
+    /// Mean delay over delivered cells.
+    pub fn mean_delay(&self) -> Rat {
+        if self.delivered == 0 {
+            Rat::ZERO
+        } else {
+            Rat::from(self.total_delay as i64) / Rat::from(self.delivered as i64)
+        }
+    }
+
+    /// The `q`-quantile (e.g. `q = 99/100`) of the delay distribution, in
+    /// ticks (last bucket saturates).
+    pub fn quantile(&self, q: Rat) -> u64 {
+        if self.delivered == 0 {
+            return 0;
+        }
+        let target = q * Rat::from(self.delivered as i64);
+        let mut seen = 0u64;
+        for (d, &c) in self.histogram.iter().enumerate() {
+            seen += c;
+            if Rat::from(seen as i64) >= target {
+                return d as u64;
+            }
+        }
+        (self.histogram.len() - 1) as u64
+    }
+}
+
+/// Backlog statistics of one server over a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Largest queue length observed, in cells.
+    pub max_backlog: u64,
+    /// Cells forwarded.
+    pub forwarded: u64,
+    /// Ticks with a non-empty queue.
+    pub busy_ticks: u64,
+    /// Largest single-cell sojourn (local delay) at this server, in ticks.
+    pub max_sojourn: u64,
+}
+
+/// Per-tick cumulative arrival/departure counts of one server — the
+/// discrete counterpart of the paper's `G_j(t)` and `W_j(t)`, recorded
+/// when [`crate::SimConfig::trace_server`] is set. Used by tests to check
+/// Lemma 1 (`W = G ⊗ λ_C`) against the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct ServerTrace {
+    /// `arrivals[t]` = cells arrived at the server by the end of tick `t`
+    /// (cumulative).
+    pub arrivals: Vec<u64>,
+    /// `departures[t]` = cells forwarded by the end of tick `t`
+    /// (cumulative).
+    pub departures: Vec<u64>,
+}
+
+/// Everything a run measured.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Per-flow statistics, indexed by flow id.
+    pub flows: Vec<FlowStats>,
+    /// Per-server statistics, indexed by server id.
+    pub servers: Vec<ServerStats>,
+    /// Per-tick trace of the configured server, if any.
+    pub trace: Option<ServerTrace>,
+}
+
+impl SimReport {
+    /// Max observed delay of a flow, as an exact rational (for comparing
+    /// against bounds).
+    pub fn max_delay(&self, flow: usize) -> Rat {
+        Rat::from(self.flows[flow].max_delay as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn record_and_mean() {
+        let mut s = FlowStats::new(16);
+        s.emitted = 3;
+        s.record(1);
+        s.record(3);
+        s.record(2);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.max_delay, 3);
+        assert_eq!(s.min_delay, Some(1));
+        assert_eq!(s.jitter(), 2);
+        assert_eq!(s.mean_delay(), int(2));
+        assert_eq!(s.histogram[1], 1);
+    }
+
+    #[test]
+    fn histogram_saturates() {
+        let mut s = FlowStats::new(4);
+        s.record(100);
+        assert_eq!(s.histogram[3], 1);
+        assert_eq!(s.max_delay, 100);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut s = FlowStats::new(16);
+        for d in [0u64, 0, 1, 1, 1, 2, 5, 9] {
+            s.record(d);
+        }
+        assert_eq!(s.quantile(rat(1, 2)), 1);
+        assert_eq!(s.quantile(int(1)), 9);
+        assert_eq!(s.quantile(rat(1, 8)), 0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FlowStats::new(4);
+        assert_eq!(s.mean_delay(), Rat::ZERO);
+        assert_eq!(s.quantile(rat(1, 2)), 0);
+        assert_eq!(s.min_delay, None);
+        assert_eq!(s.jitter(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # dnc-traffic — traffic constraint functions, regulators, and sources
+//!
+//! The paper assumes "the traffic of every connection is controlled at the
+//! source by a token bucket": `b(I) = min{ I, σ + ρ·I }` on unit-rate links.
+//! This crate provides:
+//!
+//! * [`TokenBucket`] / [`TrafficSpec`] — static descriptions of a
+//!   connection's entry constraint, convertible to [`dnc_curves::Curve`]
+//!   arrival curves for the analysis crates;
+//! * [`Regulator`] — an exact (rational-credit) stateful token-bucket
+//!   shaper used by the simulator to guarantee that generated traffic
+//!   *conforms* to its spec;
+//! * [`SourceModel`] and [`CellSource`] — cell-level source processes
+//!   (greedy/adversarial, periodic, on-off, Bernoulli) whose output is
+//!   always shaped through the regulator, so every simulated trace is a
+//!   legal sample path of the analyzed constraint.
+
+pub mod envelope;
+mod regulator;
+mod source;
+mod spec;
+
+pub use regulator::Regulator;
+pub use source::{CellSource, SourceModel};
+pub use spec::{TokenBucket, TrafficSpec};

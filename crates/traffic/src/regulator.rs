@@ -1,0 +1,149 @@
+//! Exact stateful token-bucket regulator.
+
+use crate::spec::TrafficSpec;
+use dnc_num::Rat;
+
+/// A shaping regulator enforcing a [`TrafficSpec`] on a cell stream.
+///
+/// Credits are tracked as exact rationals, so conformance is exact: any
+/// stream that passes through the regulator satisfies the spec's arrival
+/// curve (certified by `TrafficSpec::conforms` in tests). Time advances in
+/// unit ticks via [`Regulator::refill`]; cells are released one at a time
+/// via [`Regulator::try_emit`].
+#[derive(Clone, Debug)]
+pub struct Regulator {
+    /// `(tokens, depth σ, rate ρ)` per bucket.
+    buckets: Vec<(Rat, Rat, Rat)>,
+    /// `(credit, peak p)` for the peak-rate cap, if any.
+    peak: Option<(Rat, Rat)>,
+}
+
+impl Regulator {
+    /// A regulator with full buckets (worst-case initial state).
+    pub fn new(spec: &TrafficSpec) -> Regulator {
+        Regulator {
+            buckets: spec
+                .buckets()
+                .iter()
+                .map(|b| (b.sigma, b.sigma, b.rho))
+                .collect(),
+            peak: spec.peak().map(|p| (p, p)),
+        }
+    }
+
+    /// Advance one tick: refill every bucket (capped at its depth) and the
+    /// peak credit (capped at the peak rate).
+    pub fn refill(&mut self) {
+        for (tokens, depth, rate) in &mut self.buckets {
+            *tokens = (*tokens + *rate).min(*depth);
+        }
+        if let Some((credit, p)) = &mut self.peak {
+            *credit = (*credit + *p).min(*p);
+        }
+    }
+
+    /// `true` iff one cell may be emitted right now.
+    pub fn can_emit(&self) -> bool {
+        self.buckets.iter().all(|(t, _, _)| *t >= Rat::ONE)
+            && self.peak.is_none_or(|(c, _)| c >= Rat::ONE)
+    }
+
+    /// Try to emit one cell, consuming credit. Returns `false` (and
+    /// consumes nothing) when short of credit.
+    pub fn try_emit(&mut self) -> bool {
+        if !self.can_emit() {
+            return false;
+        }
+        for (tokens, _, _) in &mut self.buckets {
+            *tokens -= Rat::ONE;
+        }
+        if let Some((credit, _)) = &mut self.peak {
+            *credit -= Rat::ONE;
+        }
+        true
+    }
+
+    /// Emit up to `want` cells, returning how many were allowed.
+    pub fn emit_up_to(&mut self, want: u64) -> u64 {
+        let mut sent = 0;
+        while sent < want && self.try_emit() {
+            sent += 1;
+        }
+        sent
+    }
+
+    /// Current minimum bucket fill (diagnostic).
+    pub fn min_tokens(&self) -> Rat {
+        self.buckets
+            .iter()
+            .map(|(t, _, _)| *t)
+            .min()
+            .expect("non-empty buckets")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    fn greedy_trace(spec: &TrafficSpec, ticks: usize) -> Vec<u64> {
+        let mut reg = Regulator::new(spec);
+        let mut out = Vec::with_capacity(ticks);
+        for _ in 0..ticks {
+            reg.refill(); // note: first refill caps at depth, no overfill
+            out.push(reg.emit_up_to(u64::MAX));
+        }
+        out
+    }
+
+    #[test]
+    fn greedy_conforms_paper_source() {
+        let spec = TrafficSpec::paper_source(int(1), rat(1, 4));
+        let trace = greedy_trace(&spec, 64);
+        assert!(spec.conforms(&trace));
+        // Long-run rate approaches ρ = 1/4: 64 ticks -> at most 1 + 16.
+        let total: u64 = trace.iter().sum();
+        assert!((16..=17).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn greedy_conforms_bursty_bucket() {
+        let spec = TrafficSpec::paper_source(int(5), rat(1, 2));
+        let trace = greedy_trace(&spec, 40);
+        assert!(spec.conforms(&trace));
+        // Peak cap 1 forbids multi-cell ticks.
+        assert!(trace.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn uncapped_bucket_allows_burst() {
+        let spec = TrafficSpec::token_bucket(int(4), rat(1, 4));
+        let trace = greedy_trace(&spec, 16);
+        assert_eq!(trace[0], 4, "full burst in the first tick");
+        assert!(spec.conforms(&trace));
+    }
+
+    #[test]
+    fn refill_caps_at_depth() {
+        let spec = TrafficSpec::token_bucket(int(2), int(1));
+        let mut reg = Regulator::new(&spec);
+        for _ in 0..10 {
+            reg.refill();
+        }
+        assert_eq!(reg.min_tokens(), int(2));
+        assert_eq!(reg.emit_up_to(10), 2);
+    }
+
+    #[test]
+    fn try_emit_respects_fractional_tokens() {
+        let spec = TrafficSpec::token_bucket(rat(1, 2), rat(1, 4));
+        let mut reg = Regulator::new(&spec);
+        assert!(!reg.try_emit(), "half a token is not a cell");
+        reg.refill();
+        reg.refill();
+        // 1/2 + 1/4 + 1/4 = 1 but capped at depth 1/2 each refill... the
+        // cap keeps tokens at 1/2, so still no cell.
+        assert!(!reg.try_emit());
+    }
+}

@@ -1,0 +1,218 @@
+//! Cell-level source processes, always shaped by a [`Regulator`].
+
+use crate::{Regulator, TrafficSpec};
+use rand::Rng;
+
+/// How a source *wants* to emit; the regulator decides what it *may* emit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceModel {
+    /// Adversarial: emit as much as the regulator allows, every tick.
+    /// Greedy sources realize the worst-case sample paths that the
+    /// deterministic bounds are computed against.
+    Greedy,
+    /// Emit a burst of `burst` cells every `period` ticks, offset by
+    /// `phase`.
+    Periodic {
+        /// Ticks between bursts (must be > 0).
+        period: u64,
+        /// Desired cells per burst.
+        burst: u64,
+        /// Offset of the first burst.
+        phase: u64,
+    },
+    /// Alternate `on` ticks of greedy emission with `off` silent ticks.
+    OnOff {
+        /// Length of the greedy phase.
+        on: u64,
+        /// Length of the silent phase.
+        off: u64,
+        /// Offset into the cycle at t = 0.
+        phase: u64,
+    },
+    /// Each tick, want one cell with probability `num/den`.
+    Bernoulli {
+        /// Probability numerator.
+        num: u32,
+        /// Probability denominator (> 0).
+        den: u32,
+    },
+    /// Silent until tick `start`, then greedy. Buckets start full, so a
+    /// phased source releases its maximal burst exactly at `start` —
+    /// the building block for *coordinated* adversaries whose bursts
+    /// collide downstream (plain greedy sources all burst at t = 0 and
+    /// never meet again).
+    Phased {
+        /// First tick of greedy emission.
+        start: u64,
+    },
+}
+
+/// A stateful source bound to a traffic spec.
+#[derive(Clone, Debug)]
+pub struct CellSource {
+    model: SourceModel,
+    regulator: Regulator,
+    tick: u64,
+}
+
+impl CellSource {
+    /// Create a source whose emissions conform to `spec`.
+    pub fn new(spec: &TrafficSpec, model: SourceModel) -> CellSource {
+        if let SourceModel::Periodic { period, .. } = &model {
+            assert!(*period > 0, "Periodic source: period must be > 0");
+        }
+        if let SourceModel::Bernoulli { den, .. } = &model {
+            assert!(*den > 0, "Bernoulli source: zero denominator");
+        }
+        CellSource {
+            model,
+            regulator: Regulator::new(spec),
+            tick: 0,
+        }
+    }
+
+    /// Advance one tick and return the number of cells emitted.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        self.regulator.refill();
+        let t = self.tick;
+        self.tick += 1;
+        let want = match &self.model {
+            SourceModel::Greedy => u64::MAX,
+            SourceModel::Periodic {
+                period,
+                burst,
+                phase,
+            } => {
+                if (t + phase).is_multiple_of(*period) {
+                    *burst
+                } else {
+                    0
+                }
+            }
+            SourceModel::OnOff { on, off, phase } => {
+                let cycle = on + off;
+                if cycle == 0 || (t + phase) % cycle < *on {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            SourceModel::Bernoulli { num, den } => {
+                if rng.gen_ratio(*num, *den) {
+                    1
+                } else {
+                    0
+                }
+            }
+            SourceModel::Phased { start } => {
+                if t >= *start {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+        };
+        self.regulator.emit_up_to(want)
+    }
+
+    /// Generate a full emission trace of `ticks` ticks.
+    pub fn trace<R: Rng + ?Sized>(&mut self, ticks: usize, rng: &mut R) -> Vec<u64> {
+        (0..ticks).map(|_| self.step(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn all_models_conform() {
+        let spec = TrafficSpec::paper_source(int(2), rat(1, 3));
+        let models = [
+            SourceModel::Greedy,
+            SourceModel::Periodic {
+                period: 6,
+                burst: 2,
+                phase: 1,
+            },
+            SourceModel::OnOff {
+                on: 4,
+                off: 8,
+                phase: 0,
+            },
+            SourceModel::Bernoulli { num: 1, den: 3 },
+            SourceModel::Phased { start: 17 },
+        ];
+        for model in models {
+            let mut src = CellSource::new(&spec, model.clone());
+            let trace = src.trace(96, &mut rng());
+            assert!(spec.conforms(&trace), "model {model:?} violated its spec");
+        }
+    }
+
+    #[test]
+    fn greedy_dominates_other_models() {
+        // Greedy emits at least as much cumulative traffic as any shaped
+        // model at every prefix (it is the extremal sample path).
+        let spec = TrafficSpec::paper_source(int(3), rat(1, 2));
+        let greedy: Vec<u64> = CellSource::new(&spec, SourceModel::Greedy).trace(64, &mut rng());
+        let onoff: Vec<u64> = CellSource::new(
+            &spec,
+            SourceModel::OnOff {
+                on: 2,
+                off: 2,
+                phase: 0,
+            },
+        )
+        .trace(64, &mut rng());
+        let mut cg = 0u64;
+        let mut co = 0u64;
+        for i in 0..64 {
+            cg += greedy[i];
+            co += onoff[i];
+            assert!(cg >= co, "greedy fell behind at tick {i}");
+        }
+    }
+
+    #[test]
+    fn periodic_respects_phase() {
+        let spec = TrafficSpec::token_bucket(int(10), int(1));
+        let mut src = CellSource::new(
+            &spec,
+            SourceModel::Periodic {
+                period: 4,
+                burst: 2,
+                phase: 0,
+            },
+        );
+        let trace = src.trace(12, &mut rng());
+        assert_eq!(trace[0], 2);
+        assert_eq!(trace[1], 0);
+        assert_eq!(trace[4], 2);
+    }
+
+    #[test]
+    fn phased_bursts_at_start() {
+        let spec = TrafficSpec::token_bucket(int(4), rat(1, 8));
+        let mut src = CellSource::new(&spec, SourceModel::Phased { start: 10 });
+        let trace = src.trace(16, &mut rng());
+        assert!(trace[..10].iter().all(|&c| c == 0), "silent before start");
+        assert_eq!(trace[10], 4, "full bucket released at start");
+        assert!(spec.conforms(&trace));
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let spec = TrafficSpec::token_bucket(int(1000), int(1));
+        let mut src = CellSource::new(&spec, SourceModel::Bernoulli { num: 1, den: 4 });
+        let total: u64 = src.trace(4000, &mut rng()).iter().sum();
+        assert!((800..1200).contains(&total), "total={total}");
+    }
+}

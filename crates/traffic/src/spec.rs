@@ -1,0 +1,225 @@
+//! Static traffic descriptions and their arrival curves.
+
+use dnc_curves::Curve;
+use dnc_num::Rat;
+
+/// A single `(σ, ρ)` token bucket: at most `σ + ρ·I` data in any interval
+/// of length `I`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TokenBucket {
+    /// Bucket depth (maximum burst), in cells.
+    pub sigma: Rat,
+    /// Token (sustained) rate, in cells per tick.
+    pub rho: Rat,
+}
+
+impl TokenBucket {
+    /// Create a bucket; panics on negative parameters.
+    pub fn new(sigma: Rat, rho: Rat) -> TokenBucket {
+        assert!(!sigma.is_negative(), "TokenBucket: σ < 0");
+        assert!(!rho.is_negative(), "TokenBucket: ρ < 0");
+        TokenBucket { sigma, rho }
+    }
+
+    /// The curve `γ_{σ,ρ}(t) = σ + ρ·t`.
+    pub fn curve(&self) -> Curve {
+        Curve::token_bucket(self.sigma, self.rho)
+    }
+}
+
+/// A connection's entry traffic constraint: the concave hull of one or more
+/// token buckets, optionally capped by a peak rate (the paper's sources use
+/// a single bucket with peak rate 1 — see [`TrafficSpec::paper_source`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TrafficSpec {
+    buckets: Vec<TokenBucket>,
+    peak: Option<Rat>,
+}
+
+impl TrafficSpec {
+    /// Multi-bucket spec with optional peak-rate cap.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is empty or `peak` is non-positive.
+    pub fn new(buckets: Vec<TokenBucket>, peak: Option<Rat>) -> TrafficSpec {
+        assert!(!buckets.is_empty(), "TrafficSpec: no buckets");
+        if let Some(p) = peak {
+            assert!(p.is_positive(), "TrafficSpec: peak must be positive");
+        }
+        TrafficSpec { buckets, peak }
+    }
+
+    /// Single token bucket without peak cap.
+    pub fn token_bucket(sigma: Rat, rho: Rat) -> TrafficSpec {
+        TrafficSpec::new(vec![TokenBucket::new(sigma, rho)], None)
+    }
+
+    /// The paper's source model: `b(I) = min{ I, σ + ρ·I }` — one token
+    /// bucket behind a unit-peak-rate link.
+    pub fn paper_source(sigma: Rat, rho: Rat) -> TrafficSpec {
+        TrafficSpec::new(vec![TokenBucket::new(sigma, rho)], Some(Rat::ONE))
+    }
+
+    /// The IETF IntServ TSpec: maximum packet burst `m`, peak rate `p`,
+    /// sustained rate `r`, bucket depth `b` — arrival curve
+    /// `min{ m + p·t, b + r·t }` (RFC 2212's traffic envelope, the
+    /// descriptor a Guaranteed-Service admission test receives).
+    ///
+    /// # Panics
+    /// Panics unless `p >= r` and all parameters are non-negative.
+    pub fn tspec(m: Rat, p: Rat, r: Rat, b: Rat) -> TrafficSpec {
+        assert!(p >= r, "TSpec: peak rate below sustained rate");
+        TrafficSpec::new(
+            vec![TokenBucket::new(m, p), TokenBucket::new(b, r)],
+            None,
+        )
+    }
+
+    /// The component buckets.
+    pub fn buckets(&self) -> &[TokenBucket] {
+        &self.buckets
+    }
+
+    /// The peak-rate cap, if any.
+    pub fn peak(&self) -> Option<Rat> {
+        self.peak
+    }
+
+    /// Sustained rate: the minimum bucket rate (the binding long-term one).
+    pub fn sustained_rate(&self) -> Rat {
+        self.buckets
+            .iter()
+            .map(|b| b.rho)
+            .min()
+            .expect("non-empty buckets")
+    }
+
+    /// Worst-case instantaneous burst: `α(0⁺)`; zero under a peak cap.
+    pub fn burst(&self) -> Rat {
+        if self.peak.is_some() {
+            Rat::ZERO
+        } else {
+            self.buckets
+                .iter()
+                .map(|b| b.sigma)
+                .min()
+                .expect("non-empty buckets")
+        }
+    }
+
+    /// The arrival curve: `min_i γ_{σ_i,ρ_i}` intersected with `p·t`.
+    pub fn arrival_curve(&self) -> Curve {
+        let hull = Curve::multi_token_bucket(
+            &self
+                .buckets
+                .iter()
+                .map(|b| (b.sigma, b.rho))
+                .collect::<Vec<_>>(),
+        );
+        match self.peak {
+            Some(p) => hull.min(&Curve::rate(p)),
+            None => hull,
+        }
+    }
+
+    /// Check a cumulative cell-count trace (`counts[t]` = cells emitted in
+    /// tick `t`) against the constraint: every window `[s, s+I)` must carry
+    /// at most `α(I)` cells, with the convention that a window of `I` ticks
+    /// has fluid length `I`.
+    ///
+    /// Used by tests to certify that simulated sources conform.
+    pub fn conforms(&self, counts: &[u64]) -> bool {
+        let alpha = self.arrival_curve();
+        let n = counts.len();
+        let mut prefix = vec![0u64; n + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + c;
+        }
+        for s in 0..n {
+            for e in (s + 1)..=n {
+                let got = Rat::from((prefix[e] - prefix[s]) as i64);
+                let allowed = alpha.eval(Rat::from((e - s) as i64));
+                if got > allowed {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn paper_source_curve() {
+        let s = TrafficSpec::paper_source(int(1), rat(1, 4));
+        assert_eq!(
+            s.arrival_curve(),
+            Curve::token_bucket_peak(int(1), rat(1, 4), int(1))
+        );
+        assert_eq!(s.sustained_rate(), rat(1, 4));
+        assert_eq!(s.burst(), int(0));
+    }
+
+    #[test]
+    fn multi_bucket_hull() {
+        let s = TrafficSpec::new(
+            vec![
+                TokenBucket::new(int(10), rat(1, 4)),
+                TokenBucket::new(int(2), int(1)),
+            ],
+            None,
+        );
+        let c = s.arrival_curve();
+        assert!(c.is_concave());
+        assert_eq!(c.eval(int(0)), int(2));
+        assert_eq!(s.sustained_rate(), rat(1, 4));
+        assert_eq!(s.burst(), int(2));
+    }
+
+    #[test]
+    fn tspec_envelope() {
+        // m=2, p=1, r=1/4, b=8: crossover where 2 + t = 8 + t/4 -> t = 8.
+        let s = TrafficSpec::tspec(int(2), int(1), rat(1, 4), int(8));
+        let c = s.arrival_curve();
+        assert!(c.is_concave());
+        assert_eq!(c.eval(int(0)), int(2));
+        assert_eq!(c.eval(int(4)), int(6));
+        assert_eq!(c.eval(int(8)), int(10));
+        assert_eq!(c.eval(int(12)), int(11));
+        assert_eq!(s.sustained_rate(), rat(1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak rate below sustained")]
+    fn tspec_rejects_inverted_rates() {
+        let _ = TrafficSpec::tspec(int(1), rat(1, 8), rat(1, 4), int(4));
+    }
+
+    #[test]
+    fn conforms_accepts_greedy_shape() {
+        // σ=2, ρ=1/2, peak 1: greedy = 2 back-to-back cells then 1 every
+        // other tick.
+        let s = TrafficSpec::paper_source(int(2), rat(1, 2));
+        let counts = [1, 1, 0, 1, 0, 1, 0, 1];
+        assert!(s.conforms(&counts));
+    }
+
+    #[test]
+    fn conforms_rejects_violation() {
+        let s = TrafficSpec::paper_source(int(1), rat(1, 4));
+        // Two cells in two consecutive ticks: window I=2 allows
+        // min{2, 1 + 1/2} = 3/2 < 2.
+        let counts = [1, 1];
+        assert!(!s.conforms(&counts));
+    }
+
+    #[test]
+    #[should_panic(expected = "no buckets")]
+    fn empty_spec_panics() {
+        let _ = TrafficSpec::new(vec![], None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Online admission control — the paper's motivating application.
+//!
+//! A bounded-delay service receives connection requests one at a time and
+//! admits a request only if the delay analysis certifies every deadline
+//! (the new connection's and all previously admitted ones). A tighter
+//! analysis admits more connections; this example counts how many
+//! identical requests each algorithm accepts on the same network.
+//!
+//! ```sh
+//! cargo run -p dnc-examples --example admission_control
+//! ```
+
+use dnc_core::admission::{try_admit, Deadline};
+use dnc_core::{decomposed::Decomposed, integrated::Integrated, DelayAnalysis};
+use dnc_net::{Flow, Network, Server};
+use dnc_num::{int, rat, Rat};
+use dnc_traffic::TrafficSpec;
+
+/// Empty 4-hop backbone.
+fn backbone() -> (Network, Vec<dnc_net::ServerId>) {
+    let mut net = Network::new();
+    let servers = (0..4)
+        .map(|i| net.add_server(Server::unit_fifo(format!("hop{i}"))))
+        .collect();
+    (net, servers)
+}
+
+fn admitted_connections(analysis: &dyn DelayAnalysis, deadline: Rat) -> usize {
+    let (mut net, servers) = backbone();
+    let mut deadlines: Vec<Deadline> = Vec::new();
+    let mut count = 0usize;
+    loop {
+        let candidate = Flow {
+            name: format!("conn{count}"),
+            spec: TrafficSpec::paper_source(int(1), rat(1, 32)),
+            route: servers.clone(),
+            priority: 0,
+        };
+        match try_admit(&net, candidate, deadline, &deadlines, analysis)
+            .expect("analysis failure")
+        {
+            Some((updated, id)) => {
+                net = updated;
+                deadlines.push(Deadline { flow: id, deadline });
+                count += 1;
+                if count > 64 {
+                    break; // safety stop
+                }
+            }
+            None => break,
+        }
+    }
+    count
+}
+
+fn main() {
+    println!("identical requests: σ=1, ρ=1/32 across a 4-hop unit-rate backbone");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "deadline", "decomposed", "integrated"
+    );
+    for dl in [6i64, 10, 16, 24] {
+        let d = admitted_connections(&Decomposed::paper(), int(dl));
+        let i = admitted_connections(&Integrated::paper(), int(dl));
+        println!("{:>10} {:>12} {:>12}", dl, d, i);
+        assert!(i >= d, "a tighter analysis can never admit fewer");
+    }
+    println!("\nintegrated admits the same or more connections at every deadline —");
+    println!("the paper's effectiveness claim, measured as carried load.");
+}

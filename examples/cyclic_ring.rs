@@ -1,0 +1,87 @@
+//! Cyclic networks — the paper's announced future work, handled with
+//! Cruz's time-stopping fixed point.
+//!
+//! The feedforward algorithms reject rings outright (a connection's local
+//! delay feeds back into itself through the other connections). The
+//! time-stopping iteration instead grows per-hop delay estimates
+//! monotonically until they fix-point (a valid bound) or run away (the
+//! method's stability region is exceeded — reported honestly, not as a
+//! bound).
+//!
+//! ```sh
+//! cargo run -p dnc-examples --example cyclic_ring
+//! ```
+
+use dnc_core::cyclic::TimeStopping;
+use dnc_core::{decomposed::Decomposed, DelayAnalysis};
+use dnc_net::builders::ring;
+use dnc_num::{int, rat, Rat};
+use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_traffic::TrafficSpec;
+
+fn main() {
+    let spec = TrafficSpec::paper_source(int(2), rat(1, 8));
+    let (net, flows, _) = ring(4, 2, &spec);
+
+    println!("4-server ring, four 2-hop connections wrapping around:");
+    match Decomposed::paper().analyze(&net) {
+        Err(e) => println!("  decomposed rejects it: {e}"),
+        Ok(_) => unreachable!("rings are cyclic"),
+    }
+
+    let r = TimeStopping::default().analyze(&net).expect("stable ring");
+    println!(
+        "  time-stopping converged after {} iterations:",
+        r.iterations
+    );
+    for f in &r.report.flows {
+        println!("    {:<4} {:>10} = {:.4} ticks", f.name, f.e2e.to_string(), f.e2e.to_f64());
+    }
+
+    // Feedback strength experiment: the fixed point exists only while the
+    // burst amplification around the cycle stays below one. Full-circle
+    // flows on a 5-ring amplify by ρ·n(n−1)/2.
+    println!("\nfeedback-strength sweep (5-ring, full-circumference flows):");
+    for rho_num in [1i128, 2, 3, 4] {
+        let rho = Rat::new(rho_num, 20);
+        let spec = TrafficSpec::token_bucket(int(2), rho);
+        let (net5, _, _) = ring(5, 5, &spec);
+        let label = format!("ρ = {rho} (amplification {})", rho * int(10));
+        let ts = TimeStopping {
+            max_iters: 48,
+            ..TimeStopping::default()
+        };
+        match ts.analyze(&net5) {
+            Ok(rep) if rep.converged => println!(
+                "  {label:<32} converged in {:>2} iterations, bound {:.2}",
+                rep.iterations,
+                rep.report.flows[0].e2e.to_f64()
+            ),
+            Ok(rep) => println!(
+                "  {label:<32} DID NOT converge ({} iterations)",
+                rep.iterations
+            ),
+            Err(e) => println!("  {label:<32} diverged: {e}"),
+        }
+    }
+
+    // Empirical check on the converged ring.
+    let sim = simulate(
+        &net,
+        &all_greedy(&net),
+        &SimConfig {
+            ticks: 8192,
+            ..SimConfig::default()
+        },
+    );
+    println!("\ngreedy simulation of the 4-ring (8192 ticks):");
+    for &f in &flows {
+        println!(
+            "  {:<4} observed max {:>3} ticks (bound {:.3})",
+            r.report.flows[f.0].name,
+            sim.flows[f.0].max_delay,
+            r.report.bound(f).to_f64()
+        );
+        assert!(sim.max_delay(f.0) <= r.report.bound(f) + Rat::TWO);
+    }
+}

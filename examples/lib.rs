@@ -1,0 +1,2 @@
+//! Placeholder library target; the content of this package is its
+//! examples (`cargo run -p dnc-examples --example quickstart`).

@@ -1,0 +1,121 @@
+//! A realistic bounded-delay workload: interactive video conferencing
+//! over a metro aggregation network — the class of applications the
+//! paper's introduction motivates ("a communication service with
+//! deterministically bounded delays for all packets in a connection").
+//!
+//! Three site-to-site video connections (bursty, multi-bucket constrained)
+//! share an aggregation tree with best-effort-style bulk transfers. The
+//! example computes deterministic delay bounds per connection, checks the
+//! 150-tick interactivity budget, and cross-checks with a randomized
+//! simulation.
+//!
+//! ```sh
+//! cargo run -p dnc-examples --example video_conferencing
+//! ```
+
+use dnc_core::{decomposed::Decomposed, integrated::Integrated, DelayAnalysis};
+use dnc_net::{Discipline, Flow, Network, Server};
+use dnc_num::{int, rat, Rat};
+use dnc_sim::{simulate, SimConfig};
+use dnc_traffic::{SourceModel, TokenBucket, TrafficSpec};
+
+fn main() {
+    // Topology: two access switches feed a metro core link, which feeds a
+    // head-end distribution link. Unit = one ATM-style cell time.
+    let mut net = Network::new();
+    let access_a = net.add_server(Server::unit_fifo("access-A"));
+    let access_b = net.add_server(Server::unit_fifo("access-B"));
+    let core = net.add_server(Server {
+        name: "metro-core".into(),
+        rate: Rat::from(2), // 2 cells/tick trunk
+        discipline: Discipline::Fifo,
+    });
+    let headend = net.add_server(Server::unit_fifo("head-end"));
+
+    // Video: I-frame bursts constrained by a dual token bucket
+    // (short-term burst 12 cells @ rate 1/3, long-term rate 1/8), peak 1.
+    let video_spec = TrafficSpec::new(
+        vec![
+            TokenBucket::new(int(12), rat(1, 8)),
+            TokenBucket::new(int(4), rat(1, 3)),
+        ],
+        Some(Rat::ONE),
+    );
+    // Bulk transfers: deep buckets, low urgency.
+    let bulk_spec = TrafficSpec::paper_source(int(20), rat(1, 4));
+
+    let mut add = |name: &str, spec: &TrafficSpec, route: Vec<dnc_net::ServerId>| {
+        net.add_flow(Flow {
+            name: name.into(),
+            spec: spec.clone(),
+            route,
+            priority: 0,
+        })
+        .expect("valid route")
+    };
+
+    let video1 = add("video-A1", &video_spec, vec![access_a, core, headend]);
+    let video2 = add("video-A2", &video_spec, vec![access_a, core, headend]);
+    let video3 = add("video-B1", &video_spec, vec![access_b, core, headend]);
+    let _bulk1 = add("bulk-A", &bulk_spec, vec![access_a, core]);
+    let _bulk2 = add("bulk-B", &bulk_spec, vec![access_b, core, headend]);
+
+    let budget = int(150);
+    println!("interactivity budget: {budget} ticks\n");
+    for alg in [&Decomposed::paper() as &dyn DelayAnalysis, &Integrated::paper()] {
+        let report = alg.analyze(&net).expect("analysis succeeds");
+        println!("[{}]", alg.name());
+        for id in [video1, video2, video3] {
+            let b = report.bound(id);
+            println!(
+                "  {:<10} bound {:>10.4} ticks  {}",
+                report.flows[id.0].name,
+                b.to_f64(),
+                if b <= budget { "MEETS budget" } else { "MISSES budget" }
+            );
+        }
+        println!();
+    }
+
+    // Empirical sanity check under randomized (conforming) traffic.
+    let models: Vec<SourceModel> = net
+        .flows()
+        .iter()
+        .map(|f| {
+            if f.name.starts_with("video") {
+                SourceModel::OnOff {
+                    on: 12,
+                    off: 36,
+                    phase: 0,
+                }
+            } else {
+                SourceModel::Greedy
+            }
+        })
+        .collect();
+    let sim = simulate(
+        &net,
+        &models,
+        &SimConfig {
+            ticks: 20_000,
+            seed: 11,
+            histogram_buckets: 512,
+            ..SimConfig::default()
+        },
+    );
+    let integrated = Integrated::paper().analyze(&net).unwrap();
+    println!("simulated (on-off video, greedy bulk), 20k ticks:");
+    for id in [video1, video2, video3] {
+        let s = &sim.flows[id.0];
+        println!(
+            "  {:<10} delivered {:>6}  max {:>4}  mean {:>7.3}  p99 {:>4}  (bound {:.3})",
+            integrated.flows[id.0].name,
+            s.delivered,
+            s.max_delay,
+            s.mean_delay().to_f64(),
+            s.quantile(rat(99, 100)),
+            integrated.flows[id.0].e2e.to_f64(),
+        );
+        assert!(Rat::from(s.max_delay as i64) <= integrated.flows[id.0].e2e);
+    }
+}

@@ -1,0 +1,2 @@
+//! Placeholder library target; the content of this package is its
+//! integration tests (`cargo test -p dnc-tests`).

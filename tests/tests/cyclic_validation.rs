@@ -1,0 +1,79 @@
+//! Time-stopping (cyclic-network) analysis validated against simulation.
+
+use dnc_core::cyclic::TimeStopping;
+use dnc_net::builders::ring;
+use dnc_num::{int, rat, Rat};
+use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_traffic::{SourceModel, TrafficSpec};
+
+#[test]
+fn ring_simulation_below_time_stopping_bounds() {
+    for (sigma, rho) in [(1i64, rat(1, 8)), (3, rat(1, 8)), (2, rat(3, 16))] {
+        let spec = TrafficSpec::paper_source(int(sigma), rho);
+        let (net, flows, _) = ring(4, 2, &spec);
+        let r = TimeStopping::default().analyze(&net).unwrap();
+        assert!(r.converged, "σ={sigma} ρ={rho} must converge");
+        let sim = simulate(
+            &net,
+            &all_greedy(&net),
+            &SimConfig {
+                ticks: 8192,
+                ..SimConfig::default()
+            },
+        );
+        for &f in &flows {
+            // The cyclic simulator processes servers in id order, so a
+            // wrapped route pays up to one extra tick per backward edge
+            // that the fluid bound does not model: allow that slack.
+            let slack = Rat::from(2);
+            assert!(
+                sim.max_delay(f.0) <= r.report.bound(f) + slack,
+                "flow {f}: sim {} > bound {}",
+                sim.flows[f.0].max_delay,
+                r.report.bound(f)
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_randomized_workloads_below_bounds() {
+    let spec = TrafficSpec::paper_source(int(2), rat(1, 8));
+    let (net, flows, _) = ring(5, 2, &spec);
+    let r = TimeStopping::default().analyze(&net).unwrap();
+    assert!(r.converged);
+    let models = vec![
+        SourceModel::OnOff {
+            on: 6,
+            off: 10,
+            phase: 2
+        };
+        net.flows().len()
+    ];
+    for seed in [3u64, 17, 99] {
+        let sim = simulate(
+            &net,
+            &models,
+            &SimConfig {
+                ticks: 4096,
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        for &f in &flows {
+            assert!(sim.max_delay(f.0) <= r.report.bound(f) + Rat::from(2));
+        }
+    }
+}
+
+#[test]
+fn time_stopping_iterations_grow_with_feedback_strength() {
+    let light = TimeStopping::default()
+        .analyze(&ring(4, 2, &TrafficSpec::paper_source(int(1), rat(1, 16))).0)
+        .unwrap();
+    let heavy = TimeStopping::default()
+        .analyze(&ring(4, 2, &TrafficSpec::paper_source(int(4), rat(3, 16))).0)
+        .unwrap();
+    assert!(light.converged && heavy.converged);
+    assert!(heavy.iterations >= light.iterations);
+}

@@ -1,0 +1,189 @@
+//! EDF discipline validation: schedulability ⇒ every simulated cell
+//! meets its local deadline, and analysis bounds dominate simulation.
+
+use dnc_core::edf::assign_even_deadlines;
+use dnc_core::{decomposed::Decomposed, DelayAnalysis};
+use dnc_net::{Discipline, Flow, FlowId, Network, Server, ServerId};
+use dnc_num::{int, rat, Rat};
+use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_traffic::TrafficSpec;
+
+fn edf_server_net(
+    flows: &[(TrafficSpec, Rat)], // (spec, local deadline)
+) -> (Network, Vec<FlowId>, ServerId) {
+    let mut net = Network::new();
+    let s = net.add_server(Server {
+        name: "edf".into(),
+        rate: Rat::ONE,
+        discipline: Discipline::Edf,
+    });
+    let ids: Vec<FlowId> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, (spec, d))| {
+            let f = net
+                .add_flow(Flow {
+                    name: format!("f{i}"),
+                    spec: spec.clone(),
+                    route: vec![s],
+                    priority: 0,
+                })
+                .unwrap();
+            net.set_local_deadline(f, s, *d);
+            f
+        })
+        .collect();
+    (net, ids, s)
+}
+
+#[test]
+fn schedulable_edf_meets_deadlines_in_simulation() {
+    let (net, flows, _) = edf_server_net(&[
+        (TrafficSpec::paper_source(int(1), rat(1, 8)), int(3)),
+        (TrafficSpec::paper_source(int(3), rat(1, 4)), int(10)),
+        (TrafficSpec::paper_source(int(2), rat(1, 8)), int(16)),
+    ]);
+    let bounds = Decomposed::paper().analyze(&net).unwrap();
+    let sim = simulate(
+        &net,
+        &all_greedy(&net),
+        &SimConfig {
+            ticks: 8192,
+            ..SimConfig::default()
+        },
+    );
+    for &f in &flows {
+        // The cell engine quantizes service to whole cells per tick;
+        // allow one tick beyond the fluid deadline.
+        assert!(
+            sim.max_delay(f.0) <= bounds.bound(f) + Rat::ONE,
+            "flow {f}: sim {} > deadline {}",
+            sim.flows[f.0].max_delay,
+            bounds.bound(f)
+        );
+        assert!(sim.flows[f.0].delivered > 0);
+    }
+}
+
+#[test]
+fn edf_reorders_in_favor_of_tight_deadlines() {
+    // Same traffic, swapped deadlines: the tight-deadline flow's observed
+    // worst case must drop.
+    let spec = TrafficSpec::paper_source(int(4), rat(1, 4));
+    let run = |d0: Rat, d1: Rat| -> (u64, u64) {
+        let (net, flows, _) =
+            edf_server_net(&[(spec.clone(), d0), (spec.clone(), d1)]);
+        let sim = simulate(
+            &net,
+            &all_greedy(&net),
+            &SimConfig {
+                ticks: 4096,
+                ..SimConfig::default()
+            },
+        );
+        (sim.flows[flows[0].0].max_delay, sim.flows[flows[1].0].max_delay)
+    };
+    let (a_tight, b_loose) = run(int(6), int(20));
+    let (a_loose, b_tight) = run(int(20), int(6));
+    assert!(a_tight < a_loose, "tight deadline must help flow 0");
+    assert!(b_tight < b_loose, "tight deadline must help flow 1");
+}
+
+#[test]
+fn edf_multihop_even_assignment_validates() {
+    let mut net = Network::new();
+    let servers: Vec<ServerId> = (0..3)
+        .map(|i| {
+            net.add_server(Server {
+                name: format!("e{i}"),
+                rate: Rat::ONE,
+                discipline: Discipline::Edf,
+            })
+        })
+        .collect();
+    let mut flows = Vec::new();
+    for k in 0..2 {
+        flows.push(
+            net.add_flow(Flow {
+                name: format!("f{k}"),
+                // Propagated bursts grow with the per-hop deadline
+                // (σ' = σ + ρ·D·hops), so the sustained rate must be low
+                // enough for an even split to stay feasible downstream
+                // (here 2·(σ + ρ·2D) ≤ D at the third hop needs ρ ≤ 1/8).
+                spec: TrafficSpec::paper_source(int(2), rat(1, 8)),
+                route: servers.clone(),
+                priority: 0,
+            })
+            .unwrap(),
+        );
+    }
+    let e2e: Vec<(FlowId, Rat)> = flows.iter().map(|&f| (f, int(30))).collect();
+    assign_even_deadlines(&mut net, &e2e);
+    net.validate().unwrap();
+    let bounds = Decomposed::paper().analyze(&net).unwrap();
+    for &f in &flows {
+        assert_eq!(bounds.bound(f), int(30));
+    }
+    let sim = simulate(
+        &net,
+        &all_greedy(&net),
+        &SimConfig {
+            ticks: 8192,
+            ..SimConfig::default()
+        },
+    );
+    for &f in &flows {
+        assert!(sim.max_delay(f.0) <= int(30) + Rat::from(3), "one tick per hop slack");
+    }
+}
+
+#[test]
+fn even_assignment_can_be_infeasible_downstream() {
+    // The flip side, kept as a regression: at ρ = 1/4 the propagated
+    // bursts outgrow ANY uniform per-hop deadline at the third hop
+    // (2·(σ + ρ·2D) ≤ D has no solution when 2ρ·2 ≥ 1).
+    let mut net = Network::new();
+    let servers: Vec<ServerId> = (0..3)
+        .map(|i| {
+            net.add_server(Server {
+                name: format!("e{i}"),
+                rate: Rat::ONE,
+                discipline: Discipline::Edf,
+            })
+        })
+        .collect();
+    let mut flows = Vec::new();
+    for k in 0..2 {
+        flows.push(
+            net.add_flow(Flow {
+                name: format!("f{k}"),
+                spec: TrafficSpec::paper_source(int(2), rat(1, 4)),
+                route: servers.clone(),
+                priority: 0,
+            })
+            .unwrap(),
+        );
+    }
+    for e2e in [12i64, 24, 48, 96] {
+        let list: Vec<(FlowId, Rat)> = flows.iter().map(|&f| (f, int(e2e))).collect();
+        assign_even_deadlines(&mut net, &list);
+        assert!(
+            Decomposed::paper().analyze(&net).is_err(),
+            "e2e={e2e} should be infeasible at the third hop"
+        );
+    }
+}
+
+#[test]
+fn edf_admits_what_fifo_cannot() {
+    // The classical EDF advantage: heterogeneous deadlines. A FIFO server
+    // gives everyone the aggregate bound; EDF certifies a 2-tick deadline
+    // for the urgent flow next to a deep-bucket neighbour.
+    let urgent = TrafficSpec::token_bucket(int(1), rat(1, 8));
+    let bulk = TrafficSpec::token_bucket(int(6), rat(1, 4));
+    let (net, flows, _) = edf_server_net(&[(urgent, int(2)), (bulk, int(30))]);
+    let r = Decomposed::paper().analyze(&net).unwrap();
+    assert_eq!(r.bound(flows[0]), int(2));
+    // FIFO aggregate bound for the same mix is the total burst: 7.
+    assert!(r.bound(flows[0]) < int(7));
+}

@@ -1,0 +1,173 @@
+//! Guaranteed-rate (GPS) validation: the paper's premise that the
+//! service-curve model is the right tool for fair-queueing disciplines,
+//! checked analytically and against simulation.
+
+use dnc_core::{
+    decomposed::Decomposed, integrated::Integrated, service_curve::ServiceCurve, DelayAnalysis,
+};
+use dnc_net::{Discipline, Flow, FlowId, Network, Server, ServerId};
+use dnc_num::{int, rat, Rat};
+use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_traffic::{SourceModel, TrafficSpec};
+
+fn gps_chain(
+    hops: usize,
+    specs: &[(TrafficSpec, Rat)],
+) -> (Network, Vec<FlowId>, Vec<ServerId>) {
+    let mut net = Network::new();
+    let servers: Vec<ServerId> = (0..hops)
+        .map(|i| {
+            net.add_server(Server {
+                name: format!("g{i}"),
+                rate: Rat::ONE,
+                discipline: Discipline::Gps,
+            })
+        })
+        .collect();
+    let flows: Vec<FlowId> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (spec, _))| {
+            net.add_flow(Flow {
+                name: format!("f{i}"),
+                spec: spec.clone(),
+                route: servers.clone(),
+                priority: 0,
+            })
+            .unwrap()
+        })
+        .collect();
+    for (f, (_, r)) in flows.iter().zip(specs) {
+        for &s in &servers {
+            net.reserve(*f, s, *r);
+        }
+    }
+    (net, flows, servers)
+}
+
+#[test]
+fn service_curve_beats_decomposition_on_every_gps_grid_point() {
+    // The inverse of the FIFO Figure 4: on guaranteed-rate chains the
+    // service-curve method wins at every size and burst level.
+    for hops in [2usize, 4, 6] {
+        for sigma in [2i64, 6, 12] {
+            let (net, flows, _) = gps_chain(
+                hops,
+                &[
+                    (TrafficSpec::paper_source(int(sigma), rat(1, 4)), rat(1, 2)),
+                    (TrafficSpec::paper_source(int(sigma), rat(1, 4)), rat(1, 2)),
+                ],
+            );
+            let sc = ServiceCurve::paper().analyze(&net).unwrap();
+            let dec = Decomposed::paper().analyze(&net).unwrap();
+            for &f in &flows {
+                assert!(
+                    sc.bound(f) <= dec.bound(f),
+                    "hops={hops} σ={sigma}: SC {} > D {}",
+                    sc.bound(f),
+                    dec.bound(f)
+                );
+            }
+            // Strictly better once there is more than one hop to pay the
+            // burst at.
+            if hops > 1 && sigma > 2 {
+                assert!(sc.bound(flows[0]) < dec.bound(flows[0]));
+            }
+        }
+    }
+}
+
+#[test]
+fn gps_simulation_below_all_bounds() {
+    let (net, flows, _) = gps_chain(
+        3,
+        &[
+            (TrafficSpec::paper_source(int(4), rat(1, 4)), rat(3, 8)),
+            (TrafficSpec::paper_source(int(2), rat(1, 4)), rat(3, 8)),
+        ],
+    );
+    let sc = ServiceCurve::paper().analyze(&net).unwrap();
+    let dec = Decomposed::paper().analyze(&net).unwrap();
+    let int_ = Integrated::paper().analyze(&net).unwrap();
+    let cfg = SimConfig {
+        ticks: 8192,
+        ..SimConfig::default()
+    };
+    let greedy = simulate(&net, &all_greedy(&net), &cfg);
+    let onoff = simulate(
+        &net,
+        &vec![SourceModel::OnOff { on: 5, off: 7, phase: 1 }; net.flows().len()],
+        &cfg,
+    );
+    for &f in &flows {
+        let worst = greedy.flows[f.0].max_delay.max(onoff.flows[f.0].max_delay);
+        for report in [&sc, &dec, &int_] {
+            assert!(
+                Rat::from(worst as i64) <= report.bound(f),
+                "flow {f}: sim {} > {} bound {}",
+                worst,
+                report.algorithm,
+                report.bound(f)
+            );
+        }
+    }
+}
+
+#[test]
+fn gps_isolates_flows_from_each_other() {
+    // Growing a neighbour's burst must not change a flow's own bound
+    // (per-flow curves decouple) — unlike FIFO where it would.
+    let bound_with_neighbour_burst = |sigma_other: i64| -> Rat {
+        let (net, flows, _) = gps_chain(
+            2,
+            &[
+                (TrafficSpec::paper_source(int(2), rat(1, 4)), rat(1, 2)),
+                (
+                    TrafficSpec::paper_source(int(sigma_other), rat(1, 4)),
+                    rat(1, 2),
+                ),
+            ],
+        );
+        ServiceCurve::paper().analyze(&net).unwrap().bound(flows[0])
+    };
+    assert_eq!(bound_with_neighbour_burst(1), bound_with_neighbour_burst(30));
+}
+
+#[test]
+fn mixed_fifo_gps_network_analyzes() {
+    // A FIFO access link feeding a GPS core: both analyses compose.
+    let mut net = Network::new();
+    let access = net.add_server(Server::unit_fifo("access"));
+    let core = net.add_server(Server {
+        name: "core".into(),
+        rate: Rat::from(2),
+        discipline: Discipline::Gps,
+    });
+    let mut flows = Vec::new();
+    for k in 0..2 {
+        let f = net
+            .add_flow(Flow {
+                name: format!("f{k}"),
+                spec: TrafficSpec::paper_source(int(2), rat(1, 4)),
+                route: vec![access, core],
+                priority: 0,
+            })
+            .unwrap();
+        net.reserve(f, core, rat(3, 4));
+        flows.push(f);
+    }
+    let dec = Decomposed::paper().analyze(&net).unwrap();
+    let int_ = Integrated::paper().analyze(&net).unwrap();
+    let sim = simulate(
+        &net,
+        &all_greedy(&net),
+        &SimConfig {
+            ticks: 4096,
+            ..SimConfig::default()
+        },
+    );
+    for &f in &flows {
+        assert!(int_.bound(f) <= dec.bound(f));
+        assert!(sim.max_delay(f.0) <= int_.bound(f));
+    }
+}

@@ -1,0 +1,138 @@
+//! Validate the paper's Section-2 lemmas against the cell-level
+//! simulator: two fully independent implementations of the same fluid
+//! facts must agree up to cell quantization.
+
+use dnc_core::exact;
+use dnc_curves::Curve;
+use dnc_net::builders::{tandem, two_server, TandemOptions};
+use dnc_num::{int, rat, Rat};
+use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_traffic::TrafficSpec;
+
+/// Discrete Reich recursion: `W[t] = min(G[t], W[t-1] + C)` (unit-rate
+/// servers serve whole cells, so `C` must be integral here).
+fn discrete_reich(arrivals_cum: &[u64], c: u64) -> Vec<u64> {
+    let mut w = Vec::with_capacity(arrivals_cum.len());
+    let mut last = 0u64;
+    for &g in arrivals_cum {
+        let v = g.min(last + c);
+        w.push(v);
+        last = v;
+    }
+    w
+}
+
+#[test]
+fn lemma1_output_function_matches_simulator() {
+    // Trace the first middle link of a loaded tandem and compare its
+    // departure process with Reich's formula applied to its arrival
+    // process. The simulator banks at most one tick of credit, so the
+    // discrete recursion must match exactly for a unit-rate server.
+    let t = tandem(2, Rat::from(3), rat(3, 16), TandemOptions::default());
+    let cfg = SimConfig {
+        ticks: 512,
+        trace_server: Some(t.middle[0].0),
+        ..SimConfig::default()
+    };
+    let report = simulate(&t.net, &all_greedy(&t.net), &cfg);
+    let trace = report.trace.expect("trace recorded");
+    let predicted = discrete_reich(&trace.arrivals, 1);
+    for (tick, (obs, pred)) in trace.departures.iter().zip(predicted.iter()).enumerate() {
+        assert_eq!(
+            obs, pred,
+            "tick {tick}: simulator departed {obs}, Reich predicts {pred}"
+        );
+    }
+}
+
+#[test]
+fn lemma1_holds_on_second_hop_too() {
+    // The second middle link's arrivals are *network-internal* (outputs of
+    // the first link plus fresh cross traffic) — Lemma 1 is agnostic.
+    let t = tandem(3, Rat::from(2), rat(1, 8), TandemOptions::default());
+    let cfg = SimConfig {
+        ticks: 512,
+        trace_server: Some(t.middle[1].0),
+        ..SimConfig::default()
+    };
+    let report = simulate(&t.net, &all_greedy(&t.net), &cfg);
+    let trace = report.trace.expect("trace recorded");
+    let predicted = discrete_reich(&trace.arrivals, 1);
+    assert_eq!(trace.departures, predicted);
+}
+
+#[test]
+fn exact_fluid_vs_cell_sim_two_server() {
+    // The fluid oracle (Lemmas 1-4 on greedy sample paths) and the cell
+    // simulator measure the same scenario; the cell version can only be
+    // at or below the fluid worst case, and within a few cells of it.
+    let s12 = [TrafficSpec::paper_source(int(6), rat(1, 8))];
+    let s1 = [TrafficSpec::paper_source(int(4), rat(1, 8))];
+    let s2 = [TrafficSpec::paper_source(int(5), rat(1, 8))];
+    let agg = |sp: &[TrafficSpec]| {
+        sp.iter()
+            .map(|s| s.arrival_curve())
+            .reduce(|a, b| a.add(&b))
+            .unwrap_or_else(Curve::zero)
+    };
+    let scenario = exact::TwoServerScenario {
+        a12: agg(&s12),
+        a1: agg(&s1),
+        a2: agg(&s2),
+        c1: Rat::ONE,
+        c2: Rat::ONE,
+    };
+    let fluid = scenario.max_s12_delay(128);
+
+    let (net, _, _, f12_ids, _, _) = two_server(Rat::ONE, Rat::ONE, &s12, &s1, &s2);
+    let sim = simulate(
+        &net,
+        &all_greedy(&net),
+        &SimConfig {
+            ticks: 4096,
+            ..SimConfig::default()
+        },
+    );
+    let cell_max = f12_ids
+        .iter()
+        .map(|id| sim.flows[id.0].max_delay)
+        .max()
+        .unwrap();
+
+    assert!(
+        Rat::from(cell_max as i64) <= fluid + Rat::ONE,
+        "cell sim {cell_max} above fluid worst case {fluid}"
+    );
+    assert!(
+        Rat::from(cell_max as i64) + Rat::from(4) >= fluid,
+        "cell sim {cell_max} too far below fluid {fluid}"
+    );
+}
+
+#[test]
+fn per_server_sojourn_below_local_bound() {
+    use dnc_core::{decomposed::Decomposed, DelayAnalysis};
+    // Each server's observed worst sojourn must stay below the decomposed
+    // local delay bound for that server.
+    let t = tandem(4, Rat::from(2), rat(3, 16), TandemOptions::default());
+    let report = Decomposed::paper().analyze(&t.net).unwrap();
+    let sim = simulate(
+        &t.net,
+        &all_greedy(&t.net),
+        &SimConfig {
+            ticks: 8192,
+            ..SimConfig::default()
+        },
+    );
+    // Collect each server's local bound from Connection 0's stages (it
+    // traverses every middle link).
+    let conn0 = &report.flows[t.conn0.0];
+    for (hop, (label, bound)) in conn0.stages.iter().enumerate() {
+        let sid = t.middle[hop];
+        let observed = sim.servers[sid.0].max_sojourn;
+        assert!(
+            Rat::from(observed as i64) <= *bound,
+            "server {label}: sojourn {observed} > local bound {bound}"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulation-vs-analysis validation: every observed delay of every
+//! conforming workload must stay below every analytic bound, on the
+//! tandem and on randomized feedforward networks.
+
+use dnc_core::{decomposed::Decomposed, integrated::Integrated, DelayAnalysis};
+use dnc_net::builders::{random_feedforward, tandem, TandemOptions};
+use dnc_num::{rat, Rat};
+use dnc_sim::{all_greedy, batch, simulate, SimConfig};
+use dnc_traffic::SourceModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(ticks: u64) -> SimConfig {
+    SimConfig {
+        ticks,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn tandem_greedy_below_integrated_bound() {
+    for n in [2usize, 4, 8] {
+        for u in [rat(3, 10), rat(3, 5), rat(9, 10)] {
+            let t = tandem(n, Rat::ONE, u / Rat::from(4), TandemOptions::default());
+            let sim = simulate(&t.net, &all_greedy(&t.net), &cfg(8192));
+            let bound = Integrated::paper().analyze(&t.net).unwrap();
+            for (i, f) in bound.flows.iter().enumerate() {
+                assert!(
+                    sim.max_delay(i) <= f.e2e,
+                    "n={n} U={u} flow {}: sim {} > integrated {}",
+                    f.name,
+                    sim.flows[i].max_delay,
+                    f.e2e
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tandem_randomized_workloads_below_bounds() {
+    let t = tandem(4, Rat::ONE, rat(3, 16), TandemOptions::default());
+    let bound = Integrated::paper().analyze(&t.net).unwrap();
+    let model_sets: Vec<Vec<SourceModel>> = vec![
+        vec![SourceModel::OnOff { on: 4, off: 4, phase: 1 }; t.net.flows().len()],
+        vec![SourceModel::Bernoulli { num: 2, den: 5 }; t.net.flows().len()],
+        vec![
+            SourceModel::Periodic {
+                period: 5,
+                burst: 2,
+                phase: 2
+            };
+            t.net.flows().len()
+        ],
+    ];
+    for models in model_sets {
+        let reports = batch::seed_sweep(&t.net, &models, &cfg(4096), &[1, 7, 13], 3);
+        for (i, f) in bound.flows.iter().enumerate() {
+            let worst = batch::worst_delay(&reports, i);
+            assert!(
+                Rat::from(worst as i64) <= f.e2e,
+                "flow {}: worst {} > bound {}",
+                f.name,
+                worst,
+                f.e2e
+            );
+        }
+    }
+}
+
+#[test]
+fn random_feedforward_networks_validate() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for trial in 0..10 {
+        let net = random_feedforward(&mut rng, 6, 9, 4, rat(4, 5), true);
+        let dd = Decomposed::paper().analyze(&net).unwrap();
+        let di = Integrated::paper().analyze(&net).unwrap();
+        let sim = simulate(&net, &all_greedy(&net), &cfg(4096));
+        for i in 0..net.flows().len() {
+            assert!(
+                di.flows[i].e2e <= dd.flows[i].e2e,
+                "trial {trial}: integrated above decomposed for {}",
+                net.flows()[i].name
+            );
+            assert!(
+                sim.max_delay(i) <= di.flows[i].e2e,
+                "trial {trial}: sim {} > integrated {} for {}",
+                sim.flows[i].max_delay,
+                di.flows[i].e2e,
+                net.flows()[i].name
+            );
+        }
+    }
+}
+
+#[test]
+fn random_feedforward_uncapped_validate() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..6 {
+        let net = random_feedforward(&mut rng, 5, 7, 3, rat(3, 4), false);
+        let dd = Decomposed::paper().analyze(&net).unwrap();
+        let sim = simulate(&net, &all_greedy(&net), &cfg(4096));
+        for i in 0..net.flows().len() {
+            assert!(sim.max_delay(i) <= dd.flows[i].e2e);
+        }
+    }
+}
+
+#[test]
+fn backlog_bounds_dominate_simulated_queues() {
+    use dnc_core::decomposed::backlog_bounds;
+    use dnc_core::OutputCap;
+    for u in [rat(2, 5), rat(4, 5)] {
+        let t = tandem(4, Rat::from(2), u / Rat::from(4), TandemOptions::default());
+        let bounds = backlog_bounds(&t.net, OutputCap::Shift).unwrap();
+        let sim = simulate(&t.net, &all_greedy(&t.net), &cfg(8192));
+        for (i, s) in sim.servers.iter().enumerate() {
+            assert!(
+                Rat::from(s.max_backlog as i64) <= bounds[i] + Rat::ONE,
+                "U={u} server {i}: backlog {} > bound {}",
+                s.max_backlog,
+                bounds[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn fifo_family_bounds_dominate_simulation() {
+    use dnc_core::fifo_family::FifoFamily;
+    for n in [2usize, 4] {
+        for u in [rat(2, 5), rat(4, 5)] {
+            let t = tandem(n, Rat::ONE, u / Rat::from(4), TandemOptions::default());
+            let bound = FifoFamily::default().analyze(&t.net).unwrap();
+            let sim = simulate(&t.net, &all_greedy(&t.net), &cfg(8192));
+            for (i, f) in bound.flows.iter().enumerate() {
+                assert!(
+                    sim.max_delay(i) <= f.e2e,
+                    "n={n} U={u} flow {}: sim {} > fifo-family {}",
+                    f.name,
+                    sim.flows[i].max_delay,
+                    f.e2e
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn phased_adversaries_stay_below_bounds_and_beat_plain_greedy() {
+    // Coordinated adversaries: cross connections delay their initial
+    // burst so it collides with Connection 0's traffic in flight. Over a
+    // grid of stagger patterns, the worst observed delay must grow
+    // relative to the all-at-zero greedy pattern while staying below the
+    // integrated bound.
+    let t = tandem(4, Rat::from(4), rat(3, 16), TandemOptions::default());
+    let bound = Integrated::paper().analyze(&t.net).unwrap();
+    let greedy_run = simulate(&t.net, &all_greedy(&t.net), &cfg(4096));
+    let base = greedy_run.flows[t.conn0.0].max_delay;
+
+    let mut worst = base;
+    for stagger in [2u64, 4, 8, 16] {
+        // Cross connections at hop k burst at k·stagger; Connection 0
+        // stays greedy from t = 0.
+        let models: Vec<SourceModel> = t
+            .net
+            .flows()
+            .iter()
+            .map(|f| {
+                if f.name == "conn0" {
+                    SourceModel::Greedy
+                } else {
+                    let hop = f.route[0].0 as u64;
+                    SourceModel::Phased {
+                        start: hop * stagger,
+                    }
+                }
+            })
+            .collect();
+        let run = simulate(&t.net, &models, &cfg(4096));
+        let observed = run.flows[t.conn0.0].max_delay;
+        worst = worst.max(observed);
+        assert!(
+            run.flows
+                .iter()
+                .zip(bound.flows.iter())
+                .all(|(s, b)| Rat::from(s.max_delay as i64) <= b.e2e),
+            "stagger {stagger}: a phased adversary broke a bound"
+        );
+    }
+    assert!(
+        worst > base,
+        "no stagger beat plain greedy (base {base}) — adversary too weak"
+    );
+}
+
+#[test]
+fn sp_tandem_simulation_below_bounds() {
+    use dnc_net::Discipline;
+    let t = tandem(
+        4,
+        Rat::from(2),
+        rat(3, 16),
+        TandemOptions {
+            discipline: Discipline::StaticPriority,
+            ..TandemOptions::default()
+        },
+    );
+    let di = Integrated::paper().analyze(&t.net).unwrap();
+    let dd = Decomposed::paper().analyze(&t.net).unwrap();
+    let sim = simulate(&t.net, &all_greedy(&t.net), &cfg(8192));
+    for (i, f) in t.net.flows().iter().enumerate() {
+        assert!(
+            sim.max_delay(i) <= di.flows[i].e2e,
+            "SP flow {}: sim {} > integrated {}",
+            f.name,
+            sim.flows[i].max_delay,
+            di.flows[i].e2e
+        );
+        assert!(di.flows[i].e2e <= dd.flows[i].e2e);
+    }
+}
+
+#[test]
+fn sim_tightness_single_hop() {
+    // On one shared hop with greedy peak-capped sources, the simulator
+    // should come within a few cells of the analytic local bound (the
+    // greedy sample path attains the constraint).
+    let t = tandem(1, Rat::from(4), rat(9, 40), TandemOptions::default());
+    let bound = Decomposed::paper().analyze(&t.net).unwrap().bound(t.conn0);
+    let sim = simulate(&t.net, &all_greedy(&t.net), &cfg(8192));
+    let observed = sim.max_delay(t.conn0.0);
+    assert!(observed <= bound);
+    // Cell quantization (unusable fractional tokens, whole-cell service)
+    // costs a few cells; the fluid bound must still be of the same
+    // magnitude as the realized worst case.
+    assert!(
+        observed * Rat::TWO >= bound,
+        "greedy sim {} below half the single-hop bound {}",
+        observed,
+        bound
+    );
+}
