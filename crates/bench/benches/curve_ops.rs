@@ -7,9 +7,7 @@ use dnc_num::{rat, Rat};
 
 /// A concave arrival-like curve with `k` pieces.
 fn concave(k: i128) -> Curve {
-    let buckets: Vec<(Rat, Rat)> = (1..=k)
-        .map(|i| (rat(8 * i, 1), rat(1, 2 * i)))
-        .collect();
+    let buckets: Vec<(Rat, Rat)> = (1..=k).map(|i| (rat(8 * i, 1), rat(1, 2 * i))).collect();
     Curve::multi_token_bucket(&buckets).min(&Curve::rate(Rat::from(2)))
 }
 
@@ -27,12 +25,8 @@ fn bench_curve_ops(c: &mut Criterion) {
     let b4 = convex(4);
     let b8 = convex(8);
 
-    c.bench_function("add_8x8", |b| {
-        b.iter(|| criterion::black_box(a8.add(&b8)))
-    });
-    c.bench_function("min_8x8", |b| {
-        b.iter(|| criterion::black_box(a8.min(&a4)))
-    });
+    c.bench_function("add_8x8", |b| b.iter(|| criterion::black_box(a8.add(&b8))));
+    c.bench_function("min_8x8", |b| b.iter(|| criterion::black_box(a8.min(&a4))));
     c.bench_function("conv_4x4", |b| {
         b.iter(|| criterion::black_box(minplus::conv(&b4, &b4)))
     });

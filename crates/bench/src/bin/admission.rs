@@ -5,19 +5,14 @@
 
 use dnc_bench::results_dir;
 use dnc_core::admission::max_admissible_utilization;
-use dnc_core::{decomposed::Decomposed, integrated::Integrated, service_curve::ServiceCurve};
 use dnc_core::DelayAnalysis;
+use dnc_core::{decomposed::Decomposed, integrated::Integrated, service_curve::ServiceCurve};
 use dnc_num::Rat;
 use std::io::Write;
 
 fn main() {
     let ns = [2usize, 4, 8];
-    let deadlines: [Rat; 4] = [
-        Rat::from(8),
-        Rat::from(16),
-        Rat::from(32),
-        Rat::from(64),
-    ];
+    let deadlines: [Rat; 4] = [Rat::from(8), Rat::from(16), Rat::from(32), Rat::from(64)];
     let algos: [(&'static str, Box<dyn DelayAnalysis>); 3] = [
         ("service_curve", Box::new(ServiceCurve::paper())),
         ("decomposed", Box::new(Decomposed::paper())),

@@ -5,7 +5,7 @@
 //! Expected shape (paper): the service-curve method is far worse than the
 //! decomposed method for FIFO, with the gap growing in load.
 
-use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+use dnc_bench::{render_table, results_dir, sweep, u_grid, write_csv, Algo};
 
 fn main() {
     let algos = [Algo::ServiceCurve, Algo::Decomposed];
@@ -15,7 +15,8 @@ fn main() {
     let path = results_dir().join("fig4.csv");
     write_csv(&path, &pts, &algos).expect("write fig4.csv");
     println!("wrote {}", path.display());
-    let svg = dnc_bench::chart::figure_chart("Figure 4: Decomposed vs Service Curve", &pts, &algos).to_svg();
+    let svg = dnc_bench::chart::figure_chart("Figure 4: Decomposed vs Service Curve", &pts, &algos)
+        .to_svg();
     let svg_path = results_dir().join("fig4.svg");
     std::fs::write(&svg_path, svg).expect("write fig4.svg");
     println!("wrote {}", svg_path.display());

@@ -5,7 +5,7 @@
 //! Expected shape (paper): Integrated always outperforms Decomposed, and
 //! for loads up to ~80% the improvement grows with network size.
 
-use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+use dnc_bench::{render_table, results_dir, sweep, u_grid, write_csv, Algo};
 
 fn main() {
     let algos = [Algo::Decomposed, Algo::Integrated];
@@ -15,7 +15,8 @@ fn main() {
     let path = results_dir().join("fig5.csv");
     write_csv(&path, &pts, &algos).expect("write fig5.csv");
     println!("wrote {}", path.display());
-    let svg = dnc_bench::chart::figure_chart("Figure 5: Integrated vs Decomposed", &pts, &algos).to_svg();
+    let svg =
+        dnc_bench::chart::figure_chart("Figure 5: Integrated vs Decomposed", &pts, &algos).to_svg();
     let svg_path = results_dir().join("fig5.svg");
     std::fs::write(&svg_path, svg).expect("write fig5.svg");
     println!("wrote {}", svg_path.display());

@@ -5,7 +5,7 @@
 //! Expected shape (paper): significant gains for Integrated, except for
 //! large systems under very high load where the gap narrows.
 
-use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+use dnc_bench::{render_table, results_dir, sweep, u_grid, write_csv, Algo};
 
 fn main() {
     let algos = [Algo::ServiceCurve, Algo::Integrated];
@@ -15,7 +15,8 @@ fn main() {
     let path = results_dir().join("fig6.csv");
     write_csv(&path, &pts, &algos).expect("write fig6.csv");
     println!("wrote {}", path.display());
-    let svg = dnc_bench::chart::figure_chart("Figure 6: Integrated vs Service Curve", &pts, &algos).to_svg();
+    let svg = dnc_bench::chart::figure_chart("Figure 6: Integrated vs Service Curve", &pts, &algos)
+        .to_svg();
     let svg_path = results_dir().join("fig6.svg");
     std::fs::write(&svg_path, svg).expect("write fig6.svg");
     println!("wrote {}", svg_path.display());

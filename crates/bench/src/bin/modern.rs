@@ -3,7 +3,7 @@
 //! culminating in LUDB). Shows where the paper's integrated method stands
 //! against later pure service-curve machinery.
 
-use dnc_bench::{results_dir, render_table, sweep, u_grid, write_csv, Algo};
+use dnc_bench::{render_table, results_dir, sweep, u_grid, write_csv, Algo};
 
 fn main() {
     let algos = [Algo::FifoFamily, Algo::Integrated];

@@ -25,7 +25,8 @@ fn main() {
         "{:>4} {:>6} {:>10} {:>12} {:>12} {:>10} {:>10}",
         "σ", "ρ", "exact", "integrated", "decomposed", "tight_I", "tight_D"
     );
-    let mut csv = String::from("sigma,rho,exact,integrated,decomposed,tightness_int,tightness_dec\n");
+    let mut csv =
+        String::from("sigma,rho,exact,integrated,decomposed,tightness_int,tightness_dec\n");
     for &s in &sigmas {
         for &(rn, rd) in &loads {
             let rho = Rat::new(rn, rd);

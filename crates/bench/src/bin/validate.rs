@@ -11,7 +11,12 @@ use std::io::Write;
 
 fn main() {
     let ns = [2usize, 4, 8];
-    let us = [Rat::new(1, 4), Rat::new(1, 2), Rat::new(3, 4), Rat::new(9, 10)];
+    let us = [
+        Rat::new(1, 4),
+        Rat::new(1, 2),
+        Rat::new(3, 4),
+        Rat::new(9, 10),
+    ];
     let algos = [Algo::ServiceCurve, Algo::Decomposed, Algo::Integrated];
     let cfg = SimConfig {
         ticks: 16384,

@@ -168,16 +168,14 @@ impl Chart {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Build the standard figure chart from sweep points: one series per
 /// `(algorithm, n)` combination.
-pub fn figure_chart(
-    title: &str,
-    points: &[crate::SweepPoint],
-    algos: &[crate::Algo],
-) -> Chart {
+pub fn figure_chart(title: &str, points: &[crate::SweepPoint], algos: &[crate::Algo]) -> Chart {
     let mut ns: Vec<usize> = points.iter().map(|p| p.n).collect();
     ns.sort_unstable();
     ns.dedup();

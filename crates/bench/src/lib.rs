@@ -56,7 +56,10 @@ impl Algo {
     }
 
     /// Run the algorithm.
-    pub fn analyze(self, net: &dnc_net::Network) -> Result<AnalysisReport, dnc_core::AnalysisError> {
+    pub fn analyze(
+        self,
+        net: &dnc_net::Network,
+    ) -> Result<AnalysisReport, dnc_core::AnalysisError> {
         match self {
             Algo::Decomposed => Decomposed::paper().analyze(net),
             Algo::ServiceCurve => ServiceCurve::paper().analyze(net),
@@ -118,7 +121,10 @@ pub fn sweep(ns: &[usize], us: &[Rat], algos: &[Algo], workers: usize) -> Vec<Sw
     })
     .expect("sweep worker panicked");
 
-    results.into_iter().map(|p| p.expect("all points run")).collect()
+    results
+        .into_iter()
+        .map(|p| p.expect("all points run"))
+        .collect()
 }
 
 /// The paper's relative-improvement metric `R_{X,Y} = (D_X − D_Y)/D_X`.
@@ -134,11 +140,7 @@ pub fn relative_improvement(dx: Rat, dy: Rat) -> Rat {
 /// column per algorithm, plus `R_first_second` when two algorithms are
 /// present (the paper's pairing convention: `R_{X,Y}` with `X` the first
 /// algorithm).
-pub fn write_csv(
-    path: &Path,
-    points: &[SweepPoint],
-    algos: &[Algo],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, points: &[SweepPoint], algos: &[Algo]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -162,7 +164,9 @@ pub fn write_csv(
         }
         if algos.len() == 2 {
             match (&p.bounds[0], &p.bounds[1]) {
-                (Some(x), Some(y)) => writeln!(out, ",{:.6}", relative_improvement(*x, *y).to_f64())?,
+                (Some(x), Some(y)) => {
+                    writeln!(out, ",{:.6}", relative_improvement(*x, *y).to_f64())?
+                }
                 _ => writeln!(out, ",")?,
             }
         } else {

@@ -146,7 +146,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             tandem_file(n, u)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!("unknown command {other:?}\n\n{USAGE}"))),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -186,8 +188,7 @@ fn check(path: &str) -> Result<String, CliError> {
     );
     let cyclic = match net.topological_order() {
         Ok(order) => {
-            let names: Vec<&str> =
-                order.iter().map(|&s| net.server(s).name.as_str()).collect();
+            let names: Vec<&str> = order.iter().map(|&s| net.server(s).name.as_str()).collect();
             let _ = writeln!(out, "topological order: {}", names.join(" -> "));
             false
         }
@@ -231,11 +232,7 @@ fn check(path: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn format_report(
-    out: &mut String,
-    report: &AnalysisReport,
-    deadlines: &[Option<Rat>],
-) {
+fn format_report(out: &mut String, report: &AnalysisReport, deadlines: &[Option<Rat>]) {
     let _ = writeln!(out, "[{}]", report.algorithm);
     for (i, f) in report.flows.iter().enumerate() {
         let verdict = match deadlines.get(i).copied().flatten() {
@@ -413,8 +410,10 @@ fn provision(path: &str) -> Result<String, CliError> {
     }
 
     let analyzer = Decomposed::paper();
-    let mut out = String::from("minimal GPS reservations meeting the deadlines (1/64 grid):
-");
+    let mut out = String::from(
+        "minimal GPS reservations meeting the deadlines (1/64 grid):
+",
+    );
     for &i in &gps_flows {
         let f = dnc_net::FlowId(i);
         let deadline = built.deadlines[i].expect("filtered");
@@ -478,9 +477,7 @@ fn tandem_file(n: usize, u: Rat) -> Result<String, CliError> {
         return Err(CliError::new("tandem: U must be in (0, 1)"));
     }
     let rho = u / Rat::from(4);
-    let mut out = format!(
-        "# ICPP'99 evaluation tandem: n = {n}, U = {u} (rho = {rho})\n"
-    );
+    let mut out = format!("# ICPP'99 evaluation tandem: n = {n}, U = {u} (rho = {rho})\n");
     for j in 0..n {
         let _ = writeln!(out, "server L{j} rate 1 fifo");
     }
@@ -575,7 +572,13 @@ flow upper1 route L1 bucket 1 1/8 peak 1
     #[test]
     fn analyze_single_algorithm() {
         let p = sample_file();
-        let out = run(&args(&["analyze", p.to_str().unwrap(), "--algo", "integrated"])).unwrap();
+        let out = run(&args(&[
+            "analyze",
+            p.to_str().unwrap(),
+            "--algo",
+            "integrated",
+        ]))
+        .unwrap();
         assert!(out.contains("[integrated]"));
         assert!(!out.contains("[decomposed]"));
     }
@@ -649,8 +652,13 @@ flow f2 route r2 r0 bucket 1 1/8 peak 1
         assert!(out.contains("[time-stopping]"));
         assert!(out.contains("converged"));
         // Feedforward-only algorithms are refused with a clear message.
-        let err =
-            run(&args(&["analyze", p.to_str().unwrap(), "--algo", "integrated"])).unwrap_err();
+        let err = run(&args(&[
+            "analyze",
+            p.to_str().unwrap(),
+            "--algo",
+            "integrated",
+        ]))
+        .unwrap_err();
         assert!(err.message.contains("cyclic"));
     }
 
@@ -675,7 +683,11 @@ flow voice route core bucket 1 1/16 peak 1 deadline 8
         assert!(!out.contains("INFEASIBLE"), "both must fit: {out}");
         // A FIFO-only file is rejected with a clear message.
         let fifo = dir.join("fifo.dnc");
-        std::fs::write(&fifo, "server a rate 1\nflow f route a bucket 1 1/8 deadline 5\n").unwrap();
+        std::fs::write(
+            &fifo,
+            "server a rate 1\nflow f route a bucket 1 1/8 deadline 5\n",
+        )
+        .unwrap();
         assert!(run(&args(&["provision", fifo.to_str().unwrap()])).is_err());
     }
 

@@ -73,8 +73,12 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 }
 
 fn parse_rat(tok: &str, line: usize, what: &str) -> Result<Rat, ParseError> {
-    tok.parse::<Rat>()
-        .map_err(|_| err(line, format!("invalid {what} {tok:?} (expected e.g. 3, 1/4, 0.25)")))
+    tok.parse::<Rat>().map_err(|_| {
+        err(
+            line,
+            format!("invalid {what} {tok:?} (expected e.g. 3, 1/4, 0.25)"),
+        )
+    })
 }
 
 /// Parse a full `.dnc` document.
@@ -106,7 +110,9 @@ fn parse_server(toks: &[&str], line: usize) -> Result<ServerDecl, ParseError> {
     if toks.len() < 4 || toks[2] != "rate" {
         return Err(err(line, "usage: server <name> rate <rat> [fifo|sp]"));
     }
-    const RESERVED: [&str; 7] = ["bucket", "peak", "prio", "deadline", "reserve", "ldl", "route"];
+    const RESERVED: [&str; 7] = [
+        "bucket", "peak", "prio", "deadline", "reserve", "ldl", "route",
+    ];
     if RESERVED.contains(&toks[1]) {
         return Err(err(
             line,
@@ -130,7 +136,10 @@ fn parse_server(toks: &[&str], line: usize) -> Result<ServerDecl, ParseError> {
         }
     };
     if toks.len() > 5 {
-        return Err(err(line, format!("unexpected trailing token {:?}", toks[5])));
+        return Err(err(
+            line,
+            format!("unexpected trailing token {:?}", toks[5]),
+        ));
     }
     Ok(ServerDecl {
         name: toks[1].to_string(),
@@ -160,7 +169,12 @@ fn parse_flow(toks: &[&str], line: usize) -> Result<FlowDecl, ParseError> {
     };
     let mut i = 3;
     // Route servers until the next keyword.
-    while i < toks.len() && !matches!(toks[i], "bucket" | "peak" | "prio" | "deadline" | "reserve" | "ldl") {
+    while i < toks.len()
+        && !matches!(
+            toks[i],
+            "bucket" | "peak" | "prio" | "deadline" | "reserve" | "ldl"
+        )
+    {
         decl.route.push(toks[i].to_string());
         i += 1;
     }
@@ -267,16 +281,15 @@ impl NetworkSpec {
         }
         let mut deadlines = Vec::with_capacity(self.flows.len());
         for f in &self.flows {
-            let route = f
-                .route
-                .iter()
-                .map(|n| {
-                    by_name
-                        .get(n.as_str())
-                        .copied()
-                        .ok_or_else(|| format!("flow {:?} references unknown server {n:?}", f.name))
-                })
-                .collect::<Result<Vec<_>, _>>()?;
+            let route =
+                f.route
+                    .iter()
+                    .map(|n| {
+                        by_name.get(n.as_str()).copied().ok_or_else(|| {
+                            format!("flow {:?} references unknown server {n:?}", f.name)
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
             let buckets = f
                 .buckets
                 .iter()
@@ -421,10 +434,9 @@ flow cross route L0 bucket 2 0.125
 
     #[test]
     fn multi_bucket_flow() {
-        let spec = parse_spec(
-            "server a rate 1\nflow f route a bucket 10 1/8 bucket 2 1/2 peak 1\n",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("server a rate 1\nflow f route a bucket 10 1/8 bucket 2 1/2 peak 1\n")
+                .unwrap();
         assert_eq!(spec.flows[0].buckets.len(), 2);
         let built = spec.build().unwrap();
         assert!(built.net.flows()[0].spec.arrival_curve().is_concave());

@@ -3,7 +3,7 @@
 
 use dnc_cli::parse::{parse_spec, FlowDecl, NetworkSpec, ServerDecl};
 use dnc_net::Discipline;
-use dnc_num::{Rat};
+use dnc_num::Rat;
 use proptest::prelude::*;
 
 fn arb_name(prefix: &'static str) -> impl Strategy<Value = String> {
@@ -19,54 +19,55 @@ fn arb_rat_nonneg() -> impl Strategy<Value = Rat> {
 }
 
 fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
-    let servers = proptest::collection::vec(
-        (arb_rat_pos(), proptest::bool::ANY),
-        1..5,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (rate, sp))| ServerDecl {
-                name: format!("s{i}"),
-                rate,
-                discipline: if sp {
-                    Discipline::StaticPriority
-                } else {
-                    Discipline::Fifo
-                },
-            })
-            .collect::<Vec<_>>()
-    });
-    (servers, arb_name("ignored"), 1usize..4).prop_flat_map(|(servers, _, n_flows)| {
-        let n_servers = servers.len();
-        let flows = proptest::collection::vec(
-            (
-                proptest::collection::vec((arb_rat_nonneg(), arb_rat_nonneg()), 1..3),
-                proptest::option::of(arb_rat_pos()),
-                0u8..4,
-                proptest::option::of(arb_rat_pos()),
-                proptest::sample::subsequence((0..n_servers).collect::<Vec<_>>(), 1..=n_servers),
-            ),
-            n_flows..=n_flows,
-        )
-        .prop_map(move |fv| {
-            fv.into_iter()
+    let servers =
+        proptest::collection::vec((arb_rat_pos(), proptest::bool::ANY), 1..5).prop_map(|v| {
+            v.into_iter()
                 .enumerate()
-                .map(|(i, (buckets, peak, prio, deadline, route))| FlowDecl {
-                    name: format!("f{i}"),
-                    route: route.iter().map(|&j| format!("s{j}")).collect(),
-                    buckets,
-                    peak,
-                    priority: prio,
-                    reserve: deadline, // reuse the optional-rat generator
-                    local_deadline: peak, // likewise
-                    deadline,
+                .map(|(i, (rate, sp))| ServerDecl {
+                    name: format!("s{i}"),
+                    rate,
+                    discipline: if sp {
+                        Discipline::StaticPriority
+                    } else {
+                        Discipline::Fifo
+                    },
                 })
                 .collect::<Vec<_>>()
         });
-        (proptest::strategy::Just(servers), flows)
-    })
-    .prop_map(|(servers, flows)| NetworkSpec { servers, flows })
+    (servers, arb_name("ignored"), 1usize..4)
+        .prop_flat_map(|(servers, _, n_flows)| {
+            let n_servers = servers.len();
+            let flows = proptest::collection::vec(
+                (
+                    proptest::collection::vec((arb_rat_nonneg(), arb_rat_nonneg()), 1..3),
+                    proptest::option::of(arb_rat_pos()),
+                    0u8..4,
+                    proptest::option::of(arb_rat_pos()),
+                    proptest::sample::subsequence(
+                        (0..n_servers).collect::<Vec<_>>(),
+                        1..=n_servers,
+                    ),
+                ),
+                n_flows..=n_flows,
+            )
+            .prop_map(move |fv| {
+                fv.into_iter()
+                    .enumerate()
+                    .map(|(i, (buckets, peak, prio, deadline, route))| FlowDecl {
+                        name: format!("f{i}"),
+                        route: route.iter().map(|&j| format!("s{j}")).collect(),
+                        buckets,
+                        peak,
+                        priority: prio,
+                        reserve: deadline,    // reuse the optional-rat generator
+                        local_deadline: peak, // likewise
+                        deadline,
+                    })
+                    .collect::<Vec<_>>()
+            });
+            (proptest::strategy::Just(servers), flows)
+        })
+        .prop_map(|(servers, flows)| NetworkSpec { servers, flows })
 }
 
 proptest! {

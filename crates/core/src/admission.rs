@@ -30,9 +30,7 @@ pub fn all_deadlines_met(
     analysis: &dyn DelayAnalysis,
 ) -> Result<bool, AnalysisError> {
     let report = analysis.analyze(net)?;
-    Ok(deadlines
-        .iter()
-        .all(|d| report.bound(d.flow) <= d.deadline))
+    Ok(deadlines.iter().all(|d| report.bound(d.flow) <= d.deadline))
 }
 
 /// The admission-control test: may `candidate` join `net` without breaking

@@ -44,7 +44,7 @@ pub fn decomposed_tandem_uncapped(n: usize, sigma: Rat, rho: Rat) -> Vec<Rat> {
         let e = if j == 0 {
             sigma * Rat::from(3)
         } else {
-            let prev = *delays.last().unwrap();
+            let prev = *delays.last().unwrap(); // audit: allow(unwrap, j > 0 branch: delays already holds j entries)
             sigma * Rat::from(4) + rho * (prefix + prev)
         };
         prefix += e;
@@ -97,10 +97,9 @@ mod tests {
                 let f12 = Curve::token_bucket(int(s12), rho12);
                 let f1 = Curve::token_bucket(int(s1), rho1);
                 let f2 = Curve::token_bucket(int(s2), rho2);
-                let pb = pair_delay_bound(&f12, &f1, &f2, Rat::ONE, Rat::ONE, OutputCap::Shift)
-                    .unwrap();
-                let closed =
-                    integrated_pair_uncapped(int(s12), rho12, int(s1), int(s2), rho2);
+                let pb =
+                    pair_delay_bound(&f12, &f1, &f2, Rat::ONE, Rat::ONE, OutputCap::Shift).unwrap();
+                let closed = integrated_pair_uncapped(int(s12), rho12, int(s1), int(s2), rho2);
                 assert_eq!(
                     pb.through, closed,
                     "σ=({s12},{s1},{s2}) ρ=({rho12},{rho1},{rho2})"

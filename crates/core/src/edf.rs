@@ -25,7 +25,8 @@ use dnc_net::{FlowId, Network, ServerId};
 use dnc_num::Rat;
 
 /// Exact fluid-EDF schedulability test: `items` are `(arrival curve,
-/// local deadline)` pairs, `c` the server rate.
+/// local deadline)` pairs — each arrival curve nondecreasing (concave for
+/// the usual leaky-bucket envelopes) — and `c` the server rate.
 pub fn edf_schedulable(items: &[(Curve, Rat)], c: Rat) -> bool {
     assert!(c.is_positive(), "edf_schedulable: rate must be positive");
     if items.is_empty() {
@@ -82,6 +83,7 @@ pub fn edf_schedulable(items: &[(Curve, Rat)], c: Rat) -> bool {
 
 /// Per-flow local delays at an EDF server: each flow's assigned local
 /// deadline when the configuration is schedulable, an error otherwise.
+/// `curves` carries each flow's (nondecreasing) constraint at this server.
 pub fn local_delays(
     net: &Network,
     server: ServerId,
@@ -107,22 +109,20 @@ pub fn local_delays(
     }
     Ok(curves
         .iter()
-        .map(|(f, _)| (*f, net.local_deadline(*f, server).expect("checked")))
+        .map(|(f, _)| (*f, net.local_deadline(*f, server).expect("checked"))) // audit: allow(expect, local_deadline verified Some for every flow in the items pass above)
         .collect())
 }
 
 /// The largest uniform scale factor `s` (on a `1/grid` lattice, searched
 /// up to `max`) such that scaling **all** deadlines by `s` keeps the
 /// server schedulable — a measure of how much slack an EDF configuration
-/// has (< 1 means infeasible as given).
+/// has (< 1 means infeasible as given). Arrival curves as in
+/// [`edf_schedulable`] (nondecreasing).
 pub fn deadline_slack(items: &[(Curve, Rat)], c: Rat, grid: i128, max: i128) -> Option<Rat> {
     let mut best = None;
     for k in 1..=max * grid {
         let s = Rat::new(k, grid);
-        let scaled: Vec<(Curve, Rat)> = items
-            .iter()
-            .map(|(a, d)| (a.clone(), *d * s))
-            .collect();
+        let scaled: Vec<(Curve, Rat)> = items.iter().map(|(a, d)| (a.clone(), *d * s)).collect();
         if edf_schedulable(&scaled, c) {
             best = Some(s);
             break; // smallest feasible scale = the slack measure
@@ -345,5 +345,4 @@ mod tests {
         let r = Decomposed::paper().analyze(&net).unwrap();
         assert_eq!(r.bound(f), int(10));
     }
-
 }

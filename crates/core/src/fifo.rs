@@ -21,7 +21,7 @@ pub enum OutputCap {
 }
 
 /// Sum the arrival curves of a set of flows; the zero curve for an empty
-/// set.
+/// set. The aggregate is concave and nondecreasing when every input is.
 pub fn aggregate_curve<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
     let mut it = curves.into_iter().peekable();
     if it.peek().is_none() {
@@ -32,36 +32,69 @@ pub fn aggregate_curve<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curv
 
 /// Worst-case delay of *any* bit through a work-conserving FIFO server of
 /// rate `rate` whose aggregate arrivals are constrained by `aggregate`:
-/// the horizontal deviation `h(G, λ_C)`.
-pub fn local_delay(
-    aggregate: &Curve,
-    rate: Rat,
-    server: ServerId,
-) -> Result<Rat, AnalysisError> {
+/// the horizontal deviation `h(G, λ_C)`. `aggregate` must be a
+/// nondecreasing arrival curve.
+pub fn local_delay(aggregate: &Curve, rate: Rat, server: ServerId) -> Result<Rat, AnalysisError> {
     bounds::hdev(aggregate, &Curve::rate(rate)).map_err(|e| AnalysisError::at(server, e))
 }
 
 /// Worst-case backlog of a work-conserving rate-`rate` server with
-/// aggregate arrivals constrained by `aggregate`: the vertical deviation
-/// `v(G, λ_C)` (never negative).
-pub fn local_backlog(
-    aggregate: &Curve,
-    rate: Rat,
-    server: ServerId,
-) -> Result<Rat, AnalysisError> {
+/// aggregate arrivals constrained by `aggregate` (a nondecreasing arrival
+/// curve): the vertical deviation `v(G, λ_C)` (never negative).
+pub fn local_backlog(aggregate: &Curve, rate: Rat, server: ServerId) -> Result<Rat, AnalysisError> {
     bounds::vdev(aggregate, &Curve::rate(rate))
         .map(|v| v.max(Rat::ZERO))
         .map_err(|e| AnalysisError::at(server, e))
 }
 
 /// A flow's constraint after leaving a stage with delay bound `d`.
+/// Preserves concavity and the nondecreasing property of `curve`.
 pub fn propagate_output(curve: &Curve, d: Rat, rate: Rat, cap: OutputCap) -> Curve {
     let shifted = curve.shift_left(d);
-    match cap {
+    let out = match cap {
         OutputCap::Shift => shifted,
         OutputCap::ShiftRateCapped => shifted.min(&Curve::rate(rate)),
+    };
+    propagate_invariant(curve, d, cap, &out);
+    out
+}
+
+/// `debug-invariants` postcondition of [`propagate_output`]: the output
+/// constraint is Cruz's shift `b'(I) = b(I + d)` exactly (uncapped) or at
+/// most it (rate-capped), checked at the kinks of both sides.
+#[cfg(feature = "debug-invariants")]
+fn propagate_invariant(curve: &Curve, d: Rat, cap: OutputCap, out: &Curve) {
+    let mut xs: Vec<Rat> = out.breakpoint_xs();
+    xs.extend(
+        curve
+            .breakpoint_xs()
+            .into_iter()
+            .filter(|&x| x >= d)
+            .map(|x| x - d),
+    );
+    xs.push(out.tail_start().max(curve.tail_start()) + Rat::ONE);
+    xs.sort();
+    xs.dedup();
+    for t in xs {
+        let shifted = curve.eval(t + d);
+        match cap {
+            OutputCap::Shift => assert!(
+                out.eval(t) == shifted,
+                "invariant[propagate]: b'({t}) = {} differs from b({t}+{d}) = {}",
+                out.eval(t),
+                shifted
+            ),
+            OutputCap::ShiftRateCapped => assert!(
+                out.eval(t) <= shifted,
+                "invariant[propagate]: capped output above the Cruz shift at t={t}"
+            ),
+        }
     }
 }
+
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+fn propagate_invariant(_curve: &Curve, _d: Rat, _cap: OutputCap, _out: &Curve) {}
 
 #[cfg(test)]
 mod tests {

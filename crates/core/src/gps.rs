@@ -32,7 +32,8 @@ use dnc_num::Rat;
 
 /// Per-flow local delays at a GPS server: `h(α_f, β_f)` with the
 /// packetized per-flow curve `β_f = rate-latency(r_f, 1/r_f)`, for each
-/// incident flow with its constraint at this server.
+/// incident flow with its (nondecreasing arrival) constraint at this
+/// server.
 pub fn local_delays(
     net: &Network,
     server: ServerId,
@@ -49,7 +50,7 @@ pub fn local_delays(
 }
 
 /// The per-flow service curve a (packetized) GPS server guarantees:
-/// `rate-latency(r_f, 1/r_f)`.
+/// `rate-latency(r_f, 1/r_f)` — convex and nondecreasing.
 pub fn service_curve(net: &Network, flow: FlowId, server: ServerId) -> Curve {
     let r = net.reserved_rate(flow, server);
     Curve::rate_latency(r, r.recip())

@@ -63,6 +63,8 @@ pub struct PairBound {
 /// Compute the two-server bound from aggregate entry constraints, for
 /// unit-class (FIFO) servers of rates `c1` and `c2`.
 ///
+/// All aggregate constraints are nondecreasing (concave) arrival curves:
+///
 /// * `f12` — aggregate constraint of flows traversing server 1 then 2;
 /// * `f1` — aggregate of flows leaving after server 1;
 /// * `f2` — aggregate of flows entering at server 2;
@@ -77,7 +79,10 @@ pub fn pair_delay_bound(
     c2: Rat,
     cap: OutputCap,
 ) -> Result<PairBound, CurveError> {
-    assert!(c1.is_positive() && c2.is_positive(), "rates must be positive");
+    assert!(
+        c1.is_positive() && c2.is_positive(),
+        "rates must be positive"
+    );
     pair_delay_bound_curves(f12, f1, f2, c1, &Curve::rate(c1), &Curve::rate(c2), cap)
 }
 
@@ -99,7 +104,9 @@ pub fn pair_delay_bound(
 ///
 /// The rate cap keeps the **full** server-1 rate `c1_total` (nothing can
 /// leave server 1 faster, whatever the discipline). Order within the
-/// class must be FIFO (true per priority level of an SP server).
+/// class must be FIFO (true per priority level of an SP server). Arrival
+/// aggregates are nondecreasing arrival curves; `β₁`, `β₂` are
+/// nondecreasing service curves.
 pub fn pair_delay_bound_curves(
     f12: &Curve,
     f1: &Curve,
@@ -199,8 +206,8 @@ impl DelayAnalysis for Integrated {
                 .map(|(i, f)| FlowReport {
                     flow: FlowId(i),
                     name: f.name.clone(),
-                    e2e: stages[i].iter().map(|(_, d)| *d).sum(),
-                    stages: std::mem::take(&mut stages[i]),
+                    e2e: stages[i].iter().map(|(_, d)| *d).sum(), // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
+                    stages: std::mem::take(&mut stages[i]), // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
                 })
                 .collect(),
         })
@@ -253,7 +260,7 @@ impl Integrated {
             }
         };
         for (f, d) in delays {
-            stages[f.0].push((srv.name.clone(), d));
+            stages[f.0].push((srv.name.clone(), d)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
             prop.advance(f, server, d);
         }
         Ok(())
@@ -330,15 +337,15 @@ impl Integrated {
                 .map_err(|e| AnalysisError::at(a, e))?;
 
             for &f in &l12 {
-                stages[f.0].push((label.clone(), pb.through));
+                stages[f.0].push((label.clone(), pb.through)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
                 prop.advance_pair(f, a, b, pb.through);
             }
             for &f in &l1 {
-                stages[f.0].push((net.server(a).name.clone(), pb.d1));
+                stages[f.0].push((net.server(a).name.clone(), pb.d1)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
                 prop.advance(f, a, pb.d1);
             }
             for &f in &l2 {
-                stages[f.0].push((net.server(b).name.clone(), pb.d2));
+                stages[f.0].push((net.server(b).name.clone(), pb.d2)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
                 prop.advance(f, b, pb.d2);
             }
 
@@ -383,15 +390,15 @@ impl Integrated {
 
         let label = format!("{}+{}", net.server(a).name, net.server(b).name);
         for &f in &s12 {
-            stages[f.0].push((label.clone(), pb.through));
+            stages[f.0].push((label.clone(), pb.through)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
             prop.advance_pair(f, a, b, pb.through);
         }
         for &f in &s1 {
-            stages[f.0].push((net.server(a).name.clone(), pb.d1));
+            stages[f.0].push((net.server(a).name.clone(), pb.d1)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
             prop.advance(f, a, pb.d1);
         }
         for &f in &s2 {
-            stages[f.0].push((net.server(b).name.clone(), pb.d2));
+            stages[f.0].push((net.server(b).name.clone(), pb.d2)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
             prop.advance(f, b, pb.d2);
         }
         Ok(())
@@ -414,8 +421,7 @@ mod tests {
         let f12 = Curve::token_bucket(int(2), rat(1, 4));
         let f1 = Curve::token_bucket(int(1), rat(1, 4));
         let f2 = Curve::token_bucket(int(3), rat(1, 4));
-        let pb =
-            pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
+        let pb = pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
         assert_eq!(pb.d1, int(3));
         assert_eq!(pb.d2, rat(23, 4));
         assert_eq!(pb.through, rat(83, 12));
@@ -432,8 +438,8 @@ mod tests {
                     let f12 = Curve::token_bucket(int(s12), rho);
                     let f1 = Curve::token_bucket(int(1), rho);
                     let f2 = Curve::token_bucket(int(s2), rho);
-                    let pb = pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift)
-                        .unwrap();
+                    let pb =
+                        pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
                     assert!(pb.through <= pb.d1 + pb.d2);
                     assert!(pb.through >= pb.d1);
                 }
@@ -447,8 +453,7 @@ mod tests {
         // rate cap kills any extra queueing at server 2 (C1 = C2).
         let f12 = Curve::token_bucket(int(4), rat(1, 2));
         let zero = Curve::zero();
-        let pb =
-            pair_delay_bound(&f12, &zero, &zero, int(1), int(1), OutputCap::Shift).unwrap();
+        let pb = pair_delay_bound(&f12, &zero, &zero, int(1), int(1), OutputCap::Shift).unwrap();
         assert_eq!(pb.d1, int(4));
         assert_eq!(pb.through, int(4), "no second burst to pay");
     }
@@ -458,8 +463,7 @@ mod tests {
         // C2 < C1: even smoothed S12 traffic backs up at server 2.
         let f12 = Curve::token_bucket(int(4), rat(1, 4));
         let zero = Curve::zero();
-        let pb =
-            pair_delay_bound(&f12, &zero, &zero, int(1), rat(1, 2), OutputCap::Shift).unwrap();
+        let pb = pair_delay_bound(&f12, &zero, &zero, int(1), rat(1, 2), OutputCap::Shift).unwrap();
         assert!(pb.through > pb.d1);
         assert!(pb.through <= pb.d1 + pb.d2);
     }
@@ -522,8 +526,7 @@ mod tests {
         let f12 = Curve::token_bucket(int(2), rat(1, 4));
         let f1 = Curve::token_bucket(int(1), rat(1, 4));
         let f2 = Curve::token_bucket(int(3), rat(1, 4));
-        let fifo =
-            pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
+        let fifo = pair_delay_bound(&f12, &f1, &f2, int(1), int(1), OutputCap::Shift).unwrap();
         let via_curves = pair_delay_bound_curves(
             &f12,
             &f1,
@@ -546,16 +549,9 @@ mod tests {
         let beta = Curve::rate(int(1))
             .sub(&Curve::token_bucket(int(1), rat(1, 4)))
             .pos();
-        let pb = pair_delay_bound_curves(
-            &f12,
-            &zero,
-            &zero,
-            int(1),
-            &beta,
-            &beta,
-            OutputCap::Shift,
-        )
-        .unwrap();
+        let pb =
+            pair_delay_bound_curves(&f12, &zero, &zero, int(1), &beta, &beta, OutputCap::Shift)
+                .unwrap();
         // D1 = h(2 + t/8, (3/4)(t − 4/3)⁺) = 4/3 + (2 + ρ·…) — exact value
         // checked against the standard burst/R + T with the burst evaluated
         // at the deviation point; sandwich properties must hold regardless.
@@ -600,13 +596,8 @@ mod tests {
     #[test]
     fn two_server_subsystem_all_sets() {
         let sp = |s: i64, d: i128| TrafficSpec::token_bucket(int(s), Rat::new(1, d));
-        let (net, _, _, f12, f1, f2) = builders::two_server(
-            int(1),
-            int(1),
-            &[sp(2, 4)],
-            &[sp(1, 4)],
-            &[sp(3, 4)],
-        );
+        let (net, _, _, f12, f1, f2) =
+            builders::two_server(int(1), int(1), &[sp(2, 4)], &[sp(1, 4)], &[sp(3, 4)]);
         let r = Integrated::paper().analyze(&net).unwrap();
         // Matches pair_bound_hand_computed.
         assert_eq!(r.bound(f12[0]), rat(83, 12));

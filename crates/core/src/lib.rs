@@ -32,8 +32,8 @@
 //! [`AnalysisReport`] with exact rational per-connection bounds.
 
 mod error;
-mod propagate;
 mod fifo;
+mod propagate;
 mod report;
 
 pub mod admission;

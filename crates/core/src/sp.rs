@@ -16,8 +16,9 @@ use std::collections::BTreeMap;
 
 /// Per-flow local delays at a static-priority server.
 ///
-/// `curves` supplies each incident flow together with its constraint at
-/// this server. Flows on the same priority level share a bound.
+/// `curves` supplies each incident flow together with its (nondecreasing
+/// arrival) constraint at this server. Flows on the same priority level
+/// share a bound.
 pub fn local_delays(
     net: &Network,
     server: ServerId,

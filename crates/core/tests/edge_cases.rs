@@ -35,7 +35,12 @@ fn single_flow_single_server_all_algorithms_agree() {
         &ServiceCurve::paper(),
         &Integrated::paper(),
     ] {
-        assert_eq!(alg.analyze(&net).unwrap().bound(flows[0]), int(3), "{}", alg.name());
+        assert_eq!(
+            alg.analyze(&net).unwrap().bound(flows[0]),
+            int(3),
+            "{}",
+            alg.name()
+        );
     }
 }
 
@@ -144,8 +149,14 @@ fn deadline_ordering_is_rational_exact() {
     }
     let alg = Decomposed::paper();
     assert_eq!(alg.analyze(&net).unwrap().bound(ids[0]), rat(16, 7));
-    let pass = [Deadline { flow: ids[0], deadline: rat(16, 7) }];
-    let fail = [Deadline { flow: ids[0], deadline: rat(15, 7) }];
+    let pass = [Deadline {
+        flow: ids[0],
+        deadline: rat(16, 7),
+    }];
+    let fail = [Deadline {
+        flow: ids[0],
+        deadline: rat(15, 7),
+    }];
     assert!(all_deadlines_met(&net, &pass, &alg).unwrap());
     assert!(!all_deadlines_met(&net, &fail, &alg).unwrap());
 }
@@ -191,7 +202,10 @@ fn integrated_on_disconnected_components() {
 #[test]
 fn stage_sums_equal_e2e() {
     let t = tandem(5, int(1), rat(3, 16), TandemOptions::default());
-    for alg in [&Decomposed::paper() as &dyn DelayAnalysis, &Integrated::paper()] {
+    for alg in [
+        &Decomposed::paper() as &dyn DelayAnalysis,
+        &Integrated::paper(),
+    ] {
         let r = alg.analyze(&t.net).unwrap();
         for f in &r.flows {
             let sum: Rat = f.stages.iter().map(|(_, d)| *d).sum();

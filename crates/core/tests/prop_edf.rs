@@ -9,9 +9,9 @@ use proptest::prelude::*;
 
 fn arb_item() -> impl Strategy<Value = (Curve, Rat)> {
     (
-        (0i128..12, 1i128..4),  // σ
-        (1i128..4, 8i128..16),  // ρ
-        (1i128..40, 1i128..4),  // D
+        (0i128..12, 1i128..4), // σ
+        (1i128..4, 8i128..16), // ρ
+        (1i128..40, 1i128..4), // D
     )
         .prop_map(|((sn, sd), (rn, rd), (dn, dd))| {
             (
@@ -24,9 +24,7 @@ fn arb_item() -> impl Strategy<Value = (Curve, Rat)> {
 /// Direct evaluation of the demand condition on a dense grid (plus the
 /// deadlines themselves, where jumps occur).
 fn grid_check(items: &[(Curve, Rat)], c: Rat, horizon: i128, steps: i128) -> bool {
-    let mut ts: Vec<Rat> = (0..=steps)
-        .map(|k| Rat::new(horizon * k, steps))
-        .collect();
+    let mut ts: Vec<Rat> = (0..=steps).map(|k| Rat::new(horizon * k, steps)).collect();
     for &(_, d) in items {
         ts.push(d);
         ts.push(d + rat(1, 1000));

@@ -19,7 +19,9 @@ use dnc_num::Rat;
 /// [`CurveError::NeverServed`] when `α` outgrows a bounded `β`.
 pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     if !alpha.is_nondecreasing() || !alpha.is_concave() {
-        return Err(CurveError::BadShape("hdev: α must be concave nondecreasing"));
+        return Err(CurveError::BadShape(
+            "hdev: α must be concave nondecreasing",
+        ));
     }
     if !beta.is_nondecreasing() || !beta.is_convex() {
         return Err(CurveError::BadShape("hdev: β must be convex nondecreasing"));
@@ -101,6 +103,7 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
             return Err(CurveError::NeverServed);
         }
     }
+    crate::invariant::hdev_post(alpha, beta, best);
     Ok(best)
 }
 
@@ -116,10 +119,14 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
 /// `β⁻¹₊(v) − α⁻¹₊(v)` approached as `α(t) → v⁺`.
 pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     if !alpha.is_nondecreasing() {
-        return Err(CurveError::BadShape("hdev_general: α must be nondecreasing"));
+        return Err(CurveError::BadShape(
+            "hdev_general: α must be nondecreasing",
+        ));
     }
     if !beta.is_nondecreasing() {
-        return Err(CurveError::BadShape("hdev_general: β must be nondecreasing"));
+        return Err(CurveError::BadShape(
+            "hdev_general: β must be nondecreasing",
+        ));
     }
     if alpha.final_slope() > beta.final_slope() {
         return Err(CurveError::Unstable {
@@ -161,11 +168,14 @@ pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
         // Only relevant if α actually exceeds v after t_v.
         best = best.max(tau - t_v);
     }
-    Ok(best.max(Rat::ZERO))
+    let best = best.max(Rat::ZERO);
+    crate::invariant::hdev_post(alpha, beta, best);
+    Ok(best)
 }
 
 /// Vertical deviation `v(α, β) = sup_{t≥0} [α(t) − β(t)]` — the worst-case
-/// *backlog*. Errors when the difference grows without bound.
+/// *backlog* for a nondecreasing arrival curve `α` and service curve `β`.
+/// Errors when the difference grows without bound.
 pub fn vdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     let diff = alpha.sub(beta);
     if diff.final_slope().is_positive() {
@@ -174,16 +184,20 @@ pub fn vdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
             service_rate: beta.final_slope().to_string(),
         });
     }
-    Ok(diff
+    let v = diff
         .points()
         .iter()
         .map(|&(_, y)| y)
         .max()
-        .expect("non-empty curve"))
+        // audit: allow(expect, Curve representation guarantees at least one breakpoint)
+        .expect("non-empty curve");
+    crate::invariant::vdev_post(alpha, beta, v);
+    Ok(v)
 }
 
 /// Longest busy period of a constant-rate-`c` work-conserving server fed
-/// by arrivals constrained by `f`: `sup { t ≥ 0 : f(t) ≥ c·t }`.
+/// by arrivals constrained by a nondecreasing `f`:
+/// `sup { t ≥ 0 : f(t) ≥ c·t }`.
 ///
 /// Errors with [`CurveError::Unstable`] when the arrivals never fall below
 /// the service line (`rate(f) > c`, or `rate(f) = c` with positive excess).
@@ -198,7 +212,7 @@ pub fn busy_period(f: &Curve, c: Rat) -> Result<Rat, CurveError> {
         return Err(unstable());
     }
     let pts = diff.points();
-    let last = *pts.last().unwrap();
+    let last = *pts.last().unwrap(); // audit: allow(unwrap, Curve representation guarantees at least one breakpoint)
     if diff.final_slope().is_zero() {
         return if last.1.is_positive() {
             Err(unstable())
@@ -224,14 +238,14 @@ fn interior_last_root(diff: &Curve) -> Option<Rat> {
     // Find the last breakpoint with value >= 0; the crossing lies in the
     // segment that follows (whose right endpoint is negative).
     for i in (0..pts.len()).rev() {
-        let (x0, y0) = pts[i];
+        let (x0, y0) = pts[i]; // audit: allow(index, loop index from a range over pts, with i + 1 guarded)
         if !y0.is_negative() {
             if y0.is_zero() {
                 return Some(x0);
             }
             // Segment from (x0, y0 > 0) down to a negative value.
             let slope = if i + 1 < pts.len() {
-                let (x1, y1) = pts[i + 1];
+                let (x1, y1) = pts[i + 1]; // audit: allow(index, loop index from a range over pts, with i + 1 guarded)
                 (y1 - y0) / (x1 - x0)
             } else {
                 diff.final_slope()

@@ -4,40 +4,48 @@ use crate::curve::Curve;
 use dnc_num::Rat;
 
 impl Curve {
-    /// The identically-zero curve.
+    /// The identically-zero curve — trivially concave, convex, and
+    /// nondecreasing.
     pub fn zero() -> Curve {
         Curve::from_points(vec![(Rat::ZERO, Rat::ZERO)], Rat::ZERO)
     }
 
-    /// The constant curve `f(t) = c`.
+    /// The constant curve `f(t) = c` — concave, convex, and nondecreasing
+    /// (flat).
     pub fn constant(c: Rat) -> Curve {
         Curve::from_points(vec![(Rat::ZERO, c)], Rat::ZERO)
     }
 
-    /// The affine curve `f(t) = b + r·t`.
+    /// The affine curve `f(t) = b + r·t` — concave and convex; nondecreasing
+    /// iff `r ≥ 0`.
     pub fn affine(b: Rat, r: Rat) -> Curve {
         Curve::from_points(vec![(Rat::ZERO, b)], r)
     }
 
-    /// The pure rate curve `λ_r(t) = r·t`.
+    /// The pure rate curve `λ_r(t) = r·t` — concave, convex, and (for
+    /// `r ≥ 0`) nondecreasing.
     pub fn rate(r: Rat) -> Curve {
         Curve::affine(Rat::ZERO, r)
     }
 
     /// Token-bucket arrival curve `γ_{σ,ρ}(t) = σ + ρ·t` (burst `σ`,
-    /// sustained rate `ρ`). No peak-rate cap; see
-    /// [`Curve::token_bucket_peak`] for the capped form.
+    /// sustained rate `ρ`). The result is concave and nondecreasing. No
+    /// peak-rate cap; see [`Curve::token_bucket_peak`] for the capped form.
     ///
     /// # Panics
     /// Panics if `σ < 0` or `ρ < 0`.
     pub fn token_bucket(sigma: Rat, rho: Rat) -> Curve {
         assert!(!sigma.is_negative(), "token_bucket: σ < 0");
         assert!(!rho.is_negative(), "token_bucket: ρ < 0");
-        Curve::affine(sigma, rho)
+        let c = Curve::affine(sigma, rho);
+        crate::invariant::concave(&c, "token_bucket");
+        crate::invariant::nondecreasing(&c, "token_bucket");
+        c
     }
 
     /// Peak-rate-capped token bucket `min{ p·t, σ + ρ·t }` — the paper's
     /// source model `b(I) = min{ I, σ + ρ·I }` with `p = 1` (unit links).
+    /// The result is concave and nondecreasing.
     ///
     /// # Panics
     /// Panics unless `p > ρ ≥ 0` and `σ ≥ 0` (with `σ = 0` degenerating to
@@ -45,16 +53,23 @@ impl Curve {
     pub fn token_bucket_peak(sigma: Rat, rho: Rat, p: Rat) -> Curve {
         assert!(!sigma.is_negative(), "token_bucket_peak: σ < 0");
         assert!(!rho.is_negative(), "token_bucket_peak: ρ < 0");
-        assert!(p > rho, "token_bucket_peak: peak {p} must exceed rate {rho}");
+        assert!(
+            p > rho,
+            "token_bucket_peak: peak {p} must exceed rate {rho}"
+        );
         if sigma.is_zero() {
             return Curve::rate(rho);
         }
         // Crossover where p·t = σ + ρ·t.
         let t_star = sigma / (p - rho);
-        Curve::from_points(vec![(Rat::ZERO, Rat::ZERO), (t_star, p * t_star)], rho)
+        let c = Curve::from_points(vec![(Rat::ZERO, Rat::ZERO), (t_star, p * t_star)], rho);
+        crate::invariant::concave(&c, "token_bucket_peak");
+        crate::invariant::nondecreasing(&c, "token_bucket_peak");
+        c
     }
 
-    /// Rate-latency service curve `β_{R,T}(t) = R·(t − T)⁺`.
+    /// Rate-latency service curve `β_{R,T}(t) = R·(t − T)⁺` — convex and
+    /// nondecreasing.
     ///
     /// # Panics
     /// Panics if `R < 0` or `T < 0`.
@@ -64,7 +79,10 @@ impl Curve {
         if t.is_zero() {
             return Curve::rate(r);
         }
-        Curve::from_points(vec![(Rat::ZERO, Rat::ZERO), (t, Rat::ZERO)], r)
+        let c = Curve::from_points(vec![(Rat::ZERO, Rat::ZERO), (t, Rat::ZERO)], r);
+        crate::invariant::convex(&c, "rate_latency");
+        crate::invariant::nondecreasing(&c, "rate_latency");
+        c
     }
 
     /// Concave hull of several token buckets: `min_i γ_{σ_i, ρ_i}` — the
@@ -74,10 +92,14 @@ impl Curve {
     /// Panics if the slice is empty.
     pub fn multi_token_bucket(buckets: &[(Rat, Rat)]) -> Curve {
         assert!(!buckets.is_empty(), "multi_token_bucket: empty");
+        // audit: allow(index, buckets checked non-empty by the assert above)
         let mut acc = Curve::token_bucket(buckets[0].0, buckets[0].1);
+        // audit: allow(index, buckets checked non-empty by the assert above)
         for &(s, r) in &buckets[1..] {
             acc = acc.min(&Curve::token_bucket(s, r));
         }
+        crate::invariant::concave(&acc, "multi_token_bucket");
+        crate::invariant::nondecreasing(&acc, "multi_token_bucket");
         acc
     }
 }

@@ -16,7 +16,8 @@ fn merged_xs(f: &Curve, g: &Curve) -> Vec<Rat> {
 }
 
 impl Curve {
-    /// Pointwise sum `f + g`.
+    /// Pointwise sum `f + g` — preserves concavity, convexity, and the
+    /// nondecreasing property when both operands have them.
     pub fn add(&self, g: &Curve) -> Curve {
         let xs = merged_xs(self, g);
         let pts = xs
@@ -26,27 +27,32 @@ impl Curve {
         Curve::from_points(pts, self.final_slope() + g.final_slope())
     }
 
-    /// Pointwise difference `f − g`.
+    /// Pointwise difference `f − g`. The result is generally *not*
+    /// nondecreasing even for nondecreasing operands; callers re-check
+    /// shape predicates where they matter.
     pub fn sub(&self, g: &Curve) -> Curve {
         self.add(&g.scale_y(-Rat::ONE))
     }
 
-    /// Sum of many curves.
+    /// Sum of many curves — concave (resp. nondecreasing) when every
+    /// summand is.
     ///
     /// # Panics
     /// Panics on an empty iterator.
     pub fn sum<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
         let mut it = curves.into_iter();
-        let first = it.next().expect("Curve::sum of empty iterator").clone();
+        let first = it.next().expect("Curve::sum of empty iterator").clone(); // audit: allow(expect, documented panic: empty iterator)
         it.fold(first, |acc, c| acc.add(c))
     }
 
     /// Pointwise minimum `min(f, g)` (exact: inserts crossing points).
+    /// Preserves concavity and the nondecreasing property.
     pub fn min(&self, g: &Curve) -> Curve {
         self.extremum(g, true)
     }
 
     /// Pointwise maximum `max(f, g)` (exact: inserts crossing points).
+    /// Preserves convexity and the nondecreasing property.
     pub fn max(&self, g: &Curve) -> Curve {
         self.extremum(g, false)
     }
@@ -59,7 +65,7 @@ impl Curve {
         // curves are linear, so f − g is linear and crosses at most once.
         let mut crossings: Vec<Rat> = Vec::new();
         for w in xs.windows(2) {
-            let (a, b) = (w[0], w[1]);
+            let (a, b) = (w[0], w[1]); // audit: allow(index, windows(2) yields exactly two elements)
             let da = self.eval(a) - g.eval(a);
             let db = self.eval(b) - g.eval(b);
             if (da.is_positive() && db.is_negative()) || (da.is_negative() && db.is_positive()) {
@@ -69,7 +75,7 @@ impl Curve {
             }
         }
         // Tail crossing after the last breakpoint.
-        let last = *xs.last().unwrap();
+        let last = *xs.last().unwrap(); // audit: allow(unwrap, merged_xs of non-empty curves is non-empty)
         let dv = self.eval(last) - g.eval(last);
         let ds = self.final_slope() - g.final_slope();
         if !ds.is_zero() {
@@ -91,7 +97,7 @@ impl Curve {
 
         // Tail: after the last point there are no more crossings, so the
         // extremum follows a single curve. Decide by value then slope.
-        let lx = *xs.last().unwrap();
+        let lx = *xs.last().unwrap(); // audit: allow(unwrap, merged_xs of non-empty curves is non-empty)
         let (fv, gv) = (self.eval(lx), g.eval(lx));
         let final_slope = if fv == gv {
             pick(self.final_slope(), g.final_slope())
@@ -103,23 +109,25 @@ impl Curve {
         Curve::from_points(pts, final_slope)
     }
 
-    /// Minimum of many curves.
+    /// Minimum of many curves — concave (resp. nondecreasing) when every
+    /// operand is; this is how multi-leaky-bucket envelopes stay concave.
     ///
     /// # Panics
     /// Panics on an empty iterator.
     pub fn min_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
         let mut it = curves.into_iter();
-        let first = it.next().expect("Curve::min_all of empty iterator").clone();
+        let first = it.next().expect("Curve::min_all of empty iterator").clone(); // audit: allow(expect, documented panic: empty iterator)
         it.fold(first, |acc, c| acc.min(c))
     }
 
-    /// Maximum of many curves.
+    /// Maximum of many curves — convex (resp. nondecreasing) when every
+    /// operand is.
     ///
     /// # Panics
     /// Panics on an empty iterator.
     pub fn max_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
         let mut it = curves.into_iter();
-        let first = it.next().expect("Curve::max_all of empty iterator").clone();
+        let first = it.next().expect("Curve::max_all of empty iterator").clone(); // audit: allow(expect, documented panic: empty iterator)
         it.fold(first, |acc, c| acc.max(c))
     }
 }
@@ -192,9 +200,11 @@ mod tests {
 
     #[test]
     fn sum_and_min_all() {
-        let curves = [Curve::token_bucket(int(1), int(1)),
+        let curves = [
+            Curve::token_bucket(int(1), int(1)),
             Curve::token_bucket(int(2), rat(1, 2)),
-            Curve::token_bucket(int(4), rat(1, 4))];
+            Curve::token_bucket(int(4), rat(1, 4)),
+        ];
         let s = Curve::sum(curves.iter());
         assert_eq!(s.eval(int(0)), int(7));
         assert_eq!(s.final_slope(), rat(7, 4));

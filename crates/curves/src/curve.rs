@@ -40,7 +40,9 @@ pub struct Segment {
 
 impl Curve {
     /// Build a curve from breakpoints and a final slope, canonicalizing the
-    /// representation.
+    /// representation. No shape is assumed or enforced: the result need not
+    /// be concave, convex, or nondecreasing — analysis entry points check
+    /// the predicates they rely on.
     ///
     /// # Panics
     /// Panics if `points` is empty, does not start at `x = 0`, or has
@@ -48,16 +50,16 @@ impl Curve {
     pub fn from_points(points: Vec<(Rat, Rat)>, final_slope: Rat) -> Curve {
         assert!(!points.is_empty(), "Curve::from_points: empty");
         assert!(
-            points[0].0.is_zero(),
+            points[0].0.is_zero(), // audit: allow(index, representation invariant: points is non-empty)
             "Curve::from_points: first breakpoint must be at x=0, got {}",
-            points[0].0
+            points[0].0 // audit: allow(index, representation invariant: points is non-empty)
         );
-        for w in points.windows(2) {
+        for (a, b) in points.iter().zip(points.iter().skip(1)) {
             assert!(
-                w[0].0 < w[1].0,
+                a.0 < b.0,
                 "Curve::from_points: x not strictly increasing ({} then {})",
-                w[0].0,
-                w[1].0
+                a.0,
+                b.0
             );
         }
         let mut c = Curve {
@@ -65,6 +67,7 @@ impl Curve {
             final_slope,
         };
         c.canonicalize();
+        crate::invariant::well_formed(&c, "from_points");
         c
     }
 
@@ -79,8 +82,8 @@ impl Curve {
             }
             // Drop the last breakpoint if the segment into it has the same
             // slope as the final slope.
-            let (x_prev, y_prev) = self.points[n - 2];
-            let (x_last, y_last) = self.points[n - 1];
+            let (x_prev, y_prev) = self.points[n - 2]; // audit: allow(index, n >= 2 on this branch)
+            let (x_last, y_last) = self.points[n - 1]; // audit: allow(index, n >= 2 on this branch)
             let incoming = (y_last - y_prev) / (x_last - x_prev);
             if incoming == self.final_slope {
                 self.points.pop();
@@ -92,18 +95,18 @@ impl Curve {
         if self.points.len() > 2 {
             let pts = std::mem::take(&mut self.points);
             let mut out: Vec<(Rat, Rat)> = Vec::with_capacity(pts.len());
-            out.push(pts[0]);
+            out.push(pts[0]); // audit: allow(index, len > 2 checked above)
             for i in 1..pts.len() - 1 {
-                let (x0, y0) = *out.last().unwrap();
-                let (x1, y1) = pts[i];
-                let (x2, y2) = pts[i + 1];
+                let (x0, y0) = *out.last().unwrap(); // audit: allow(unwrap, out is seeded with pts[0] before the loop)
+                let (x1, y1) = pts[i]; // audit: allow(index, loop index i < pts.len() - 1)
+                let (x2, y2) = pts[i + 1]; // audit: allow(index, loop index i < pts.len() - 1)
                 let s01 = (y1 - y0) / (x1 - x0);
                 let s12 = (y2 - y1) / (x2 - x1);
                 if s01 != s12 {
-                    out.push(pts[i]);
+                    out.push(pts[i]); // audit: allow(index, loop index i < pts.len() - 1)
                 }
             }
-            out.push(*pts.last().unwrap());
+            out.push(*pts.last().unwrap()); // audit: allow(unwrap, len > 2 checked above)
             self.points = out;
         }
     }
@@ -123,7 +126,7 @@ impl Curve {
     /// x coordinate of the last breakpoint (start of the affine tail).
     #[inline]
     pub fn tail_start(&self) -> Rat {
-        self.points.last().unwrap().0
+        self.points.last().unwrap().0 // audit: allow(unwrap, representation invariant: points is non-empty)
     }
 
     /// Value at `t >= 0`.
@@ -135,12 +138,12 @@ impl Curve {
         // Find the piece containing t: last breakpoint with x <= t.
         let idx = match self.points.binary_search_by(|p| p.0.cmp(&t)) {
             Ok(i) => i,
-            Err(0) => unreachable!("x0 == 0 <= t"),
+            Err(0) => unreachable!("x0 == 0 <= t"), // audit: allow(panic, first breakpoint is at x = 0 <= t, so the search cannot land before index 0)
             Err(i) => i - 1,
         };
-        let (x0, y0) = self.points[idx];
+        let (x0, y0) = self.points[idx]; // audit: allow(index, binary search returns a position within points)
         let slope = if idx + 1 < self.points.len() {
-            let (x1, y1) = self.points[idx + 1];
+            let (x1, y1) = self.points[idx + 1]; // audit: allow(index, binary search returns a position within points)
             (y1 - y0) / (x1 - x0)
         } else {
             self.final_slope
@@ -152,9 +155,9 @@ impl Curve {
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
         let n = self.points.len();
         (0..n).map(move |i| {
-            let (x0, y0) = self.points[i];
+            let (x0, y0) = self.points[i]; // audit: allow(index, i ranges over 0..n, and i + 1 is guarded)
             if i + 1 < n {
-                let (x1, y1) = self.points[i + 1];
+                let (x1, y1) = self.points[i + 1]; // audit: allow(index, guarded by i + 1 < n)
                 Segment {
                     start: x0,
                     value: y0,
@@ -180,7 +183,7 @@ impl Curve {
     /// `f(0)`.
     #[inline]
     pub fn at_zero(&self) -> Rat {
-        self.points[0].1
+        self.points[0].1 // audit: allow(index, representation invariant: points is non-empty)
     }
 
     /// `true` iff every piece has non-negative slope.
@@ -191,21 +194,23 @@ impl Curve {
     /// `true` iff piece slopes are non-increasing (concave function).
     pub fn is_concave(&self) -> bool {
         let s = self.slopes();
-        s.windows(2).all(|w| w[0] >= w[1])
+        s.iter().zip(s.iter().skip(1)).all(|(a, b)| a >= b)
     }
 
     /// `true` iff piece slopes are non-decreasing (convex function).
     pub fn is_convex(&self) -> bool {
         let s = self.slopes();
-        s.windows(2).all(|w| w[0] <= w[1])
+        s.iter().zip(s.iter().skip(1)).all(|(a, b)| a <= b)
     }
 
     /// `true` iff the curve is identically zero.
     pub fn is_zero(&self) -> bool {
+        // audit: allow(index, representation invariant: points is non-empty)
         self.points.len() == 1 && self.points[0].1.is_zero() && self.final_slope.is_zero()
     }
 
     /// `f(t + d)` as a curve in `t` (left shift / "output bound" shift).
+    /// Preserves concavity, convexity, and the nondecreasing property.
     ///
     /// # Panics
     /// Panics if `d < 0`.
@@ -227,7 +232,8 @@ impl Curve {
     /// Right shift that *holds* the initial value: the result equals
     /// `f(0)` on `[0, d]` and `f(t − d)` afterwards. This is the building
     /// block of min-plus convolution (a candidate `f(x_i) + g(t − x_i)`
-    /// extended leftwards by a constant).
+    /// extended leftwards by a constant). Preserves the nondecreasing
+    /// property; concavity is generally lost (a flat piece is prepended).
     ///
     /// # Panics
     /// Panics if `d < 0`.
@@ -245,7 +251,8 @@ impl Curve {
 
     /// Pure right shift for *service* curves: the result is `0` on `[0, d]`
     /// and `f(t − d)` afterwards (equivalent to `f ⊗ δ_d`). Meaningful for
-    /// curves with `f(0) = 0`.
+    /// curves with `f(0) = 0`; preserves the nondecreasing property, and
+    /// convexity for convex nondecreasing service curves.
     ///
     /// # Panics
     /// Panics if `d < 0` or `f(0) != 0`.
@@ -259,7 +266,8 @@ impl Curve {
         self.shift_right_hold(d)
     }
 
-    /// Add a constant to the curve.
+    /// Add a constant to the curve. Shape-neutral: concavity, convexity,
+    /// and the nondecreasing property are unchanged.
     pub fn shift_up(&self, c: Rat) -> Curve {
         Curve {
             points: self.points.iter().map(|&(x, y)| (x, y + c)).collect(),
@@ -267,7 +275,9 @@ impl Curve {
         }
     }
 
-    /// Multiply values by a constant `k`.
+    /// Multiply values by a constant `k`. For `k ≥ 0` this preserves
+    /// concavity, convexity, and the nondecreasing property; `k < 0` swaps
+    /// concave/convex and reverses monotonicity.
     pub fn scale_y(&self, k: Rat) -> Curve {
         let mut c = Curve {
             points: self.points.iter().map(|&(x, y)| (x, y * k)).collect(),
@@ -277,7 +287,8 @@ impl Curve {
         c
     }
 
-    /// Stretch time by `k > 0`: result `g(t) = f(t / k)`.
+    /// Stretch time by `k > 0`: result `g(t) = f(t / k)`. Preserves
+    /// concavity, convexity, and the nondecreasing property.
     ///
     /// # Panics
     /// Panics unless `k > 0`.
@@ -291,7 +302,8 @@ impl Curve {
         c
     }
 
-    /// The positive part `max(f, 0)`.
+    /// The positive part `max(f, 0)` — preserves convexity and the
+    /// nondecreasing property (concavity is generally lost at the clamp).
     pub fn pos(&self) -> Curve {
         self.max(&Curve::zero())
     }
@@ -323,7 +335,11 @@ impl Curve {
                     if seg.slope.is_positive() {
                         return Some(seg.start + (y - seg.value) / seg.slope);
                     } else {
-                        return if seg.value >= y { Some(seg.start) } else { None };
+                        return if seg.value >= y {
+                            Some(seg.start)
+                        } else {
+                            None
+                        };
                     }
                 }
             };
@@ -337,10 +353,10 @@ impl Curve {
                     return Some(seg.start);
                 }
                 // slope zero but end value >= y > value: impossible.
-                unreachable!("flat segment cannot increase");
+                unreachable!("flat segment cannot increase"); // audit: allow(panic, zero-slope piece cannot climb from value < y to end value >= y)
             }
         }
-        unreachable!("final segment handles the tail")
+        unreachable!("final segment handles the tail") // audit: allow(panic, the unbounded final piece returns unconditionally)
     }
 
     /// Collect the x coordinates of all breakpoints.
@@ -353,7 +369,10 @@ impl Curve {
     /// (the curve never exceeds `y`) and `Some(0)`-or-later otherwise;
     /// when `f(0) > y` the supremum of the empty set is taken as `0`.
     pub fn pseudo_inverse_upper(&self, y: Rat) -> Option<Rat> {
-        debug_assert!(self.is_nondecreasing(), "pseudo_inverse_upper of non-monotone");
+        debug_assert!(
+            self.is_nondecreasing(),
+            "pseudo_inverse_upper of non-monotone"
+        );
         if self.at_zero() > y {
             return Some(Rat::ZERO);
         }
@@ -396,11 +415,11 @@ impl Curve {
         // Build right-to-left. On the final piece (slope >= 0) f̃ = f; on
         // every earlier piece f̃(t) = min(inf_{[t, end]} f, m) with m the
         // infimum of f on [end, ∞).
-        let last = *segs.last().unwrap();
+        let last = *segs.last().unwrap(); // audit: allow(unwrap, segments yields one piece per breakpoint; points is non-empty)
         let mut rev: Vec<(Rat, Rat)> = vec![(last.start, last.value)];
         let mut m = last.value;
         for seg in segs.iter().rev().skip(1) {
-            let end = seg.end.expect("only the last piece is unbounded");
+            let end = seg.end.expect("only the last piece is unbounded"); // audit: allow(expect, rev().skip(1) visits only bounded pieces)
             let end_val = seg.value + seg.slope * (end - seg.start);
             m = m.min(end_val);
             if seg.slope.is_negative() {

@@ -42,6 +42,7 @@ mod curve;
 mod error;
 
 pub mod bounds;
+pub mod invariant;
 pub mod minplus;
 pub mod transform;
 

@@ -38,16 +38,19 @@ pub fn conv(f: &Curve, g: &Curve) -> Curve {
     for &(u, v) in g.points() {
         candidates.push(f.shift_right_hold(u).shift_up(v));
     }
-    Curve::min_all(candidates.iter())
+    let out = Curve::min_all(candidates.iter());
+    crate::invariant::conv_post(f, g, &out);
+    out
 }
 
-/// Min-plus convolution of many curves (left fold).
+/// Min-plus convolution of many curves (left fold). As with [`conv`], the
+/// operands should be nondecreasing; the fold then stays nondecreasing.
 ///
 /// # Panics
 /// Panics on an empty iterator.
 pub fn conv_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
     let mut it = curves.into_iter();
-    let first = it.next().expect("conv_all of empty iterator").clone();
+    let first = it.next().expect("conv_all of empty iterator").clone(); // audit: allow(expect, documented panic: empty iterator)
     it.fold(first, |acc, c| conv(&acc, c))
 }
 
@@ -78,7 +81,9 @@ pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
     for &(x, y) in f.points() {
         candidates.push(reverse_about(g, x).scale_y(-Rat::ONE).shift_up(y));
     }
-    Ok(Curve::max_all(candidates.iter()))
+    let out = Curve::max_all(candidates.iter());
+    crate::invariant::deconv_post(f, g, &out);
+    Ok(out)
 }
 
 /// The curve `t ↦ g(x − t)` on `[0, x]`, extended by the constant `g(0)`
@@ -176,10 +181,7 @@ mod tests {
     fn deconv_unstable() {
         let a = Curve::token_bucket(int(1), int(2));
         let b = Curve::rate_latency(int(1), int(0));
-        assert!(matches!(
-            deconv(&a, &b),
-            Err(CurveError::Unstable { .. })
-        ));
+        assert!(matches!(deconv(&a, &b), Err(CurveError::Unstable { .. })));
     }
 
     #[test]

@@ -7,8 +7,10 @@
 use crate::Curve;
 use dnc_num::Rat;
 
-/// Functional inverse of a *strictly increasing* curve with `f(0) = 0`
-/// (every piece has positive slope). The result maps amount → time.
+/// Functional inverse of a *strictly increasing* (hence nondecreasing)
+/// curve with `f(0) = 0` — every piece has positive slope. The result maps
+/// amount → time and is itself strictly increasing; it swaps concave and
+/// convex.
 ///
 /// # Panics
 /// Panics if a piece has non-positive slope or `f(0) != 0`.
@@ -22,7 +24,7 @@ pub fn inverse_strict(f: &Curve) -> Curve {
         pts.push((seg.value, seg.start));
     }
     assert!(
-        pts[0].0.is_zero(),
+        pts[0].0.is_zero(), // audit: allow(index, segments yields at least one piece, so pts is non-empty)
         "inverse_strict: expected f(0) = 0 (cumulative function)"
     );
     let final_slope = f.final_slope().recip();
@@ -46,7 +48,7 @@ pub fn compose(outer: &Curve, inner: &Curve) -> Curve {
     let pts: Vec<(Rat, Rat)> = ts.iter().map(|&t| (t, outer.eval(inner.eval(t)))).collect();
     // Beyond the last candidate both curves are affine on the relevant
     // ranges, so one extra sample pins the final slope.
-    let last = *ts.last().unwrap();
+    let last = *ts.last().unwrap(); // audit: allow(unwrap, ts contains at least Rat::ZERO, pushed above)
     let probe = last + Rat::ONE;
     let final_slope = outer.eval(inner.eval(probe)) - outer.eval(inner.eval(last));
     Curve::from_points(pts, final_slope)

@@ -146,8 +146,15 @@ fn pseudo_inverse_at_exact_plateau_boundaries() {
         rat(3, 2),
     );
     assert_eq!(f.pseudo_inverse(int(3)), Some(int(2)), "lower: first hit");
-    assert_eq!(f.pseudo_inverse_upper(int(3)), Some(int(4)), "upper: last hit");
-    assert_eq!(f.pseudo_inverse(rat(31, 10)), f.pseudo_inverse_upper(rat(31, 10)));
+    assert_eq!(
+        f.pseudo_inverse_upper(int(3)),
+        Some(int(4)),
+        "upper: last hit"
+    );
+    assert_eq!(
+        f.pseudo_inverse(rat(31, 10)),
+        f.pseudo_inverse_upper(rat(31, 10))
+    );
 }
 
 #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the curve algebra's standing invariants. CI runs this
+//! file twice — with and without `--features debug-invariants` — so the
+//! properties are checked both by these explicit assertions and by the
+//! library's internal postcondition layer.
+
+use dnc_curves::{bounds, minplus, Curve};
+use dnc_num::{rat, Rat};
+use proptest::prelude::*;
+
+/// A random token-bucket arrival curve with small rational parameters.
+fn token_bucket_from(sn: i64, sd: i64, rn: i64, rd: i64) -> Curve {
+    Curve::token_bucket(rat(sn, sd), rat(rn, rd))
+}
+
+/// A random rate-latency service curve; rate kept >= 1 so compositions
+/// with the arrival strategies above stay stable.
+fn rate_latency_from(rn: i64, rd: i64, tn: i64, td: i64) -> Curve {
+    Curve::rate_latency(rat(rn, rd) + Rat::ONE, rat(tn, td))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Convolution of nondecreasing curves is nondecreasing, and
+    /// compositions of token buckets / rate-latency curves stay
+    /// nondecreasing through repeated conv.
+    #[test]
+    fn conv_preserves_nondecreasing(
+        sn in 0i64..30, sd in 1i64..8, rn in 0i64..10, rd in 1i64..8,
+        rn2 in 0i64..10, rd2 in 1i64..8, tn in 0i64..20, td in 1i64..8,
+    ) {
+        let a = token_bucket_from(sn, sd, rn, rd);
+        let b = rate_latency_from(rn2, rd2, tn, td);
+        prop_assert!(a.is_nondecreasing());
+        prop_assert!(b.is_nondecreasing());
+        let c = minplus::conv(&a, &b);
+        prop_assert!(c.is_nondecreasing(), "conv broke monotonicity: {c}");
+        let d = minplus::conv(&c, &a);
+        prop_assert!(d.is_nondecreasing(), "second conv broke monotonicity: {d}");
+    }
+
+    /// Min-plus convolution is associative (exact structural equality —
+    /// the representation is canonical).
+    #[test]
+    fn conv_is_associative(
+        sn in 0i64..30, sd in 1i64..8, rn in 0i64..10, rd in 1i64..8,
+        rn2 in 0i64..10, rd2 in 1i64..8, tn in 0i64..20, td in 1i64..8,
+        rn3 in 0i64..10, rd3 in 1i64..8, tn3 in 0i64..20, td3 in 1i64..8,
+    ) {
+        let a = token_bucket_from(sn, sd, rn, rd);
+        let b = rate_latency_from(rn2, rd2, tn, td);
+        let c = rate_latency_from(rn3, rd3, tn3, td3);
+        let left = minplus::conv(&minplus::conv(&a, &b), &c);
+        let right = minplus::conv(&a, &minplus::conv(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Convolution is commutative.
+    #[test]
+    fn conv_is_commutative(
+        sn in 0i64..30, sd in 1i64..8, rn in 0i64..10, rd in 1i64..8,
+        rn2 in 0i64..10, rd2 in 1i64..8, tn in 0i64..20, td in 1i64..8,
+    ) {
+        let a = token_bucket_from(sn, sd, rn, rd);
+        let b = rate_latency_from(rn2, rd2, tn, td);
+        prop_assert_eq!(minplus::conv(&a, &b), minplus::conv(&b, &a));
+    }
+
+    /// Delay (hdev) and backlog (vdev) of a stable token-bucket /
+    /// rate-latency pair are non-negative, and the delay is sound:
+    /// α(t) ≤ β(t + d) on a sample grid.
+    #[test]
+    fn hdev_vdev_nonnegative_and_sound(
+        sn in 0i64..30, sd in 1i64..8, rn in 0i64..10, rd in 1i64..8,
+        rn2 in 0i64..10, tn in 0i64..20, td in 1i64..8,
+    ) {
+        let alpha = token_bucket_from(sn, sd, rn, rd);
+        let beta = rate_latency_from(rn2 + rn, rd, tn, td);
+        // rate(β) = (rn2+rn)/rd + 1 > rn/rd = rate(α): always stable.
+        let d = bounds::hdev(&alpha, &beta).unwrap();
+        prop_assert!(!d.is_negative(), "negative delay {d}");
+        let v = bounds::vdev(&alpha, &beta).unwrap();
+        prop_assert!(!v.is_negative(), "negative backlog {v}");
+        // Soundness of d on a grid (denominator-aligned to stay exact).
+        for k in 0..24 {
+            let t = rat(k, 2);
+            prop_assert!(
+                alpha.eval(t) <= beta.eval(t + d),
+                "unsound delay at t={}", t
+            );
+        }
+        // Backlog dominates the pointwise excess on the same grid.
+        for k in 0..24 {
+            let t = rat(k, 2);
+            prop_assert!(alpha.eval(t) - beta.eval(t) <= v);
+        }
+    }
+
+    /// Deconvolution (output bound) of a stable pair stays concave and
+    /// nondecreasing, and the composition conv(deconv(α, β), ...) keeps
+    /// monotonicity — the chain the analysis algorithms execute.
+    #[test]
+    fn deconv_then_conv_preserves_shape(
+        sn in 0i64..30, sd in 1i64..8, rn in 0i64..10, rd in 1i64..8,
+        rn2 in 0i64..10, tn in 0i64..20, td in 1i64..8,
+    ) {
+        let alpha = token_bucket_from(sn, sd, rn, rd);
+        let beta = rate_latency_from(rn2 + rn, rd, tn, td);
+        let out = minplus::deconv(&alpha, &beta).unwrap();
+        prop_assert!(out.is_nondecreasing(), "deconv broke monotonicity: {out}");
+        prop_assert!(out.is_concave(), "deconv broke concavity: {out}");
+        // Output dominates the input arrival constraint (s = 0 candidate
+        // with β(0) = 0).
+        for k in 0..24 {
+            let t = rat(k, 2);
+            prop_assert!(out.eval(t) >= alpha.eval(t) - beta.eval(Rat::ZERO));
+        }
+        let chained = minplus::conv(&out, &alpha);
+        prop_assert!(chained.is_nondecreasing());
+    }
+
+    /// The output-propagation identity b'(I) = b(I + d): shifting a
+    /// token bucket left by a non-negative delay keeps shape and equals
+    /// pointwise evaluation of the original at I + d.
+    #[test]
+    fn shift_left_is_cruz_propagation(
+        sn in 0i64..30, sd in 1i64..8, rn in 0i64..10, rd in 1i64..8,
+        dn in 0i64..16, dd in 1i64..8,
+    ) {
+        let b = token_bucket_from(sn, sd, rn, rd);
+        let d = rat(dn, dd);
+        let shifted = b.shift_left(d);
+        prop_assert!(shifted.is_nondecreasing());
+        prop_assert!(shifted.is_concave());
+        for k in 0..24 {
+            let t = rat(k, 2);
+            prop_assert_eq!(shifted.eval(t), b.eval(t + d), "at t={}", t);
+        }
+    }
+}

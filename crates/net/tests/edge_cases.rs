@@ -183,8 +183,7 @@ fn pairing_on_parallel_branches() {
         PairingStrategy::OptimalSmall,
     ] {
         let p = partition(&net, strategy).unwrap();
-        let mut covered: Vec<ServerId> =
-            p.groups.iter().flat_map(|g| g.servers()).collect();
+        let mut covered: Vec<ServerId> = p.groups.iter().flat_map(|g| g.servers()).collect();
         covered.sort();
         covered.dedup();
         assert_eq!(covered.len(), 4, "{strategy:?} must cover all servers once");

@@ -13,7 +13,11 @@
 //! [`Rat`] is a reduced fraction over `i128` with denominators kept strictly
 //! positive. Intermediate products are cross-reduced before multiplying, so
 //! overflow only occurs for genuinely astronomical values; when it does, the
-//! operation panics with a diagnostic rather than silently wrapping.
+//! operators panic with a diagnostic rather than silently wrapping, and the
+//! fallible `try_add`/`try_sub`/`try_mul`/`try_div` variants return
+//! [`NumError::Overflow`] for callers that want to degrade gracefully.
+//! Comparison (`Ord`) widens cross products to 256 bits internally, so it is
+//! total and panic-free for *every* pair of representable rationals.
 //!
 //! ```
 //! use dnc_num::Rat;
@@ -25,7 +29,7 @@
 
 mod rat;
 
-pub use rat::{gcd_i128, Rat, RatParseError};
+pub use rat::{gcd_i128, NumError, Rat, RatParseError};
 
 /// Convenience constructor: `rat(n, d)` is `Rat::new(n, d)`.
 #[inline]

@@ -8,6 +8,26 @@ use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::str::FromStr;
 
+/// Arithmetic errors surfaced by the fallible [`Rat`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumError {
+    /// An intermediate or final value left the `i128`-reduced-fraction range.
+    Overflow,
+    /// Division by zero (or `recip` of zero).
+    DivisionByZero,
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::Overflow => write!(f, "rational overflow (value outside i128 range)"),
+            NumError::DivisionByZero => write!(f, "rational division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
 /// Greatest common divisor of two `i128`s (always non-negative; `gcd(0,0)=0`).
 pub fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
     a = a.unsigned_abs() as i128;
@@ -201,6 +221,52 @@ impl Rat {
         Some(Rat::new(num, den))
     }
 
+    /// Fallible addition: [`NumError::Overflow`] instead of panicking.
+    #[inline]
+    pub fn try_add(self, rhs: Rat) -> Result<Rat, NumError> {
+        self.checked_add(rhs).ok_or(NumError::Overflow)
+    }
+
+    /// Fallible subtraction: [`NumError::Overflow`] instead of panicking.
+    #[inline]
+    pub fn try_sub(self, rhs: Rat) -> Result<Rat, NumError> {
+        self.checked_add(-rhs).ok_or(NumError::Overflow)
+    }
+
+    /// Fallible multiplication: [`NumError::Overflow`] instead of panicking.
+    #[inline]
+    pub fn try_mul(self, rhs: Rat) -> Result<Rat, NumError> {
+        self.checked_mul(rhs).ok_or(NumError::Overflow)
+    }
+
+    /// Fallible division: [`NumError::DivisionByZero`] on a zero divisor,
+    /// [`NumError::Overflow`] when the quotient leaves the `i128` range.
+    #[inline]
+    pub fn try_div(self, rhs: Rat) -> Result<Rat, NumError> {
+        if rhs.is_zero() {
+            return Err(NumError::DivisionByZero);
+        }
+        self.checked_mul(rhs.recip()).ok_or(NumError::Overflow)
+    }
+
+    /// Saturating addition: clamps to the representable extremes on
+    /// overflow instead of panicking, with a debug assertion so tests
+    /// still notice. Only appropriate where the caller tolerates a
+    /// conservative bound (e.g. "infinite" burst placeholders).
+    pub fn saturating_add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs).unwrap_or_else(|| {
+            debug_assert!(false, "Rat::saturating_add overflow: {self} + {rhs}");
+            // Additive overflow requires both operands on the same side of
+            // zero, so the sign of `self` picks the saturation end.
+            // `MIN + 1` keeps the result negatable.
+            if self.num < 0 {
+                Rat::from_int(i128::MIN + 1)
+            } else {
+                Rat::from_int(i128::MAX)
+            }
+        })
+    }
+
     /// Integer power (negative exponents allowed for nonzero values).
     pub fn powi(self, mut exp: i32) -> Rat {
         let mut base = if exp < 0 {
@@ -270,19 +336,47 @@ impl PartialOrd for Rat {
     }
 }
 
+/// Full 256-bit magnitude of `|a| * |b|` as `(high, low)` `u128` halves.
+fn wide_mul_abs(a: i128, b: i128) -> (u128, u128) {
+    let (a, b) = (a.unsigned_abs(), b.unsigned_abs());
+    let (ah, al) = (a >> 64, a & u64::MAX as u128);
+    let (bh, bl) = (b >> 64, b & u64::MAX as u128);
+    // Schoolbook on 64-bit halves; each partial product fits in u128.
+    let ll = al * bl;
+    let lh = al * bh;
+    let hl = ah * bl;
+    let hh = ah * bh;
+    let (mid, mid_carry) = lh.overflowing_add(hl);
+    let (low, low_carry) = ll.overflowing_add(mid << 64);
+    let high = hh + (mid >> 64) + ((mid_carry as u128) << 64) + low_carry as u128;
+    (high, low)
+}
+
+/// Compare the exact signed products `a1*b1` and `a2*b2` without overflow,
+/// widening to 256 bits.
+fn cmp_products(a1: i128, b1: i128, a2: i128, b2: i128) -> Ordering {
+    let s1 = a1.signum() * b1.signum();
+    let s2 = a2.signum() * b2.signum();
+    if s1 != s2 {
+        return s1.cmp(&s2);
+    }
+    let m1 = wide_mul_abs(a1, b1);
+    let m2 = wide_mul_abs(a2, b2);
+    if s1 >= 0 {
+        m1.cmp(&m2)
+    } else {
+        m2.cmp(&m1)
+    }
+}
+
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b <=> c/d  (b, d > 0)  <=>  a*d <=> c*b; cross-reduce first.
+        // a/b <=> c/d  (b, d > 0)  <=>  a*d <=> c*b. Cross-reduce, then
+        // compare the exact 256-bit cross products — `cmp` is total for
+        // every pair of representable rationals, never panicking even
+        // where `checked_mul` would report overflow.
         let g = gcd_i128(self.den, other.den);
-        let lhs = self
-            .num
-            .checked_mul(other.den / g)
-            .expect("Rat::cmp overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den / g)
-            .expect("Rat::cmp overflow");
-        lhs.cmp(&rhs)
+        cmp_products(self.num, other.den / g, other.num, self.den / g)
     }
 }
 
@@ -291,6 +385,7 @@ impl Add for Rat {
     #[inline]
     fn add(self, rhs: Rat) -> Rat {
         self.checked_add(rhs)
+            // audit: allow(panic, operator impls cannot return Result; fallible callers use try_add)
             .unwrap_or_else(|| panic!("Rat overflow in {self} + {rhs}"))
     }
 }
@@ -308,6 +403,7 @@ impl Mul for Rat {
     #[inline]
     fn mul(self, rhs: Rat) -> Rat {
         self.checked_mul(rhs)
+            // audit: allow(panic, operator impls cannot return Result; fallible callers use try_mul)
             .unwrap_or_else(|| panic!("Rat overflow in {self} * {rhs}"))
     }
 }
@@ -441,9 +537,7 @@ impl FromStr for Rat {
                 return Err(bad());
             }
             let f: i128 = frac_part.parse().map_err(|_| bad())?;
-            let scale = 10i128
-                .checked_pow(frac_part.len() as u32)
-                .ok_or_else(bad)?;
+            let scale = 10i128.checked_pow(frac_part.len() as u32).ok_or_else(bad)?;
             let frac = Rat::new(f, scale);
             let int = Rat::from_int(i);
             Ok(if neg { int - frac } else { int + frac })
@@ -530,7 +624,12 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        for r in [Rat::new(-7, 3), Rat::ZERO, Rat::from_int(42), Rat::new(1, 9)] {
+        for r in [
+            Rat::new(-7, 3),
+            Rat::ZERO,
+            Rat::from_int(42),
+            Rat::new(1, 9),
+        ] {
             let s = r.to_string();
             assert_eq!(s.parse::<Rat>().unwrap(), r);
         }
@@ -566,5 +665,82 @@ mod tests {
     #[test]
     fn to_f64_approx() {
         assert!((Rat::new(1, 3).to_f64() - 0.333333).abs() < 1e-5);
+    }
+
+    // A pair of rationals whose cross products overflow i128. The
+    // numerators are coprime to both denominators (2^126 + 1 ≡ 2 mod 3,
+    // 2^126 - 1 ≡ 3 mod 5), so neither fraction reduces and a*d, c*b
+    // are ~2^126 * small — past i128::MAX.
+    fn huge_pair() -> (Rat, Rat) {
+        let big = 1i128 << 126;
+        (Rat::new(big + 1, 3), Rat::new(big - 1, 5))
+    }
+
+    #[test]
+    fn checked_ops_report_overflow_cleanly() {
+        let (a, b) = huge_pair();
+        assert_eq!(a.checked_mul(b), None);
+        assert_eq!(a.try_mul(b), Err(NumError::Overflow));
+        let big = Rat::from_int(i128::MAX / 2 + 1);
+        assert_eq!(big.checked_add(big), None);
+        assert_eq!(big.try_add(big), Err(NumError::Overflow));
+        assert_eq!(big.try_sub(-big), Err(NumError::Overflow));
+        // Division overflowing via the reciprocal product.
+        assert_eq!(a.try_div(b.recip()), Err(NumError::Overflow));
+        assert_eq!(Rat::ONE.try_div(Rat::ZERO), Err(NumError::DivisionByZero));
+        // Non-overflowing cases still succeed.
+        assert_eq!(Rat::new(1, 2).try_add(Rat::new(1, 3)), Ok(Rat::new(5, 6)));
+        assert_eq!(Rat::new(1, 2).try_mul(Rat::new(2, 3)), Ok(Rat::new(1, 3)));
+    }
+
+    #[test]
+    fn cmp_is_total_under_overflow() {
+        // These comparisons overflow i128 cross-multiplication; the widening
+        // path must still order them correctly (and must not panic).
+        let (a, b) = huge_pair();
+        assert!(a > b); // big/3 > (big-1)/7
+        assert!(-a < -b);
+        assert!(-a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        // Values differing only in the 256-bit low half.
+        let x = Rat::new((1i128 << 126) + 1, (1i128 << 125) - 1);
+        let y = Rat::new((1i128 << 126) - 1, (1i128 << 125) + 3);
+        assert!(x > y);
+        assert!(x.min(y) == y && x.max(y) == x);
+    }
+
+    #[test]
+    fn wide_mul_abs_matches_checked_mul_when_in_range() {
+        for (a, b) in [
+            (0i128, 5i128),
+            (7, -9),
+            (i128::MAX, 1),
+            (i128::MAX, -1),
+            ((1 << 64) + 17, (1 << 63) - 3),
+            (-(1 << 90), 1 << 30),
+        ] {
+            if let Some(p) = a.checked_mul(b) {
+                assert_eq!(wide_mul_abs(a, b), (0, p.unsigned_abs()), "{a} * {b}");
+            }
+        }
+        // And one genuinely 256-bit case: (2^127 - 1)^2.
+        let (hi, lo) = wide_mul_abs(i128::MAX, i128::MAX);
+        // (2^127 - 1)^2 = 2^254 - 2^128 + 1.
+        assert_eq!(hi, (1u128 << 126) - 1);
+        assert_eq!(lo, 1);
+    }
+
+    #[test]
+    fn saturating_add_clamps_in_release() {
+        // debug_assert fires under `cargo test`, so only probe the clamp in
+        // release-style builds.
+        if cfg!(debug_assertions) {
+            let v = Rat::new(1, 4).saturating_add(Rat::new(1, 4));
+            assert_eq!(v, Rat::new(1, 2));
+        } else {
+            let big = Rat::from_int(i128::MAX / 2 + 1);
+            assert_eq!(big.saturating_add(big), Rat::from_int(i128::MAX));
+            assert_eq!((-big).saturating_add(-big), Rat::from_int(i128::MIN + 1));
+        }
     }
 }

@@ -105,7 +105,14 @@ mod tests {
     #[test]
     fn worst_delay_across_seeds() {
         let t = builders::tandem(2, int(1), rat(3, 16), builders::TandemOptions::default());
-        let models = vec![SourceModel::OnOff { on: 3, off: 5, phase: 0 }; t.net.flows().len()];
+        let models = vec![
+            SourceModel::OnOff {
+                on: 3,
+                off: 5,
+                phase: 0
+            };
+            t.net.flows().len()
+        ];
         let cfg = SimConfig {
             ticks: 1024,
             ..SimConfig::default()

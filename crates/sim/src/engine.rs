@@ -127,7 +127,11 @@ impl ServerState {
                 priority_levels,
                 ..
             } => {
-                let level = if *priority_levels { priority as usize } else { 0 };
+                let level = if *priority_levels {
+                    priority as usize
+                } else {
+                    0
+                };
                 if level >= queues.len() {
                     queues.resize_with(level + 1, VecDeque::new);
                 }
@@ -184,24 +188,25 @@ impl ServerState {
                     }
                     credit[f] += reserved[f];
                     while credit[f] >= Rat::ONE {
-                        let Some(cell) = queues[f].pop_front() else { break };
+                        let Some(cell) = queues[f].pop_front() else {
+                            break;
+                        };
                         credit[f] -= Rat::ONE;
                         served.push(cell);
                     }
                 }
             }
             ServerState::Edf {
-                heap,
-                credit,
-                rate,
-                ..
+                heap, credit, rate, ..
             } => {
                 *credit += *rate;
                 if heap.is_empty() {
                     *credit = Rat::ZERO;
                 } else {
                     while *credit >= Rat::ONE {
-                        let Some(Reverse((_, _, cell))) = heap.pop() else { break };
+                        let Some(Reverse((_, _, cell))) = heap.pop() else {
+                            break;
+                        };
                         *credit -= Rat::ONE;
                         served.push(cell.into());
                     }
@@ -312,9 +317,7 @@ impl<'a> Simulation<'a> {
 
     /// Queue a cell at a server, keeping the trace counters current.
     fn enqueue(&mut self, sid: ServerId, cell: Cell, priority: u8) {
-        if self.traced == Some(sid.0)
-            && self.traced_flow.is_none_or(|f| f == cell.flow as usize)
-        {
+        if self.traced == Some(sid.0) && self.traced_flow.is_none_or(|f| f == cell.flow as usize) {
             self.trace_arrived += 1;
         }
         self.servers[sid.0].push(cell, priority);
@@ -461,12 +464,7 @@ mod tests {
 
     #[test]
     fn contention_builds_queues() {
-        let t = builders::tandem(
-            2,
-            int(1),
-            rat(3, 16),
-            builders::TandemOptions::default(),
-        );
+        let t = builders::tandem(2, int(1), rat(3, 16), builders::TandemOptions::default());
         let r = simulate(&t.net, &all_greedy(&t.net), &SimConfig::default());
         assert!(r.flows[t.conn0.0].max_delay > 0, "greedy load must queue");
         assert!(r.servers.iter().any(|s| s.max_backlog > 0));
@@ -474,12 +472,7 @@ mod tests {
 
     #[test]
     fn conservation_no_cell_lost() {
-        let t = builders::tandem(
-            3,
-            int(1),
-            rat(1, 8),
-            builders::TandemOptions::default(),
-        );
+        let t = builders::tandem(3, int(1), rat(1, 8), builders::TandemOptions::default());
         let cfg = SimConfig {
             ticks: 2048,
             ..SimConfig::default()
@@ -500,12 +493,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let t = builders::tandem(
-            2,
-            int(1),
-            rat(1, 8),
-            builders::TandemOptions::default(),
-        );
+        let t = builders::tandem(2, int(1), rat(1, 8), builders::TandemOptions::default());
         let models = vec![SourceModel::Bernoulli { num: 1, den: 4 }; t.net.flows().len()];
         let cfg = SimConfig {
             ticks: 512,

@@ -98,7 +98,10 @@ fn sp_starvation_of_lowest_priority() {
         })
         .unwrap();
     let r = simulate(&net, &all_greedy(&net), &cfg(4096));
-    assert!(r.flows[lo.0].delivered > 0, "no total starvation under load < 1");
+    assert!(
+        r.flows[lo.0].delivered > 0,
+        "no total starvation under load < 1"
+    );
     assert!(r.flows[lo.0].max_delay > r.flows[hi.0].max_delay * 2);
 }
 

@@ -69,10 +69,7 @@ impl TrafficSpec {
     /// Panics unless `p >= r` and all parameters are non-negative.
     pub fn tspec(m: Rat, p: Rat, r: Rat, b: Rat) -> TrafficSpec {
         assert!(p >= r, "TSpec: peak rate below sustained rate");
-        TrafficSpec::new(
-            vec![TokenBucket::new(m, p), TokenBucket::new(b, r)],
-            None,
-        )
+        TrafficSpec::new(vec![TokenBucket::new(m, p), TokenBucket::new(b, r)], None)
     }
 
     /// The component buckets.

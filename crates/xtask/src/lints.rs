@@ -1,0 +1,436 @@
+//! The audit's lint passes, operating on [`ScannedFile`] code masks.
+//!
+//! Lint names (used in `// audit: allow(<lint>, <reason>)`):
+//!
+//! | lint        | scope                      | what it flags                              |
+//! |-------------|----------------------------|--------------------------------------------|
+//! | `unwrap`    | analysis crates            | `.unwrap()` on `Option`/`Result`           |
+//! | `expect`    | analysis crates            | `.expect(...)`                             |
+//! | `panic`     | analysis crates            | `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `index`     | analysis crates            | `expr[...]` indexing/slicing (can panic)   |
+//! | `float`     | whole workspace            | the `f64` type outside whitelisted modules |
+//! | `doc-shape` | `dnc-curves` / `dnc-core`  | `pub fn` taking/returning `Curve` without a shape-precondition doc |
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* linted: they are the
+//! documented precondition mechanism, and the escape hatch would otherwise
+//! drown the signal.
+
+use crate::report::Finding;
+use crate::scan::ScannedFile;
+
+/// Words that satisfy the `doc-shape` lint when present in a doc comment.
+pub const SHAPE_WORDS: &[&str] = &[
+    "concave",
+    "convex",
+    "nondecreasing",
+    "non-decreasing",
+    "wide-sense",
+    "monotone",
+    "monotonic",
+];
+
+/// Method calls flagged by the `unwrap`/`expect` lints.
+const PANIC_METHODS: &[(&str, &str)] = &[(".unwrap()", "unwrap"), (".expect(", "expect")];
+
+/// Macros flagged by the `panic` lint.
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// Is the byte at `pos` preceded by an identifier character?
+fn ident_before(code: &str, pos: usize) -> bool {
+    code[..pos]
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Is the match at `pos..pos+len` followed by an identifier character?
+fn ident_after(code: &str, end: usize) -> bool {
+    code[end..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// 1-based line number of byte offset `pos`.
+fn line_of(code: &str, pos: usize) -> usize {
+    code[..pos].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Emit a finding unless the line is test code or carries a matching
+/// `audit: allow`.
+fn emit(file: &ScannedFile, findings: &mut Vec<Finding>, pos: usize, lint: &str, message: String) {
+    let line = line_of(&file.code, pos);
+    if file.line_in_test(line) || file.allowed(line, lint) {
+        return;
+    }
+    findings.push(Finding {
+        lint: lint.to_string(),
+        file: file.path.clone(),
+        line,
+        message,
+        snippet: file.snippet(line).to_string(),
+    });
+}
+
+/// L1 — panic-freedom: `.unwrap()`, `.expect(`, panicking macros, and
+/// indexing expressions in the analysis crates.
+pub fn lint_panic_family(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    for &(needle, lint) in PANIC_METHODS {
+        let mut from = 0;
+        while let Some(found) = code[from..].find(needle) {
+            let pos = from + found;
+            from = pos + needle.len();
+            emit(
+                file,
+                findings,
+                pos,
+                lint,
+                format!(
+                    "`{}` can panic in an analysis hot path",
+                    needle.trim_end_matches('(')
+                ),
+            );
+        }
+    }
+    for &needle in PANIC_MACROS {
+        let mut from = 0;
+        while let Some(found) = code[from..].find(needle) {
+            let pos = from + found;
+            from = pos + needle.len();
+            // `core::panic!(` etc. still matches; an identifier char right
+            // before (e.g. `dont_panic!(`) does not.
+            if ident_before(code, pos) {
+                continue;
+            }
+            emit(
+                file,
+                findings,
+                pos,
+                "panic",
+                format!("`{}` aborts the analysis", needle.trim_end_matches('(')),
+            );
+        }
+    }
+    lint_indexing(file, findings);
+}
+
+/// The `index` lint: `expr[...]` where `expr` ends in an identifier, `)`,
+/// or `]`. Attributes (`#[...]`), array literals/types (preceded by
+/// punctuation), and slice patterns don't match because their `[` is not
+/// preceded by an expression tail.
+fn lint_indexing(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    for (pos, _) in code.match_indices('[') {
+        let before = code[..pos].trim_end();
+        let Some(prev) = before.chars().next_back() else {
+            continue;
+        };
+        let is_expr_tail = prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']';
+        if !is_expr_tail {
+            continue;
+        }
+        // Keyword heads (`return [`, `in [`, …) end in an identifier char
+        // but are not index bases.
+        let tail_word: String = before
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if matches!(
+            tail_word.as_str(),
+            "return"
+                | "in"
+                | "if"
+                | "else"
+                | "match"
+                | "break"
+                | "mut"
+                | "ref"
+                | "const"
+                | "static"
+                | "dyn"
+                | "where"
+        ) {
+            continue;
+        }
+        // A lifetime (`&'a [T]`) is a slice type, not an index base.
+        if before.len() > tail_word.len()
+            && before.as_bytes()[before.len() - tail_word.len() - 1] == b'\''
+        {
+            continue;
+        }
+        emit(
+            file,
+            findings,
+            pos,
+            "index",
+            "indexing can panic; prefer `.get()` or document the bound".to_string(),
+        );
+    }
+}
+
+/// L2 — exactness: the `f64` type must not appear outside whitelisted
+/// reporting modules. Matches `f64` as a standalone token, so identifiers
+/// like `to_f64` or `bound_f64` don't trip it.
+pub fn lint_float(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let mut from = 0;
+    while let Some(found) = code[from..].find("f64") {
+        let pos = from + found;
+        from = pos + 3;
+        if ident_before(code, pos) || ident_after(code, pos + 3) {
+            continue;
+        }
+        emit(
+            file,
+            findings,
+            pos,
+            "float",
+            "`f64` outside report/plot modules breaks the exactness guarantee".to_string(),
+        );
+    }
+    // `f32` would be just as inexact; flag it under the same lint.
+    let mut from = 0;
+    while let Some(found) = code[from..].find("f32") {
+        let pos = from + found;
+        from = pos + 3;
+        if ident_before(code, pos) || ident_after(code, pos + 3) {
+            continue;
+        }
+        emit(
+            file,
+            findings,
+            pos,
+            "float",
+            "`f32` outside report/plot modules breaks the exactness guarantee".to_string(),
+        );
+    }
+}
+
+/// L3 — shape contracts: every `pub fn` that takes or returns a `Curve`
+/// must carry a doc comment naming its shape precondition (one of
+/// [`SHAPE_WORDS`]).
+pub fn lint_doc_shape(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let mut from = 0;
+    while let Some(found) = code[from..].find("pub fn ") {
+        let pos = from + found;
+        from = pos + "pub fn ".len();
+        // `pub fn` must start a token run (not e.g. `_pub fn`).
+        if ident_before(code, pos) {
+            continue;
+        }
+        let line = line_of(code, pos);
+        if file.line_in_test(line) {
+            continue;
+        }
+        // Signature: from `fn` to the body `{` or declaration `;` at
+        // angle/paren depth 0.
+        let sig_end = signature_end(&code[pos..]).map(|off| pos + off);
+        let Some(sig_end) = sig_end else { continue };
+        let sig = &code[pos..sig_end];
+        if !mentions_curve(sig) {
+            continue;
+        }
+        if file.allowed(line, "doc-shape") {
+            continue;
+        }
+        let doc = file.doc_above(line).to_lowercase();
+        if SHAPE_WORDS.iter().any(|w| doc.contains(w)) {
+            continue;
+        }
+        let name: String = sig["pub fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        findings.push(Finding {
+            lint: "doc-shape".to_string(),
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "`pub fn {name}` takes/returns a Curve but its doc comment names no shape \
+                 precondition ({})",
+                SHAPE_WORDS.join("/")
+            ),
+            snippet: file.snippet(line).to_string(),
+        });
+    }
+}
+
+/// Offset of the end of a `pub fn` signature (the `{` or `;` at brace
+/// depth 0), or `None` for malformed input.
+fn signature_end(code: &str) -> Option<usize> {
+    let mut paren = 0i64;
+    for (i, c) in code.char_indices() {
+        match c {
+            '(' | '[' => paren += 1,
+            ')' | ']' => paren -= 1,
+            '{' | ';' if paren == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does a signature mention the `Curve` type as a standalone token?
+fn mentions_curve(sig: &str) -> bool {
+    let mut from = 0;
+    while let Some(found) = sig[from..].find("Curve") {
+        let pos = from + found;
+        from = pos + "Curve".len();
+        let before_ok = !sig[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !sig[pos + 5..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// The `stale-allow` lint: escape hatches that suppressed nothing. Run
+/// after all other passes so `used` flags are final.
+pub fn lint_stale_allows(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for a in &file.allows {
+        if !a.used.get() {
+            findings.push(Finding {
+                lint: "stale-allow".to_string(),
+                file: file.path.clone(),
+                line: a.line,
+                message: format!(
+                    "`audit: allow({}, ...)` suppressed no finding — remove the stale annotation",
+                    a.lint
+                ),
+                snippet: file.snippet(a.line).to_string(),
+            });
+        }
+        if a.reason.is_empty() {
+            findings.push(Finding {
+                lint: "stale-allow".to_string(),
+                file: file.path.clone(),
+                line: a.line,
+                message: format!(
+                    "`audit: allow({})` has no reason — escape hatches must be justified",
+                    a.lint
+                ),
+                snippet: file.snippet(a.line).to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScannedFile;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new("test.rs".into(), src.to_string())
+    }
+
+    fn run_l1(src: &str) -> Vec<Finding> {
+        let f = scan(src);
+        let mut out = Vec::new();
+        lint_panic_family(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_strings_ignored() {
+        let f = run_l1("fn f() { x.unwrap(); let s = \".unwrap()\"; }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "unwrap");
+    }
+
+    #[test]
+    fn expect_and_macros_flagged() {
+        let f = run_l1("fn f() { x.expect(\"msg\"); panic!(\"boom\"); unreachable!(\"no\"); }\n");
+        let lints: Vec<&str> = f.iter().map(|x| x.lint.as_str()).collect();
+        assert!(lints.contains(&"expect"));
+        assert_eq!(lints.iter().filter(|&&l| l == "panic").count(), 2);
+    }
+
+    #[test]
+    fn test_mod_code_is_exempt() {
+        let f = run_l1("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_and_tracks_usage() {
+        let src = "fn f() { x.unwrap(); } // audit: allow(unwrap, infallible here)\n";
+        let scanned = scan(src);
+        let mut out = Vec::new();
+        lint_panic_family(&scanned, &mut out);
+        assert!(out.is_empty());
+        lint_stale_allows(&scanned, &mut out);
+        assert!(out.is_empty(), "used allow must not be stale");
+    }
+
+    #[test]
+    fn stale_allow_reported() {
+        let scanned = scan("fn f() {} // audit: allow(unwrap, nothing here)\n");
+        let mut out = Vec::new();
+        lint_panic_family(&scanned, &mut out);
+        lint_stale_allows(&scanned, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "stale-allow");
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_attrs_or_literals() {
+        let f = run_l1("#[derive(Clone)]\nfn f(v: &[u8]) { let a = v[0]; let b = [0u8; 4]; let c: Vec<[u8; 2]> = vec![]; }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "index");
+    }
+
+    #[test]
+    fn slice_type_after_lifetime_not_flagged() {
+        let f = run_l1("struct S<'a> { order: &'a [u8] }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn float_token_boundaries() {
+        let scanned = scan("fn f(x: f64) {}\nfn g() { a.to_f64(); let bound_f64 = 1; }\n");
+        let mut out = Vec::new();
+        lint_float(&scanned, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn doc_shape_requires_keyword() {
+        let src = "\
+/// Frobnicates.\n\
+pub fn bad(c: &Curve) -> Curve { c.clone() }\n\
+/// Requires a concave nondecreasing input.\n\
+pub fn good(c: &Curve) -> Curve { c.clone() }\n\
+pub fn unrelated(x: u32) -> u32 { x }\n";
+        let scanned = scan(src);
+        let mut out = Vec::new();
+        lint_doc_shape(&scanned, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("bad"));
+    }
+
+    #[test]
+    fn doc_shape_allow_works() {
+        let src = "\
+// audit: allow(doc-shape, pure representation accessor)\n\
+pub fn points_of(c: &Curve) -> usize { c.len() }\n";
+        let scanned = scan(src);
+        let mut out = Vec::new();
+        lint_doc_shape(&scanned, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

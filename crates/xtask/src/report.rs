@@ -1,0 +1,204 @@
+//! Deterministic finding output: human-readable text and machine-readable
+//! JSON (hand-rolled — the audit tool itself must build with zero external
+//! dependencies).
+
+use std::collections::BTreeMap;
+
+/// One audit finding at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: String,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    pub snippet: String,
+}
+
+/// A used escape hatch, listed in the report so reviews (and the checked-in
+/// baseline) see every suppression with its justification.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    pub lint: String,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Sort findings for stable output: by file, then line, then lint.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint.as_str()).cmp(&(b.file.as_str(), b.line, b.lint.as_str()))
+    });
+}
+
+/// Sort allow records the same way.
+pub fn sort_allows(allows: &mut [AllowRecord]) {
+    allows.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint.as_str()).cmp(&(b.file.as_str(), b.line, b.lint.as_str()))
+    });
+}
+
+/// Human-readable report to stdout. Returns the finding count.
+pub fn print_text(findings: &[Finding], allows: &[AllowRecord], files_scanned: usize) -> usize {
+    for f in findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet.trim());
+        }
+    }
+    let mut per_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *per_lint.entry(&f.lint).or_default() += 1;
+    }
+    if findings.is_empty() {
+        println!(
+            "audit: clean — {} files scanned, 0 findings, {} allow(s) in effect",
+            files_scanned,
+            allows.len()
+        );
+    } else {
+        let breakdown: Vec<String> = per_lint.iter().map(|(l, n)| format!("{l}: {n}")).collect();
+        println!(
+            "audit: {} finding(s) in {} files scanned ({}); {} allow(s) in effect",
+            findings.len(),
+            files_scanned,
+            breakdown.join(", "),
+            allows.len()
+        );
+    }
+    findings.len()
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report as a JSON string. The layout is stable and
+/// deterministic so `results/audit-baseline.json` diffs cleanly.
+pub fn to_json(findings: &[Finding], allows: &[AllowRecord], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+
+    let mut per_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *per_lint.entry(&f.lint).or_default() += 1;
+    }
+    out.push_str("  \"findings_by_lint\": {");
+    let entries: Vec<String> = per_lint
+        .iter()
+        .map(|(l, n)| format!("\"{}\": {n}", json_escape(l)))
+        .collect();
+    out.push_str(&entries.join(", "));
+    out.push_str("},\n");
+
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            json_escape(&f.lint),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            json_escape(f.snippet.trim()),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str(&format!("  \"allow_count\": {},\n", allows.len()));
+    out.push_str("  \"allows\": [\n");
+    for (i, a) in allows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+            json_escape(&a.lint),
+            json_escape(&a.file),
+            a.line,
+            json_escape(&a.reason),
+            if i + 1 < allows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let findings = vec![Finding {
+            lint: "unwrap".into(),
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "msg with \"quotes\"".into(),
+            snippet: "x.unwrap()".into(),
+        }];
+        let allows = vec![AllowRecord {
+            lint: "float".into(),
+            file: "crates/y/src/lib.rs".into(),
+            line: 3,
+            reason: "plotting".into(),
+        }];
+        let j = to_json(&findings, &allows, 42);
+        assert!(j.contains("\"files_scanned\": 42"));
+        assert!(j.contains("\"finding_count\": 1"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"findings_by_lint\": {\"unwrap\": 1}"));
+        // Balanced braces/brackets (cheap well-formedness proxy).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sorting_is_stable_and_total() {
+        let mut f = vec![
+            Finding {
+                lint: "b".into(),
+                file: "z.rs".into(),
+                line: 1,
+                message: String::new(),
+                snippet: String::new(),
+            },
+            Finding {
+                lint: "a".into(),
+                file: "a.rs".into(),
+                line: 9,
+                message: String::new(),
+                snippet: String::new(),
+            },
+            Finding {
+                lint: "a".into(),
+                file: "a.rs".into(),
+                line: 2,
+                message: String::new(),
+                snippet: String::new(),
+            },
+        ];
+        sort_findings(&mut f);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[2].file, "z.rs");
+    }
+}

@@ -1,0 +1,562 @@
+//! Comment/string-aware scanning of Rust source files.
+//!
+//! The audit deliberately avoids a full parser (the build environment has
+//! no access to `syn`): every lint here operates on a *code mask* — the
+//! original source with comments, string literals, and char literals
+//! blanked out — plus side tables of comments and `#[cfg(test)]` module
+//! spans. That is enough to make token-level lints (`.unwrap()`, `f64`,
+//! indexing) immune to false positives from text inside strings or docs,
+//! which is the failure mode of plain grep.
+
+/// One comment found in a file (both `//`-family and `/* */`-family).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Comment text without the delimiters, trimmed.
+    pub text: String,
+    /// `true` for `///` and `//!` doc comments.
+    pub is_doc: bool,
+    /// `true` when the comment occupies its line alone (no code before it).
+    pub standalone: bool,
+}
+
+/// An `// audit: allow(<lint>, <reason>)` escape-hatch annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// 1-based line the annotation suppresses findings on.
+    pub target_line: usize,
+    /// Lint name the annotation allows (or `"all"`).
+    pub lint: String,
+    /// Free-form justification (required by the audit).
+    pub reason: String,
+    /// Set by the lint passes when a finding is actually suppressed.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A scanned source file ready for linting.
+pub struct ScannedFile {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// The source with comment/string/char contents blanked to spaces
+    /// (newlines preserved, so line/column arithmetic matches the source).
+    pub code: String,
+    /// Original source (for snippets in reports).
+    pub source: String,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// Escape-hatch annotations, in order.
+    pub allows: Vec<Allow>,
+    /// `in_test[line-1]` is `true` for lines inside `#[cfg(test)]` modules.
+    pub in_test: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Scan `source` (from `path`) into masked code + side tables.
+    pub fn new(path: String, source: String) -> ScannedFile {
+        let (code, comments) = mask(&source);
+        let allows = extract_allows(&code, &comments);
+        let in_test = test_spans(&code);
+        ScannedFile {
+            path,
+            code,
+            source,
+            comments,
+            allows,
+            in_test,
+        }
+    }
+
+    /// `true` if `line` (1-based) is inside a `#[cfg(test)]` module.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The original source line (1-based), trimmed, for report snippets.
+    pub fn snippet(&self, line: usize) -> &str {
+        self.source.lines().nth(line - 1).unwrap_or("").trim()
+    }
+
+    /// Look for an unused-or-used allow covering `line` for `lint`; marks
+    /// it used and returns `true` when found.
+    pub fn allowed(&self, line: usize, lint: &str) -> bool {
+        for a in &self.allows {
+            if a.target_line == line && (a.lint == lint || a.lint == "all") {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Doc-comment lines immediately above `line` (1-based), skipping
+    /// attribute lines (`#[...]`), concatenated in source order.
+    pub fn doc_above(&self, line: usize) -> String {
+        let code_lines: Vec<&str> = self.code.lines().collect();
+        let mut cursor = line - 1; // move to 0-based, then walk up
+        let mut doc_lines: Vec<&str> = Vec::new();
+        while cursor > 0 {
+            cursor -= 1;
+            let code_line = code_lines.get(cursor).copied().unwrap_or("").trim();
+            let is_attr = code_line.starts_with("#[") || code_line.starts_with("#![");
+            let is_blankish = code_line.is_empty();
+            if is_attr {
+                continue;
+            }
+            if !is_blankish {
+                break;
+            }
+            // Blank in the mask: either a genuinely blank line (stop) or
+            // a comment line. Doc comments accumulate; plain comments are
+            // skipped without ending the walk.
+            match self.comments.iter().find(|c| c.line == cursor + 1) {
+                Some(c) if c.is_doc => doc_lines.push(&c.text),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        doc_lines.reverse();
+        doc_lines.join("\n")
+    }
+}
+
+/// States of the masking scanner.
+enum State {
+    Code,
+    LineComment {
+        start: usize,
+        doc: bool,
+    },
+    BlockComment {
+        depth: usize,
+        start: usize,
+        doc: bool,
+    },
+    Str,
+    RawStr {
+        hashes: usize,
+    },
+    Char,
+}
+
+/// Blank out comment/string/char contents; collect comments.
+fn mask(source: &str) -> (String, Vec<Comment>) {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut comment_buf = String::new();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut line_had_code = false;
+    let mut i = 0usize;
+
+    macro_rules! push_masked {
+        ($c:expr) => {
+            if $c == '\n' {
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'))
+                        && bytes.get(i + 3) != Some(&'/'); // `////` separators are not docs
+                    state = State::LineComment { start: line, doc };
+                    comment_buf.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    let doc = matches!(bytes.get(i + 2), Some('*') | Some('!'))
+                        && bytes.get(i + 3) != Some(&'/');
+                    state = State::BlockComment {
+                        depth: 1,
+                        start: line,
+                        doc,
+                    };
+                    comment_buf.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    line_had_code = true;
+                }
+                'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                    let (consumed, hashes) = raw_string_open(&bytes, i);
+                    for k in 0..consumed {
+                        push_masked!(bytes[i + k]);
+                    }
+                    state = State::RawStr { hashes };
+                    line_had_code = true;
+                    i += consumed;
+                    continue;
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_lifetime = match (next, bytes.get(i + 2)) {
+                        (Some(n), after) if n.is_alphanumeric() || n == '_' => after != Some(&'\''),
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        out.push(c);
+                        line_had_code = true;
+                    } else {
+                        state = State::Char;
+                        out.push('\'');
+                        line_had_code = true;
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                    line_had_code = false;
+                }
+                _ => {
+                    out.push(c);
+                    if !c.is_whitespace() {
+                        line_had_code = true;
+                    }
+                }
+            },
+            State::LineComment { start, doc } => {
+                if c == '\n' {
+                    comments.push(Comment {
+                        line: start,
+                        text: comment_buf.trim().to_string(),
+                        is_doc: doc,
+                        standalone: !line_had_code,
+                    });
+                    out.push('\n');
+                    line += 1;
+                    line_had_code = false;
+                    state = State::Code;
+                } else {
+                    comment_buf.push(c);
+                    out.push(' ');
+                }
+            }
+            State::BlockComment {
+                ref mut depth,
+                start,
+                doc,
+            } => {
+                if c == '/' && next == Some('*') {
+                    *depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        comments.push(Comment {
+                            line: start,
+                            text: comment_buf.trim().to_string(),
+                            is_doc: doc,
+                            standalone: !line_had_code,
+                        });
+                        state = State::Code;
+                    }
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                comment_buf.push(c);
+                push_masked!(c);
+                if c == '\n' {
+                    line += 1;
+                    line_had_code = false;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if let Some(n) = next {
+                        push_masked!(n);
+                        if n == '\n' {
+                            line += 1;
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    out.push('"');
+                    state = State::Code;
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(' '),
+            },
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                    for k in 0..=hashes {
+                        push_masked!(bytes[i + k]);
+                    }
+                    state = State::Code;
+                    i += hashes + 1;
+                    continue;
+                }
+                push_masked!(c);
+                if c == '\n' {
+                    line += 1;
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    out.push('\'');
+                    state = State::Code;
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    if let State::LineComment { start, doc } = state {
+        comments.push(Comment {
+            line: start,
+            text: comment_buf.trim().to_string(),
+            is_doc: doc,
+            standalone: !line_had_code,
+        });
+    }
+    (out, comments)
+}
+
+/// Is `i` the start of a raw/byte string (`r"`, `r#"`, `br"`, `b"`, ...)?
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'"');
+    }
+    // Plain byte string b"..."; treat like a normal string start only if
+    // the previous char is not an identifier char (avoid matching `rb` in
+    // an identifier like `verb"`... identifiers can't contain quotes, but
+    // `b` could end an identifier like `sub`).
+    bytes[i] == 'b'
+        && bytes.get(j) == Some(&'"')
+        && (i == 0 || !(bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_'))
+}
+
+/// Length of the raw-string opener at `i` and its `#` count.
+fn raw_string_open(bytes: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // j is at the quote
+    (j + 1 - i, hashes)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw_string(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Parse `audit: allow(<lint>, <reason>)` annotations out of comments and
+/// bind each to the line it suppresses: its own line for trailing
+/// comments, the next line containing code for standalone ones.
+fn extract_allows(code: &str, comments: &[Comment]) -> Vec<Allow> {
+    let code_lines: Vec<&str> = code.lines().collect();
+    let mut allows = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("audit: allow(") else {
+            continue;
+        };
+        let Some(inner) = rest.rfind(')').map(|end| &rest[..end]) else {
+            continue;
+        };
+        let (lint, reason) = match inner.split_once(',') {
+            Some((l, r)) => (l.trim().to_string(), r.trim().to_string()),
+            None => (inner.trim().to_string(), String::new()),
+        };
+        let target_line = if c.standalone {
+            // First later line with real code.
+            (c.line..=code_lines.len())
+                .find(|&l| {
+                    code_lines
+                        .get(l) // l is 1-based ⇒ this is the NEXT line
+                        .is_some_and(|s| !s.trim().is_empty())
+                })
+                .map(|l| l + 1)
+                .unwrap_or(c.line)
+        } else {
+            c.line
+        };
+        allows.push(Allow {
+            line: c.line,
+            target_line,
+            lint,
+            reason,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    allows
+}
+
+/// Mark lines belonging to `#[cfg(test)] mod … { … }` spans (brace-matched
+/// on the masked code, so braces in strings/comments don't confuse it).
+fn test_spans(code: &str) -> Vec<bool> {
+    let n_lines = code.lines().count();
+    let mut in_test = vec![false; n_lines];
+    let chars: Vec<char> = code.chars().collect();
+    let mut line_of = Vec::with_capacity(chars.len());
+    let mut line = 0usize;
+    for &c in &chars {
+        line_of.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+    let text: String = chars.iter().collect();
+    let mut search_from = 0usize;
+    while let Some(found) = text[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + found;
+        // Find the opening brace of the following item (mod or fn).
+        let Some(open_rel) = text[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0i64;
+        let mut close = open;
+        for (k, c) in text[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (l0, l1) = (
+            line_of[attr_at.min(line_of.len() - 1)],
+            line_of[close.min(line_of.len() - 1)],
+        );
+        for flag in in_test.iter_mut().take(l1 + 1).skip(l0) {
+            *flag = true;
+        }
+        search_from = close.max(attr_at + 1);
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new("test.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let f = scan("let x = \"unwrap() f64\"; // .unwrap() here\nlet y = 1;\n");
+        assert!(!f.code.contains("unwrap"));
+        assert!(!f.code.contains("f64"));
+        assert!(f.code.contains("let y = 1;"));
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains(".unwrap() here"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let f = scan("let s = r#\"panic!(\"x\")\"#; let t = 2;\n");
+        assert!(!f.code.contains("panic"));
+        assert!(f.code.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(f.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!f.code.contains("'x'"));
+    }
+
+    #[test]
+    fn allow_trailing_binds_to_its_line() {
+        let f = scan("let a = v.unwrap(); // audit: allow(unwrap, length checked above)\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].target_line, 1);
+        assert_eq!(f.allows[0].lint, "unwrap");
+        assert!(f.allows[0].reason.contains("length checked"));
+        assert!(f.allowed(1, "unwrap"));
+        assert!(!f.allowed(1, "panic"));
+    }
+
+    #[test]
+    fn allow_standalone_binds_to_next_code_line() {
+        let f =
+            scan("// audit: allow(index, i < len by construction)\nlet a = v[i];\nlet b = 2;\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].target_line, 2);
+        assert!(f.allowed(2, "index"));
+        assert!(!f.allowed(3, "index"));
+    }
+
+    #[test]
+    fn cfg_test_mods_are_marked() {
+        let src = "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\npub fn after() {}\n";
+        let f = scan(src);
+        assert!(!f.line_in_test(1));
+        assert!(f.line_in_test(3));
+        assert!(f.line_in_test(4));
+        assert!(f.line_in_test(5));
+        assert!(!f.line_in_test(6));
+    }
+
+    #[test]
+    fn doc_above_collects_contiguous_docs() {
+        let src =
+            "/// Needs a concave input.\n/// Second line.\n#[inline]\npub fn f(c: &Curve) {}\n";
+        let f = scan(src);
+        let doc = f.doc_above(4);
+        assert!(doc.contains("concave"));
+        assert!(doc.contains("Second line"));
+    }
+}

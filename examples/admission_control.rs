@@ -36,8 +36,7 @@ fn admitted_connections(analysis: &dyn DelayAnalysis, deadline: Rat) -> usize {
             route: servers.clone(),
             priority: 0,
         };
-        match try_admit(&net, candidate, deadline, &deadlines, analysis)
-            .expect("analysis failure")
+        match try_admit(&net, candidate, deadline, &deadlines, analysis).expect("analysis failure")
         {
             Some((updated, id)) => {
                 net = updated;

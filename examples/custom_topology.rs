@@ -91,13 +91,20 @@ fn main() {
     let part = partition(&net, PairingStrategy::GreedyChain).unwrap();
     println!("integrated pairing ({} pairs):", part.pair_count());
     for g in &part.groups {
-        let names: Vec<String> = g.servers().iter().map(|&s| net.server(s).name.clone()).collect();
+        let names: Vec<String> = g
+            .servers()
+            .iter()
+            .map(|&s| net.server(s).name.clone())
+            .collect();
         println!("  {}", names.join(" + "));
     }
 
     // Analysis.
     println!();
-    for alg in [&Decomposed::paper() as &dyn DelayAnalysis, &Integrated::paper()] {
+    for alg in [
+        &Decomposed::paper() as &dyn DelayAnalysis,
+        &Integrated::paper(),
+    ] {
         let r = alg.analyze(&net).unwrap();
         println!("[{}]", alg.name());
         for f in &r.flows {

@@ -35,7 +35,12 @@ fn main() {
         r.iterations
     );
     for f in &r.report.flows {
-        println!("    {:<4} {:>10} = {:.4} ticks", f.name, f.e2e.to_string(), f.e2e.to_f64());
+        println!(
+            "    {:<4} {:>10} = {:.4} ticks",
+            f.name,
+            f.e2e.to_string(),
+            f.e2e.to_f64()
+        );
     }
 
     // Feedback strength experiment: the fixed point exists only while the

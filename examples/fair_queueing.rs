@@ -102,7 +102,9 @@ fn main() {
     assert!(sc_gps.bound(gps_flows[0]) < dec_gps.bound(gps_flows[0]));
     println!("on GPS the service-curve method pays the burst once (beats decomposition);");
     if sc_fifo.bound(fifo_flows[0]) >= dec_fifo.bound(fifo_flows[0]) {
-        println!("on FIFO it does not — which is exactly why the paper builds Algorithm Integrated.");
+        println!(
+            "on FIFO it does not — which is exactly why the paper builds Algorithm Integrated."
+        );
     } else {
         println!("on FIFO its advantage collapses as load grows (see fig4) — hence Algorithm Integrated.");
     }

@@ -62,13 +62,8 @@ fn main() {
     println!("  exact fluid (greedy): {:>9.4}", exact.to_f64());
 
     // 3. Cell-level simulation with greedy sources.
-    let (net, _, _, f12_ids, _, _) = two_server(
-        Rat::ONE,
-        Rat::ONE,
-        &s12_specs,
-        &s1_specs,
-        &s2_specs,
-    );
+    let (net, _, _, f12_ids, _, _) =
+        two_server(Rat::ONE, Rat::ONE, &s12_specs, &s1_specs, &s2_specs);
     let sim = simulate(
         &net,
         &all_greedy(&net),
@@ -85,7 +80,10 @@ fn main() {
     println!("  simulated  (greedy): {:>9}", sim_max);
 
     // The ordering that certifies everything.
-    assert!(Rat::from(sim_max as i64) <= exact + Rat::ONE, "cell quantization only");
+    assert!(
+        Rat::from(sim_max as i64) <= exact + Rat::ONE,
+        "cell quantization only"
+    );
     assert!(exact <= pb.through, "exact fluid must respect the theorem");
     assert!(pb.through <= decomposed_sum, "integrated never loses");
     println!("\nordering holds: simulated <= exact fluid <= integrated <= decomposed");

@@ -62,7 +62,10 @@ fn main() {
 
     let budget = int(150);
     println!("interactivity budget: {budget} ticks\n");
-    for alg in [&Decomposed::paper() as &dyn DelayAnalysis, &Integrated::paper()] {
+    for alg in [
+        &Decomposed::paper() as &dyn DelayAnalysis,
+        &Integrated::paper(),
+    ] {
         let report = alg.analyze(&net).expect("analysis succeeds");
         println!("[{}]", alg.name());
         for id in [video1, video2, video3] {
@@ -71,7 +74,11 @@ fn main() {
                 "  {:<10} bound {:>10.4} ticks  {}",
                 report.flows[id.0].name,
                 b.to_f64(),
-                if b <= budget { "MEETS budget" } else { "MISSES budget" }
+                if b <= budget {
+                    "MEETS budget"
+                } else {
+                    "MISSES budget"
+                }
             );
         }
         println!();

@@ -71,8 +71,7 @@ fn edf_reorders_in_favor_of_tight_deadlines() {
     // worst case must drop.
     let spec = TrafficSpec::paper_source(int(4), rat(1, 4));
     let run = |d0: Rat, d1: Rat| -> (u64, u64) {
-        let (net, flows, _) =
-            edf_server_net(&[(spec.clone(), d0), (spec.clone(), d1)]);
+        let (net, flows, _) = edf_server_net(&[(spec.clone(), d0), (spec.clone(), d1)]);
         let sim = simulate(
             &net,
             &all_greedy(&net),
@@ -81,7 +80,10 @@ fn edf_reorders_in_favor_of_tight_deadlines() {
                 ..SimConfig::default()
             },
         );
-        (sim.flows[flows[0].0].max_delay, sim.flows[flows[1].0].max_delay)
+        (
+            sim.flows[flows[0].0].max_delay,
+            sim.flows[flows[1].0].max_delay,
+        )
     };
     let (a_tight, b_loose) = run(int(6), int(20));
     let (a_loose, b_tight) = run(int(20), int(6));
@@ -133,7 +135,10 @@ fn edf_multihop_even_assignment_validates() {
         },
     );
     for &f in &flows {
-        assert!(sim.max_delay(f.0) <= int(30) + Rat::from(3), "one tick per hop slack");
+        assert!(
+            sim.max_delay(f.0) <= int(30) + Rat::from(3),
+            "one tick per hop slack"
+        );
     }
 }
 

@@ -88,8 +88,10 @@ fn fitted_descriptor_of_internal_stream_is_sane() {
     let env = measure_envelope(&counts, 512);
     let (sigma, rho) = fit_token_bucket(&env).unwrap();
     let source_rate = t.net.flow(t.conn0).spec.sustained_rate();
-    assert!(rho >= source_rate * rat(9, 10) && rho <= source_rate * rat(11, 10),
-        "fitted rate {rho} far from source rate {source_rate}");
+    assert!(
+        rho >= source_rate * rat(9, 10) && rho <= source_rate * rat(11, 10),
+        "fitted rate {rho} far from source rate {source_rate}"
+    );
     let analytic_burst = t
         .net
         .flow(t.conn0)

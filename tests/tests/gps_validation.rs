@@ -10,10 +10,7 @@ use dnc_num::{int, rat, Rat};
 use dnc_sim::{all_greedy, simulate, SimConfig};
 use dnc_traffic::{SourceModel, TrafficSpec};
 
-fn gps_chain(
-    hops: usize,
-    specs: &[(TrafficSpec, Rat)],
-) -> (Network, Vec<FlowId>, Vec<ServerId>) {
+fn gps_chain(hops: usize, specs: &[(TrafficSpec, Rat)]) -> (Network, Vec<FlowId>, Vec<ServerId>) {
     let mut net = Network::new();
     let servers: Vec<ServerId> = (0..hops)
         .map(|i| {
@@ -96,7 +93,14 @@ fn gps_simulation_below_all_bounds() {
     let greedy = simulate(&net, &all_greedy(&net), &cfg);
     let onoff = simulate(
         &net,
-        &vec![SourceModel::OnOff { on: 5, off: 7, phase: 1 }; net.flows().len()],
+        &vec![
+            SourceModel::OnOff {
+                on: 5,
+                off: 7,
+                phase: 1
+            };
+            net.flows().len()
+        ],
         &cfg,
     );
     for &f in &flows {
@@ -130,7 +134,10 @@ fn gps_isolates_flows_from_each_other() {
         );
         ServiceCurve::paper().analyze(&net).unwrap().bound(flows[0])
     };
-    assert_eq!(bound_with_neighbour_burst(1), bound_with_neighbour_burst(30));
+    assert_eq!(
+        bound_with_neighbour_burst(1),
+        bound_with_neighbour_burst(30)
+    );
 }
 
 #[test]

@@ -64,11 +64,7 @@ fn bounds_monotone_in_load() {
         for u in u_grid() {
             let t = paper_tandem(4, u);
             let b = alg.analyze(&t.net).unwrap().bound(t.conn0);
-            assert!(
-                b > last,
-                "{}: bound not increasing at U={u}",
-                alg.name()
-            );
+            assert!(b > last, "{}: bound not increasing at U={u}", alg.name());
             last = b;
         }
     }

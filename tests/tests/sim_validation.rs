@@ -42,7 +42,14 @@ fn tandem_randomized_workloads_below_bounds() {
     let t = tandem(4, Rat::ONE, rat(3, 16), TandemOptions::default());
     let bound = Integrated::paper().analyze(&t.net).unwrap();
     let model_sets: Vec<Vec<SourceModel>> = vec![
-        vec![SourceModel::OnOff { on: 4, off: 4, phase: 1 }; t.net.flows().len()],
+        vec![
+            SourceModel::OnOff {
+                on: 4,
+                off: 4,
+                phase: 1
+            };
+            t.net.flows().len()
+        ],
         vec![SourceModel::Bernoulli { num: 2, den: 5 }; t.net.flows().len()],
         vec![
             SourceModel::Periodic {

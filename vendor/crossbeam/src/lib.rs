@@ -1,0 +1,85 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: [`scope`] with [`Scope::spawn`], implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The build environment has no access to crates.io; keeping the
+//! `crossbeam::scope(|s| { s.spawn(|_| …); })` call-site idiom means the
+//! real crate can be restored by editing one line of `Cargo.toml`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+///
+/// Wraps `std::thread::Scope`; `Copy` so it can be captured by spawned
+/// closures that themselves spawn.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker bound to this scope. As in crossbeam, the closure
+    /// receives the scope again so workers can spawn sub-workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Create a scope whose spawned threads may borrow from the environment;
+/// all threads are joined before `scope` returns. Returns `Err` with the
+/// first panic payload if any worker panicked (crossbeam semantics).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // std::thread::scope resumes a child panic on the parent after all
+    // threads join; catching it reproduces crossbeam's Result interface.
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Submodule alias matching `crossbeam::thread::scope` paths.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let n = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .expect("no worker panicked");
+        assert_eq!(n, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`Rng::gen_range`] / [`Rng::gen_ratio`] / [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships this deterministic splitmix64/xoshiro-style generator instead.
+//! It is NOT cryptographically secure and makes no statistical-quality
+//! claims beyond "good enough for randomized test topologies"; it exists
+//! so call sites keep the upstream `rand` idiom and can be switched back
+//! to the real crate by editing one line of `Cargo.toml`.
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)`. `high > low` is required.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u128;
+                // Multiply-shift reduction; bias is negligible for the
+                // small spans used in tests and irrelevant for stubs.
+                let x = rng.next_u64() as u128;
+                low.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl SampleUniform for i128 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let span = high.wrapping_sub(low) as u128;
+        let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        low.wrapping_add((x % span) as i128)
+    }
+}
+
+impl SampleUniform for u128 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let span = high - low;
+        let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        low + (x % span)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`] (mirrors `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                if hi < <$t>::MAX {
+                    <$t>::sample_half_open(rng, lo, hi + 1)
+                } else if lo > <$t>::MIN {
+                    <$t>::sample_half_open(rng, lo - 1, hi).wrapping_add(1)
+                } else {
+                    // Full domain: every bit pattern is a valid sample.
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128, u128);
+
+/// High-level convenience methods (the subset of `rand::Rng` used here).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio: zero denominator");
+        assert!(numerator <= denominator, "gen_ratio: probability above one");
+        u32::sample_half_open(self, 0, denominator) < numerator
+    }
+
+    /// `true` with probability `p` (`0.0 ..= 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift-multiply generator standing in for
+    /// `rand::rngs::StdRng`. Same seed ⇒ same stream, across platforms.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (public-domain construction by Vigna).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1i128..=8);
+            assert!((1..=8).contains(&y));
+            let z = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_ratio_hits_both_sides() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 3)).count();
+        // Expect about one third; allow a very generous tolerance.
+        assert!((2000..4700).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn full_range_inclusive_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = rng.gen_range(0u8..=u8::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+}
