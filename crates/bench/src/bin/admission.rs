@@ -8,9 +8,12 @@ use dnc_core::admission::max_admissible_utilization;
 use dnc_core::DelayAnalysis;
 use dnc_core::{decomposed::Decomposed, integrated::Integrated, service_curve::ServiceCurve};
 use dnc_num::Rat;
+use dnc_telemetry::export::{Cell, Series};
+use dnc_telemetry::schema;
 use std::io::Write;
 
 fn main() {
+    dnc_telemetry::reset();
     let ns = [2usize, 4, 8];
     let deadlines: [Rat; 4] = [Rat::from(8), Rat::from(16), Rat::from(32), Rat::from(64)];
     let algos: [(&'static str, Box<dyn DelayAnalysis>); 3] = [
@@ -24,11 +27,28 @@ fn main() {
         "n", "deadline", "service_curve", "decomposed", "integrated"
     );
     let mut csv = String::from("n,deadline,service_curve,decomposed,integrated\n");
+    // Long-format mirror of the CSV: one row per (n, deadline, algorithm),
+    // with the largest certifiable work load in the WORK_LOAD column.
+    let mut series = Series::new(
+        "admission",
+        vec![
+            schema::NETWORK_SIZE,
+            schema::DEADLINE,
+            schema::LABEL,
+            schema::WORK_LOAD,
+        ],
+    );
     for &n in &ns {
         for &dl in &deadlines {
             let mut cells: Vec<String> = Vec::new();
-            for (_, alg) in &algos {
+            for (label, alg) in &algos {
                 let u = max_admissible_utilization(n, Rat::ONE, dl, alg.as_ref(), 40);
+                series.push_row(vec![
+                    Cell::int(n as u64),
+                    Cell::Num(dl.to_f64()),
+                    Cell::Text(label.to_string()),
+                    u.map_or(Cell::Null, |u| Cell::Num(u.to_f64())),
+                ]);
                 cells.push(match u {
                     Some(u) => format!("{:.3}", u.to_f64()),
                     None => "-".to_string(),
@@ -58,4 +78,6 @@ fn main() {
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(csv.as_bytes()).unwrap();
     println!("wrote {}", path.display());
+    let mpath = dnc_bench::write_metrics_doc("admission", vec![series]).expect("write metrics");
+    println!("wrote {}", mpath.display());
 }

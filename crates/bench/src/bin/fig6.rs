@@ -5,9 +5,10 @@
 //! Expected shape (paper): significant gains for Integrated, except for
 //! large systems under very high load where the gap narrows.
 
-use dnc_bench::{render_table, results_dir, sweep, u_grid, write_csv, Algo};
+use dnc_bench::{render_table, results_dir, sweep, sweep_series, u_grid, write_csv, Algo};
 
 fn main() {
+    dnc_telemetry::reset();
     let algos = [Algo::ServiceCurve, Algo::Integrated];
     let ns = [2usize, 4, 6, 8];
     let pts = sweep(&ns, &u_grid(), &algos, num_workers());
@@ -20,6 +21,9 @@ fn main() {
     let svg_path = results_dir().join("fig6.svg");
     std::fs::write(&svg_path, svg).expect("write fig6.svg");
     println!("wrote {}", svg_path.display());
+    let mpath =
+        dnc_bench::write_metrics_doc("fig6", sweep_series(&pts, &algos)).expect("write metrics");
+    println!("wrote {}", mpath.display());
 }
 
 fn num_workers() -> usize {

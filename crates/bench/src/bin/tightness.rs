@@ -15,9 +15,12 @@ use dnc_core::integrated::pair_delay_bound;
 use dnc_core::OutputCap;
 use dnc_curves::Curve;
 use dnc_num::Rat;
+use dnc_telemetry::export::{Cell, Series};
+use dnc_telemetry::schema;
 use std::io::Write as _;
 
 fn main() {
+    dnc_telemetry::reset();
     let sigmas: [i64; 3] = [1, 4, 8];
     let loads: [(i128, i128); 4] = [(1, 8), (1, 4), (3, 8), (7, 16)];
 
@@ -27,6 +30,17 @@ fn main() {
     );
     let mut csv =
         String::from("sigma,rho,exact,integrated,decomposed,tightness_int,tightness_dec\n");
+    // Long-format mirror of the CSV: one row per (σ, ρ, method).
+    let mut series = Series::new(
+        "tightness",
+        vec![
+            schema::BURST,
+            schema::SUSTAINED_RATE,
+            schema::LABEL,
+            schema::bound_column(),
+            schema::TIGHTNESS,
+        ],
+    );
     for &s in &sigmas {
         for &(rn, rd) in &loads {
             let rho = Rat::new(rn, rd);
@@ -67,6 +81,19 @@ fn main() {
                 tight_i,
                 tight_d
             ));
+            for (label, delay, tight) in [
+                ("exact", exact, 1.0),
+                ("integrated", pb.through, tight_i),
+                ("decomposed", dec, tight_d),
+            ] {
+                series.push_row(vec![
+                    Cell::int(s as u64),
+                    Cell::Num(rho.to_f64()),
+                    Cell::Text(label.to_string()),
+                    Cell::Num(delay.to_f64()),
+                    Cell::Num(tight),
+                ]);
+            }
             assert!(exact <= pb.through && pb.through <= dec);
         }
     }
@@ -77,4 +104,6 @@ fn main() {
         .write_all(csv.as_bytes())
         .unwrap();
     println!("wrote {}", path.display());
+    let mpath = dnc_bench::write_metrics_doc("tightness", vec![series]).expect("write metrics");
+    println!("wrote {}", mpath.display());
 }

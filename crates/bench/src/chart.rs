@@ -2,6 +2,7 @@
 //! binaries regenerate actual figures (one polyline per series, log-like
 //! or linear y, axes, ticks, legend) alongside their CSVs.
 
+use dnc_telemetry::schema::ColumnMeta;
 use std::fmt::Write as _;
 
 /// One plotted series.
@@ -173,6 +174,16 @@ fn xml_escape(s: &str) -> String {
         .replace('>', "&gt;")
 }
 
+/// Render a schema column as an axis label: the label itself, with the
+/// unit appended in brackets unless the label already mentions it.
+pub fn axis_label(column: &ColumnMeta) -> String {
+    if column.unit.is_empty() || column.label.contains(column.unit) {
+        column.label.to_string()
+    } else {
+        format!("{} [{}]", column.label, column.unit)
+    }
+}
+
 /// Build the standard figure chart from sweep points: one series per
 /// `(algorithm, n)` combination.
 pub fn figure_chart(title: &str, points: &[crate::SweepPoint], algos: &[crate::Algo]) -> Chart {
@@ -197,8 +208,10 @@ pub fn figure_chart(title: &str, points: &[crate::SweepPoint], algos: &[crate::A
     }
     Chart {
         title: title.to_string(),
-        x_label: "work load U".to_string(),
-        y_label: "end-to-end delay bound (ticks)".to_string(),
+        // Axis labels come from the metrics schema so figures, JSON, and
+        // summary tables agree on terminology.
+        x_label: axis_label(&dnc_telemetry::schema::WORK_LOAD),
+        y_label: axis_label(&dnc_telemetry::schema::DELAY_BOUND),
         series,
     }
 }
@@ -246,5 +259,17 @@ mod tests {
         assert_eq!(c.series.len(), 1);
         assert_eq!(c.series[0].points.len(), 2);
         assert!(c.series[0].label.contains("n=2"));
+    }
+
+    #[test]
+    fn axis_labels_come_from_schema() {
+        use dnc_telemetry::schema;
+        let pts = crate::sweep(&[2], &[dnc_num::rat(1, 2)], &[crate::Algo::Decomposed], 1);
+        let c = figure_chart("fig", &pts, &[crate::Algo::Decomposed]);
+        assert_eq!(c.x_label, schema::WORK_LOAD.label);
+        // The delay-bound label already names its unit; no bracket suffix.
+        assert_eq!(c.y_label, schema::DELAY_BOUND.label);
+        // A unit not mentioned in the label is appended in brackets.
+        assert_eq!(axis_label(&schema::WALL_TIME), "wall time [µs]");
     }
 }

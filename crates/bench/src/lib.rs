@@ -226,6 +226,76 @@ pub fn results_dir() -> std::path::PathBuf {
         .unwrap_or_else(|| std::path::PathBuf::from("results"))
 }
 
+/// Sweep results as `dnc-metrics/v1` series: a long-format `bounds`
+/// table (one row per `(n, U, algorithm)`) and, for two-algorithm
+/// sweeps, the paper's `rel_improvement` series.
+pub fn sweep_series(points: &[SweepPoint], algos: &[Algo]) -> Vec<dnc_telemetry::export::Series> {
+    use dnc_telemetry::export::{Cell, Series};
+    use dnc_telemetry::schema;
+    let mut bounds = Series::new(
+        "bounds",
+        vec![
+            schema::NETWORK_SIZE,
+            schema::WORK_LOAD,
+            schema::LABEL,
+            schema::bound_column(),
+        ],
+    );
+    for p in points {
+        for (a, b) in algos.iter().zip(&p.bounds) {
+            bounds.push_row(vec![
+                Cell::int(p.n as u64),
+                Cell::Num(p.u.to_f64()),
+                Cell::Text(a.label().to_string()),
+                b.map_or(Cell::Null, |v| Cell::Num(v.to_f64())),
+            ]);
+        }
+    }
+    let mut out = vec![bounds];
+    if algos.len() == 2 {
+        let mut rel = Series::new(
+            "rel_improvement",
+            vec![
+                schema::NETWORK_SIZE,
+                schema::WORK_LOAD,
+                schema::REL_IMPROVEMENT,
+            ],
+        );
+        for p in points {
+            let cell = match (&p.bounds[0], &p.bounds[1]) {
+                (Some(x), Some(y)) => Cell::Num(relative_improvement(*x, *y).to_f64()),
+                _ => Cell::Null,
+            };
+            rel.push_row(vec![Cell::int(p.n as u64), Cell::Num(p.u.to_f64()), cell]);
+        }
+        out.push(rel);
+    }
+    out
+}
+
+/// Write `results/metrics-<name>.json`: the given series wrapped around
+/// whatever the telemetry registry aggregated since the last reset (an
+/// empty snapshot in builds without `--features telemetry`). Returns the
+/// path written.
+pub fn write_metrics_doc(
+    name: &str,
+    series: Vec<dnc_telemetry::export::Series>,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut doc = dnc_telemetry::export::MetricsDoc::new(name, dnc_telemetry::snapshot())
+        .with_meta(
+            "telemetry",
+            if dnc_telemetry::enabled() {
+                "on"
+            } else {
+                "off"
+            },
+        );
+    doc.series = series;
+    let path = results_dir().join(format!("metrics-{name}.json"));
+    dnc_telemetry::export::write_metrics(&doc, &path)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +316,38 @@ mod tests {
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.bounds, y.bounds);
         }
+    }
+
+    #[test]
+    fn sweep_series_validates_against_schema() {
+        let algos = [Algo::Decomposed, Algo::Integrated];
+        let pts = sweep(&[2], &[rat(1, 4), rat(1, 2)], &algos, 1);
+        let series = sweep_series(&pts, &algos);
+        assert_eq!(series.len(), 2, "bounds + rel_improvement");
+        assert_eq!(series[0].rows.len(), 4, "one row per (n, U, algorithm)");
+        assert_eq!(series[1].rows.len(), 2, "one row per (n, U)");
+        let mut doc = dnc_telemetry::export::MetricsDoc::new(
+            "test-sweep",
+            dnc_telemetry::Snapshot::default(),
+        );
+        doc.series = series;
+        let json = dnc_telemetry::export::metrics_json(&doc);
+        dnc_telemetry::schema::validate_metrics(&json).unwrap();
+        assert!(json.contains("\"decomposed\""));
+        assert!(json.contains("relative improvement"));
+    }
+
+    #[test]
+    fn metrics_doc_written_to_results_dir() {
+        let dir = std::env::temp_dir().join(format!("dnc_bench_metrics_{}", std::process::id()));
+        std::env::set_var("DNC_RESULTS_DIR", &dir);
+        let algos = [Algo::Decomposed];
+        let pts = sweep(&[2], &[rat(1, 2)], &algos, 1);
+        let path = write_metrics_doc("smoke", sweep_series(&pts, &algos)).unwrap();
+        std::env::remove_var("DNC_RESULTS_DIR");
+        assert!(path.ends_with("metrics-smoke.json"), "{path:?}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        dnc_telemetry::schema::validate_metrics(&json).unwrap();
     }
 
     #[test]

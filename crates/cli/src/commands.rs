@@ -11,8 +11,11 @@ use dnc_net::pairing::{partition, PairingStrategy};
 use dnc_net::ServerId;
 use dnc_num::Rat;
 use dnc_sim::{all_greedy, simulate, SimConfig};
+use dnc_telemetry::export::{write_metrics, write_trace, Cell, MetricsDoc, Series};
+use dnc_telemetry::{schema, Snapshot, TraceEvent};
 use dnc_traffic::SourceModel;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// CLI failure: a message and a suggested exit code.
 #[derive(Debug)]
@@ -55,10 +58,17 @@ commands:
   check     structure report: topology, utilizations, integrated pairing
   analyze   end-to-end delay bounds   [--algo integrated|decomposed|service-curve|
                                        fifo-family|time-stopping|all] [--csv <path>]
+                                      [--metrics <path>] [--trace <path>]
+  profile   run every applicable algorithm and compare cost vs tightness
+                                      [--metrics <path>] [--trace <path>]
   backlog   per-server buffer bounds
   simulate  adversarial simulation    [--ticks N] [--seed S]
   tandem    emit the paper's tandem as a .dnc file: dnc tandem <n> <U>
   provision minimal GPS reservations meeting the declared deadlines
+
+`--metrics` writes a dnc-metrics/v1 JSON document; `--trace` writes Chrome
+trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).
+Span/counter detail needs a build with `--features telemetry`.
 
 `.dnc` format: see the dnc-cli crate documentation.";
 
@@ -75,6 +85,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
             let mut algo = "all".to_string();
             let mut csv: Option<String> = None;
+            let mut sinks = ExportSinks::default();
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -94,10 +105,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         );
                         i += 2;
                     }
-                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                    other => i = sinks.parse_opt(&rest, i, other)?,
                 }
             }
-            analyze(path, &algo, csv.as_deref())
+            analyze(path, &algo, csv.as_deref(), &sinks)
+        }
+        "profile" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            let mut sinks = ExportSinks::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let opt = rest[i].as_str();
+                i = sinks.parse_opt(&rest, i, opt)?;
+            }
+            profile(path, &sinks)
         }
         "backlog" => {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
@@ -173,6 +195,248 @@ fn algorithms(which: &str) -> Result<Vec<Box<dyn DelayAnalysis>>, CliError> {
             .map(|a| vec![a])
             .ok_or_else(|| CliError::new(format!("unknown algorithm {which:?}")))
     }
+}
+
+/// Optional machine-readable outputs shared by `analyze` and `profile`.
+#[derive(Default)]
+struct ExportSinks {
+    metrics: Option<String>,
+    trace: Option<String>,
+}
+
+impl ExportSinks {
+    /// Consume `--metrics <path>` / `--trace <path>` at position `i`;
+    /// returns the next position or an error for an unknown option.
+    fn parse_opt(&mut self, rest: &[&String], i: usize, opt: &str) -> Result<usize, CliError> {
+        let value = |name: &str| {
+            rest.get(i + 1)
+                .map(|v| v.to_string())
+                .ok_or_else(|| CliError::new(format!("{name} needs a path")))
+        };
+        match opt {
+            "--metrics" => {
+                self.metrics = Some(value("--metrics")?);
+                Ok(i + 2)
+            }
+            "--trace" => {
+                self.trace = Some(value("--trace")?);
+                Ok(i + 2)
+            }
+            other => Err(CliError::new(format!("unknown option {other}"))),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some()
+    }
+
+    /// Write whichever outputs were requested, appending a `wrote <path>`
+    /// line per file to `out`.
+    fn write(
+        &self,
+        doc: &MetricsDoc,
+        events: &[TraceEvent],
+        out: &mut String,
+    ) -> Result<(), CliError> {
+        if let Some(p) = &self.metrics {
+            write_metrics(doc, std::path::Path::new(p))
+                .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+            let _ = writeln!(out, "wrote {p}");
+        }
+        if let Some(p) = &self.trace {
+            write_trace(events, std::path::Path::new(p))
+                .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+            let _ = writeln!(out, "wrote {p}");
+        }
+        Ok(())
+    }
+}
+
+/// Fold one algorithm run's snapshot into `into`, prefixing every
+/// span/counter/histogram name with `prefix/` so runs stay separable.
+fn merge_namespaced(prefix: &str, snap: Snapshot, into: &mut Snapshot) {
+    for (k, v) in snap.spans {
+        into.spans.insert(format!("{prefix}/{k}"), v);
+    }
+    for (k, v) in snap.counters {
+        into.counters.insert(format!("{prefix}/{k}"), v);
+    }
+    for (k, v) in snap.histograms {
+        into.histograms.insert(format!("{prefix}/{k}"), v);
+    }
+}
+
+/// One algorithm's row in the profile report.
+struct ProfileRow {
+    name: &'static str,
+    /// Worst end-to-end bound across flows (`None` when the run failed).
+    bound: Option<Rat>,
+    wall_us: u64,
+    conv_calls: u64,
+    hdev_calls: u64,
+    notes: String,
+}
+
+/// One profiled analysis run: the report plus a free-form notes string.
+type ProfileRun<'a> = dyn Fn(&dnc_net::Network) -> Result<(AnalysisReport, String), String> + 'a;
+
+/// Run every applicable algorithm on `path`, reporting tightness (worst
+/// end-to-end bound) against cost (wall time, curve-operation counts).
+fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
+    let (built, _) = load(path)?;
+    let net = &built.net;
+    let cyclic = net.topological_order().is_err();
+
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    let mut merged = Snapshot::default();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut bounds_series = Series::new(
+        "profile.bounds",
+        vec![schema::LABEL, schema::bound_column()],
+    );
+
+    let mut run_one = |name: &'static str, run: &ProfileRun<'_>| {
+        dnc_telemetry::reset();
+        let t0 = Instant::now();
+        let outcome = run(net);
+        let wall_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let snap = dnc_telemetry::snapshot();
+        events.extend(dnc_telemetry::take_trace());
+        let conv_calls = snap.span_count("curve.conv");
+        let hdev_calls = snap.span_count("curve.hdev") + snap.span_count("curve.hdev_general");
+        let (bound, notes) = match outcome {
+            Ok((report, mut notes)) => {
+                let worst = report.flows.iter().map(|f| f.e2e).max();
+                for f in &report.flows {
+                    bounds_series.push_row(vec![
+                        Cell::Text(format!("{name}/{}", f.name)),
+                        Cell::Num(f.e2e.to_f64()),
+                    ]);
+                }
+                let pairs = snap.counter_value("net.pairing.pairs");
+                if pairs > 0 {
+                    if !notes.is_empty() {
+                        notes.push(' ');
+                    }
+                    let _ = write!(notes, "pairs={pairs}");
+                }
+                (worst, notes)
+            }
+            Err(e) => (None, format!("failed: {e}")),
+        };
+        merge_namespaced(name, snap, &mut merged);
+        rows.push(ProfileRow {
+            name,
+            bound,
+            wall_us,
+            conv_calls,
+            hdev_calls,
+            notes,
+        });
+    };
+
+    if cyclic {
+        run_one("time-stopping", &|net| {
+            let r = dnc_core::cyclic::TimeStopping::default()
+                .analyze(net)
+                .map_err(|e| e.to_string())?;
+            if !r.converged {
+                return Err(format!(
+                    "did not converge after {} iterations",
+                    r.iterations
+                ));
+            }
+            Ok((r.report, format!("iters={}", r.iterations)))
+        });
+    } else {
+        for alg in algorithms("all")? {
+            let name = alg.name();
+            run_one(name, &|net| {
+                alg.analyze(net)
+                    .map(|r| (r, String::new()))
+                    .map_err(|e| e.to_string())
+            });
+        }
+    }
+
+    // Tightness is relative to the best (smallest) worst-case bound.
+    let best = rows.iter().filter_map(|r| r.bound).min();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile {path}: {} servers, {} flows{}",
+        net.servers().len(),
+        net.flows().len(),
+        if cyclic { " (cyclic)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>8} {:>10} {:>7} {:>7}  notes",
+        "algorithm", "worst bound", "vs best", "wall", "conv", "hdev"
+    );
+    let mut algo_series = Series::new(
+        "profile.algorithms",
+        vec![
+            schema::LABEL,
+            schema::bound_column(),
+            schema::REL_IMPROVEMENT,
+            schema::WALL_TIME,
+        ],
+    );
+    for r in &rows {
+        let ratio = match (r.bound, best) {
+            (Some(b), Some(best)) if best.is_positive() => Some(b / best),
+            _ => None,
+        };
+        let ratio_text = match (r.bound, ratio) {
+            (Some(_), Some(q)) => format!("{:.2}x", q.to_f64()),
+            (Some(_), None) => "1.00x".to_string(), // every bound is zero
+            (None, _) => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>8} {:>10} {:>7} {:>7}  {}",
+            r.name,
+            r.bound
+                .map_or("-".to_string(), |b| format!("{:.4}", b.to_f64())),
+            ratio_text,
+            format!("{}µs", r.wall_us),
+            r.conv_calls,
+            r.hdev_calls,
+            r.notes
+        );
+        algo_series.push_row(vec![
+            Cell::Text(r.name.to_string()),
+            r.bound.map_or(Cell::Null, |b| Cell::Num(b.to_f64())),
+            ratio.map_or(Cell::Null, |q| Cell::Num(q.to_f64())),
+            Cell::int(r.wall_us),
+        ]);
+    }
+    if !dnc_telemetry::enabled() {
+        let _ = writeln!(
+            out,
+            "note: span/counter detail is zero — rebuild with `--features telemetry`"
+        );
+    }
+
+    if sinks.any() {
+        let mut doc = MetricsDoc::new("profile", merged)
+            .with_meta("scenario", path)
+            .with_meta("servers", net.servers().len().to_string())
+            .with_meta("flows", net.flows().len().to_string())
+            .with_meta(
+                "telemetry",
+                if dnc_telemetry::enabled() {
+                    "on"
+                } else {
+                    "off"
+                },
+            );
+        doc.series.push(algo_series);
+        doc.series.push(bounds_series);
+        sinks.write(&doc, &events, &mut out)?;
+    }
+    Ok(out)
 }
 
 fn check(path: &str) -> Result<String, CliError> {
@@ -251,18 +515,52 @@ fn format_report(out: &mut String, report: &AnalysisReport, deadlines: &[Option<
     }
 }
 
-fn analyze(path: &str, which: &str, csv: Option<&str>) -> Result<String, CliError> {
+fn analyze(
+    path: &str,
+    which: &str,
+    csv: Option<&str>,
+    sinks: &ExportSinks,
+) -> Result<String, CliError> {
     let (built, _) = load(path)?;
+    if sinks.any() {
+        dnc_telemetry::reset();
+    }
     let mut out = String::new();
     let mut csv_rows = String::from("algorithm,flow,name,bound,bound_f64\n");
-    let mut record = |report: &AnalysisReport| {
+    let mut bounds_series = Series::new(
+        "analyze.bounds",
+        vec![schema::LABEL, schema::bound_column()],
+    );
+    let record = |report: &AnalysisReport, csv_rows: &mut String, bounds_series: &mut Series| {
         for line in report.to_csv().lines().skip(1) {
             csv_rows.push_str(report.algorithm);
             csv_rows.push(',');
             csv_rows.push_str(line);
             csv_rows.push('\n');
         }
+        for f in &report.flows {
+            bounds_series.push_row(vec![
+                Cell::Text(format!("{}/{}", report.algorithm, f.name)),
+                Cell::Num(f.e2e.to_f64()),
+            ]);
+        }
     };
+    let finish =
+        |mut out: String, csv_rows: String, bounds_series: Series| -> Result<String, CliError> {
+            if let Some(p) = csv {
+                std::fs::write(p, &csv_rows)
+                    .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+                let _ = writeln!(out, "wrote {p}");
+            }
+            if sinks.any() {
+                let mut doc = MetricsDoc::new("analyze", dnc_telemetry::snapshot())
+                    .with_meta("scenario", path)
+                    .with_meta("algo", which);
+                doc.series.push(bounds_series);
+                sinks.write(&doc, &dnc_telemetry::take_trace(), &mut out)?;
+            }
+            Ok(out)
+        };
     let cyclic = built.net.topological_order().is_err();
     if which == "time-stopping" || (cyclic && which == "all") {
         let r = dnc_core::cyclic::TimeStopping::default()
@@ -279,13 +577,8 @@ fn analyze(path: &str, which: &str, csv: Option<&str>) -> Result<String, CliErro
         }
         let _ = writeln!(out, "# converged after {} iterations", r.iterations);
         format_report(&mut out, &r.report, &built.deadlines);
-        record(&r.report);
-        if let Some(p) = csv {
-            std::fs::write(p, &csv_rows)
-                .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
-            let _ = writeln!(out, "wrote {p}");
-        }
-        return Ok(out);
+        record(&r.report, &mut csv_rows, &mut bounds_series);
+        return finish(out, csv_rows, bounds_series);
     }
     if cyclic {
         return Err(CliError::new(
@@ -296,19 +589,14 @@ fn analyze(path: &str, which: &str, csv: Option<&str>) -> Result<String, CliErro
         match alg.analyze(&built.net) {
             Ok(report) => {
                 format_report(&mut out, &report, &built.deadlines);
-                record(&report);
+                record(&report, &mut csv_rows, &mut bounds_series);
             }
             Err(e) => {
                 let _ = writeln!(out, "[{}] failed: {e}", alg.name());
             }
         }
     }
-    if let Some(p) = csv {
-        std::fs::write(p, &csv_rows)
-            .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
-        let _ = writeln!(out, "wrote {p}");
-    }
-    Ok(out)
+    finish(out, csv_rows, bounds_series)
 }
 
 fn backlog(path: &str) -> Result<String, CliError> {
@@ -705,6 +993,81 @@ flow voice route core bucket 1 1/16 peak 1 deadline 8
         let from_builder = Integrated::paper().analyze(&t.net).unwrap();
         let conn0 = spec.flow_id("conn0").unwrap();
         assert_eq!(from_file.bound(conn0), from_builder.bound(t.conn0));
+    }
+
+    #[test]
+    fn profile_compares_all_algorithms() {
+        let p = sample_file();
+        let out = run(&args(&["profile", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("service-curve"));
+        assert!(out.contains("decomposed"));
+        assert!(out.contains("integrated"));
+        assert!(out.contains("vs best"));
+        // Exactly one algorithm is the 1.00x baseline (or all tie).
+        assert!(out.contains("1.00x"), "{out}");
+    }
+
+    #[test]
+    fn profile_cyclic_uses_time_stopping() {
+        let p = ring_file();
+        let out = run(&args(&["profile", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("(cyclic)"));
+        assert!(out.contains("time-stopping"));
+        assert!(out.contains("iters="), "{out}");
+    }
+
+    #[test]
+    fn profile_writes_valid_metrics_and_trace() {
+        let p = sample_file();
+        let dir = p.parent().unwrap().to_path_buf();
+        let metrics = dir.join("profile-metrics.json");
+        let trace = dir.join("profile-trace.json");
+        let out = run(&args(&[
+            "profile",
+            p.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out.matches("wrote ").count(), 2, "{out}");
+        let mjson = std::fs::read_to_string(&metrics).unwrap();
+        dnc_telemetry::schema::validate_metrics(&mjson).unwrap();
+        assert!(mjson.contains("\"profile.algorithms\""));
+        assert!(mjson.contains("integrated"));
+        let tjson = std::fs::read_to_string(&trace).unwrap();
+        dnc_telemetry::schema::validate_trace(&tjson).unwrap();
+        if dnc_telemetry::enabled() {
+            assert!(mjson.contains("integrated/algo.integrated"));
+            assert!(tjson.contains("algo.decomposed"));
+        }
+    }
+
+    #[test]
+    fn analyze_metrics_flag_writes_valid_json() {
+        let p = sample_file();
+        let dir = p.parent().unwrap().to_path_buf();
+        let metrics = dir.join("analyze-metrics.json");
+        run(&args(&[
+            "analyze",
+            p.to_str().unwrap(),
+            "--algo",
+            "integrated",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mjson = std::fs::read_to_string(&metrics).unwrap();
+        dnc_telemetry::schema::validate_metrics(&mjson).unwrap();
+        assert!(mjson.contains("integrated/conn0"));
+    }
+
+    #[test]
+    fn profile_rejects_unknown_option() {
+        let p = sample_file();
+        assert!(run(&args(&["profile", p.to_str().unwrap(), "--bogus"])).is_err());
+        assert!(run(&args(&["profile", p.to_str().unwrap(), "--metrics"])).is_err());
     }
 
     #[test]

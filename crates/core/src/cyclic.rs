@@ -73,6 +73,7 @@ impl TimeStopping {
     /// topological order; it does require every server to be strictly
     /// under-loaded (necessary for any deterministic bound).
     pub fn analyze(&self, net: &Network) -> Result<CyclicReport, AnalysisError> {
+        let _span = dnc_telemetry::span("algo.time_stopping");
         // Structural checks without the feedforward requirement.
         for i in 0..net.servers().len() {
             let id = ServerId(i);
@@ -98,13 +99,27 @@ impl TimeStopping {
         let mut converged = false;
         while iterations < self.max_iters {
             iterations += 1;
-            let new_delays = self.one_pass(net, &delays)?;
+            let new_delays = {
+                let _iter = dnc_telemetry::span("core.time_stopping.pass");
+                self.one_pass(net, &delays)?
+            };
+            // Per-iteration residual: the largest per-hop delay growth this
+            // pass (zero exactly at the fixed point).
+            dnc_telemetry::observe_rat("core.time_stopping.residual", || {
+                new_delays
+                    .iter()
+                    .zip(delays.iter())
+                    .flat_map(|(n, o)| n.iter().zip(o.iter()).map(|(a, b)| *a - *b))
+                    .max()
+                    .unwrap_or(Rat::ZERO)
+            });
             if new_delays == delays {
                 converged = true;
                 break;
             }
             delays = new_delays;
         }
+        dnc_telemetry::counter("core.time_stopping.iterations", iterations as u64);
 
         let flows = net
             .flows()

@@ -39,6 +39,7 @@ impl DelayAnalysis for Decomposed {
     }
 
     fn analyze(&self, net: &Network) -> Result<AnalysisReport, AnalysisError> {
+        let _span = dnc_telemetry::span("algo.decomposed");
         net.validate()?;
         let order = net.topological_order()?;
         let mut prop = Propagation::new(net, self.cap);

@@ -35,6 +35,8 @@ pub fn aggregate_curve<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curv
 /// the horizontal deviation `h(G, λ_C)`. `aggregate` must be a
 /// nondecreasing arrival curve.
 pub fn local_delay(aggregate: &Curve, rate: Rat, server: ServerId) -> Result<Rat, AnalysisError> {
+    let _span = dnc_telemetry::span("core.local_delay");
+    dnc_telemetry::counter("core.local_delay.calls", 1);
     bounds::hdev(aggregate, &Curve::rate(rate)).map_err(|e| AnalysisError::at(server, e))
 }
 
@@ -50,6 +52,8 @@ pub fn local_backlog(aggregate: &Curve, rate: Rat, server: ServerId) -> Result<R
 /// A flow's constraint after leaving a stage with delay bound `d`.
 /// Preserves concavity and the nondecreasing property of `curve`.
 pub fn propagate_output(curve: &Curve, d: Rat, rate: Rat, cap: OutputCap) -> Curve {
+    let _span = dnc_telemetry::span("core.propagate_output");
+    dnc_telemetry::counter("core.propagate_output.calls", 1);
     let shifted = curve.shift_left(d);
     let out = match cap {
         OutputCap::Shift => shifted,

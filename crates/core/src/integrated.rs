@@ -116,6 +116,8 @@ pub fn pair_delay_bound_curves(
     beta2: &Curve,
     cap: OutputCap,
 ) -> Result<PairBound, CurveError> {
+    let _span = dnc_telemetry::span("core.pair_bound");
+    dnc_telemetry::counter("core.pair_bound.calls", 1);
     assert!(c1_total.is_positive(), "server-1 rate must be positive");
     let g1 = f12.add(f1);
     let d1 = bounds::hdev(&g1, beta1)?;
@@ -166,6 +168,7 @@ impl DelayAnalysis for Integrated {
     }
 
     fn analyze(&self, net: &Network) -> Result<AnalysisReport, AnalysisError> {
+        let _span = dnc_telemetry::span("algo.integrated");
         net.validate()?;
         let part = partition(net, self.strategy)?;
         let mut prop = Propagation::new(net, self.cap);

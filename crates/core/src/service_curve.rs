@@ -54,6 +54,7 @@ impl DelayAnalysis for ServiceCurve {
     }
 
     fn analyze(&self, net: &Network) -> Result<AnalysisReport, AnalysisError> {
+        let _span = dnc_telemetry::span("algo.service_curve");
         net.validate()?;
         for s in net.servers() {
             if !matches!(s.discipline, Discipline::Fifo | Discipline::Gps) {

@@ -18,6 +18,7 @@ use dnc_num::Rat;
 /// Errors with [`CurveError::Unstable`] when `rate(α) > rate(β)` and with
 /// [`CurveError::NeverServed`] when `α` outgrows a bounded `β`.
 pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    let _span = dnc_telemetry::span("curve.hdev");
     if !alpha.is_nondecreasing() || !alpha.is_concave() {
         return Err(CurveError::BadShape(
             "hdev: α must be concave nondecreasing",
@@ -118,6 +119,7 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
 /// candidate; β's flat segments additionally contribute limit values
 /// `β⁻¹₊(v) − α⁻¹₊(v)` approached as `α(t) → v⁺`.
 pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    let _span = dnc_telemetry::span("curve.hdev_general");
     if !alpha.is_nondecreasing() {
         return Err(CurveError::BadShape(
             "hdev_general: α must be nondecreasing",
@@ -177,6 +179,7 @@ pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
 /// *backlog* for a nondecreasing arrival curve `α` and service curve `β`.
 /// Errors when the difference grows without bound.
 pub fn vdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    let _span = dnc_telemetry::span("curve.vdev");
     let diff = alpha.sub(beta);
     if diff.final_slope().is_positive() {
         return Err(CurveError::Unstable {

@@ -27,6 +27,10 @@ use dnc_num::Rat;
 /// # Panics
 /// Panics (debug) if either curve is not nondecreasing.
 pub fn conv(f: &Curve, g: &Curve) -> Curve {
+    let _span = dnc_telemetry::span("curve.conv");
+    dnc_telemetry::gauge_u64("curve.conv.segments_in", || {
+        (f.points().len() + g.points().len()) as u64
+    });
     debug_assert!(f.is_nondecreasing(), "conv: f must be nondecreasing");
     debug_assert!(g.is_nondecreasing(), "conv: g must be nondecreasing");
 
@@ -39,6 +43,7 @@ pub fn conv(f: &Curve, g: &Curve) -> Curve {
         candidates.push(f.shift_right_hold(u).shift_up(v));
     }
     let out = Curve::min_all(candidates.iter());
+    dnc_telemetry::gauge_u64("curve.conv.segments_out", || out.points().len() as u64);
     crate::invariant::conv_post(f, g, &out);
     out
 }
@@ -62,6 +67,10 @@ pub fn conv_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
 /// # Panics
 /// Panics (debug) if either curve is not nondecreasing.
 pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
+    let _span = dnc_telemetry::span("curve.deconv");
+    dnc_telemetry::gauge_u64("curve.deconv.segments_in", || {
+        (f.points().len() + g.points().len()) as u64
+    });
     debug_assert!(f.is_nondecreasing(), "deconv: f must be nondecreasing");
     debug_assert!(g.is_nondecreasing(), "deconv: g must be nondecreasing");
     if f.final_slope() > g.final_slope() {
@@ -82,6 +91,7 @@ pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
         candidates.push(reverse_about(g, x).scale_y(-Rat::ONE).shift_up(y));
     }
     let out = Curve::max_all(candidates.iter());
+    dnc_telemetry::gauge_u64("curve.deconv.segments_out", || out.points().len() as u64);
     crate::invariant::deconv_post(f, g, &out);
     Ok(out)
 }

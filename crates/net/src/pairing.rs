@@ -89,8 +89,9 @@ pub enum PairingStrategy {
 /// # Errors
 /// Propagates [`NetworkError::NotFeedforward`] from the topological sort.
 pub fn partition(net: &Network, strategy: PairingStrategy) -> Result<Partition, NetworkError> {
+    let _span = dnc_telemetry::span("net.partition");
     let order = net.topological_order()?;
-    match strategy {
+    let out = match strategy {
         PairingStrategy::Singletons => Ok(Partition {
             groups: order.into_iter().map(Group::Single).collect(),
         }),
@@ -102,7 +103,13 @@ pub fn partition(net: &Network, strategy: PairingStrategy) -> Result<Partition, 
                 greedy_chain(net, &order)
             }
         }
+    };
+    if let Ok(p) = &out {
+        let pairs = p.pair_count() as u64;
+        dnc_telemetry::counter("net.pairing.pairs", pairs);
+        dnc_telemetry::counter("net.pairing.singles", p.groups.len() as u64 - pairs);
     }
+    out
 }
 
 /// Exact maximum-weight pairing: branch-and-bound over the servers in

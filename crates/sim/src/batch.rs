@@ -19,6 +19,8 @@ pub struct BatchJob {
 /// Run all jobs against `net`, at most `workers` at a time, preserving
 /// job order in the result.
 pub fn run_batch(net: &Network, jobs: &[BatchJob], workers: usize) -> Vec<SimReport> {
+    let _span = dnc_telemetry::span("sim.batch");
+    dnc_telemetry::counter("sim.batch.jobs", jobs.len() as u64);
     assert!(workers >= 1);
     let mut results: Vec<Option<SimReport>> = vec![None; jobs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);

@@ -422,15 +422,26 @@ impl<'a> Simulation<'a> {
     /// `ticks` field records the *total* ticks simulated, including any
     /// earlier manual [`Simulation::step`] calls.
     pub fn run(mut self, ticks: u64) -> SimReport {
+        let _span = dnc_telemetry::span("sim.run");
         for _ in 0..ticks {
             self.step();
         }
-        SimReport {
+        dnc_telemetry::counter("sim.ticks", ticks);
+        let report = SimReport {
             ticks: self.now,
             flows: self.flow_stats,
             servers: self.server_stats,
             trace: self.traced.map(|_| self.trace),
-        }
+        };
+        dnc_telemetry::counter(
+            "sim.cells_delivered",
+            report.flows.iter().map(|f| f.delivered).sum(),
+        );
+        dnc_telemetry::counter(
+            "sim.cells_emitted",
+            report.flows.iter().map(|f| f.emitted).sum(),
+        );
+        report
     }
 }
 

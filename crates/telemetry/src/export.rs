@@ -1,0 +1,591 @@
+//! Exporters: human summary table, `dnc-metrics/v1` JSON, and Chrome
+//! `trace_event` JSON.
+//!
+//! Everything renders from a [`MetricsDoc`] — a plain data structure the
+//! caller assembles (usually from [`crate::snapshot`] plus
+//! benchmark-specific [`Series`]) — so the formats cannot drift from what
+//! was measured and golden tests can exercise the exporters with
+//! hand-built documents instead of real timings.
+//!
+//! On the audit's `f64` whitelist: export values are reporting-side
+//! summaries, downstream of the exact `Rat` analysis.
+
+use crate::schema::{ColumnMeta, SCHEMA};
+use crate::snapshot::{Snapshot, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One cell of a [`Series`] row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// A numeric value.
+    Num(f64),
+    /// A label or exact-rational rendering.
+    Text(String),
+    /// Missing data (e.g. an algorithm with no bound at this point).
+    Null,
+}
+
+impl Cell {
+    /// A cell holding an integer value exactly.
+    pub fn int(v: u64) -> Cell {
+        Cell::Num(v as f64)
+    }
+}
+
+/// A named table of rows with typed columns — the machine form of one
+/// benchmark sweep or report table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Series name (e.g. `fig4.bounds`).
+    pub name: String,
+    /// Column metadata, from [`crate::schema`] so charts and JSON agree.
+    pub columns: Vec<ColumnMeta>,
+    /// Data rows; every row must have `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Series {
+    /// An empty series over the given columns.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnMeta>) -> Series {
+        Series {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count; checked by the schema
+    /// validator rather than panicking here).
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        self.rows.push(row);
+    }
+}
+
+/// A complete metrics document: identification, free-form context,
+/// aggregated telemetry, and benchmark series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsDoc {
+    /// Document name (e.g. `profile`, `fig4`).
+    pub name: String,
+    /// Free-form context (`scenario`, `flows`, git rev, …).
+    pub meta: BTreeMap<String, String>,
+    /// Aggregated spans/counters/histograms.
+    pub snapshot: Snapshot,
+    /// Benchmark/report tables.
+    pub series: Vec<Series>,
+}
+
+impl MetricsDoc {
+    /// A document named `name` around an aggregated snapshot.
+    pub fn new(name: impl Into<String>, snapshot: Snapshot) -> MetricsDoc {
+        MetricsDoc {
+            name: name.into(),
+            meta: BTreeMap::new(),
+            snapshot,
+            series: Vec::new(),
+        }
+    }
+
+    /// Attach one context key (builder style).
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> MetricsDoc {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a number the way the metrics JSON wants it: integers without a
+/// fraction, everything else via Rust's shortest-roundtrip `Display`.
+/// Non-finite values (never produced by the pipeline, but possible in a
+/// hand-built doc) degrade to `null`.
+fn number_json(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    match c {
+        Cell::Num(v) => number_json(*v),
+        Cell::Text(s) => format!("\"{}\"", escape_json(s)),
+        Cell::Null => "null".to_string(),
+    }
+}
+
+/// Serialise a [`MetricsDoc`] as `dnc-metrics/v1` JSON (stable key
+/// order; see `DESIGN.md` §10 for the schema).
+pub fn metrics_json(doc: &MetricsDoc) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", SCHEMA);
+    let _ = writeln!(out, "  \"name\": \"{}\",", escape_json(&doc.name));
+    out.push_str("  \"meta\": {");
+    let mut first = true;
+    for (k, v) in &doc.meta {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": \"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push_str(if doc.meta.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"spans\": {");
+    let mut first = true;
+    for (name, s) in &doc.snapshot.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}",
+            escape_json(name),
+            s.count,
+            s.total_ns,
+            s.mean_ns(),
+            s.max_ns,
+            s.p50_ns,
+            s.p95_ns
+        );
+    }
+    out.push_str(if doc.snapshot.spans.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"counters\": {");
+    let mut first = true;
+    for (name, v) in &doc.snapshot.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {}", escape_json(name), v);
+    }
+    out.push_str(if doc.snapshot.counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"histograms\": {");
+    let mut first = true;
+    for (name, h) in &doc.snapshot.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            escape_json(name),
+            h.count,
+            number_json(h.min),
+            number_json(h.max),
+            number_json(h.mean),
+            number_json(h.p50),
+            number_json(h.p95),
+            number_json(h.p99)
+        );
+    }
+    out.push_str(if doc.snapshot.histograms.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"series\": [");
+    let mut first_series = true;
+    for s in &doc.series {
+        if !first_series {
+            out.push(',');
+        }
+        first_series = false;
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"columns\": [",
+            escape_json(&s.name)
+        );
+        let mut first = true;
+        for c in &s.columns {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"label\": \"{}\", \"unit\": \"{}\"}}",
+                escape_json(c.label),
+                escape_json(c.unit)
+            );
+        }
+        out.push_str("], \"rows\": [");
+        let mut first_row = true;
+        for row in &s.rows {
+            if !first_row {
+                out.push(',');
+            }
+            first_row = false;
+            out.push_str("\n      [");
+            let mut first_cell = true;
+            for cell in row {
+                if !first_cell {
+                    out.push_str(", ");
+                }
+                first_cell = false;
+                out.push_str(&cell_json(cell));
+            }
+            out.push(']');
+        }
+        out.push_str(if s.rows.is_empty() { "]}" } else { "\n    ]}" });
+    }
+    out.push_str(if doc.series.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// Serialise trace events as Chrome `trace_event` JSON — complete
+/// (`ph: "X"`) duration events, loadable in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev).
+pub fn trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n  {{\"name\": \"{}\", \"cat\": \"dnc\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}",
+            escape_json(e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid
+        );
+    }
+    out.push_str(if events.is_empty() { "]}\n" } else { "\n]}\n" });
+    out
+}
+
+/// Format nanoseconds human-readably (`847ns`, `12.4µs`, `3.1ms`, `2.0s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn fmt_sample(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render a plain-text summary of a document: spans (sorted by total
+/// time), counters, histograms, then each series as an aligned table.
+pub fn render_summary(doc: &MetricsDoc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", doc.name);
+    for (k, v) in &doc.meta {
+        let _ = writeln!(out, "   {k}: {v}");
+    }
+
+    if !doc.snapshot.spans.is_empty() {
+        let mut spans: Vec<_> = doc.snapshot.spans.iter().collect();
+        spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        out.push_str("\nspans (by total time):\n");
+        let name_w = spans.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "span", "count", "total", "mean", "p95", "max"
+        );
+        for (name, s) in spans {
+            let _ = writeln!(
+                out,
+                "  {:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+                name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.mean_ns()),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.max_ns)
+            );
+        }
+    }
+
+    if !doc.snapshot.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        let name_w = doc
+            .snapshot
+            .counters
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4);
+        for (name, v) in &doc.snapshot.counters {
+            let _ = writeln!(out, "  {name:<name_w$}  {v}");
+        }
+    }
+
+    if !doc.snapshot.histograms.is_empty() {
+        out.push_str("\nhistograms:\n");
+        let name_w = doc
+            .snapshot
+            .histograms
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4);
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "histogram", "count", "min", "mean", "p50", "p95", "max"
+        );
+        for (name, h) in &doc.snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                name,
+                h.count,
+                fmt_sample(h.min),
+                fmt_sample(h.mean),
+                fmt_sample(h.p50),
+                fmt_sample(h.p95),
+                fmt_sample(h.max)
+            );
+        }
+    }
+
+    for s in &doc.series {
+        let _ = writeln!(out, "\nseries {}:", s.name);
+        let headers: Vec<String> = s
+            .columns
+            .iter()
+            .map(|c| {
+                if c.unit.is_empty() {
+                    c.label.to_string()
+                } else {
+                    format!("{} [{}]", c.label, c.unit)
+                }
+            })
+            .collect();
+        let rendered: Vec<Vec<String>> = s
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|c| match c {
+                        Cell::Num(v) => fmt_sample(*v),
+                        Cell::Text(t) => t.clone(),
+                        Cell::Null => "-".to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let widths: Vec<usize> = headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                rendered
+                    .iter()
+                    .filter_map(|r| r.get(i))
+                    .map(|c| c.len())
+                    .max()
+                    .unwrap_or(0)
+                    .max(h.len())
+            })
+            .collect();
+        let mut line = String::from(" ");
+        for (h, w) in headers.iter().zip(&widths) {
+            let _ = write!(line, " {h:>w$}");
+        }
+        let _ = writeln!(out, "{line}");
+        for row in &rendered {
+            let mut line = String::from(" ");
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$}");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+/// Write `dnc-metrics/v1` JSON to `path`, creating parent directories.
+pub fn write_metrics(doc: &MetricsDoc, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, metrics_json(doc))
+}
+
+/// Write Chrome-trace JSON to `path`, creating parent directories.
+pub fn write_trace(events: &[TraceEvent], path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, trace_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+    use crate::snapshot::{HistogramStat, SpanStat};
+
+    fn sample_doc() -> MetricsDoc {
+        let mut snap = Snapshot::default();
+        snap.spans.insert(
+            "curve.conv".into(),
+            SpanStat {
+                count: 3,
+                total_ns: 3_000,
+                max_ns: 1_500,
+                p50_ns: 900,
+                p95_ns: 1_500,
+            },
+        );
+        snap.counters.insert("net.pairing.pairs".into(), 2);
+        snap.histograms.insert(
+            "curve.conv.segments_out".into(),
+            HistogramStat {
+                count: 3,
+                min: 2.0,
+                max: 6.0,
+                mean: 4.0,
+                p50: 4.0,
+                p95: 6.0,
+                p99: 6.0,
+            },
+        );
+        let mut series = Series::new("bounds", vec![schema::WORK_LOAD, schema::bound_column()]);
+        series.push_row(vec![Cell::Num(0.5), Cell::Num(12.25)]);
+        series.push_row(vec![Cell::Num(0.9), Cell::Null]);
+        let mut doc = MetricsDoc::new("test", snap).with_meta("scenario", "ring4");
+        doc.series.push(series);
+        doc
+    }
+
+    #[test]
+    fn metrics_json_is_schema_valid() {
+        let json = metrics_json(&sample_doc());
+        schema::validate_metrics(&json).unwrap();
+        assert!(json.contains("\"schema\": \"dnc-metrics/v1\""));
+        assert!(json.contains("\"curve.conv\""));
+        assert!(
+            json.contains("null"),
+            "missing bound must serialise as null"
+        );
+    }
+
+    #[test]
+    fn trace_json_is_schema_valid() {
+        let events = vec![
+            TraceEvent {
+                name: "algo.decomposed",
+                ts_us: 0,
+                dur_us: 120,
+                tid: 1,
+            },
+            TraceEvent {
+                name: "curve.conv",
+                ts_us: 10,
+                dur_us: 40,
+                tid: 1,
+            },
+        ];
+        let json = trace_json(&events);
+        schema::validate_trace(&json).unwrap();
+        assert!(json.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn empty_doc_serialises_and_validates() {
+        let json = metrics_json(&MetricsDoc::new("empty", Snapshot::default()));
+        schema::validate_metrics(&json).unwrap();
+        schema::validate_trace(&trace_json(&[])).unwrap();
+    }
+
+    #[test]
+    fn summary_contains_all_sections() {
+        let text = render_summary(&sample_doc());
+        assert!(text.contains("== test =="));
+        assert!(text.contains("scenario: ring4"));
+        assert!(text.contains("curve.conv"));
+        assert!(text.contains("net.pairing.pairs"));
+        assert!(text.contains("series bounds"));
+        assert!(text.contains("work load U"));
+        assert!(text.contains("-"), "null cells render as dashes");
+    }
+
+    #[test]
+    fn escaping_round_trips_through_parser() {
+        let doc = MetricsDoc::new("quote\"\\\nname", Snapshot::default());
+        let parsed = crate::json::parse(&metrics_json(&doc)).unwrap();
+        assert_eq!(
+            parsed.get("name").and_then(|v| v.as_str()),
+            Some("quote\"\\\nname")
+        );
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(number_json(3.0), "3");
+        assert_eq!(number_json(-2.0), "-2");
+        assert_eq!(number_json(0.125), "0.125");
+        assert_eq!(number_json(f64::NAN), "null");
+        assert_eq!(fmt_ns(950), "950ns");
+        assert_eq!(fmt_ns(12_400), "12.4µs");
+        assert_eq!(fmt_ns(3_100_000), "3.1ms");
+        assert_eq!(fmt_ns(2_000_000_000), "2.00s");
+    }
+}

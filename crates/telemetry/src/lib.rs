@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # dnc-telemetry — zero-dependency tracing + metrics for the pipeline
+//!
+//! The three analysis families the workspace reproduces differ not just in
+//! bound tightness but in *cost*: segment growth under min-plus
+//! convolution, fixed-point iterations in output propagation, pairing
+//! choices in the Integrated partition. This crate is the measurement
+//! substrate that makes those costs visible without pulling in `tracing`
+//! or `tokio` (the workspace builds offline; see the vendored-stub policy
+//! in the root `Cargo.toml`).
+//!
+//! ## Probes
+//!
+//! * [`span`] — RAII wall-time span on a thread-local stack:
+//!   `let _g = dnc_telemetry::span("curve.conv");`. Nested spans record
+//!   their depth, so the Chrome trace shows a proper flame graph.
+//! * [`counter`] — monotonically increasing named counter.
+//! * [`gauge_u64`] / [`observe_rat`] — one histogram sample; both take a
+//!   **closure** so the value is never computed when recording is off.
+//!
+//! Recording is compiled in only with the `enabled` cargo feature (the
+//! downstream crates forward it as `telemetry`). Without it every probe
+//! is an empty `#[inline(always)]` function and [`SpanGuard`] is a
+//! zero-sized type: the instrumented hot paths are bit-for-bit no-ops.
+//!
+//! ## Collection and export
+//!
+//! Probes aggregate into a process-global registry. [`snapshot`] returns
+//! the aggregated [`Snapshot`] (span stats, counters, histogram
+//! percentiles), [`take_trace`] drains the raw span events. The
+//! [`export`] module renders a [`export::MetricsDoc`] as a human summary
+//! table, as the stable `dnc-metrics/v1` JSON (see [`schema`]), or as
+//! Chrome `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+//! [`schema::validate_metrics`] re-parses and structurally validates a
+//! metrics document (used by the golden tests and CI smoke job).
+
+pub mod export;
+pub mod json;
+pub mod schema;
+pub mod snapshot;
+
+mod record;
+
+pub use record::{counter, gauge_u64, observe_rat, reset, snapshot, span, take_trace, SpanGuard};
+pub use snapshot::{HistogramStat, Snapshot, SpanStat, TraceEvent};
+
+/// Whether this build records telemetry (the `enabled` cargo feature).
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,242 @@
+//! Recording machinery behind the probe API.
+//!
+//! Two complete implementations live here, selected by the `enabled`
+//! cargo feature. The real one keeps a thread-local stack of open spans
+//! plus a process-global registry; the stub one compiles every probe to
+//! an empty `#[inline(always)]` function returning a zero-sized guard.
+//! Both expose exactly the same signatures so instrumented crates never
+//! mention the feature themselves.
+//!
+//! On the audit's `f64` whitelist: durations and gauge samples are lossy
+//! measurements and never feed back into the exact analysis.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use crate::snapshot::{Reservoir, Snapshot, TraceEvent};
+    use dnc_num::Rat;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Raw trace-event cap; past it events are counted but not stored.
+    const MAX_TRACE_EVENTS: usize = 262_144;
+
+    struct State {
+        spans: BTreeMap<&'static str, Reservoir>,
+        counters: BTreeMap<&'static str, u64>,
+        histograms: BTreeMap<&'static str, Reservoir>,
+        trace: Vec<TraceEvent>,
+        trace_dropped: u64,
+    }
+
+    impl State {
+        const fn new() -> Self {
+            State {
+                spans: BTreeMap::new(),
+                counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                trace: Vec::new(),
+                trace_dropped: 0,
+            }
+        }
+    }
+
+    static STATE: Mutex<State> = Mutex::new(State::new());
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn lock_state() -> std::sync::MutexGuard<'static, State> {
+        // A poisoned registry only means another thread panicked while
+        // holding the lock; its partial aggregates are still usable.
+        STATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    struct Open {
+        name: &'static str,
+        start: Instant,
+    }
+
+    thread_local! {
+        static STACK: RefCell<Vec<Open>> = const { RefCell::new(Vec::new()) };
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// RAII guard returned by [`span`]; closes the span on drop.
+    ///
+    /// The guard remembers the stack depth it opened at, so dropping a
+    /// guard out of order closes every span above it as well instead of
+    /// corrupting the stack.
+    pub struct SpanGuard {
+        depth: usize,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let end = Instant::now();
+            let closed = STACK.with(|s| {
+                let mut closed = Vec::new();
+                if let Ok(mut stack) = s.try_borrow_mut() {
+                    while stack.len() > self.depth {
+                        if let Some(open) = stack.pop() {
+                            closed.push(open);
+                        }
+                    }
+                }
+                closed
+            });
+            if closed.is_empty() {
+                return;
+            }
+            let tid = TID.with(|t| *t);
+            let epoch = epoch();
+            let mut state = lock_state();
+            for open in closed {
+                let dur = end.saturating_duration_since(open.start);
+                state
+                    .spans
+                    .entry(open.name)
+                    .or_default()
+                    .observe(dur.as_nanos() as f64);
+                if state.trace.len() < MAX_TRACE_EVENTS {
+                    let ts_us = open.start.saturating_duration_since(epoch).as_micros() as u64;
+                    state.trace.push(TraceEvent {
+                        name: open.name,
+                        ts_us,
+                        dur_us: dur.as_micros() as u64,
+                        tid,
+                    });
+                } else {
+                    state.trace_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Open a wall-time span; it closes when the guard drops.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(name: &'static str) -> SpanGuard {
+        epoch(); // pin the trace epoch before the first start timestamp
+        STACK.with(|s| {
+            if let Ok(mut stack) = s.try_borrow_mut() {
+                let depth = stack.len();
+                stack.push(Open {
+                    name,
+                    start: Instant::now(),
+                });
+                SpanGuard { depth }
+            } else {
+                // Re-entrant borrow (probe called from inside a Drop that
+                // already holds the stack): record nothing for this span.
+                SpanGuard { depth: usize::MAX }
+            }
+        })
+    }
+
+    /// Add `n` to the named counter.
+    pub fn counter(name: &'static str, n: u64) {
+        *lock_state().counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Record one histogram sample; the closure runs only when enabled.
+    pub fn gauge_u64(name: &'static str, value: impl FnOnce() -> u64) {
+        let v = value();
+        lock_state()
+            .histograms
+            .entry(name)
+            .or_default()
+            .observe(v as f64);
+    }
+
+    /// Record one exact-rational sample (e.g. a fixed-point residual);
+    /// stored as its closest double.
+    pub fn observe_rat(name: &'static str, value: impl FnOnce() -> Rat) {
+        let v = value().to_f64();
+        lock_state().histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Aggregate everything recorded since the last [`reset`].
+    pub fn snapshot() -> Snapshot {
+        let state = lock_state();
+        let mut snap = Snapshot::default();
+        for (name, r) in &state.spans {
+            snap.spans.insert((*name).to_string(), r.span_stat());
+        }
+        for (name, v) in &state.counters {
+            snap.counters.insert((*name).to_string(), *v);
+        }
+        for (name, r) in &state.histograms {
+            snap.histograms.insert((*name).to_string(), r.summary());
+        }
+        if state.trace_dropped > 0 {
+            snap.counters
+                .insert("telemetry.trace_dropped".to_string(), state.trace_dropped);
+        }
+        snap
+    }
+
+    /// Drain the raw span events accumulated since the last [`reset`].
+    pub fn take_trace() -> Vec<TraceEvent> {
+        std::mem::take(&mut lock_state().trace)
+    }
+
+    /// Clear all aggregates and trace events (open spans keep running and
+    /// will record into the fresh state when they close).
+    pub fn reset() {
+        let mut state = lock_state();
+        *state = State::new();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use crate::snapshot::{Snapshot, TraceEvent};
+    use dnc_num::Rat;
+
+    /// RAII guard returned by [`span`]; zero-sized in this build.
+    #[must_use = "the span closes when the guard drops"]
+    pub struct SpanGuard {
+        _private: (),
+    }
+
+    /// Open a wall-time span (no-op in this build).
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard { _private: () }
+    }
+
+    /// Add `n` to the named counter (no-op in this build).
+    #[inline(always)]
+    pub fn counter(_name: &'static str, _n: u64) {}
+
+    /// Record one histogram sample (no-op; the closure never runs).
+    #[inline(always)]
+    pub fn gauge_u64(_name: &'static str, _value: impl FnOnce() -> u64) {}
+
+    /// Record one exact-rational sample (no-op; the closure never runs).
+    #[inline(always)]
+    pub fn observe_rat(_name: &'static str, _value: impl FnOnce() -> Rat) {}
+
+    /// Aggregate everything recorded (always empty in this build).
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Drain the raw span events (always empty in this build).
+    #[inline(always)]
+    pub fn take_trace() -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Clear all aggregates (no-op in this build).
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use imp::{counter, gauge_u64, observe_rat, reset, snapshot, span, take_trace, SpanGuard};

@@ -1,0 +1,238 @@
+//! Aggregated telemetry data: span statistics, counters, histograms, and
+//! raw trace events. Always compiled (exporters operate on these types
+//! even in builds that record nothing).
+//!
+//! This module is on the audit's `f64` whitelist: telemetry samples are
+//! lossy by nature (wall-clock durations, reporting-side summaries) and
+//! never feed back into the exact `Rat` analysis.
+
+use std::collections::BTreeMap;
+
+/// Aggregated wall-time statistics of one span name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed activations.
+    pub count: u64,
+    /// Summed wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Largest single activation, nanoseconds.
+    pub max_ns: u64,
+    /// Median activation, nanoseconds (nearest-rank over recorded
+    /// samples; sampling saturates at [`MAX_SAMPLES`]).
+    pub p50_ns: u64,
+    /// 95th-percentile activation, nanoseconds.
+    pub p95_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean activation in nanoseconds (0 when the span never ran).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Summary of one histogram (gauge samples).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramStat {
+    /// Samples observed (including any dropped past [`MAX_SAMPLES`]).
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean over all observed samples.
+    pub mean: f64,
+    /// Median (nearest-rank over recorded samples).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// One completed span activation, for the Chrome trace export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Start, microseconds since the registry epoch.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Registry-assigned thread id (dense, starts at 1).
+    pub tid: u64,
+}
+
+/// Everything the registry aggregated since the last [`crate::reset`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Span statistics by span name.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramStat>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded (e.g. the `enabled` feature is off).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Span count by name (0 when absent) — convenience for report code.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.get(name).map_or(0, |s| s.count)
+    }
+
+    /// Summed span wall time in nanoseconds (0 when absent).
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans.get(name).map_or(0, |s| s.total_ns)
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Per-series sample cap: beyond this many samples a histogram keeps
+/// counting (count/sum/min/max stay exact) but stops storing samples, so
+/// percentiles describe the first `MAX_SAMPLES` observations.
+pub const MAX_SAMPLES: usize = 65_536;
+
+/// Reservoir of raw samples with exact count/sum/min/max and
+/// nearest-rank percentiles over the stored prefix.
+///
+/// Only the `enabled` recorder feeds it; without that feature it is
+/// exercised by this module's tests alone.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Reservoir {
+    samples: Vec<f64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+impl Reservoir {
+    pub(crate) fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(v);
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in 0..=100) over the stored samples.
+    pub(crate) fn percentile(&self, q: u32) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // Nearest-rank: ceil(q/100 · n), 1-based; clamp into range.
+        let n = sorted.len();
+        let rank = (q as usize * n).div_ceil(100).clamp(1, n);
+        sorted[rank - 1] // audit: allow(index, rank is clamped into 1..=len)
+    }
+
+    pub(crate) fn summary(&self) -> HistogramStat {
+        if self.count == 0 {
+            return HistogramStat::default();
+        }
+        HistogramStat {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.sum / self.count as f64,
+            p50: self.percentile(50),
+            p95: self.percentile(95),
+            p99: self.percentile(99),
+        }
+    }
+
+    pub(crate) fn span_stat(&self) -> SpanStat {
+        SpanStat {
+            count: self.count,
+            total_ns: self.sum as u64,
+            max_ns: self.max as u64,
+            p50_ns: self.percentile(50) as u64,
+            p95_ns: self.percentile(95) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_percentiles_nearest_rank() {
+        let mut r = Reservoir::default();
+        for v in 1..=100 {
+            r.observe(v as f64);
+        }
+        assert_eq!(r.percentile(50), 50.0);
+        assert_eq!(r.percentile(95), 95.0);
+        assert_eq!(r.percentile(99), 99.0);
+        assert_eq!(r.percentile(100), 100.0);
+        assert_eq!(r.percentile(0), 1.0, "rank clamps to the first sample");
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+    }
+
+    #[test]
+    fn reservoir_single_sample() {
+        let mut r = Reservoir::default();
+        r.observe(7.0);
+        let s = r.summary();
+        assert_eq!((s.min, s.max, s.p50, s.p95), (7.0, 7.0, 7.0, 7.0));
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn reservoir_saturates_but_keeps_counting() {
+        let mut r = Reservoir::default();
+        for _ in 0..(MAX_SAMPLES + 10) {
+            r.observe(1.0);
+        }
+        r.observe(5.0);
+        let s = r.summary();
+        assert_eq!(s.count, MAX_SAMPLES as u64 + 11);
+        assert_eq!(s.max, 5.0, "min/max stay exact past the cap");
+        assert_eq!(s.p50, 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        assert_eq!(Reservoir::default().summary(), HistogramStat::default());
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let mut s = Snapshot::default();
+        assert!(s.is_empty());
+        s.counters.insert("x".into(), 3);
+        assert_eq!(s.counter_value("x"), 3);
+        assert_eq!(s.counter_value("y"), 0);
+        assert_eq!(s.span_count("none"), 0);
+        assert!(!s.is_empty());
+    }
+}

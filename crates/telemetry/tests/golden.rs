@@ -1,0 +1,130 @@
+//! Golden-file test pinning the `dnc-metrics/v1` wire format.
+//!
+//! The document is hand-built (no real timings), so the serialisation is
+//! byte-deterministic. If this test fails because the format changed on
+//! purpose, that is a schema revision: bump `schema::SCHEMA`, update
+//! `DESIGN.md` §10, and regenerate the fixture by running with
+//! `UPDATE_GOLDEN=1`.
+
+use dnc_telemetry::export::{metrics_json, trace_json, Cell, MetricsDoc, Series};
+use dnc_telemetry::schema;
+use dnc_telemetry::{HistogramStat, Snapshot, SpanStat, TraceEvent};
+use std::path::PathBuf;
+
+fn golden_doc() -> MetricsDoc {
+    let mut snap = Snapshot::default();
+    snap.spans.insert(
+        "algo.decomposed".to_string(),
+        SpanStat {
+            count: 1,
+            total_ns: 125_000,
+            max_ns: 125_000,
+            p50_ns: 125_000,
+            p95_ns: 125_000,
+        },
+    );
+    snap.spans.insert(
+        "curve.conv".to_string(),
+        SpanStat {
+            count: 6,
+            total_ns: 48_000,
+            max_ns: 12_000,
+            p50_ns: 7_500,
+            p95_ns: 12_000,
+        },
+    );
+    snap.counters
+        .insert("core.local_delay.calls".to_string(), 8);
+    snap.counters.insert("net.pairing.pairs".to_string(), 2);
+    snap.histograms.insert(
+        "curve.conv.segments_out".to_string(),
+        HistogramStat {
+            count: 6,
+            min: 2.0,
+            max: 9.0,
+            mean: 4.5,
+            p50: 4.0,
+            p95: 9.0,
+            p99: 9.0,
+        },
+    );
+    let mut bounds = Series::new(
+        "bounds",
+        vec![schema::LABEL, schema::WORK_LOAD, schema::DELAY_BOUND],
+    );
+    bounds.push_row(vec![
+        Cell::Text("decomposed".to_string()),
+        Cell::Num(0.5),
+        Cell::Num(37.5),
+    ]);
+    bounds.push_row(vec![
+        Cell::Text("integrated".to_string()),
+        Cell::Num(0.5),
+        Cell::Num(24.125),
+    ]);
+    bounds.push_row(vec![
+        Cell::Text("service-curve".to_string()),
+        Cell::Num(0.95),
+        Cell::Null,
+    ]);
+    let mut doc = MetricsDoc::new("golden", snap)
+        .with_meta("scenario", "ring4")
+        .with_meta("flows", "3");
+    doc.series.push(bounds);
+    doc
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_against_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    assert_eq!(
+        rendered, want,
+        "{name} drifted from the checked-in fixture; if intentional, \
+         rerun with UPDATE_GOLDEN=1 and review the schema impact"
+    );
+}
+
+#[test]
+fn metrics_json_matches_golden_and_validates() {
+    let json = metrics_json(&golden_doc());
+    schema::validate_metrics(&json).expect("golden document must be schema-valid");
+    check_against_golden("metrics-golden.json", &json);
+}
+
+#[test]
+fn trace_json_matches_golden_and_validates() {
+    let events = vec![
+        TraceEvent {
+            name: "algo.decomposed",
+            ts_us: 0,
+            dur_us: 125,
+            tid: 1,
+        },
+        TraceEvent {
+            name: "curve.conv",
+            ts_us: 4,
+            dur_us: 12,
+            tid: 1,
+        },
+        TraceEvent {
+            name: "curve.conv",
+            ts_us: 31,
+            dur_us: 8,
+            tid: 2,
+        },
+    ];
+    let json = trace_json(&events);
+    schema::validate_trace(&json).expect("golden trace must be schema-valid");
+    check_against_golden("trace-golden.json", &json);
+}

@@ -1,0 +1,36 @@
+//! The telemetry-off contract: with the `enabled` feature absent, probes
+//! compile, cost nothing representable, and record nothing. This is the
+//! build the `#![no_panic]`-audited analysis crates ship with by default.
+
+#![cfg(not(feature = "enabled"))]
+
+use dnc_num::Rat;
+use dnc_telemetry::{
+    counter, gauge_u64, observe_rat, reset, snapshot, span, take_trace, SpanGuard,
+};
+
+#[test]
+fn guards_are_zero_sized_and_probes_record_nothing() {
+    assert!(!dnc_telemetry::enabled());
+    assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+    {
+        let _outer = span("noop.outer");
+        let _inner = span("noop.inner");
+        counter("noop.counter", 7);
+        gauge_u64("noop.gauge", || 42);
+        observe_rat("noop.rat", || Rat::new(1, 3));
+    }
+    assert!(snapshot().is_empty());
+    assert!(take_trace().is_empty());
+    reset();
+}
+
+#[test]
+fn gauge_closures_never_run_when_disabled() {
+    let mut ran = false;
+    gauge_u64("noop.lazy", || {
+        ran = true;
+        1
+    });
+    assert!(!ran, "the value closure must not execute in a no-op build");
+}

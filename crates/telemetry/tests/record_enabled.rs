@@ -1,0 +1,106 @@
+//! Behavioural tests of the recording machinery; meaningful only with
+//! the `enabled` feature (without it every probe is a no-op, covered by
+//! `noop_disabled.rs`).
+//!
+//! The registry is process-global and the test harness runs in threads,
+//! so each test uses uniquely named series and asserts only on those;
+//! the one test that must `reset` takes the shared lock.
+
+#![cfg(feature = "enabled")]
+
+use dnc_num::Rat;
+use dnc_telemetry::{counter, gauge_u64, observe_rat, reset, snapshot, span, take_trace};
+
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn span_nesting_records_both_levels() {
+    {
+        let _outer = span("test.record.outer");
+        let _inner = span("test.record.inner");
+    }
+    let snap = snapshot();
+    assert_eq!(snap.span_count("test.record.outer"), 1);
+    assert_eq!(snap.span_count("test.record.inner"), 1);
+}
+
+#[test]
+fn out_of_order_drop_closes_enclosed_spans() {
+    let outer = span("test.order.outer");
+    let inner = span("test.order.inner");
+    // Dropping the outer guard first must close the inner span too...
+    drop(outer);
+    let snap = snapshot();
+    assert_eq!(snap.span_count("test.order.outer"), 1);
+    assert_eq!(snap.span_count("test.order.inner"), 1);
+    // ...and the late inner drop must not double-count.
+    drop(inner);
+    let snap = snapshot();
+    assert_eq!(snap.span_count("test.order.inner"), 1);
+}
+
+#[test]
+fn counters_accumulate() {
+    counter("test.counter.a", 2);
+    counter("test.counter.a", 3);
+    assert_eq!(snapshot().counter_value("test.counter.a"), 5);
+}
+
+#[test]
+fn gauges_feed_histograms() {
+    for v in [1u64, 2, 3, 4] {
+        gauge_u64("test.gauge.segs", || v);
+    }
+    observe_rat("test.gauge.rat", || Rat::new(1, 2));
+    let snap = snapshot();
+    let h = &snap.histograms["test.gauge.segs"];
+    assert_eq!(h.count, 4);
+    assert_eq!(h.min, 1.0);
+    assert_eq!(h.max, 4.0);
+    assert_eq!(snap.histograms["test.gauge.rat"].max, 0.5);
+}
+
+#[test]
+fn trace_events_nest_and_reset_clears() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    reset();
+    {
+        let _outer = span("test.trace.outer");
+        let _inner = span("test.trace.inner");
+    }
+    let trace = take_trace();
+    let outer = trace.iter().find(|e| e.name == "test.trace.outer");
+    let inner = trace.iter().find(|e| e.name == "test.trace.inner");
+    let (outer, inner) = match (outer, inner) {
+        (Some(o), Some(i)) => (o, i),
+        other => panic!("both spans should be traced, got {other:?}"),
+    };
+    assert!(inner.ts_us >= outer.ts_us, "inner starts within outer");
+    assert!(
+        inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1,
+        "inner ends within outer (within 1µs rounding)"
+    );
+    assert_eq!(outer.tid, inner.tid);
+    reset();
+    assert!(take_trace().is_empty());
+}
+
+#[test]
+fn snapshot_span_stats_are_consistent() {
+    for _ in 0..3 {
+        let _g = span("test.stats.loop");
+    }
+    let snap = snapshot();
+    let s = &snap.spans["test.stats.loop"];
+    assert_eq!(s.count, 3);
+    assert!(s.max_ns <= s.total_ns);
+    assert!(s.p50_ns <= s.p95_ns);
+    assert!(s.p95_ns <= s.max_ns);
+    assert!(s.mean_ns() * 3 <= s.total_ns + 3);
+}
+
+#[test]
+fn enabled_reports_true_and_guard_is_live() {
+    assert!(dnc_telemetry::enabled());
+    assert!(std::mem::size_of::<dnc_telemetry::SpanGuard>() > 0);
+}

@@ -1,13 +1,14 @@
 //! `cargo xtask` — workspace task runner.
 //!
-//! The one task today is `audit`: a dependency-free static-analysis pass
+//! The main task is `audit`: a dependency-free static-analysis pass
 //! over the workspace sources enforcing the repo's three standing
 //! invariants (see DESIGN.md, "Static analysis & invariants"):
 //!
 //! 1. **Panic-freedom** in the analysis crates (`dnc-num`, `dnc-curves`,
-//!    `dnc-core`, `dnc-net`): no `.unwrap()` / `.expect()` / panicking
-//!    macros / indexing outside `#[cfg(test)]` code, unless the site
-//!    carries an `// audit: allow(<lint>, <reason>)` annotation.
+//!    `dnc-core`, `dnc-net`, `dnc-telemetry`): no `.unwrap()` /
+//!    `.expect()` / panicking macros / indexing outside `#[cfg(test)]`
+//!    code, unless the site carries an
+//!    `// audit: allow(<lint>, <reason>)` annotation.
 //! 2. **Exactness**: the `f64`/`f32` types appear only in whitelisted
 //!    reporting/plotting modules; everything else computes in `Rat`.
 //! 3. **Shape contracts**: every `pub fn` in `dnc-curves` / `dnc-core`
@@ -17,6 +18,11 @@
 //! Usage: `cargo xtask audit [--json]`. Exit code 1 when findings exist,
 //! so CI can gate on it. `--json` prints the stable machine-readable
 //! report that `results/audit-baseline.json` is a snapshot of.
+//!
+//! Two sibling tasks check emitted telemetry artifacts against the
+//! `dnc-metrics/v1` schema: `cargo xtask validate-metrics <file>...`
+//! and `cargo xtask validate-trace <file>...` (CI runs both on the
+//! `dnc profile` smoke outputs).
 
 mod lints;
 mod report;
@@ -34,6 +40,7 @@ const ANALYSIS_SRC: &[&str] = &[
     "crates/curves/src",
     "crates/core/src",
     "crates/net/src",
+    "crates/telemetry/src",
 ];
 
 /// Crates whose public `Curve` API must document shape preconditions (L3).
@@ -44,6 +51,12 @@ const FLOAT_WHITELIST: &[&str] = &[
     "crates/num/src/rat.rs",     // Rat::to_f64 — the one sanctioned exit
     "crates/core/src/report.rs", // human-readable report rendering
     "crates/bench/src/chart.rs", // SVG chart geometry
+    // Telemetry is reporting-side by design: wall-clock durations and
+    // gauge samples are lossy and never feed back into the Rat analysis.
+    "crates/telemetry/src/snapshot.rs",
+    "crates/telemetry/src/record.rs",
+    "crates/telemetry/src/export.rs",
+    "crates/telemetry/src/json.rs",
 ];
 
 /// Directory trees never scanned.
@@ -54,7 +67,7 @@ fn main() -> ExitCode {
     let (cmd, flags) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask audit [--json]");
+            eprintln!("usage: cargo xtask <audit [--json] | validate-metrics <file>... | validate-trace <file>...>");
             return ExitCode::FAILURE;
         }
     };
@@ -67,10 +80,48 @@ fn main() -> ExitCode {
             }
             audit(json)
         }
+        "validate-metrics" => validate_files(cmd, flags, dnc_telemetry::schema::validate_metrics),
+        "validate-trace" => validate_files(cmd, flags, dnc_telemetry::schema::validate_trace),
         other => {
-            eprintln!("xtask: unknown task `{other}` (tasks: audit)");
+            eprintln!(
+                "xtask: unknown task `{other}` (tasks: audit, validate-metrics, validate-trace)"
+            );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Run a schema validator over each listed file; report per-file results
+/// and fail if any file is missing, unreadable, or invalid.
+fn validate_files(
+    task: &str,
+    paths: &[String],
+    validate: fn(&str) -> Result<(), String>,
+) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: cargo xtask {task} <file>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match validate(&text) {
+                Ok(()) => println!("{path}: ok"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
