@@ -1,0 +1,56 @@
+//! Chaos soundness sweep: randomized fault scenarios through the
+//! simulator and the guarded analysis chain, flagging any simulated
+//! delay above a bound still claimed valid for the degraded capacity.
+//!
+//! Usage: `chaos [--scenarios N] [--seed S] [--ticks T]`
+//! Exits 1 on any soundness violation; writes
+//! `results/metrics-chaos.json` (`dnc-metrics/v1`).
+
+use dnc_bench::chaos::{render_report, run_chaos, write_chaos_metrics, ChaosConfig};
+
+fn main() {
+    let mut cfg = ChaosConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--scenarios" => {
+                cfg.scenarios = value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scenarios needs an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--ticks" => {
+                cfg.ticks = value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--ticks needs an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                eprintln!("usage: chaos [--scenarios N] [--seed S] [--ticks T]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_chaos(&cfg);
+    print!("{}", render_report(&report));
+    match write_chaos_metrics(&report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
+    }
+    if report.violation_count() > 0 {
+        std::process::exit(1);
+    }
+}

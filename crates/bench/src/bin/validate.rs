@@ -42,7 +42,12 @@ fn main() {
                 };
                 t.net.flows().len()
             ];
-            let rand_reports = batch::seed_sweep(&t.net, &onoff, &cfg, &[1, 2, 3], 3);
+            let rand_reports =
+                batch::collect_reports(batch::seed_sweep(&t.net, &onoff, &cfg, &[1, 2, 3], 3))
+                    .unwrap_or_else(|e| {
+                        eprintln!("seed sweep failed: {e}");
+                        std::process::exit(1);
+                    });
             let observed = greedy.flows[t.conn0.0]
                 .max_delay
                 .max(batch::worst_delay(&rand_reports, t.conn0.0));

@@ -19,6 +19,7 @@
 //! *shapes* — orderings, growth with load and size, crossovers — are the
 //! reproduction target, recorded in `EXPERIMENTS.md`.
 
+pub mod chaos;
 pub mod chart;
 
 use dnc_core::{

@@ -5,6 +5,7 @@ use crate::parse::{parse_spec, BuiltNetwork};
 use dnc_core::decomposed::{backlog_bounds, Decomposed};
 use dnc_core::fifo_family::FifoFamily;
 use dnc_core::integrated::Integrated;
+use dnc_core::resilient::ResilientRunner;
 use dnc_core::service_curve::ServiceCurve;
 use dnc_core::{AnalysisReport, DelayAnalysis, OutputCap};
 use dnc_net::pairing::{partition, PairingStrategy};
@@ -26,11 +27,19 @@ pub struct CliError {
     pub code: i32,
 }
 
+/// Exit code for a run that completed but found a bound violation.
+pub const EXIT_VIOLATION: i32 = 1;
+/// Exit code for usage/input errors.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for "no valid bound within budget" (time-stopping
+/// divergence or guard exhaustion after the full degradation chain).
+pub const EXIT_NO_BOUND: i32 = 3;
+
 impl CliError {
     fn new(message: impl Into<String>) -> CliError {
         CliError {
             message: message.into(),
-            code: 2,
+            code: EXIT_USAGE,
         }
     }
 }
@@ -57,12 +66,18 @@ usage: dnc <command> <file.dnc> [options]
 commands:
   check     structure report: topology, utilizations, integrated pairing
   analyze   end-to-end delay bounds   [--algo integrated|decomposed|service-curve|
-                                       fifo-family|time-stopping|all] [--csv <path>]
-                                      [--metrics <path>] [--trace <path>]
+                                       fifo-family|time-stopping|resilient|all]
+                                      [--csv <path>] [--metrics <path>] [--trace <path>]
+            `resilient` runs the guarded Integrated -> Decomposed -> Unbounded
+            fallback chain; exit code 3 means no valid bound within budget
   profile   run every applicable algorithm and compare cost vs tightness
                                       [--metrics <path>] [--trace <path>]
   backlog   per-server buffer bounds
   simulate  adversarial simulation    [--ticks N] [--seed S]
+  chaos     randomized fault-injection soundness sweep (no file argument)
+                                      [--scenarios N] [--seed S] [--ticks T]
+                                      [--metrics <path>]
+            exit code 1 flags a simulated delay above a claimed bound
   tandem    emit the paper's tandem as a .dnc file: dnc tandem <n> <U>
   provision minimal GPS reservations meeting the declared deadlines
 
@@ -151,6 +166,43 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             simulate_cmd(path, ticks, seed)
+        }
+        "chaos" => {
+            let mut cfg = dnc_bench::chaos::ChaosConfig::default();
+            let mut metrics: Option<String> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let int_value = |name: &str, i: usize| -> Result<u64, CliError> {
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| CliError::new(format!("{name} needs an integer")))
+                };
+                match rest[i].as_str() {
+                    "--scenarios" => {
+                        cfg.scenarios = int_value("--scenarios", i)? as usize;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        cfg.seed = int_value("--seed", i)?;
+                        i += 2;
+                    }
+                    "--ticks" => {
+                        cfg.ticks = int_value("--ticks", i)?;
+                        i += 2;
+                    }
+                    "--metrics" => {
+                        metrics = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::new("--metrics needs a path"))?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            chaos_cmd(&cfg, metrics.as_deref())
         }
         "provision" => {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
@@ -340,13 +392,11 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             let r = dnc_core::cyclic::TimeStopping::default()
                 .analyze(net)
                 .map_err(|e| e.to_string())?;
-            if !r.converged {
-                return Err(format!(
-                    "did not converge after {} iterations",
-                    r.iterations
-                ));
+            let iters = r.iterations;
+            match r.into_bounds() {
+                Some(report) => Ok((report, format!("iters={iters}"))),
+                None => Err(format!("did not converge after {iters} iterations")),
             }
-            Ok((r.report, format!("iters={}", r.iterations)))
         });
     } else {
         for alg in algorithms("all")? {
@@ -562,27 +612,36 @@ fn analyze(
             Ok(out)
         };
     let cyclic = built.net.topological_order().is_err();
-    if which == "time-stopping" || (cyclic && which == "all") {
-        let r = dnc_core::cyclic::TimeStopping::default()
-            .analyze(&built.net)
-            .map_err(|e| CliError::new(format!("time-stopping failed: {e}")))?;
-        if !r.converged {
-            return Err(CliError {
-                message: format!(
-                    "time-stopping did not converge after {} iterations (no valid bound)",
-                    r.iterations
-                ),
-                code: 1,
-            });
+    if which == "resilient" || which == "time-stopping" || (cyclic && which == "all") {
+        let r = ResilientRunner::default().analyze(&built.net);
+        match r.bounds() {
+            Some(report) => {
+                let _ = writeln!(
+                    out,
+                    "# resilient: answered at tier {} ({})",
+                    r.tier(),
+                    r.chain_summary()
+                );
+                format_report(&mut out, report, &built.deadlines);
+                record(report, &mut csv_rows, &mut bounds_series);
+                return finish(out, csv_rows, bounds_series);
+            }
+            None => {
+                // Divergence / budget exhaustion gets its own exit code so
+                // scripts can tell "no valid bound" from usage errors.
+                return Err(CliError {
+                    message: format!(
+                        "no valid bound within budget; degradation chain: {}",
+                        r.chain_summary()
+                    ),
+                    code: EXIT_NO_BOUND,
+                });
+            }
         }
-        let _ = writeln!(out, "# converged after {} iterations", r.iterations);
-        format_report(&mut out, &r.report, &built.deadlines);
-        record(&r.report, &mut csv_rows, &mut bounds_series);
-        return finish(out, csv_rows, bounds_series);
     }
     if cyclic {
         return Err(CliError::new(
-            "network is cyclic: only `--algo time-stopping` applies",
+            "network is cyclic: only `--algo time-stopping` (or `resilient`) applies",
         ));
     }
     for alg in algorithms(which)? {
@@ -670,6 +729,33 @@ fn simulate_cmd(path: &str, ticks: u64, seed: u64) -> Result<String, CliError> {
         });
     }
     Ok(out)
+}
+
+/// Run the chaos soundness harness: randomized fault scenarios through
+/// the simulator and the guarded analysis chain. Any simulated delay
+/// above a bound still claimed valid for the degraded capacity is a
+/// soundness violation (exit code [`EXIT_VIOLATION`]).
+fn chaos_cmd(
+    cfg: &dnc_bench::chaos::ChaosConfig,
+    metrics: Option<&str>,
+) -> Result<String, CliError> {
+    let report = dnc_bench::chaos::run_chaos(cfg);
+    let mut out = dnc_bench::chaos::render_report(&report);
+    if let Some(p) = metrics {
+        let mut doc = MetricsDoc::new("chaos", dnc_telemetry::snapshot());
+        doc.series = dnc_bench::chaos::chaos_series(&report);
+        write_metrics(&doc, std::path::Path::new(p))
+            .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+        let _ = writeln!(out, "wrote {p}");
+    }
+    if report.violation_count() > 0 {
+        Err(CliError {
+            message: out,
+            code: EXIT_VIOLATION,
+        })
+    } else {
+        Ok(out)
+    }
 }
 
 /// For every flow with a deadline that crosses GPS servers, find the
@@ -858,6 +944,37 @@ flow upper1 route L1 bucket 1 1/8 peak 1
     }
 
     #[test]
+    fn chaos_smoke_reports_soundness_and_writes_metrics() {
+        let p = sample_file();
+        let metrics = p.parent().unwrap().join("chaos-metrics.json");
+        let out = run(&args(&[
+            "chaos",
+            "--scenarios",
+            "3",
+            "--seed",
+            "5",
+            "--ticks",
+            "256",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("3 scenarios, seed 5, 256 ticks"), "{out}");
+        assert!(out.contains("no soundness violations"), "{out}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        schema::validate_metrics(&json).unwrap();
+        assert!(json.contains("\"chaos\""));
+    }
+
+    #[test]
+    fn chaos_rejects_bad_options() {
+        let err = run(&args(&["chaos", "--scenarios", "not-a-number"])).unwrap_err();
+        assert_eq!(err.code, EXIT_USAGE);
+        let err = run(&args(&["chaos", "--bogus"])).unwrap_err();
+        assert_eq!(err.code, EXIT_USAGE);
+    }
+
+    #[test]
     fn analyze_single_algorithm() {
         let p = sample_file();
         let out = run(&args(&[
@@ -935,10 +1052,12 @@ flow f2 route r2 r0 bucket 1 1/8 peak 1
         let p = ring_file();
         let out = run(&args(&["check", p.to_str().unwrap()])).unwrap();
         assert!(out.contains("CYCLIC"));
-        // `analyze` with the default routes to time-stopping.
+        // `analyze` with the default routes through the resilient chain,
+        // which answers via time-stopping at the decomposed tier.
         let out = run(&args(&["analyze", p.to_str().unwrap()])).unwrap();
         assert!(out.contains("[time-stopping]"));
-        assert!(out.contains("converged"));
+        assert!(out.contains("answered at tier decomposed"), "{out}");
+        assert!(out.contains("integrated: inapplicable"), "{out}");
         // Feedforward-only algorithms are refused with a clear message.
         let err = run(&args(&[
             "analyze",
@@ -948,6 +1067,46 @@ flow f2 route r2 r0 bucket 1 1/8 peak 1
         ]))
         .unwrap_err();
         assert!(err.message.contains("cyclic"));
+    }
+
+    #[test]
+    fn resilient_algo_on_feedforward_reports_tier() {
+        let p = sample_file();
+        let out = run(&args(&[
+            "analyze",
+            p.to_str().unwrap(),
+            "--algo",
+            "resilient",
+        ]))
+        .unwrap();
+        assert!(out.contains("answered at tier integrated"), "{out}");
+        assert!(out.contains("[integrated]"), "{out}");
+    }
+
+    #[test]
+    fn diverging_ring_exits_with_no_bound_code() {
+        // 5-ring with full-circumference flows past the time-stopping
+        // amplification threshold: the chain must end at the explicit
+        // Unbounded tier with its dedicated exit code.
+        let dir = std::env::temp_dir().join(format!("dnc_cli_heavy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heavy-ring.dnc");
+        let mut text = String::new();
+        for i in 0..5 {
+            text.push_str(&format!("server r{i} rate 1\n"));
+        }
+        for k in 0..5u32 {
+            let route: Vec<String> = (0..5).map(|j| format!("r{}", (k + j) % 5)).collect();
+            text.push_str(&format!(
+                "flow f{k} route {} bucket 2 3/20\n",
+                route.join(" ")
+            ));
+        }
+        std::fs::write(&path, text).unwrap();
+        let err = run(&args(&["analyze", path.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code, EXIT_NO_BOUND);
+        assert!(err.message.contains("no valid bound"), "{}", err.message);
+        assert!(err.message.contains("decomposed"), "{}", err.message);
     }
 
     #[test]

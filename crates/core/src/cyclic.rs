@@ -29,14 +29,40 @@ use dnc_net::{Discipline, FlowId, Network, ServerId};
 use dnc_num::Rat;
 
 /// Result of a time-stopping run.
+///
+/// The per-connection delay table is only a valid bound when the
+/// iteration **converged**; the [`CyclicReport::bounds`] accessor
+/// enforces that at the type level — the raw (possibly still-growing)
+/// iterate is available separately as a diagnostic.
 #[derive(Clone, Debug)]
 pub struct CyclicReport {
-    /// Per-connection bounds (valid only if `converged`).
-    pub report: AnalysisReport,
+    /// Last iterate (a valid bound only if `converged`; see `bounds()`).
+    report: AnalysisReport,
     /// Whether a fixed point was reached.
     pub converged: bool,
     /// Iterations performed.
     pub iterations: usize,
+}
+
+impl CyclicReport {
+    /// The per-connection delay bounds — `Some` **iff** the fixed-point
+    /// iteration converged. A non-converged iterate is not a bound of
+    /// anything and is deliberately unreachable through this accessor.
+    pub fn bounds(&self) -> Option<&AnalysisReport> {
+        self.converged.then_some(&self.report)
+    }
+
+    /// Consuming variant of [`CyclicReport::bounds`].
+    pub fn into_bounds(self) -> Option<AnalysisReport> {
+        self.converged.then_some(self.report)
+    }
+
+    /// The raw last iterate regardless of convergence — diagnostic only
+    /// (shows *how far* the delays had grown when the budget ran out),
+    /// never a valid delay bound unless [`CyclicReport::converged`].
+    pub fn last_iterate(&self) -> &AnalysisReport {
+        &self.report
+    }
 }
 
 /// Time-stopping decomposition analysis for general (possibly cyclic)
@@ -73,6 +99,26 @@ impl TimeStopping {
     /// topological order; it does require every server to be strictly
     /// under-loaded (necessary for any deterministic bound).
     pub fn analyze(&self, net: &Network) -> Result<CyclicReport, AnalysisError> {
+        self.analyze_inner(net, None)
+    }
+
+    /// Like [`TimeStopping::analyze`], but budgeted: the guard's deadline
+    /// and cancellation token are checked cooperatively between passes
+    /// (returning [`AnalysisError::Budget`], no unwinding), and the
+    /// guard's iteration cap clamps `max_iters`.
+    pub fn analyze_guarded(
+        &self,
+        net: &Network,
+        guard: &crate::guard::ArmedGuard,
+    ) -> Result<CyclicReport, AnalysisError> {
+        self.analyze_inner(net, Some(guard))
+    }
+
+    fn analyze_inner(
+        &self,
+        net: &Network,
+        guard: Option<&crate::guard::ArmedGuard>,
+    ) -> Result<CyclicReport, AnalysisError> {
         let _span = dnc_telemetry::span("algo.time_stopping");
         // Structural checks without the feedforward requirement.
         for i in 0..net.servers().len() {
@@ -95,9 +141,16 @@ impl TimeStopping {
             .map(|f| vec![Rat::ZERO; f.route.len()])
             .collect();
 
+        let max_iters = match guard {
+            Some(g) => g.effective_iters(self.max_iters),
+            None => self.max_iters,
+        };
         let mut iterations = 0;
         let mut converged = false;
-        while iterations < self.max_iters {
+        while iterations < max_iters {
+            if let Some(g) = guard {
+                g.check()?;
+            }
             iterations += 1;
             let new_delays = {
                 let _iter = dnc_telemetry::span("core.time_stopping.pass");
@@ -269,13 +322,14 @@ mod tests {
         let r = TimeStopping::default().analyze(&net).unwrap();
         assert!(r.converged, "light ring must converge");
         assert!(r.iterations > 1, "feedback needs at least two passes");
-        for f in &r.report.flows {
+        let bounds = r.bounds().expect("converged report exposes bounds");
+        for f in &bounds.flows {
             assert!(f.e2e.is_positive());
             assert_eq!(f.stages.len(), 2);
         }
         // Symmetry: all three flows see the same bound.
-        let b0 = r.report.flows[0].e2e;
-        assert!(r.report.flows.iter().all(|f| f.e2e == b0));
+        let b0 = bounds.flows[0].e2e;
+        assert!(bounds.flows.iter().all(|f| f.e2e == b0));
     }
 
     #[test]
@@ -284,7 +338,7 @@ mod tests {
         let fixed = TimeStopping::default().analyze(&t.net).unwrap();
         assert!(fixed.converged);
         let dec = Decomposed::paper().analyze(&t.net).unwrap();
-        for (a, b) in fixed.report.flows.iter().zip(dec.flows.iter()) {
+        for (a, b) in fixed.bounds().unwrap().flows.iter().zip(dec.flows.iter()) {
             // The grid rounding makes the fixed point a slight (sound)
             // over-estimate of the exact decomposition.
             assert!(a.e2e >= b.e2e, "flow {}: below decomposed", a.name);
@@ -326,7 +380,11 @@ mod tests {
         }
         .analyze(&net);
         match r {
-            Ok(rep) => assert!(!rep.converged, "long-feedback ring must not converge"),
+            Ok(rep) => {
+                assert!(!rep.converged, "long-feedback ring must not converge");
+                assert!(rep.bounds().is_none(), "non-converged bounds must be gated");
+                assert!(!rep.last_iterate().flows.is_empty());
+            }
             Err(AnalysisError::Unsupported(_)) => {} // diverged explicitly
             Err(e) => panic!("unexpected error {e}"),
         }
@@ -371,6 +429,6 @@ mod tests {
         let b = TimeStopping::default()
             .analyze(&ring(rat(1, 8), int(3)))
             .unwrap();
-        assert!(b.report.flows[0].e2e > a.report.flows[0].e2e);
+        assert!(b.bounds().unwrap().flows[0].e2e > a.bounds().unwrap().flows[0].e2e);
     }
 }

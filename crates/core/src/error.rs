@@ -18,6 +18,9 @@ pub enum AnalysisError {
     },
     /// An algorithm-specific precondition failed.
     Unsupported(String),
+    /// The run's resource budget was exhausted before an answer was
+    /// reached (deadline, iteration/operation cap, or cancellation).
+    Budget(String),
 }
 
 impl fmt::Display for AnalysisError {
@@ -29,6 +32,7 @@ impl fmt::Display for AnalysisError {
                 None => write!(f, "curve error: {source}"),
             },
             AnalysisError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            AnalysisError::Budget(m) => write!(f, "budget exhausted: {m}"),
         }
     }
 }

@@ -1,0 +1,196 @@
+//! Resource budgets for analysis runs.
+//!
+//! A [`Guard`] describes how much an analysis is allowed to spend — wall
+//! clock, curve operations, curve width, fixed-point iterations — plus a
+//! cooperative [`CancelToken`]. It is *declarative*: nothing is enforced
+//! until the guard is [armed](Guard::arm), which pins the wall-clock
+//! deadline to an absolute [`Instant`] so a fallback chain of several
+//! attempts shares one deadline instead of restarting the clock per tier.
+//!
+//! Enforcement has two halves:
+//!
+//! * the curve algebra's thread-local [`dnc_curves::limits`] (installed
+//!   from [`ArmedGuard::limits`]) trips *inside* conv/deconv/hdev via a
+//!   `BudgetBreach` panic payload that the resilient runner catches;
+//! * iteration loops (time-stopping) call [`ArmedGuard::check`] between
+//!   passes and get a structured [`AnalysisError::Budget`] back — no
+//!   unwinding on the cooperative path.
+
+use crate::AnalysisError;
+use dnc_curves::limits::{CancelToken, Limits};
+use std::time::{Duration, Instant};
+
+/// A declarative resource budget for one analysis run (or one fallback
+/// chain of runs). All limits default to "unlimited".
+#[derive(Clone, Debug, Default)]
+pub struct Guard {
+    /// Wall-clock budget for the whole run.
+    pub deadline: Option<Duration>,
+    /// Total curve operations (conv/deconv/hdev calls) allowed.
+    pub op_cap: Option<u64>,
+    /// Widest operand (total breakpoints) a single curve operation may
+    /// touch — the memory proxy.
+    pub segment_cap: Option<usize>,
+    /// Fixed-point iteration cap (time-stopping passes).
+    pub iter_cap: Option<usize>,
+    /// Cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Guard {
+    /// An unlimited guard.
+    pub fn unlimited() -> Guard {
+        Guard::default()
+    }
+
+    /// Defaults suitable for an interactive run: 2 s wall clock, one
+    /// million curve ops, 100k-segment operands, 256 iterations.
+    pub fn interactive() -> Guard {
+        Guard {
+            deadline: Some(Duration::from_secs(2)),
+            op_cap: Some(1_000_000),
+            segment_cap: Some(100_000),
+            iter_cap: Some(256),
+            cancel: None,
+        }
+    }
+
+    /// Set the wall-clock budget.
+    pub fn with_deadline(mut self, d: Duration) -> Guard {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the curve-operation cap.
+    pub fn with_op_cap(mut self, ops: u64) -> Guard {
+        self.op_cap = Some(ops);
+        self
+    }
+
+    /// Set the per-operation segment cap.
+    pub fn with_segment_cap(mut self, segments: usize) -> Guard {
+        self.segment_cap = Some(segments);
+        self
+    }
+
+    /// Set the fixed-point iteration cap.
+    pub fn with_iter_cap(mut self, iters: usize) -> Guard {
+        self.iter_cap = Some(iters);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Guard {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Pin the deadline to "now + budget" and return the enforceable
+    /// guard. Every attempt run under the same `ArmedGuard` shares the
+    /// deadline.
+    pub fn arm(&self) -> ArmedGuard {
+        ArmedGuard {
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            op_cap: self.op_cap,
+            segment_cap: self.segment_cap,
+            iter_cap: self.iter_cap,
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// A [`Guard`] with its wall-clock deadline pinned to an absolute
+/// instant. Created by [`Guard::arm`].
+#[derive(Clone, Debug)]
+pub struct ArmedGuard {
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Total curve-operation cap (per attempt: the op counter resets with
+    /// each [`ArmedGuard::limits`] install).
+    pub op_cap: Option<u64>,
+    /// Per-operation segment cap.
+    pub segment_cap: Option<usize>,
+    /// Fixed-point iteration cap.
+    pub iter_cap: Option<usize>,
+    /// Cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl ArmedGuard {
+    /// The thread-local limits to install around a curve-heavy section.
+    pub fn limits(&self) -> Limits {
+        Limits {
+            deadline: self.deadline,
+            segment_cap: self.segment_cap,
+            op_cap: self.op_cap,
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Cooperative budget check for iteration loops: deadline and
+    /// cancellation, as a structured error rather than a panic.
+    pub fn check(&self) -> Result<(), AnalysisError> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Err(AnalysisError::Budget("cancelled".into()));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(AnalysisError::Budget("wall-clock deadline exceeded".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective iteration budget given an algorithm's own default.
+    pub fn effective_iters(&self, algo_default: usize) -> usize {
+        match self.iter_cap {
+            Some(cap) => cap.min(algo_default),
+            None => algo_default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_always_passes() {
+        let g = Guard::unlimited().arm();
+        assert!(g.check().is_ok());
+        assert_eq!(g.effective_iters(64), 64);
+    }
+
+    #[test]
+    fn expired_deadline_fails_check() {
+        let g = Guard::default().with_deadline(Duration::ZERO).arm();
+        assert!(matches!(g.check(), Err(AnalysisError::Budget(_))));
+    }
+
+    #[test]
+    fn cancellation_fails_check() {
+        let tok = CancelToken::new();
+        let g = Guard::default().with_cancel(tok.clone()).arm();
+        assert!(g.check().is_ok());
+        tok.cancel();
+        assert!(matches!(g.check(), Err(AnalysisError::Budget(_))));
+    }
+
+    #[test]
+    fn iter_cap_clamps_algorithm_default() {
+        let g = Guard::default().with_iter_cap(10).arm();
+        assert_eq!(g.effective_iters(64), 10);
+        assert_eq!(g.effective_iters(4), 4);
+    }
+
+    #[test]
+    fn limits_carry_caps() {
+        let g = Guard::interactive().arm();
+        let lim = g.limits();
+        assert!(lim.deadline.is_some());
+        assert_eq!(lim.op_cap, Some(1_000_000));
+        assert_eq!(lim.segment_cap, Some(100_000));
+    }
+}

@@ -44,7 +44,9 @@ pub mod edf;
 pub mod exact;
 pub mod fifo_family;
 pub mod gps;
+pub mod guard;
 pub mod integrated;
+pub mod resilient;
 pub mod sensitivity;
 pub mod service_curve;
 pub mod sp;

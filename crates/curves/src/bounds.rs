@@ -18,6 +18,7 @@ use dnc_num::Rat;
 /// Errors with [`CurveError::Unstable`] when `rate(α) > rate(β)` and with
 /// [`CurveError::NeverServed`] when `α` outgrows a bounded `β`.
 pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    crate::limits::checkpoint(alpha.points().len() + beta.points().len());
     let _span = dnc_telemetry::span("curve.hdev");
     if !alpha.is_nondecreasing() || !alpha.is_concave() {
         return Err(CurveError::BadShape(
@@ -119,6 +120,7 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
 /// candidate; β's flat segments additionally contribute limit values
 /// `β⁻¹₊(v) − α⁻¹₊(v)` approached as `α(t) → v⁺`.
 pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    crate::limits::checkpoint(alpha.points().len() + beta.points().len());
     let _span = dnc_telemetry::span("curve.hdev_general");
     if !alpha.is_nondecreasing() {
         return Err(CurveError::BadShape(

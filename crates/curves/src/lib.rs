@@ -43,6 +43,7 @@ mod error;
 
 pub mod bounds;
 pub mod invariant;
+pub mod limits;
 pub mod minplus;
 pub mod transform;
 

@@ -25,8 +25,11 @@ use dnc_num::Rat;
 /// Min-plus convolution `f ⊗ g`.
 ///
 /// # Panics
-/// Panics (debug) if either curve is not nondecreasing.
+/// Panics (debug) if either curve is not nondecreasing. Panics with a
+/// [`crate::limits::BudgetBreach`] payload when thread-local
+/// [`crate::limits`] are installed and breached.
 pub fn conv(f: &Curve, g: &Curve) -> Curve {
+    crate::limits::checkpoint(f.points().len() + g.points().len());
     let _span = dnc_telemetry::span("curve.conv");
     dnc_telemetry::gauge_u64("curve.conv.segments_in", || {
         (f.points().len() + g.points().len()) as u64
@@ -65,8 +68,11 @@ pub fn conv_all<'a, I: IntoIterator<Item = &'a Curve>>(curves: I) -> Curve {
 /// would be `+∞` everywhere).
 ///
 /// # Panics
-/// Panics (debug) if either curve is not nondecreasing.
+/// Panics (debug) if either curve is not nondecreasing. Panics with a
+/// [`crate::limits::BudgetBreach`] payload when thread-local
+/// [`crate::limits`] are installed and breached.
 pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
+    crate::limits::checkpoint(f.points().len() + g.points().len());
     let _span = dnc_telemetry::span("curve.deconv");
     dnc_telemetry::gauge_u64("curve.deconv.segments_in", || {
         (f.points().len() + g.points().len()) as u64

@@ -740,7 +740,10 @@ mod tests {
         } else {
             let big = Rat::from_int(i128::MAX / 2 + 1);
             assert_eq!(big.saturating_add(big), Rat::from_int(i128::MAX));
-            assert_eq!((-big).saturating_add(-big), Rat::from_int(i128::MIN + 1));
+            // -big + -big is exactly i128::MIN (representable, no clamp), so
+            // push one further to actually overflow the negative end.
+            let neg = Rat::from_int(i128::MIN + 1);
+            assert_eq!(neg.saturating_add(neg), Rat::from_int(i128::MIN + 1));
         }
     }
 }

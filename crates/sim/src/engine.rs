@@ -1,5 +1,6 @@
 //! The synchronous tick engine.
 
+use crate::fault::{FaultPlan, FaultStats, CROSS_FLOW};
 use crate::stats::{FlowStats, ServerStats, SimReport};
 use dnc_net::{Discipline, Network, ServerId};
 use dnc_num::Rat;
@@ -153,8 +154,10 @@ impl ServerState {
         }
     }
 
-    /// Advance one tick of service, returning the cells served.
-    fn serve_tick(&mut self) -> Vec<Cell> {
+    /// Advance one tick of service at `rate × scale` (faults degrade the
+    /// scale below one; an outage is scale zero), returning the cells
+    /// served.
+    fn serve_tick(&mut self, scale: Rat) -> Vec<Cell> {
         let mut served = Vec::new();
         match self {
             ServerState::Shared {
@@ -163,7 +166,7 @@ impl ServerState {
                 rate,
                 ..
             } => {
-                *credit += *rate;
+                *credit += *rate * scale;
                 if queues.iter().all(|q| q.is_empty()) {
                     *credit = Rat::ZERO;
                     return served;
@@ -186,7 +189,7 @@ impl ServerState {
                         credit[f] = Rat::ZERO;
                         continue;
                     }
-                    credit[f] += reserved[f];
+                    credit[f] += reserved[f] * scale;
                     while credit[f] >= Rat::ONE {
                         let Some(cell) = queues[f].pop_front() else {
                             break;
@@ -199,7 +202,7 @@ impl ServerState {
             ServerState::Edf {
                 heap, credit, rate, ..
             } => {
-                *credit += *rate;
+                *credit += *rate * scale;
                 if heap.is_empty() {
                     *credit = Rat::ZERO;
                 } else {
@@ -233,6 +236,8 @@ pub struct Simulation<'a> {
     trace: crate::stats::ServerTrace,
     trace_arrived: u64,
     trace_departed: u64,
+    faults: FaultPlan,
+    fault_stats: FaultStats,
 }
 
 impl<'a> Simulation<'a> {
@@ -247,11 +252,29 @@ impl<'a> Simulation<'a> {
     /// to server-id order: a cell crossing a "backward" edge simply waits
     /// for the next tick (still a conservative, valid sample path).
     pub fn new(net: &'a Network, models: &[SourceModel], cfg: &SimConfig) -> Simulation<'a> {
+        Simulation::with_faults(net, models, cfg, FaultPlan::none())
+    }
+
+    /// Like [`Simulation::new`], with a deterministic [`FaultPlan`]
+    /// applied while the run executes.
+    ///
+    /// # Panics
+    /// Panics if `models.len() != net.flows().len()` or if the plan does
+    /// not [validate](FaultPlan::validate) against `net`.
+    pub fn with_faults(
+        net: &'a Network,
+        models: &[SourceModel],
+        cfg: &SimConfig,
+        faults: FaultPlan,
+    ) -> Simulation<'a> {
         assert_eq!(
             models.len(),
             net.flows().len(),
             "one source model per flow required"
         );
+        if let Err(e) = faults.validate(net) {
+            panic!("invalid fault plan: {e}");
+        }
         let order = net
             .topological_order()
             .unwrap_or_else(|_| (0..net.servers().len()).map(ServerId).collect());
@@ -312,6 +335,8 @@ impl<'a> Simulation<'a> {
             trace: crate::stats::ServerTrace::default(),
             trace_arrived: 0,
             trace_departed: 0,
+            faults,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -351,14 +376,35 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // 2. Servers forward in topological order: a cell can traverse
+        // 2. Scheduled cross-traffic bursts join the queues before
+        //    service, competing with conforming cells for capacity.
+        if !self.faults.is_empty() {
+            for s in 0..self.servers.len() {
+                let burst = self.faults.cross_cells_at(ServerId(s), now);
+                for _ in 0..burst {
+                    self.enqueue(
+                        ServerId(s),
+                        Cell {
+                            flow: CROSS_FLOW,
+                            emitted: now,
+                            arrived: now,
+                            hop: 0,
+                        },
+                        0,
+                    );
+                }
+                self.fault_stats.cross_cells_injected += burst;
+            }
+        }
+
+        // 3. Servers forward in topological order: a cell can traverse
         //    several empty servers within one tick (cut-through), matching
         //    the fluid model's zero minimum latency.
         for &sid in &self.order.clone() {
             self.service_server(sid);
         }
 
-        // 3. Backlog accounting.
+        // 4. Backlog accounting.
         for (i, s) in self.servers.iter().enumerate() {
             let b = s.backlog();
             self.server_stats[i].max_backlog = self.server_stats[i].max_backlog.max(b);
@@ -380,7 +426,18 @@ impl<'a> Simulation<'a> {
         // `W[t] = min(G[t], W[t-1] + C)` exactly (checked against Lemma 1
         // by the integration tests), and never exceeds `C·I` cells over
         // any window. GPS servers apply the same rule per flow.
-        let served = self.servers[sid.0].serve_tick();
+        let scale = if self.faults.is_empty() {
+            Rat::ONE
+        } else {
+            let s = self.faults.scale_at(sid, self.now);
+            if s.is_zero() {
+                self.fault_stats.outage_ticks += 1;
+            } else if s < Rat::ONE {
+                self.fault_stats.degraded_ticks += 1;
+            }
+            s
+        };
+        let served = self.servers[sid.0].serve_tick(scale);
         self.server_stats[sid.0].forwarded += served.len() as u64;
         if self.traced == Some(sid.0) {
             self.trace_departed += served
@@ -392,6 +449,12 @@ impl<'a> Simulation<'a> {
             let sojourn = self.now - cell.arrived;
             let st = &mut self.server_stats[sid.0];
             st.max_sojourn = st.max_sojourn.max(sojourn);
+            if cell.flow == CROSS_FLOW {
+                // Cross-traffic cells consumed their service; they have
+                // no route to continue on.
+                self.fault_stats.cross_cells_dropped += 1;
+                continue;
+            }
             self.forward(cell);
         }
     }
@@ -427,11 +490,20 @@ impl<'a> Simulation<'a> {
             self.step();
         }
         dnc_telemetry::counter("sim.ticks", ticks);
+        if self.fault_stats.any() {
+            dnc_telemetry::counter("sim.faults.degraded_ticks", self.fault_stats.degraded_ticks);
+            dnc_telemetry::counter("sim.faults.outage_ticks", self.fault_stats.outage_ticks);
+            dnc_telemetry::counter(
+                "sim.faults.cross_cells_injected",
+                self.fault_stats.cross_cells_injected,
+            );
+        }
         let report = SimReport {
             ticks: self.now,
             flows: self.flow_stats,
             servers: self.server_stats,
             trace: self.traced.map(|_| self.trace),
+            faults: self.fault_stats,
         };
         dnc_telemetry::counter(
             "sim.cells_delivered",
@@ -448,6 +520,16 @@ impl<'a> Simulation<'a> {
 /// Convenience: build and run in one call.
 pub fn simulate(net: &Network, models: &[SourceModel], cfg: &SimConfig) -> SimReport {
     Simulation::new(net, models, cfg).run(cfg.ticks)
+}
+
+/// Convenience: build and run one faulty scenario in one call.
+pub fn simulate_with_faults(
+    net: &Network,
+    models: &[SourceModel],
+    cfg: &SimConfig,
+    faults: FaultPlan,
+) -> SimReport {
+    Simulation::with_faults(net, models, cfg, faults).run(cfg.ticks)
 }
 
 /// All-greedy source assignment (the adversarial workload used for bound
@@ -637,6 +719,134 @@ mod tests {
             ticks,
             ..SimConfig::default()
         }
+    }
+
+    #[test]
+    fn degraded_server_increases_delay() {
+        use crate::fault::Fault;
+        let t = builders::tandem(2, int(1), rat(3, 16), builders::TandemOptions::default());
+        let cfg = cfg_ticks(4096);
+        let nominal = simulate(&t.net, &all_greedy(&t.net), &cfg);
+        let plan = FaultPlan {
+            faults: vec![Fault::Degrade {
+                server: dnc_net::ServerId(0),
+                from: 0,
+                until: 4096,
+                scale: rat(4, 5),
+            }],
+        };
+        let faulty = simulate_with_faults(&t.net, &all_greedy(&t.net), &cfg, plan);
+        assert!(faulty.faults.any());
+        assert_eq!(faulty.faults.degraded_ticks, 4096);
+        assert!(
+            faulty.flows[t.conn0.0].max_delay >= nominal.flows[t.conn0.0].max_delay,
+            "losing capacity cannot shrink the worst delay: {} < {}",
+            faulty.flows[t.conn0.0].max_delay,
+            nominal.flows[t.conn0.0].max_delay
+        );
+    }
+
+    #[test]
+    fn outage_stops_service_entirely() {
+        use crate::fault::Fault;
+        let (net, _, _) = builders::chain(1, &[TrafficSpec::paper_source(int(1), rat(1, 4))]);
+        let plan = FaultPlan {
+            faults: vec![Fault::Outage {
+                server: dnc_net::ServerId(0),
+                from: 0,
+                until: 512,
+            }],
+        };
+        let r = simulate_with_faults(&net, &all_greedy(&net), &cfg_ticks(512), plan);
+        assert_eq!(r.flows[0].delivered, 0, "nothing served during an outage");
+        assert_eq!(r.faults.outage_ticks, 512);
+        assert!(r.servers[0].max_backlog > 0);
+    }
+
+    #[test]
+    fn cross_burst_consumes_service_and_is_dropped() {
+        use crate::fault::Fault;
+        let (net, _, _) = builders::chain(1, &[TrafficSpec::paper_source(int(1), rat(1, 4))]);
+        let cfg = cfg_ticks(2048);
+        let nominal = simulate(&net, &all_greedy(&net), &cfg);
+        let plan = FaultPlan {
+            faults: vec![Fault::CrossBurst {
+                server: dnc_net::ServerId(0),
+                at: 16,
+                cells: 32,
+            }],
+        };
+        let faulty = simulate_with_faults(&net, &all_greedy(&net), &cfg, plan);
+        assert_eq!(faulty.faults.cross_cells_injected, 32);
+        assert_eq!(
+            faulty.faults.cross_cells_dropped, 32,
+            "every alien cell is served then discarded"
+        );
+        // Conservation for the real flow is untouched.
+        assert_eq!(faulty.flows[0].emitted, nominal.flows[0].emitted);
+        assert!(
+            faulty.flows[0].max_delay >= nominal.flows[0].max_delay,
+            "cross traffic cannot shrink the worst delay"
+        );
+        assert!(faulty.flows[0].max_delay > 0, "32-cell burst must queue");
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        use crate::fault::Fault;
+        let t = builders::tandem(2, int(1), rat(1, 8), builders::TandemOptions::default());
+        let models = vec![SourceModel::Bernoulli { num: 1, den: 4 }; t.net.flows().len()];
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::Jitter {
+                    server: dnc_net::ServerId(0),
+                    period: 32,
+                    scale: rat(1, 2),
+                },
+                Fault::CrossBurst {
+                    server: dnc_net::ServerId(1),
+                    at: 100,
+                    cells: 5,
+                },
+            ],
+        };
+        let cfg = SimConfig {
+            ticks: 1024,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let a = simulate_with_faults(&t.net, &models, &cfg, plan.clone());
+        let b = simulate_with_faults(&t.net, &models, &cfg, plan);
+        assert_eq!(a.faults, b.faults);
+        for (x, y) in a.flows.iter().zip(b.flows.iter()) {
+            assert_eq!(x.emitted, y.emitted);
+            assert_eq!(x.delivered, y.delivered);
+            assert_eq!(x.max_delay, y.max_delay);
+        }
+    }
+
+    #[test]
+    fn nominal_run_reports_no_faults() {
+        let (net, _, _) = builders::chain(2, &[TrafficSpec::paper_source(int(1), rat(1, 4))]);
+        let r = simulate(&net, &all_greedy(&net), &SimConfig::default());
+        assert!(!r.faults.any());
+        assert_eq!(r.faults, crate::fault::FaultStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_plan_is_rejected_at_build() {
+        use crate::fault::Fault;
+        let (net, _, _) = builders::chain(1, &[TrafficSpec::paper_source(int(1), rat(1, 4))]);
+        let plan = FaultPlan {
+            faults: vec![Fault::Degrade {
+                server: dnc_net::ServerId(0),
+                from: 0,
+                until: 10,
+                scale: int(3),
+            }],
+        };
+        let _ = Simulation::with_faults(&net, &all_greedy(&net), &SimConfig::default(), plan);
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! Fault injection for the tick engine.
+//!
+//! A [`FaultPlan`] is a deterministic schedule of per-server faults the
+//! simulator applies while it runs:
+//!
+//! * [`Fault::Degrade`] — a capacity-degradation window: the server's
+//!   service rate is scaled by `scale ∈ [0, 1]` for `[from, until)`;
+//! * [`Fault::Outage`] — a full outage interval (scale 0);
+//! * [`Fault::Jitter`] — a jittered link: every other `period`-tick
+//!   window runs at `scale` instead of full rate;
+//! * [`Fault::CrossBurst`] — adversarial greedy-burst cross-traffic:
+//!   `cells` alien cells injected into a server's queue at one tick,
+//!   consuming service like any other cells and dropped on exit.
+//!
+//! Everything is deterministic given the plan — randomness lives in the
+//! chaos harness that *generates* plans, never in the engine — so faulty
+//! runs replay exactly like nominal ones.
+//!
+//! The plan also answers the static questions the chaos harness needs to
+//! build a *degraded-but-sound claim*: the minimum sustained rate scale
+//! per server ([`FaultPlan::min_scale`], service curves are monotone in
+//! the rate, so a constant-`min_scale` analysis bounds every sample path
+//! the plan allows) and the total cross-traffic volume per server
+//! ([`FaultPlan::total_cross_cells`], a `σ`-only token bucket).
+
+use dnc_net::{Discipline, Network, ServerId};
+use dnc_num::Rat;
+
+/// Sentinel flow id carried by injected cross-traffic cells.
+pub const CROSS_FLOW: u32 = u32::MAX;
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Scale the server's rate by `scale` during `[from, until)`.
+    Degrade {
+        /// Target server.
+        server: ServerId,
+        /// First faulty tick (inclusive).
+        from: u64,
+        /// End of the window (exclusive).
+        until: u64,
+        /// Rate multiplier in `[0, 1]`.
+        scale: Rat,
+    },
+    /// Full outage (`scale = 0`) during `[from, until)`.
+    Outage {
+        /// Target server.
+        server: ServerId,
+        /// First faulty tick (inclusive).
+        from: u64,
+        /// End of the window (exclusive).
+        until: u64,
+    },
+    /// Jittered link: in every other `period`-tick window (the odd ones)
+    /// the rate is scaled by `scale`.
+    Jitter {
+        /// Target server.
+        server: ServerId,
+        /// Half-period of the jitter square wave (ticks, must be > 0).
+        period: u64,
+        /// Rate multiplier in `[0, 1]` during the slow half.
+        scale: Rat,
+    },
+    /// Inject `cells` cross-traffic cells into the server's queue at
+    /// tick `at`. Only shared-queue (FIFO / static-priority) servers can
+    /// absorb alien cells.
+    CrossBurst {
+        /// Target server.
+        server: ServerId,
+        /// Injection tick.
+        at: u64,
+        /// Burst size in cells.
+        cells: u64,
+    },
+}
+
+impl Fault {
+    /// The server this fault targets.
+    pub fn server(&self) -> ServerId {
+        match *self {
+            Fault::Degrade { server, .. }
+            | Fault::Outage { server, .. }
+            | Fault::Jitter { server, .. }
+            | Fault::CrossBurst { server, .. } => server,
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults (order does not matter; overlapping rate
+    /// faults combine by taking the *minimum* scale).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty (nominal) plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Check the plan against a network: servers must exist, scales must
+    /// lie in `[0, 1]`, jitter periods must be positive, and cross
+    /// bursts may only target shared-queue (FIFO / static-priority)
+    /// servers — GPS and EDF state is per-flow and cannot absorb alien
+    /// cells.
+    pub fn validate(&self, net: &Network) -> Result<(), String> {
+        for f in &self.faults {
+            let sid = f.server();
+            if sid.0 >= net.servers().len() {
+                return Err(format!("fault targets unknown server {sid}"));
+            }
+            match f {
+                Fault::Degrade {
+                    scale, from, until, ..
+                } => {
+                    if scale.is_negative() || *scale > Rat::ONE {
+                        return Err(format!("degrade scale {scale} outside [0, 1]"));
+                    }
+                    if from >= until {
+                        return Err(format!("empty degrade window [{from}, {until})"));
+                    }
+                }
+                Fault::Outage { from, until, .. } => {
+                    if from >= until {
+                        return Err(format!("empty outage window [{from}, {until})"));
+                    }
+                }
+                Fault::Jitter { period, scale, .. } => {
+                    if *period == 0 {
+                        return Err("jitter period must be positive".into());
+                    }
+                    if scale.is_negative() || *scale > Rat::ONE {
+                        return Err(format!("jitter scale {scale} outside [0, 1]"));
+                    }
+                }
+                Fault::CrossBurst { server, .. } => {
+                    let d = net.server(*server).discipline;
+                    if !matches!(d, Discipline::Fifo | Discipline::StaticPriority) {
+                        return Err(format!(
+                            "cross burst targets {server} ({d:?}): only FIFO/SP servers take cross traffic"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The rate scale applied to `server` at `tick` (minimum over every
+    /// applicable fault; `1` when none applies).
+    pub fn scale_at(&self, server: ServerId, tick: u64) -> Rat {
+        let mut scale = Rat::ONE;
+        for f in &self.faults {
+            if f.server() != server {
+                continue;
+            }
+            let s = match *f {
+                Fault::Degrade {
+                    from, until, scale, ..
+                } if (from..until).contains(&tick) => scale,
+                Fault::Outage { from, until, .. } if (from..until).contains(&tick) => Rat::ZERO,
+                Fault::Jitter { period, scale, .. } if (tick / period) % 2 == 1 => scale,
+                _ => continue,
+            };
+            scale = scale.min(s);
+        }
+        scale
+    }
+
+    /// Cross-traffic cells injected at `server` at `tick`.
+    pub fn cross_cells_at(&self, server: ServerId, tick: u64) -> u64 {
+        self.faults
+            .iter()
+            .map(|f| match *f {
+                Fault::CrossBurst {
+                    server: s,
+                    at,
+                    cells,
+                } if s == server && at == tick => cells,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The minimum sustained rate scale of `server` over `[0, horizon)`.
+    /// Service curves are monotone in the rate, so an analysis of the
+    /// network with this constant scale bounds every sample path the
+    /// plan allows — the *degraded claim* the chaos harness tests.
+    pub fn min_scale(&self, server: ServerId, horizon: u64) -> Rat {
+        let mut min = Rat::ONE;
+        for f in &self.faults {
+            if f.server() != server {
+                continue;
+            }
+            let s = match *f {
+                Fault::Degrade {
+                    from, until, scale, ..
+                } if from < horizon && until > 0 => scale,
+                Fault::Outage { from, .. } if from < horizon => Rat::ZERO,
+                Fault::Jitter { period, scale, .. } if period < horizon => scale,
+                _ => continue,
+            };
+            min = min.min(s);
+        }
+        min
+    }
+
+    /// Total cross-traffic volume injected at `server` over
+    /// `[0, horizon)` — the `σ` of the zero-rate token bucket the chaos
+    /// harness adds to the degraded claim.
+    pub fn total_cross_cells(&self, server: ServerId, horizon: u64) -> u64 {
+        self.faults
+            .iter()
+            .map(|f| match *f {
+                Fault::CrossBurst {
+                    server: s,
+                    at,
+                    cells,
+                } if s == server && at < horizon => cells,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Servers targeted by at least one fault.
+    pub fn touched_servers(&self) -> Vec<ServerId> {
+        let mut out: Vec<ServerId> = self.faults.iter().map(|f| f.server()).collect();
+        out.sort_by_key(|s| s.0);
+        out.dedup();
+        out
+    }
+}
+
+/// What the engine actually injected during a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Server-ticks that ran at a reduced (but nonzero) rate.
+    pub degraded_ticks: u64,
+    /// Server-ticks that ran at rate zero.
+    pub outage_ticks: u64,
+    /// Cross-traffic cells injected into queues.
+    pub cross_cells_injected: u64,
+    /// Cross-traffic cells that completed service and were discarded.
+    pub cross_cells_dropped: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault actually fired during the run.
+    pub fn any(&self) -> bool {
+        self.degraded_ticks > 0 || self.outage_ticks > 0 || self.cross_cells_injected > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_net::builders;
+    use dnc_num::{int, rat};
+    use dnc_traffic::TrafficSpec;
+
+    fn net3() -> Network {
+        builders::chain(3, &[TrafficSpec::paper_source(int(1), rat(1, 4))]).0
+    }
+
+    #[test]
+    fn nominal_plan_scales_to_one() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.scale_at(ServerId(0), 17), Rat::ONE);
+        assert_eq!(plan.cross_cells_at(ServerId(0), 17), 0);
+        assert_eq!(plan.min_scale(ServerId(0), 1000), Rat::ONE);
+    }
+
+    #[test]
+    fn degrade_window_applies_inside_only() {
+        let plan = FaultPlan {
+            faults: vec![Fault::Degrade {
+                server: ServerId(1),
+                from: 10,
+                until: 20,
+                scale: rat(1, 2),
+            }],
+        };
+        assert_eq!(plan.scale_at(ServerId(1), 9), Rat::ONE);
+        assert_eq!(plan.scale_at(ServerId(1), 10), rat(1, 2));
+        assert_eq!(plan.scale_at(ServerId(1), 19), rat(1, 2));
+        assert_eq!(plan.scale_at(ServerId(1), 20), Rat::ONE);
+        assert_eq!(plan.scale_at(ServerId(0), 15), Rat::ONE);
+        assert_eq!(plan.min_scale(ServerId(1), 4096), rat(1, 2));
+    }
+
+    #[test]
+    fn overlapping_faults_take_min_scale() {
+        let s = ServerId(0);
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::Degrade {
+                    server: s,
+                    from: 0,
+                    until: 100,
+                    scale: rat(3, 4),
+                },
+                Fault::Outage {
+                    server: s,
+                    from: 50,
+                    until: 60,
+                },
+            ],
+        };
+        assert_eq!(plan.scale_at(s, 10), rat(3, 4));
+        assert_eq!(plan.scale_at(s, 55), Rat::ZERO);
+        assert_eq!(plan.min_scale(s, 4096), Rat::ZERO);
+    }
+
+    #[test]
+    fn jitter_square_wave() {
+        let s = ServerId(2);
+        let plan = FaultPlan {
+            faults: vec![Fault::Jitter {
+                server: s,
+                period: 4,
+                scale: rat(1, 2),
+            }],
+        };
+        // Ticks 0..4 full, 4..8 slow, 8..12 full, ...
+        assert_eq!(plan.scale_at(s, 0), Rat::ONE);
+        assert_eq!(plan.scale_at(s, 3), Rat::ONE);
+        assert_eq!(plan.scale_at(s, 4), rat(1, 2));
+        assert_eq!(plan.scale_at(s, 7), rat(1, 2));
+        assert_eq!(plan.scale_at(s, 8), Rat::ONE);
+        assert_eq!(plan.min_scale(s, 4096), rat(1, 2));
+    }
+
+    #[test]
+    fn cross_burst_accounting() {
+        let s = ServerId(0);
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::CrossBurst {
+                    server: s,
+                    at: 5,
+                    cells: 8,
+                },
+                Fault::CrossBurst {
+                    server: s,
+                    at: 9,
+                    cells: 4,
+                },
+            ],
+        };
+        assert_eq!(plan.cross_cells_at(s, 5), 8);
+        assert_eq!(plan.cross_cells_at(s, 6), 0);
+        assert_eq!(plan.total_cross_cells(s, 4096), 12);
+        assert_eq!(plan.total_cross_cells(s, 6), 8);
+        assert_eq!(plan.touched_servers(), vec![s]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let net = net3();
+        let bad_scale = FaultPlan {
+            faults: vec![Fault::Degrade {
+                server: ServerId(0),
+                from: 0,
+                until: 10,
+                scale: int(2),
+            }],
+        };
+        assert!(bad_scale.validate(&net).is_err());
+        let empty_window = FaultPlan {
+            faults: vec![Fault::Outage {
+                server: ServerId(0),
+                from: 10,
+                until: 10,
+            }],
+        };
+        assert!(empty_window.validate(&net).is_err());
+        let unknown = FaultPlan {
+            faults: vec![Fault::Outage {
+                server: ServerId(99),
+                from: 0,
+                until: 10,
+            }],
+        };
+        assert!(unknown.validate(&net).is_err());
+        let ok = FaultPlan {
+            faults: vec![Fault::CrossBurst {
+                server: ServerId(1),
+                at: 3,
+                cells: 5,
+            }],
+        };
+        assert!(ok.validate(&net).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_cross_burst_on_gps() {
+        use dnc_net::{Flow, Server};
+        let mut net = Network::new();
+        let s = net.add_server(Server {
+            name: "g".into(),
+            rate: Rat::ONE,
+            discipline: Discipline::Gps,
+        });
+        net.add_flow(Flow {
+            name: "f".into(),
+            spec: TrafficSpec::paper_source(int(1), rat(1, 4)),
+            route: vec![s],
+            priority: 0,
+        })
+        .unwrap();
+        let plan = FaultPlan {
+            faults: vec![Fault::CrossBurst {
+                server: s,
+                at: 0,
+                cells: 1,
+            }],
+        };
+        assert!(plan.validate(&net).is_err());
+    }
+}

@@ -29,6 +29,8 @@ mod engine;
 mod stats;
 
 pub mod batch;
+pub mod fault;
 
-pub use engine::{all_greedy, simulate, SimConfig, Simulation};
+pub use engine::{all_greedy, simulate, simulate_with_faults, SimConfig, Simulation};
+pub use fault::{Fault, FaultPlan, FaultStats};
 pub use stats::{FlowStats, ServerStats, ServerTrace, SimReport};

@@ -109,6 +109,8 @@ pub struct SimReport {
     pub servers: Vec<ServerStats>,
     /// Per-tick trace of the configured server, if any.
     pub trace: Option<ServerTrace>,
+    /// What the fault plan actually injected (all zero on nominal runs).
+    pub faults: crate::fault::FaultStats,
 }
 
 impl SimReport {

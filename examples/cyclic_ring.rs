@@ -34,7 +34,8 @@ fn main() {
         "  time-stopping converged after {} iterations:",
         r.iterations
     );
-    for f in &r.report.flows {
+    let bounds = r.bounds().expect("converged ring has bounds");
+    for f in &bounds.flows {
         println!(
             "    {:<4} {:>10} = {:.4} ticks",
             f.name,
@@ -60,7 +61,7 @@ fn main() {
             Ok(rep) if rep.converged => println!(
                 "  {label:<32} converged in {:>2} iterations, bound {:.2}",
                 rep.iterations,
-                rep.report.flows[0].e2e.to_f64()
+                rep.bounds().expect("converged").flows[0].e2e.to_f64()
             ),
             Ok(rep) => println!(
                 "  {label:<32} DID NOT converge ({} iterations)",
@@ -83,10 +84,10 @@ fn main() {
     for &f in &flows {
         println!(
             "  {:<4} observed max {:>3} ticks (bound {:.3})",
-            r.report.flows[f.0].name,
+            bounds.flows[f.0].name,
             sim.flows[f.0].max_delay,
-            r.report.bound(f).to_f64()
+            bounds.bound(f).to_f64()
         );
-        assert!(sim.max_delay(f.0) <= r.report.bound(f) + Rat::TWO);
+        assert!(sim.max_delay(f.0) <= bounds.bound(f) + Rat::TWO);
     }
 }

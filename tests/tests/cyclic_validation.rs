@@ -13,6 +13,7 @@ fn ring_simulation_below_time_stopping_bounds() {
         let (net, flows, _) = ring(4, 2, &spec);
         let r = TimeStopping::default().analyze(&net).unwrap();
         assert!(r.converged, "σ={sigma} ρ={rho} must converge");
+        let bounds = r.bounds().unwrap();
         let sim = simulate(
             &net,
             &all_greedy(&net),
@@ -27,10 +28,10 @@ fn ring_simulation_below_time_stopping_bounds() {
             // that the fluid bound does not model: allow that slack.
             let slack = Rat::from(2);
             assert!(
-                sim.max_delay(f.0) <= r.report.bound(f) + slack,
+                sim.max_delay(f.0) <= bounds.bound(f) + slack,
                 "flow {f}: sim {} > bound {}",
                 sim.flows[f.0].max_delay,
-                r.report.bound(f)
+                bounds.bound(f)
             );
         }
     }
@@ -41,7 +42,7 @@ fn ring_randomized_workloads_below_bounds() {
     let spec = TrafficSpec::paper_source(int(2), rat(1, 8));
     let (net, flows, _) = ring(5, 2, &spec);
     let r = TimeStopping::default().analyze(&net).unwrap();
-    assert!(r.converged);
+    let bounds = r.bounds().expect("light ring converges");
     let models = vec![
         SourceModel::OnOff {
             on: 6,
@@ -61,7 +62,7 @@ fn ring_randomized_workloads_below_bounds() {
             },
         );
         for &f in &flows {
-            assert!(sim.max_delay(f.0) <= r.report.bound(f) + Rat::from(2));
+            assert!(sim.max_delay(f.0) <= bounds.bound(f) + Rat::from(2));
         }
     }
 }

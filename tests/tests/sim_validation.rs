@@ -61,7 +61,14 @@ fn tandem_randomized_workloads_below_bounds() {
         ],
     ];
     for models in model_sets {
-        let reports = batch::seed_sweep(&t.net, &models, &cfg(4096), &[1, 7, 13], 3);
+        let reports = batch::collect_reports(batch::seed_sweep(
+            &t.net,
+            &models,
+            &cfg(4096),
+            &[1, 7, 13],
+            3,
+        ))
+        .expect("seed sweep");
         for (i, f) in bound.flows.iter().enumerate() {
             let worst = batch::worst_delay(&reports, i);
             assert!(
