@@ -2,14 +2,19 @@
 //! simulator and the guarded analysis chain, flagging any simulated
 //! delay above a bound still claimed valid for the degraded capacity.
 //!
-//! Usage: `chaos [--scenarios N] [--seed S] [--ticks T]`
-//! Exits 1 on any soundness violation; writes
-//! `results/metrics-chaos.json` (`dnc-metrics/v1`).
+//! Usage: `chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K]`
+//! `--scenario K` replays scenario `K` of the seed alone (bit-exact,
+//! without running the others). Exits 1 on any soundness violation;
+//! a full sweep also writes `results/metrics-chaos.json`
+//! (`dnc-metrics/v1`).
 
-use dnc_bench::chaos::{render_report, run_chaos, write_chaos_metrics, ChaosConfig};
+use dnc_bench::chaos::{
+    render_report, render_scenario, replay_scenario, run_chaos, write_chaos_metrics, ChaosConfig,
+};
 
 fn main() {
     let mut cfg = ChaosConfig::default();
+    let mut scenario: Option<usize> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -36,12 +41,28 @@ fn main() {
                 });
                 i += 2;
             }
+            "--scenario" => {
+                scenario = Some(value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scenario needs an integer");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option {other}");
-                eprintln!("usage: chaos [--scenarios N] [--seed S] [--ticks T]");
+                eprintln!("usage: chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K]");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(id) = scenario {
+        let outcome = replay_scenario(&cfg, id);
+        print!("{}", render_scenario(&cfg, &outcome));
+        if !outcome.violations.is_empty() {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let report = run_chaos(&cfg);

@@ -1,0 +1,82 @@
+//! Churn soundness sweep: randomized admit/release sequences through
+//! the durable admission engine, with independent re-certification
+//! after every commit and kill-point crash-recovery checks against the
+//! write-ahead journal.
+//!
+//! Usage: `churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I]`
+//! `--seq I` replays sequence `I` of the seed alone (bit-exact).
+//! Exits 1 on any certification or recovery violation; a full sweep
+//! also writes `results/metrics-churn.json` (`dnc-metrics/v1`).
+
+use dnc_bench::churn::{
+    render_report, replay_sequence, run_churn, write_churn_metrics, ChurnConfig, ChurnReport,
+};
+
+fn main() {
+    let mut cfg = ChurnConfig::default();
+    let mut seq: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let int = |i: usize, name: &str| -> u64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs an integer");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--seqs" => {
+                cfg.seqs = int(i, "--seqs") as usize;
+                i += 2;
+            }
+            "--ops" => {
+                cfg.ops = int(i, "--ops") as usize;
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = int(i, "--seed");
+                i += 2;
+            }
+            "--kill-points" => {
+                cfg.kill_points = int(i, "--kill-points") as usize;
+                i += 2;
+            }
+            "--seq" => {
+                seq = Some(int(i, "--seq") as usize);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                eprintln!(
+                    "usage: churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(id) = seq {
+        let outcome = replay_sequence(&cfg, id);
+        let report = ChurnReport {
+            cfg: cfg.clone(),
+            outcomes: vec![outcome],
+        };
+        print!("{}", render_report(&report));
+        if !report.sound() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = run_churn(&cfg);
+    print!("{}", render_report(&report));
+    match write_churn_metrics(&report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
+    }
+    if !report.sound() {
+        std::process::exit(1);
+    }
+}

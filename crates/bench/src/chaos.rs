@@ -328,17 +328,34 @@ pub fn run_scenario(id: usize, rng: &mut StdRng, ticks: u64) -> ScenarioOutcome 
     }
 }
 
+/// Per-scenario generator: scenario `id` of master seed `seed` draws
+/// from its own stream, so any scenario replays bit-exactly without
+/// running the `id − 1` scenarios before it (the Weyl increment keeps
+/// neighbouring ids from colliding in seed space).
+pub fn scenario_rng(seed: u64, id: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Run the whole harness. Deterministic in `cfg`.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let _span = dnc_telemetry::span("chaos.run");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let outcomes = (0..cfg.scenarios)
-        .map(|id| run_scenario(id, &mut rng, cfg.ticks))
+        .map(|id| {
+            let mut rng = scenario_rng(cfg.seed, id);
+            run_scenario(id, &mut rng, cfg.ticks)
+        })
         .collect();
     ChaosReport {
         cfg: cfg.clone(),
         outcomes,
     }
+}
+
+/// Replay one scenario of the run `cfg` describes: identical draws to
+/// `run_chaos(cfg).outcomes[id]`, without running the others.
+pub fn replay_scenario(cfg: &ChaosConfig, id: usize) -> ScenarioOutcome {
+    let mut rng = scenario_rng(cfg.seed, id);
+    run_scenario(id, &mut rng, cfg.ticks)
 }
 
 /// Scenario axis for the metrics series.
@@ -397,6 +414,39 @@ pub fn write_chaos_metrics(report: &ChaosReport) -> std::io::Result<std::path::P
     write_metrics_doc("chaos", chaos_series(report))
 }
 
+/// Column header shared by the full report and single-scenario replay.
+fn render_header(s: &mut String) {
+    let _ = writeln!(
+        s,
+        "{:>4} {:>3} {:>5} {:>7} {:>10} {:>22} {:>9} {:>11}",
+        "id", "n", "U", "faults", "workload", "claim", "sim_max", "min_slack"
+    );
+}
+
+/// One fixed-width row of the report table.
+fn render_row(s: &mut String, o: &ScenarioOutcome) {
+    let (claim, slack) = match &o.claim {
+        Claim::Bounded(tier) => (
+            format!("answered ({tier})"),
+            o.min_slack
+                .map_or("-".to_string(), |r| format!("{:.1}", r.to_f64())),
+        ),
+        Claim::None(_) => ("no claim".to_string(), "-".to_string()),
+    };
+    let _ = writeln!(
+        s,
+        "{:>4} {:>3} {:>5.2} {:>7} {:>10} {:>22} {:>9} {:>11}",
+        o.id,
+        o.n,
+        o.u.to_f64(),
+        o.fault_count,
+        o.workload,
+        claim,
+        o.worst_observed,
+        slack
+    );
+}
+
 /// Render the run as a fixed-width text report.
 pub fn render_report(report: &ChaosReport) -> String {
     let mut s = String::new();
@@ -405,32 +455,9 @@ pub fn render_report(report: &ChaosReport) -> String {
         "chaos: {} scenarios, seed {}, {} ticks each",
         report.cfg.scenarios, report.cfg.seed, report.cfg.ticks
     );
-    let _ = writeln!(
-        s,
-        "{:>4} {:>3} {:>5} {:>7} {:>10} {:>22} {:>9} {:>11}",
-        "id", "n", "U", "faults", "workload", "claim", "sim_max", "min_slack"
-    );
+    render_header(&mut s);
     for o in &report.outcomes {
-        let (claim, slack) = match &o.claim {
-            Claim::Bounded(tier) => (
-                format!("answered ({tier})"),
-                o.min_slack
-                    .map_or("-".to_string(), |r| format!("{:.1}", r.to_f64())),
-            ),
-            Claim::None(_) => ("no claim".to_string(), "-".to_string()),
-        };
-        let _ = writeln!(
-            s,
-            "{:>4} {:>3} {:>5.2} {:>7} {:>10} {:>22} {:>9} {:>11}",
-            o.id,
-            o.n,
-            o.u.to_f64(),
-            o.fault_count,
-            o.workload,
-            claim,
-            o.worst_observed,
-            slack
-        );
+        render_row(&mut s, o);
     }
     let checked = report.checked_count();
     let _ = writeln!(
@@ -450,6 +477,29 @@ pub fn render_report(report: &ChaosReport) -> String {
         k => {
             let _ = writeln!(s, "SOUNDNESS VIOLATIONS: {k}");
         }
+    }
+    s
+}
+
+/// Render a single replayed scenario, including the no-claim reason the
+/// table elides — the detail a failing sweep sends you here for.
+pub fn render_scenario(cfg: &ChaosConfig, o: &ScenarioOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "chaos replay: scenario {} of seed {}, {} ticks",
+        o.id, cfg.seed, cfg.ticks
+    );
+    render_header(&mut s);
+    render_row(&mut s, o);
+    if let Claim::None(reason) = &o.claim {
+        let _ = writeln!(s, "no claim: {reason}");
+    }
+    for v in &o.violations {
+        let _ = writeln!(s, "VIOLATION: {v}");
+    }
+    if o.violations.is_empty() {
+        let _ = writeln!(s, "no soundness violations");
     }
     s
 }
@@ -475,6 +525,32 @@ mod tests {
             assert_eq!(x.fault_count, y.fault_count);
             assert_eq!(x.worst_observed, y.worst_observed);
             assert_eq!(x.claim, y.claim);
+        }
+    }
+
+    #[test]
+    fn replay_matches_the_full_run() {
+        let cfg = ChaosConfig {
+            scenarios: 6,
+            seed: 11,
+            ticks: 512,
+        };
+        let full = run_chaos(&cfg);
+        for want in &full.outcomes {
+            let got = replay_scenario(&cfg, want.id);
+            assert_eq!(got.n, want.n);
+            assert_eq!(got.u, want.u);
+            assert_eq!(got.fault_count, want.fault_count);
+            assert_eq!(got.workload, want.workload);
+            assert_eq!(got.claim, want.claim);
+            assert_eq!(got.worst_observed, want.worst_observed);
+            assert_eq!(got.min_slack, want.min_slack);
+            assert_eq!(got.violations, want.violations);
+            let text = render_scenario(&cfg, &got);
+            assert!(
+                text.contains(&format!("scenario {} of seed 11", want.id)),
+                "{text}"
+            );
         }
     }
 

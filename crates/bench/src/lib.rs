@@ -21,6 +21,7 @@
 
 pub mod chaos;
 pub mod chart;
+pub mod churn;
 
 use dnc_core::{
     decomposed::Decomposed, fifo_family::FifoFamily, integrated::Integrated,

@@ -76,10 +76,32 @@ commands:
   simulate  adversarial simulation    [--ticks N] [--seed S]
   chaos     randomized fault-injection soundness sweep (no file argument)
                                       [--scenarios N] [--seed S] [--ticks T]
-                                      [--metrics <path>]
-            exit code 1 flags a simulated delay above a claimed bound
+                                      [--metrics <path>] [--scenario K]
+            exit code 1 flags a simulated delay above a claimed bound;
+            --scenario K replays scenario K of the seed alone, bit-exact
+  churn     randomized online-admission soundness sweep (no file argument)
+                                      [--seqs N] [--ops N] [--seed S]
+                                      [--kill-points K] [--metrics <path>]
+                                      [--seq I]
+            every commit is independently re-certified and every journal
+            is crash-recovered from K random truncation points; exit
+            code 1 flags either falsifier firing; --seq I replays
+            sequence I of the seed alone, bit-exact
   tandem    emit the paper's tandem as a .dnc file: dnc tandem <n> <U>
   provision minimal GPS reservations meeting the declared deadlines
+  serve     durable online admission   --script <requests> [--journal <wal>]
+                                       [--queue N]
+            processes scripted admit/release/query requests against the
+            network file; certified commits are journaled before they are
+            acknowledged, and an existing journal is recovered first
+
+exit codes (uniform across commands):
+  0  success — rejections/sheds by `serve` are normal service answers
+  1  violation — a simulated delay exceeded a claimed bound
+     (simulate, chaos, churn)
+  2  usage error — bad flags, unreadable files, malformed input
+  3  no bound — the resilient chain ended at the explicit Unbounded tier
+     (analyze --algo resilient/time-stopping)
 
 `--metrics` writes a dnc-metrics/v1 JSON document; `--trace` writes Chrome
 trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).
@@ -170,6 +192,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "chaos" => {
             let mut cfg = dnc_bench::chaos::ChaosConfig::default();
             let mut metrics: Option<String> = None;
+            let mut scenario: Option<usize> = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -191,6 +214,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         cfg.ticks = int_value("--ticks", i)?;
                         i += 2;
                     }
+                    "--scenario" => {
+                        scenario = Some(int_value("--scenario", i)? as usize);
+                        i += 2;
+                    }
                     "--metrics" => {
                         metrics = Some(
                             rest.get(i + 1)
@@ -202,11 +229,115 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     other => return Err(CliError::new(format!("unknown option {other}"))),
                 }
             }
-            chaos_cmd(&cfg, metrics.as_deref())
+            match scenario {
+                Some(id) => chaos_replay_cmd(&cfg, id),
+                None => chaos_cmd(&cfg, metrics.as_deref()),
+            }
+        }
+        "churn" => {
+            let mut cfg = dnc_bench::churn::ChurnConfig::default();
+            let mut metrics: Option<String> = None;
+            let mut seq: Option<usize> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let int_value = |name: &str, i: usize| -> Result<u64, CliError> {
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| CliError::new(format!("{name} needs an integer")))
+                };
+                match rest[i].as_str() {
+                    "--seqs" => {
+                        cfg.seqs = int_value("--seqs", i)? as usize;
+                        i += 2;
+                    }
+                    "--ops" => {
+                        cfg.ops = int_value("--ops", i)? as usize;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        cfg.seed = int_value("--seed", i)?;
+                        i += 2;
+                    }
+                    "--kill-points" => {
+                        cfg.kill_points = int_value("--kill-points", i)? as usize;
+                        i += 2;
+                    }
+                    "--seq" => {
+                        seq = Some(int_value("--seq", i)? as usize);
+                        i += 2;
+                    }
+                    "--metrics" => {
+                        metrics = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::new("--metrics needs a path"))?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            churn_cmd(&cfg, metrics.as_deref(), seq)
         }
         "provision" => {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
             provision(path)
+        }
+        "serve" => {
+            let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
+            let mut script: Option<String> = None;
+            let mut journal: Option<String> = None;
+            let mut queue = 64usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let value = |name: &str, i: usize| -> Result<String, CliError> {
+                    rest.get(i + 1)
+                        .map(|v| v.to_string())
+                        .ok_or_else(|| CliError::new(format!("{name} needs a value")))
+                };
+                match rest[i].as_str() {
+                    "--script" => {
+                        script = Some(value("--script", i)?);
+                        i += 2;
+                    }
+                    "--journal" => {
+                        journal = Some(value("--journal", i)?);
+                        i += 2;
+                    }
+                    "--queue" => {
+                        queue = value("--queue", i)?
+                            .parse()
+                            .map_err(|_| CliError::new("--queue needs an integer"))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            let script = script.ok_or_else(|| CliError::new("serve needs --script <requests>"))?;
+            let (built, _) = load(path)?;
+            let base_deadlines = built
+                .deadlines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| {
+                    d.map(|deadline| dnc_core::admission::Deadline {
+                        flow: dnc_net::FlowId(i),
+                        deadline,
+                    })
+                })
+                .collect();
+            crate::serve::serve(
+                &crate::serve::ServeOptions {
+                    network: path.to_string(),
+                    script,
+                    journal,
+                    queue,
+                },
+                built.net,
+                base_deadlines,
+            )
         }
         "tandem" => {
             let n: usize = it
@@ -758,6 +889,56 @@ fn chaos_cmd(
     }
 }
 
+/// Replay scenario `id` of a chaos run alone (`--scenario`): identical
+/// draws to the full sweep, same exit-code contract.
+fn chaos_replay_cmd(cfg: &dnc_bench::chaos::ChaosConfig, id: usize) -> Result<String, CliError> {
+    let outcome = dnc_bench::chaos::replay_scenario(cfg, id);
+    let out = dnc_bench::chaos::render_scenario(cfg, &outcome);
+    if outcome.violations.is_empty() {
+        Ok(out)
+    } else {
+        Err(CliError {
+            message: out,
+            code: EXIT_VIOLATION,
+        })
+    }
+}
+
+/// Run the churn soundness harness (or replay one sequence with
+/// `--seq`): randomized admit/release mixes through the durable
+/// engine, independently re-certified after every commit and
+/// crash-recovered from random journal truncation points. Either
+/// falsifier firing is exit code [`EXIT_VIOLATION`].
+fn churn_cmd(
+    cfg: &dnc_bench::churn::ChurnConfig,
+    metrics: Option<&str>,
+    seq: Option<usize>,
+) -> Result<String, CliError> {
+    let report = match seq {
+        Some(id) => dnc_bench::churn::ChurnReport {
+            cfg: cfg.clone(),
+            outcomes: vec![dnc_bench::churn::replay_sequence(cfg, id)],
+        },
+        None => dnc_bench::churn::run_churn(cfg),
+    };
+    let mut out = dnc_bench::churn::render_report(&report);
+    if let Some(p) = metrics {
+        let mut doc = MetricsDoc::new("churn", dnc_telemetry::snapshot());
+        doc.series = dnc_bench::churn::churn_series(&report);
+        write_metrics(&doc, std::path::Path::new(p))
+            .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+        let _ = writeln!(out, "wrote {p}");
+    }
+    if report.sound() {
+        Ok(out)
+    } else {
+        Err(CliError {
+            message: out,
+            code: EXIT_VIOLATION,
+        })
+    }
+}
+
 /// For every flow with a deadline that crosses GPS servers, find the
 /// minimal uniform reservation (on a 1/64 grid) that certifies the
 /// deadline, allocating flows greedily in declaration order.
@@ -964,6 +1145,231 @@ flow upper1 route L1 bucket 1 1/8 peak 1
         let json = std::fs::read_to_string(&metrics).unwrap();
         schema::validate_metrics(&json).unwrap();
         assert!(json.contains("\"chaos\""));
+    }
+
+    #[test]
+    fn chaos_scenario_replay_is_exit_clean_and_detailed() {
+        let out = run(&args(&[
+            "chaos",
+            "--scenarios",
+            "4",
+            "--seed",
+            "11",
+            "--ticks",
+            "256",
+            "--scenario",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("chaos replay: scenario 2 of seed 11"), "{out}");
+        assert!(
+            out.contains("no soundness violations") || out.contains("VIOLATION"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn churn_smoke_is_sound_and_writes_metrics() {
+        let metrics = sample_file().parent().unwrap().join("churn-metrics.json");
+        let out = run(&args(&[
+            "churn",
+            "--seqs",
+            "2",
+            "--ops",
+            "10",
+            "--seed",
+            "5",
+            "--kill-points",
+            "3",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 sequences"), "{out}");
+        assert!(
+            out.contains("no certification or recovery violations"),
+            "{out}"
+        );
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        dnc_telemetry::schema::validate_metrics(&json).unwrap();
+        assert!(json.contains("\"churn\""));
+        // Replay of one sequence alone is also exit-clean.
+        let out = run(&args(&[
+            "churn",
+            "--seqs",
+            "2",
+            "--ops",
+            "10",
+            "--seed",
+            "5",
+            "--kill-points",
+            "3",
+            "--seq",
+            "1",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("no certification or recovery violations"),
+            "{out}"
+        );
+    }
+
+    fn write_script(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = sample_file().parent().unwrap().to_path_buf();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn serve_admits_releases_and_queries() {
+        let p = sample_file();
+        let script = write_script(
+            "serve-roundtrip.txt",
+            "\
+# one connection in, inspected, then out again
+admit a route L0 L1 bucket 1 1/8 deadline 40
+query
+release a
+query
+",
+        );
+        let out = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("ADMIT   a: certified"), "{out}");
+        assert!(out.contains("QUERY   1 admitted"), "{out}");
+        assert!(out.contains("RELEASE a: ok"), "{out}");
+        assert!(out.contains("QUERY   0 admitted"), "{out}");
+        assert!(out.contains("2 commit(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_an_impossible_deadline() {
+        let p = sample_file();
+        let script = write_script(
+            "serve-reject.txt",
+            "admit hopeless route L0 L1 bucket 1 1/8 deadline 1/1000\n",
+        );
+        let out = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("REJECT  hopeless:"), "{out}");
+        assert!(out.contains("1 rollback(s)"), "{out}");
+        assert!(out.contains("0 connection(s) admitted"), "{out}");
+    }
+
+    #[test]
+    fn serve_recovers_committed_state_from_the_journal() {
+        let p = sample_file();
+        let journal = p.parent().unwrap().join("serve-recovery.wal");
+        let _ = std::fs::remove_file(&journal);
+        let first = write_script(
+            "serve-recovery-1.txt",
+            "admit durable route L0 L1 bucket 1 1/8 deadline 40\n",
+        );
+        let out = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            first.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("ADMIT   durable"), "{out}");
+
+        let second = write_script("serve-recovery-2.txt", "query\n");
+        let out = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            second.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("recovery: replayed 1 committed operation(s), 1 connection(s) live"),
+            "{out}"
+        );
+        assert!(out.contains("QUERY   1 admitted"), "{out}");
+        assert!(out.contains("durable"), "{out}");
+    }
+
+    #[test]
+    fn serve_sheds_under_overload() {
+        let p = sample_file();
+        let script = write_script(
+            "serve-shed.txt",
+            "\
+admit a route L0 L1 bucket 1 1/8 deadline 50
+admit b route L0 L1 bucket 1 1/8 deadline 30
+admit c route L0 L1 bucket 1 1/8 deadline 90
+",
+        );
+        let out = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+            "--queue",
+            "1",
+        ]))
+        .unwrap();
+        // Capacity 1: `b` (tighter) displaces `a`; `c` (loosest) is shed
+        // outright; only `b` reaches certification.
+        assert!(
+            out.contains("SHED    a: displaced by a tighter-deadline admit"),
+            "{out}"
+        );
+        assert!(
+            out.contains("SHED    c: queue full; deadline looser than all queued admits"),
+            "{out}"
+        );
+        assert!(out.contains("ADMIT   b: certified"), "{out}");
+        assert!(out.contains("2 shed(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_usage_errors_exit_2() {
+        let p = sample_file();
+        // No --script at all.
+        let err = run(&args(&["serve", p.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code, EXIT_USAGE);
+        // A script line the grammar rejects.
+        let script = write_script("serve-bad.txt", "admit x route L0 bucket 1 1/8\n");
+        let err = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_USAGE);
+        assert!(err.message.contains("deadline"), "{}", err.message);
+        // An unknown server name.
+        let script = write_script(
+            "serve-bad-server.txt",
+            "admit x route L9 bucket 1 1/8 deadline 5\n",
+        );
+        let err = run(&args(&[
+            "serve",
+            p.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_USAGE);
+        assert!(err.message.contains("unknown server"), "{}", err.message);
     }
 
     #[test]

@@ -41,3 +41,4 @@
 
 pub mod commands;
 pub mod parse;
+pub mod serve;

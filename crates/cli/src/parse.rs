@@ -148,7 +148,10 @@ fn parse_server(toks: &[&str], line: usize) -> Result<ServerDecl, ParseError> {
     })
 }
 
-fn parse_flow(toks: &[&str], line: usize) -> Result<FlowDecl, ParseError> {
+/// Parse one flow-shaped token line (`toks[1]` = name, `toks[2]` must be
+/// `route`). Shared with the `serve` script parser, whose `admit` lines
+/// use the same grammar under a different leading keyword.
+pub(crate) fn parse_flow(toks: &[&str], line: usize) -> Result<FlowDecl, ParseError> {
     // flow <name> route <s>... bucket <σ> <ρ> [bucket ...] [peak <r>]
     //      [prio <n>] [deadline <rat>]
     if toks.len() < 3 || toks[2] != "route" {

@@ -1,0 +1,238 @@
+//! `dnc serve` — drive the durable churn engine from a request script.
+//!
+//! The script is line-oriented (`#` comments), one request per line:
+//!
+//! ```text
+//! admit <name> route <server>... bucket <σ> <ρ> [bucket ...]
+//!       [peak <r>] [prio <n>] deadline <d>
+//! release <name>
+//! query [<name>]
+//! ```
+//!
+//! `admit` lines share the `.dnc` flow grammar (same keywords, server
+//! *names* resolved against the network file). All requests are fed
+//! through the engine's bounded shed queue first — so overload behavior
+//! is observable with scripts longer than `--queue` — then drained in
+//! FIFO order, one answer line per request.
+//!
+//! With `--journal <path>`, committed operations are written ahead of
+//! acknowledgment; re-running `dnc serve` against an existing journal
+//! first **recovers** the committed state (truncating any torn tail)
+//! and then applies the script on top.
+
+use crate::commands::CliError;
+use crate::parse::{self, FlowDecl, ParseError};
+use dnc_core::admission::Deadline;
+use dnc_net::{Network, ServerId};
+use dnc_service::{AdmitRequest, ChurnEngine, EngineConfig, Request, Response};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Options for one `dnc serve` run.
+pub struct ServeOptions {
+    /// The `.dnc` network file (base topology + pre-existing flows).
+    pub network: String,
+    /// The request script.
+    pub script: String,
+    /// Write-ahead journal path (`None` = volatile engine).
+    pub journal: Option<String>,
+    /// Bound on the pending-request queue.
+    pub queue: usize,
+}
+
+/// Parse the script into requests, resolving server names via `names`.
+fn parse_script(text: &str, names: &HashMap<String, ServerId>) -> Result<Vec<Request>, ParseError> {
+    let mut requests = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let bad = |m: String| ParseError {
+            line: line_no,
+            message: m,
+        };
+        match toks.first().copied() {
+            Some("admit") => {
+                let decl: FlowDecl = parse::parse_flow(&toks, line_no)?;
+                if decl.reserve.is_some() || decl.local_deadline.is_some() {
+                    return Err(bad(
+                        "admit does not take `reserve`/`ldl` (set them in the network file)".into(),
+                    ));
+                }
+                let Some(deadline) = decl.deadline else {
+                    return Err(bad(format!(
+                        "admit {:?} needs a `deadline <d>` to certify",
+                        decl.name
+                    )));
+                };
+                let route = decl
+                    .route
+                    .iter()
+                    .map(|n| {
+                        names
+                            .get(n)
+                            .copied()
+                            .ok_or_else(|| bad(format!("unknown server {n:?}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                requests.push(Request::Admit(AdmitRequest {
+                    name: decl.name,
+                    route,
+                    buckets: decl.buckets,
+                    peak: decl.peak,
+                    priority: decl.priority,
+                    deadline,
+                }));
+            }
+            Some("release") => match (toks.get(1), toks.len()) {
+                (Some(name), 2) => requests.push(Request::Release {
+                    name: (*name).to_string(),
+                }),
+                _ => return Err(bad("usage: release <name>".into())),
+            },
+            Some("query") => match toks.len() {
+                1 => requests.push(Request::Query { name: None }),
+                2 => requests.push(Request::Query {
+                    name: toks.get(1).map(|s| (*s).to_string()),
+                }),
+                _ => return Err(bad("usage: query [<name>]".into())),
+            },
+            other => {
+                return Err(bad(format!(
+                    "unknown request {other:?} (expected admit, release, or query)"
+                )))
+            }
+        }
+    }
+    Ok(requests)
+}
+
+fn render(out: &mut String, r: &Response) {
+    match r {
+        Response::Admitted {
+            name,
+            bound,
+            deadline,
+            tier,
+            retried,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "ADMIT   {name}: certified, bound {bound} <= deadline {deadline} (tier {tier}{})",
+                if *retried { ", after budget retry" } else { "" }
+            );
+        }
+        Response::Rejected { name, reason } => {
+            let _ = writeln!(out, "REJECT  {name}: {reason}");
+        }
+        Response::Released { name } => {
+            let _ = writeln!(out, "RELEASE {name}: ok, remaining set re-certified");
+        }
+        Response::ReleaseFailed { name, reason } => {
+            let _ = writeln!(out, "RELEASE {name}: refused: {reason}");
+        }
+        Response::Queried { entries } => {
+            let _ = writeln!(out, "QUERY   {} admitted", entries.len());
+            for e in entries {
+                let _ = writeln!(
+                    out,
+                    "        {} ({}) deadline {}",
+                    e.name, e.flow, e.deadline
+                );
+            }
+        }
+        Response::Shed { name, reason } => {
+            let _ = writeln!(out, "SHED    {name}: {reason}");
+        }
+    }
+}
+
+/// Run one scripted serve session. Rejections and sheds are normal
+/// service answers (exit 0); only usage/script errors and journal
+/// failures are [`CliError`]s.
+pub fn serve(
+    opts: &ServeOptions,
+    built_net: Network,
+    base_deadlines: Vec<Deadline>,
+) -> Result<String, CliError> {
+    let usage = |m: String| CliError {
+        message: m,
+        code: crate::commands::EXIT_USAGE,
+    };
+    let names: HashMap<String, ServerId> = built_net
+        .servers()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.name.clone(), ServerId(i)))
+        .collect();
+    let script_text = std::fs::read_to_string(&opts.script)
+        .map_err(|e| usage(format!("cannot read {}: {e}", opts.script)))?;
+    let requests =
+        parse_script(&script_text, &names).map_err(|e| usage(format!("{}: {e}", opts.script)))?;
+
+    let config = EngineConfig {
+        queue_capacity: opts.queue,
+        ..EngineConfig::default()
+    };
+    let mut out = String::new();
+    let mut engine = match &opts.journal {
+        Some(journal) => {
+            let (engine, info) = ChurnEngine::open(
+                built_net,
+                base_deadlines,
+                config,
+                std::path::Path::new(journal),
+            )
+            .map_err(|e| usage(format!("{journal}: {e}")))?;
+            if let Some((defect, total)) = &info.tail {
+                let _ = writeln!(
+                    out,
+                    "recovery: {defect} at byte {} of {total}; torn tail truncated",
+                    info.valid_len
+                );
+            }
+            if info.ops_replayed > 0 {
+                let _ = writeln!(
+                    out,
+                    "recovery: replayed {} committed operation(s), {} connection(s) live",
+                    info.ops_replayed,
+                    engine.admitted().count()
+                );
+            }
+            engine
+        }
+        None => ChurnEngine::new(built_net, base_deadlines, config)
+            .map_err(|e| usage(format!("{}: {e}", opts.network)))?,
+    };
+
+    // Enqueue everything first so the shed policy sees the whole burst,
+    // then drain FIFO.
+    for req in requests {
+        for shed in engine.submit(req) {
+            render(&mut out, &shed);
+        }
+    }
+    let answers = engine
+        .drain()
+        .map_err(|e| usage(format!("journal failure mid-drain: {e}")))?;
+    for r in &answers {
+        render(&mut out, r);
+    }
+
+    let stats = engine.stats();
+    let _ = writeln!(
+        out,
+        "done: {} commit(s), {} rollback(s), {} shed(s), {} budget retr{}, {} connection(s) admitted",
+        stats.commits,
+        stats.rollbacks,
+        stats.sheds,
+        stats.retries,
+        if stats.retries == 1 { "y" } else { "ies" },
+        engine.admitted().count()
+    );
+    Ok(out)
+}

@@ -8,7 +8,7 @@
 //! than for Algorithm Decomposed (and much larger than for Algorithm
 //! Service Curve).
 
-use crate::{AnalysisError, DelayAnalysis};
+use crate::{AnalysisError, AnalysisReport, DelayAnalysis};
 use dnc_net::builders::{tandem, TandemOptions};
 use dnc_net::{Flow, FlowId, Network};
 use dnc_num::Rat;
@@ -22,6 +22,40 @@ pub struct Deadline {
     pub deadline: Rat,
 }
 
+/// The full evidence from certifying a deadline set: the analysis
+/// report and every deadline it failed to meet.
+#[derive(Clone, Debug)]
+pub struct Certification {
+    /// The report the verdict is based on.
+    pub report: AnalysisReport,
+    /// Deadlines whose certified bound exceeds the requirement (empty
+    /// on success).
+    pub violations: Vec<Deadline>,
+}
+
+impl Certification {
+    /// True when every deadline was certified.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Certify every listed deadline on `net`, returning the report plus
+/// the violated subset.
+pub fn certify(
+    net: &Network,
+    deadlines: &[Deadline],
+    analysis: &dyn DelayAnalysis,
+) -> Result<Certification, AnalysisError> {
+    let report = analysis.analyze(net)?;
+    let violations = deadlines
+        .iter()
+        .filter(|d| report.bound(d.flow) > d.deadline)
+        .copied()
+        .collect();
+    Ok(Certification { report, violations })
+}
+
 /// Check whether every listed deadline is certified by `analysis` on
 /// `net`.
 pub fn all_deadlines_met(
@@ -29,13 +63,25 @@ pub fn all_deadlines_met(
     deadlines: &[Deadline],
     analysis: &dyn DelayAnalysis,
 ) -> Result<bool, AnalysisError> {
-    let report = analysis.analyze(net)?;
-    Ok(deadlines.iter().all(|d| report.bound(d.flow) <= d.deadline))
+    certify(net, deadlines, analysis).map(|c| c.ok())
+}
+
+/// A successful admission: the mutated network, the new flow's id, and
+/// the report that certified every deadline — callers print bounds from
+/// [`Admission::report`] instead of re-running the analysis.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    /// The network with the candidate admitted.
+    pub net: Network,
+    /// The admitted flow's id in [`Admission::net`].
+    pub flow: FlowId,
+    /// The certifying analysis report.
+    pub report: AnalysisReport,
 }
 
 /// The admission-control test: may `candidate` join `net` without breaking
-/// any existing deadline or its own? Returns the admitted flow's id on
-/// success.
+/// any existing deadline or its own? Returns the admitted network, flow
+/// id, and certifying report on success.
 ///
 /// An analysis failure caused by the candidate (e.g. it overloads a
 /// server) is a rejection, not an error.
@@ -45,7 +91,7 @@ pub fn try_admit(
     candidate_deadline: Rat,
     existing: &[Deadline],
     analysis: &dyn DelayAnalysis,
-) -> Result<Option<(Network, FlowId)>, AnalysisError> {
+) -> Result<Option<Admission>, AnalysisError> {
     let mut trial = net.clone();
     let id = match trial.add_flow(candidate) {
         Ok(id) => id,
@@ -58,7 +104,35 @@ pub fn try_admit(
     };
     let ok = report.bound(id) <= candidate_deadline
         && existing.iter().all(|d| report.bound(d.flow) <= d.deadline);
-    Ok(ok.then_some((trial, id)))
+    Ok(ok.then_some(Admission {
+        net: trial,
+        flow: id,
+        report,
+    }))
+}
+
+/// The release counterpart: remove `flow` from `net` and re-certify the
+/// `remaining` deadlines (given in the **post-removal** id space — flow
+/// ids above the removed one shift down by one, see
+/// [`Network::remove_flow`]). Returns the shrunk network and the
+/// certifying report, or `None` when the remaining set no longer
+/// certifies (releases can reshuffle priorities/reservations, so this
+/// is checked, not assumed).
+///
+/// # Errors
+/// An unknown flow id is a [`NetworkError`](dnc_net::NetworkError)
+/// passed through as [`AnalysisError::Network`]; analysis failures on
+/// the shrunk network propagate.
+pub fn try_release(
+    net: &Network,
+    flow: FlowId,
+    remaining: &[Deadline],
+    analysis: &dyn DelayAnalysis,
+) -> Result<Option<(Network, AnalysisReport)>, AnalysisError> {
+    let mut trial = net.clone();
+    trial.remove_flow(flow).map_err(AnalysisError::Network)?;
+    let cert = certify(&trial, remaining, analysis)?;
+    Ok(cert.ok().then_some((trial, cert.report)))
 }
 
 /// The largest tandem work load `U = k/resolution` (interior-link
@@ -122,12 +196,49 @@ mod tests {
             route: t.middle.clone(),
             priority: 0,
         };
-        // A light extra flow with a loose deadline is admitted.
-        let admitted = try_admit(&t.net, mk(rat(1, 16)), int(100), &[], &alg).unwrap();
-        assert!(admitted.is_some());
+        // A light extra flow with a loose deadline is admitted, and the
+        // certifying report comes back with it.
+        let admitted = try_admit(&t.net, mk(rat(1, 16)), int(100), &[], &alg)
+            .unwrap()
+            .expect("light flow is admitted");
+        assert_eq!(admitted.net.flows().len(), t.net.flows().len() + 1);
+        let direct = alg.analyze(&admitted.net).unwrap();
+        assert_eq!(
+            admitted.report.bound(admitted.flow),
+            direct.bound(admitted.flow),
+            "returned report must be the certifying analysis, not a rerun"
+        );
         // A flow that overloads the interior links is rejected cleanly.
         let rejected = try_admit(&t.net, mk(int(1)), int(100), &[], &alg).unwrap();
         assert!(rejected.is_none());
+    }
+
+    #[test]
+    fn release_restores_the_original_bounds() {
+        let t = builders::tandem(2, int(1), rat(1, 16), TandemOptions::default());
+        let alg = Integrated::paper();
+        let before = alg.analyze(&t.net).unwrap().bound(t.conn0);
+        let candidate = Flow {
+            name: "new".into(),
+            spec: TrafficSpec::paper_source(int(1), rat(1, 16)),
+            route: t.middle.clone(),
+            priority: 0,
+        };
+        let admitted = try_admit(&t.net, candidate, int(100), &[], &alg)
+            .unwrap()
+            .expect("admitted");
+        // conn0's id is unchanged by the release (it precedes the new flow).
+        let remaining = [Deadline {
+            flow: t.conn0,
+            deadline: before,
+        }];
+        let (shrunk, report) = try_release(&admitted.net, admitted.flow, &remaining, &alg)
+            .unwrap()
+            .expect("release certifies the original deadline");
+        assert_eq!(shrunk.flows().len(), t.net.flows().len());
+        assert_eq!(report.bound(t.conn0), before);
+        // Releasing a ghost id is an error, not a silent no-op.
+        assert!(try_release(&shrunk, FlowId(99), &[], &alg).is_err());
     }
 
     #[test]

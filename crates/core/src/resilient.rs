@@ -436,6 +436,41 @@ mod tests {
     }
 
     #[test]
+    fn all_tiers_failing_preserves_order_and_reasons() {
+        // Pre-cancelled token: every tier is tried, every tier breaches,
+        // and the report must keep the whole story — tier order intact,
+        // one attempt per tier, each with its own failure reason.
+        let tok = dnc_curves::limits::CancelToken::new();
+        tok.cancel();
+        let runner = ResilientRunner::new(Guard::default().with_cancel(tok));
+        let r = runner.analyze(&tandem_net());
+        assert_eq!(r.tier(), Tier::Unbounded);
+        assert!(r.bounds().is_none());
+        let tiers: Vec<Tier> = r.attempts().iter().map(|a| a.tier).collect();
+        assert_eq!(tiers, [Tier::Integrated, Tier::Decomposed]);
+        for a in r.attempts() {
+            let Outcome::Budget(reason) = &a.outcome else {
+                panic!("expected budget breach at {}, got {}", a.tier, a.outcome);
+            };
+            assert!(!reason.is_empty(), "per-tier reason must be preserved");
+        }
+        // The chain summary lists the tiers in chain order with their
+        // individual reasons, joined by " → ".
+        let summary = r.chain_summary();
+        let head = summary
+            .find("integrated: budget exhausted")
+            .unwrap_or(usize::MAX);
+        let tail = summary
+            .find("decomposed: budget exhausted")
+            .unwrap_or(usize::MAX);
+        assert!(
+            head < tail && tail != usize::MAX,
+            "summary must order integrated before decomposed: {summary}"
+        );
+        assert_eq!(summary.matches(" → ").count(), 1, "{summary}");
+    }
+
+    #[test]
     fn overloaded_network_fails_cleanly() {
         // Overload is a structured failure at every tier, never a panic.
         let mut net = Network::new();

@@ -87,6 +87,8 @@ pub struct Flow {
 pub enum NetworkError {
     /// A route references a server id that does not exist.
     UnknownServer(ServerId),
+    /// An operation references a flow id that does not exist.
+    UnknownFlow(FlowId),
     /// A route is empty or visits a server twice.
     BadRoute(String),
     /// The server precedence graph has a cycle (not feedforward).
@@ -108,6 +110,7 @@ impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetworkError::UnknownServer(s) => write!(f, "route references unknown server {s}"),
+            NetworkError::UnknownFlow(id) => write!(f, "operation references unknown flow {id}"),
             NetworkError::BadRoute(m) => write!(f, "bad route: {m}"),
             NetworkError::NotFeedforward => write!(f, "network is not feedforward (cycle)"),
             NetworkError::Overloaded {
@@ -179,6 +182,31 @@ impl Network {
         }
         self.flows.push(flow);
         Ok(FlowId(self.flows.len() - 1))
+    }
+
+    /// Remove a flow, returning it. Every flow with a larger id shifts
+    /// down by one (ids are dense indices), as do their reservation and
+    /// local-deadline entries — callers holding `FlowId`s above `id`
+    /// must renumber. The churn engine relies on this for releases.
+    ///
+    /// # Errors
+    /// [`NetworkError::UnknownFlow`] when `id` is out of range.
+    pub fn remove_flow(&mut self, id: FlowId) -> Result<Flow, NetworkError> {
+        if id.0 >= self.flows.len() {
+            return Err(NetworkError::UnknownFlow(id));
+        }
+        let flow = self.flows.remove(id.0);
+        let shift = |entries: &mut Vec<((FlowId, ServerId), Rat)>| {
+            entries.retain(|((f, _), _)| *f != id);
+            for ((f, _), _) in entries.iter_mut() {
+                if f.0 > id.0 {
+                    f.0 -= 1;
+                }
+            }
+        };
+        shift(&mut self.reservations);
+        shift(&mut self.local_deadlines);
+        Ok(flow)
     }
 
     /// All servers.
@@ -434,6 +462,34 @@ mod tests {
         assert!(matches!(
             net.add_flow(flow("ghost", vec![ServerId(7)])),
             Err(NetworkError::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn remove_flow_shifts_ids_and_side_tables() {
+        let mut net = Network::new();
+        let a = net.add_server(Server::unit_fifo("a"));
+        let b = net.add_server(Server::unit_fifo("b"));
+        let f0 = net.add_flow(flow("f0", vec![a])).unwrap();
+        let f1 = net.add_flow(flow("f1", vec![a, b])).unwrap();
+        let f2 = net.add_flow(flow("f2", vec![b])).unwrap();
+        net.reserve(f0, a, rat(1, 8));
+        net.reserve(f2, b, rat(1, 16));
+        net.set_local_deadline(f1, a, int(3));
+
+        let removed = net.remove_flow(f1).unwrap();
+        assert_eq!(removed.name, "f1");
+        assert_eq!(net.flows().len(), 2);
+        assert_eq!(net.flow(FlowId(0)).name, "f0");
+        assert_eq!(net.flow(FlowId(1)).name, "f2");
+        // f0's reservation survives; f1's deadline is gone; f2's
+        // reservation followed the id shift.
+        assert_eq!(net.reserved_rate(FlowId(0), a), rat(1, 8));
+        assert_eq!(net.local_deadline(FlowId(0), a), None);
+        assert_eq!(net.reserved_rate(FlowId(1), b), rat(1, 16));
+        assert!(matches!(
+            net.remove_flow(FlowId(9)),
+            Err(NetworkError::UnknownFlow(FlowId(9)))
         ));
     }
 

@@ -1,0 +1,834 @@
+//! The churn engine: transactional, durable, overload-aware online
+//! admission.
+//!
+//! Every `Admit`/`Release` is processed transactionally: the mutation
+//! is applied to a **staged clone** of the live network, every affected
+//! deadline is re-certified on the clone by a [`ResilientRunner`]
+//! (Integrated first; a budget-breached pass degrades once to the
+//! cheaper Decomposed tier — the retry-with-decay policy — before the
+//! request is rejected with an explicit reason), and only then is the
+//! clone swapped in. A failed certification never leaves the topology
+//! half-mutated: rollback is dropping the clone.
+//!
+//! Durability: when a journal is attached, the committed operation is
+//! appended and flushed **before** the engine acknowledges it.
+//! [`ChurnEngine::open`] replays an existing journal to reconstruct the
+//! exact committed state, truncating any torn tail.
+
+use crate::journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
+use crate::queue::{Pushed, ShedQueue};
+use crate::request::{AdmitRequest, Request};
+use dnc_core::admission::Deadline;
+use dnc_core::guard::Guard;
+use dnc_core::resilient::{Outcome, ResilientReport, ResilientRunner, Tier};
+use dnc_net::{Flow, FlowId, Network, NetworkError};
+use dnc_num::Rat;
+use dnc_traffic::{TokenBucket, TrafficSpec};
+use std::fmt;
+use std::path::Path;
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Per-request analysis budget (deadline, op/segment/iteration
+    /// caps), shared by the whole certification chain of one request.
+    pub guard: Guard,
+    /// Bound on the pending-request queue (see [`ShedQueue`]).
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            guard: Guard::interactive(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Counters the engine maintains about itself (mirrored to telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed operations (admits + releases).
+    pub commits: u64,
+    /// Staged mutations discarded after a failed certification.
+    pub rollbacks: u64,
+    /// Requests dropped by the overload policy.
+    pub sheds: u64,
+    /// Certifications that breached budget at the Integrated tier and
+    /// were answered by the cheaper Decomposed retry.
+    pub retries: u64,
+    /// Journal recoveries performed.
+    pub recoveries: u64,
+    /// Operations replayed from the journal during recovery.
+    pub recovered_ops: u64,
+}
+
+/// What a recovery found in the journal.
+#[derive(Clone, Debug)]
+pub struct RecoveryInfo {
+    /// Committed operations replayed, in order.
+    pub ops_replayed: usize,
+    /// Torn/corrupt tail that was truncated, with the pre-truncation
+    /// file length.
+    pub tail: Option<(TailDefect, u64)>,
+    /// Byte length of the valid journal prefix.
+    pub valid_len: u64,
+}
+
+/// One admitted-connection row, as reported by `Query`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryEntry {
+    /// The connection's name.
+    pub name: String,
+    /// Its current flow id in the live network.
+    pub flow: FlowId,
+    /// The certified end-to-end deadline.
+    pub deadline: Rat,
+}
+
+/// The engine's answer to one request.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The connection was admitted; every affected deadline certified.
+    Admitted {
+        /// Request name.
+        name: String,
+        /// Flow id in the live network.
+        flow: FlowId,
+        /// The certified end-to-end bound for the new connection.
+        bound: Rat,
+        /// The deadline it was certified against.
+        deadline: Rat,
+        /// The tier that produced the certificate.
+        tier: Tier,
+        /// True when the Integrated pass breached its budget and the
+        /// Decomposed retry produced the certificate.
+        retried: bool,
+    },
+    /// The admit was rejected (state unchanged); the reason says why.
+    Rejected {
+        /// Request name.
+        name: String,
+        /// Explicit reason: validation failure, deadline violations, or
+        /// the full degradation chain summary on budget exhaustion.
+        reason: String,
+    },
+    /// The connection was released and the remaining set re-certified.
+    Released {
+        /// The released connection's name.
+        name: String,
+    },
+    /// The release was refused (state unchanged).
+    ReleaseFailed {
+        /// Request name.
+        name: String,
+        /// Why (unknown name, or the shrunk network failed to certify).
+        reason: String,
+    },
+    /// The admitted set (read-only).
+    Queried {
+        /// One row per matching admitted connection.
+        entries: Vec<QueryEntry>,
+    },
+    /// The request was dropped by the overload policy before processing.
+    Shed {
+        /// Request name.
+        name: String,
+        /// The shed reason.
+        reason: String,
+    },
+}
+
+impl Response {
+    /// True for answers that changed engine state.
+    pub fn committed(&self) -> bool {
+        matches!(self, Response::Admitted { .. } | Response::Released { .. })
+    }
+}
+
+/// Hard engine failures — distinct from per-request rejections, which
+/// are normal [`Response`]s.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Journal I/O or decode failure: durability can no longer be
+    /// guaranteed, so the operation was **not** committed.
+    Journal(JournalError),
+    /// The base network or base deadlines are structurally invalid.
+    Base(NetworkError),
+    /// A journal replay did not apply cleanly (the journal belongs to a
+    /// different base network, or is internally inconsistent).
+    Recovery(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Journal(e) => write!(f, "journal failure: {e}"),
+            EngineError::Base(e) => write!(f, "invalid base network: {e}"),
+            EngineError::Recovery(m) => write!(f, "recovery failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<JournalError> for EngineError {
+    fn from(e: JournalError) -> EngineError {
+        EngineError::Journal(e)
+    }
+}
+
+/// The online churn engine. See the module docs for the transaction,
+/// durability, and overload contracts.
+#[derive(Debug)]
+pub struct ChurnEngine {
+    net: Network,
+    base_flows: usize,
+    base_deadlines: Vec<Deadline>,
+    admitted: Vec<AdmitOp>,
+    journal: Option<Journal>,
+    runner: ResilientRunner,
+    queue: ShedQueue,
+    stats: EngineStats,
+}
+
+impl ChurnEngine {
+    /// A purely in-memory engine over `base` (its flows and deadlines
+    /// are the pre-existing, uncontested state — never released).
+    pub fn new(
+        base: Network,
+        base_deadlines: Vec<Deadline>,
+        config: EngineConfig,
+    ) -> Result<ChurnEngine, EngineError> {
+        for d in &base_deadlines {
+            if d.flow.0 >= base.flows().len() {
+                return Err(EngineError::Base(NetworkError::UnknownFlow(d.flow)));
+            }
+        }
+        Ok(ChurnEngine {
+            base_flows: base.flows().len(),
+            net: base,
+            base_deadlines,
+            admitted: Vec::new(),
+            journal: None,
+            runner: ResilientRunner::new(config.guard.clone()),
+            queue: ShedQueue::new(config.queue_capacity),
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// An engine journaling to `path`. A fresh file starts an empty
+    /// engine; an existing journal is **recovered**: its committed
+    /// operations are replayed (structurally, no re-certification —
+    /// they were certified when committed), a torn tail is truncated,
+    /// and subsequent commits append after the valid prefix.
+    pub fn open(
+        base: Network,
+        base_deadlines: Vec<Deadline>,
+        config: EngineConfig,
+        path: &Path,
+    ) -> Result<(ChurnEngine, RecoveryInfo), EngineError> {
+        let _span = dnc_telemetry::span("service.recover");
+        let mut engine = ChurnEngine::new(base, base_deadlines, config)?;
+        let (journal, replay) = Journal::resume(path)?;
+        let Replay {
+            ops,
+            valid_len,
+            tail,
+        } = replay;
+        let ops_replayed = ops.len();
+        for op in ops {
+            engine
+                .apply_replayed(&op)
+                .map_err(|m| EngineError::Recovery(format!("replaying {:?}: {m}", op.encode())))?;
+        }
+        engine.journal = Some(journal);
+        if ops_replayed > 0 || tail.is_some() {
+            engine.stats.recoveries += 1;
+            dnc_telemetry::counter("service.recoveries", 1);
+        }
+        engine.stats.recovered_ops += ops_replayed as u64;
+        Ok((
+            engine,
+            RecoveryInfo {
+                ops_replayed,
+                tail,
+                valid_len,
+            },
+        ))
+    }
+
+    /// Apply a journaled op structurally (recovery path: certification
+    /// already happened when the op was committed).
+    fn apply_replayed(&mut self, op: &Op) -> Result<(), String> {
+        match op {
+            Op::Admit(a) => {
+                let flow = build_flow(&a.clone().into()).map_err(|r| r.to_string())?;
+                self.net.add_flow(flow).map_err(|e| e.to_string())?;
+                self.admitted.push(a.clone());
+                Ok(())
+            }
+            Op::Release { name } => {
+                let idx = self
+                    .admitted
+                    .iter()
+                    .position(|a| a.name == *name)
+                    .ok_or_else(|| format!("release of unknown connection {name:?}"))?;
+                self.net
+                    .remove_flow(FlowId(self.base_flows + idx))
+                    .map_err(|e| e.to_string())?;
+                self.admitted.remove(idx);
+                Ok(())
+            }
+        }
+    }
+
+    /// The live network (base + admitted flows).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Engine self-counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Currently admitted connections, in admission order.
+    pub fn admitted(&self) -> impl Iterator<Item = QueryEntry> + '_ {
+        self.admitted.iter().enumerate().map(|(i, a)| QueryEntry {
+            name: a.name.clone(),
+            flow: FlowId(self.base_flows + i),
+            deadline: a.deadline,
+        })
+    }
+
+    /// Every deadline the engine must keep certified, in the live
+    /// network's id space.
+    pub fn deadlines(&self) -> Vec<Deadline> {
+        let mut ds = self.base_deadlines.clone();
+        ds.extend(self.admitted.iter().enumerate().map(|(i, a)| Deadline {
+            flow: FlowId(self.base_flows + i),
+            deadline: a.deadline,
+        }));
+        ds
+    }
+
+    /// Enqueue a request under the overload policy. Returns the shed
+    /// response(s) produced immediately (the incoming request's, or a
+    /// displaced victim's); enqueued requests answer later via
+    /// [`ChurnEngine::drain`].
+    pub fn submit(&mut self, req: Request) -> Vec<Response> {
+        match self.queue.push(req) {
+            Pushed::Enqueued => Vec::new(),
+            Pushed::Displaced(victim) => {
+                vec![self.shed_response(victim, "displaced by a tighter-deadline admit")]
+            }
+            Pushed::Shed(incoming, reason) => {
+                let reason = reason.to_string();
+                vec![self.shed_response(incoming, &reason)]
+            }
+        }
+    }
+
+    fn shed_response(&mut self, req: Request, reason: &str) -> Response {
+        self.stats.sheds += 1;
+        dnc_telemetry::counter("service.sheds", 1);
+        let name = match req {
+            Request::Admit(a) => a.name,
+            Request::Release { name } => name,
+            Request::Query { name } => name.unwrap_or_default(),
+        };
+        Response::Shed {
+            name,
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Process every queued request in FIFO order.
+    ///
+    /// # Errors
+    /// Stops at the first [`EngineError`] (journal failure mid-drain);
+    /// requests already answered are lost to the caller, but engine
+    /// state stays consistent (the failed op was not committed).
+    pub fn drain(&mut self) -> Result<Vec<Response>, EngineError> {
+        let mut responses = Vec::new();
+        while let Some(req) = self.queue.pop() {
+            responses.push(self.process(req)?);
+        }
+        Ok(responses)
+    }
+
+    /// Process one request immediately (bypassing the queue).
+    ///
+    /// # Errors
+    /// Only journal failures are errors; rejections are [`Response`]s.
+    pub fn process(&mut self, req: Request) -> Result<Response, EngineError> {
+        match req {
+            Request::Admit(r) => self.admit(r),
+            Request::Release { name } => self.release(&name),
+            Request::Query { name } => Ok(self.query(name.as_deref())),
+        }
+    }
+
+    fn query(&self, name: Option<&str>) -> Response {
+        let entries = self
+            .admitted()
+            .filter(|e| name.is_none_or(|n| e.name == n))
+            .collect();
+        Response::Queried { entries }
+    }
+
+    fn admit(&mut self, req: AdmitRequest) -> Result<Response, EngineError> {
+        let _span = dnc_telemetry::span("service.admit");
+        let name = req.name.clone();
+        if let Err(reason) = self.validate_admit(&req) {
+            return Ok(self.reject(name, reason));
+        }
+        let flow = match build_flow(&req) {
+            Ok(f) => f,
+            Err(reason) => return Ok(self.reject(name, reason.to_string())),
+        };
+
+        // Stage: mutate a clone, never the live network.
+        let mut staged = self.net.clone();
+        let id = match staged.add_flow(flow) {
+            Ok(id) => id,
+            Err(e) => return Ok(self.reject(name, format!("invalid flow: {e}"))),
+        };
+        if let Err(e) = staged.validate() {
+            return Ok(self.reject(name, format!("structural rejection: {e}")));
+        }
+
+        // Certify: the runner embodies retry-with-decay (Integrated,
+        // then the cheaper Decomposed on budget breach).
+        let mut deadlines = self.deadlines();
+        deadlines.push(Deadline {
+            flow: id,
+            deadline: req.deadline,
+        });
+        let report = self.runner.analyze(&staged);
+        let retried = was_retried(&report);
+        if retried {
+            self.stats.retries += 1;
+            dnc_telemetry::counter("service.retries", 1);
+        }
+        let Some(bounds) = report.bounds() else {
+            return Ok(self.reject(
+                name,
+                format!("no bound within budget: {}", report.chain_summary()),
+            ));
+        };
+        let violated: Vec<String> = deadlines
+            .iter()
+            .filter(|d| bounds.bound(d.flow) > d.deadline)
+            .map(|d| self.describe_deadline(d, &req.name, id))
+            .collect();
+        if !violated.is_empty() {
+            return Ok(self.reject(name, format!("deadline violation: {}", violated.join(", "))));
+        }
+
+        // Commit: journal first (durability before acknowledgment),
+        // then swap the staged network in.
+        let bound = bounds.bound(id);
+        let admit_op: AdmitOp = req.into();
+        let deadline = admit_op.deadline;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&Op::Admit(admit_op.clone()))?;
+        }
+        self.net = staged;
+        self.admitted.push(admit_op);
+        self.stats.commits += 1;
+        dnc_telemetry::counter("service.commits", 1);
+        Ok(Response::Admitted {
+            name,
+            flow: id,
+            bound,
+            deadline,
+            tier: report.tier(),
+            retried,
+        })
+    }
+
+    fn release(&mut self, name: &str) -> Result<Response, EngineError> {
+        let _span = dnc_telemetry::span("service.release");
+        let Some(idx) = self.admitted.iter().position(|a| a.name == name) else {
+            return Ok(Response::ReleaseFailed {
+                name: name.to_string(),
+                reason: "no admitted connection with this name".into(),
+            });
+        };
+        let victim = FlowId(self.base_flows + idx);
+        let mut staged = self.net.clone();
+        if let Err(e) = staged.remove_flow(victim) {
+            return Ok(Response::ReleaseFailed {
+                name: name.to_string(),
+                reason: format!("remove failed: {e}"),
+            });
+        }
+        // Remaining deadlines in the post-removal id space: admitted
+        // flows after `idx` shift down by one.
+        let mut deadlines = self.base_deadlines.clone();
+        for (j, a) in self.admitted.iter().enumerate() {
+            if j == idx {
+                continue;
+            }
+            let shifted = if j > idx { j - 1 } else { j };
+            deadlines.push(Deadline {
+                flow: FlowId(self.base_flows + shifted),
+                deadline: a.deadline,
+            });
+        }
+        let report = self.runner.analyze(&staged);
+        if was_retried(&report) {
+            self.stats.retries += 1;
+            dnc_telemetry::counter("service.retries", 1);
+        }
+        let Some(bounds) = report.bounds() else {
+            self.stats.rollbacks += 1;
+            dnc_telemetry::counter("service.rollbacks", 1);
+            return Ok(Response::ReleaseFailed {
+                name: name.to_string(),
+                reason: format!(
+                    "remaining set no longer certifies within budget: {}",
+                    report.chain_summary()
+                ),
+            });
+        };
+        if let Some(d) = deadlines.iter().find(|d| bounds.bound(d.flow) > d.deadline) {
+            self.stats.rollbacks += 1;
+            dnc_telemetry::counter("service.rollbacks", 1);
+            return Ok(Response::ReleaseFailed {
+                name: name.to_string(),
+                reason: format!(
+                    "release breaks a remaining deadline ({} > {} for {})",
+                    bounds.bound(d.flow),
+                    d.deadline,
+                    d.flow
+                ),
+            });
+        }
+
+        let op = Op::Release {
+            name: name.to_string(),
+        };
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&op)?;
+        }
+        self.net = staged;
+        self.admitted.remove(idx);
+        self.stats.commits += 1;
+        dnc_telemetry::counter("service.commits", 1);
+        Ok(Response::Released {
+            name: name.to_string(),
+        })
+    }
+
+    fn reject(&mut self, name: String, reason: String) -> Response {
+        self.stats.rollbacks += 1;
+        dnc_telemetry::counter("service.rollbacks", 1);
+        Response::Rejected { name, reason }
+    }
+
+    fn describe_deadline(&self, d: &Deadline, candidate: &str, candidate_id: FlowId) -> String {
+        if d.flow == candidate_id {
+            format!("candidate {candidate:?} itself")
+        } else {
+            match self
+                .admitted
+                .iter()
+                .enumerate()
+                .find(|(i, _)| FlowId(self.base_flows + i) == d.flow)
+            {
+                Some((_, a)) => format!("admitted {:?}", a.name),
+                None => format!("base flow {}", d.flow),
+            }
+        }
+    }
+
+    fn validate_admit(&self, req: &AdmitRequest) -> Result<(), String> {
+        if req.name.is_empty() || req.name.chars().any(char::is_whitespace) {
+            return Err("name must be non-empty without whitespace".into());
+        }
+        if self.net.flows().iter().any(|f| f.name == req.name) {
+            return Err(format!("a live flow is already named {:?}", req.name));
+        }
+        if req.buckets.is_empty() {
+            return Err("at least one (σ, ρ) bucket is required".into());
+        }
+        if req
+            .buckets
+            .iter()
+            .any(|(s, r)| s.is_negative() || r.is_negative())
+        {
+            return Err("bucket parameters must be non-negative".into());
+        }
+        if req.peak.is_some_and(|p| !p.is_positive()) {
+            return Err("peak rate must be positive".into());
+        }
+        if !req.deadline.is_positive() {
+            return Err("deadline must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// A deterministic, human-readable rendering of the committed
+    /// state: the base-flow count followed by each admitted operation
+    /// in admission order. Two engines with equal canonical state hold
+    /// identical networks and deadline sets (given the same base).
+    pub fn canonical_state(&self) -> String {
+        let mut s = format!("base {}\n", self.base_flows);
+        for a in &self.admitted {
+            s.push_str(&Op::Admit(a.clone()).encode());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// FNV-1a 64 digest of [`ChurnEngine::canonical_state`] — cheap
+    /// state-identity checks for the kill-point recovery harness.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical_state().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// True when the Integrated tier breached its budget and the Decomposed
+/// retry produced the answer — the retry-with-decay path.
+fn was_retried(report: &ResilientReport) -> bool {
+    report.tier() == Tier::Decomposed
+        && matches!(
+            report.attempts().first().map(|a| &a.outcome),
+            Some(Outcome::Budget(_))
+        )
+}
+
+/// Build the network flow for an admit request. Validation must already
+/// have run: this only converts shapes.
+fn build_flow(req: &AdmitRequest) -> Result<Flow, String> {
+    if req.buckets.is_empty() {
+        return Err("no buckets".into());
+    }
+    let buckets = req
+        .buckets
+        .iter()
+        .map(|&(sigma, rho)| {
+            if sigma.is_negative() || rho.is_negative() {
+                Err("negative bucket parameter".to_string())
+            } else {
+                Ok(TokenBucket::new(sigma, rho))
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if req.peak.is_some_and(|p| !p.is_positive()) {
+        return Err("non-positive peak".into());
+    }
+    Ok(Flow {
+        name: req.name.clone(),
+        spec: TrafficSpec::new(buckets, req.peak),
+        route: req.route.clone(),
+        priority: req.priority,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_net::Server;
+    use dnc_num::{int, rat};
+    use std::path::PathBuf;
+
+    fn base() -> Network {
+        let mut net = Network::new();
+        for i in 0..4 {
+            net.add_server(Server::unit_fifo(format!("hop{i}")));
+        }
+        net
+    }
+
+    fn admit_req(name: &str, rho: Rat, deadline: Rat) -> Request {
+        Request::Admit(AdmitRequest {
+            name: name.into(),
+            route: (0..4).map(dnc_net::ServerId).collect(),
+            // No peak cap: the σ-burst lands at once, so even a lone
+            // flow has a strictly positive bound (tests rely on that).
+            buckets: vec![(int(1), rho)],
+            peak: None,
+            priority: 0,
+            deadline,
+        })
+    }
+
+    fn engine() -> ChurnEngine {
+        ChurnEngine::new(base(), Vec::new(), EngineConfig::default()).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnc_engine_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn admit_release_round_trip() {
+        let mut e = engine();
+        let r = e.process(admit_req("a", rat(1, 32), int(50))).unwrap();
+        let Response::Admitted {
+            bound, deadline, ..
+        } = &r
+        else {
+            panic!("expected admission, got {r:?}");
+        };
+        assert!(*bound <= *deadline);
+        assert_eq!(e.network().flows().len(), 1);
+        assert_eq!(e.deadlines().len(), 1);
+
+        let r = e.process(Request::Release { name: "a".into() }).unwrap();
+        assert!(matches!(r, Response::Released { .. }), "{r:?}");
+        assert_eq!(e.network().flows().len(), 0);
+        assert_eq!(e.stats().commits, 2);
+    }
+
+    #[test]
+    fn impossible_deadline_is_rejected_and_rolled_back() {
+        let mut e = engine();
+        let r = e.process(admit_req("a", rat(1, 32), rat(1, 100))).unwrap();
+        let Response::Rejected { reason, .. } = &r else {
+            panic!("expected rejection, got {r:?}");
+        };
+        assert!(reason.contains("deadline violation"), "{reason}");
+        assert_eq!(e.network().flows().len(), 0, "rollback must be total");
+        assert_eq!(e.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn admission_protects_previously_admitted_deadlines() {
+        let mut e = engine();
+        // Admit with a deadline exactly at the certified bound: any new
+        // contention on the path must then be rejected.
+        let first = e.process(admit_req("a", rat(1, 32), int(50))).unwrap();
+        let Response::Admitted { bound, .. } = first else {
+            panic!("first admit must pass");
+        };
+        let mut tight = ChurnEngine::new(base(), Vec::new(), EngineConfig::default()).unwrap();
+        let r = tight.process(admit_req("a", rat(1, 32), bound)).unwrap();
+        assert!(matches!(r, Response::Admitted { .. }));
+        let r = tight.process(admit_req("b", rat(1, 4), bound)).unwrap();
+        let Response::Rejected { reason, .. } = &r else {
+            panic!("expected rejection protecting \"a\", got {r:?}");
+        };
+        assert!(reason.contains("deadline violation"), "{reason}");
+        assert_eq!(tight.network().flows().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_and_bad_requests_are_rejected() {
+        let mut e = engine();
+        assert!(matches!(
+            e.process(admit_req("a", rat(1, 32), int(50))).unwrap(),
+            Response::Admitted { .. }
+        ));
+        for (req, frag) in [
+            (admit_req("a", rat(1, 32), int(50)), "already named"),
+            (admit_req("bad name", rat(1, 32), int(50)), "whitespace"),
+            (admit_req("b", rat(1, 32), int(0)), "deadline"),
+            (
+                Request::Admit(AdmitRequest {
+                    name: "c".into(),
+                    route: vec![dnc_net::ServerId(0)],
+                    buckets: vec![],
+                    peak: None,
+                    priority: 0,
+                    deadline: int(10),
+                }),
+                "bucket",
+            ),
+        ] {
+            let r = e.process(req).unwrap();
+            let Response::Rejected { reason, .. } = &r else {
+                panic!("expected rejection, got {r:?}");
+            };
+            assert!(reason.contains(frag), "{reason} !~ {frag}");
+        }
+        // Releasing an unknown name is a failure response, not an error.
+        let r = e.process(Request::Release { name: "zz".into() }).unwrap();
+        assert!(matches!(r, Response::ReleaseFailed { .. }));
+    }
+
+    #[test]
+    fn query_reports_the_admitted_set() {
+        let mut e = engine();
+        e.process(admit_req("a", rat(1, 32), int(50))).unwrap();
+        e.process(admit_req("b", rat(1, 32), int(60))).unwrap();
+        let Response::Queried { entries } = e.process(Request::Query { name: None }).unwrap()
+        else {
+            panic!("query");
+        };
+        assert_eq!(entries.len(), 2);
+        let Response::Queried { entries } = e
+            .process(Request::Query {
+                name: Some("b".into()),
+            })
+            .unwrap()
+        else {
+            panic!("query");
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries.first().unwrap().deadline, int(60));
+    }
+
+    #[test]
+    fn journal_recovery_rebuilds_identical_state() {
+        let path = tmp("recover.wal");
+        let _ = std::fs::remove_file(&path);
+        let digest = {
+            let (mut e, info) =
+                ChurnEngine::open(base(), Vec::new(), EngineConfig::default(), &path).unwrap();
+            assert_eq!(info.ops_replayed, 0);
+            e.process(admit_req("a", rat(1, 32), int(50))).unwrap();
+            e.process(admit_req("b", rat(1, 32), int(60))).unwrap();
+            e.process(Request::Release { name: "a".into() }).unwrap();
+            e.process(admit_req("c", rat(1, 32), int(70))).unwrap();
+            e.state_digest()
+        };
+        let (recovered, info) =
+            ChurnEngine::open(base(), Vec::new(), EngineConfig::default(), &path).unwrap();
+        assert_eq!(info.ops_replayed, 4);
+        assert_eq!(recovered.state_digest(), digest);
+        assert_eq!(recovered.network().flows().len(), 2);
+        assert_eq!(recovered.stats().recoveries, 1);
+        let names: Vec<_> = recovered.admitted().map(|q| q.name).collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn overload_sheds_loosest_admit_first() {
+        let mut e = ChurnEngine::new(
+            base(),
+            Vec::new(),
+            EngineConfig {
+                queue_capacity: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(e.submit(admit_req("loose", rat(1, 32), int(90))).is_empty());
+        assert!(e.submit(admit_req("mid", rat(1, 32), int(50))).is_empty());
+        let shed = e.submit(admit_req("tight", rat(1, 32), int(10)));
+        assert_eq!(shed.len(), 1);
+        assert!(
+            matches!(&shed.first().unwrap(), Response::Shed { name, .. } if name == "loose"),
+            "{shed:?}"
+        );
+        assert_eq!(e.stats().sheds, 1);
+        let answers = e.drain().unwrap();
+        assert_eq!(answers.len(), 2);
+        assert!(answers.iter().all(Response::committed));
+        let names: Vec<_> = e.admitted().map(|q| q.name).collect();
+        assert_eq!(names, ["mid", "tight"]);
+    }
+}

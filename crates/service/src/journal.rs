@@ -1,0 +1,611 @@
+//! Write-ahead journal for the churn engine.
+//!
+//! Durability contract: every *committed* operation is appended to the
+//! journal — length-prefixed, checksummed, and flushed — **before** the
+//! engine acknowledges it. Recovery replays the journal against the same
+//! base network and reconstructs the exact committed state; a torn or
+//! corrupt tail (the bytes a crash left behind mid-append) is detected,
+//! reported, and truncated rather than trusted.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! +--------+  "DNCJ1\n" magic + version (6 bytes)
+//! | header |
+//! +--------+
+//! | record |  u32 LE payload length
+//! |        |  u32 LE CRC-32 (IEEE) of the payload bytes
+//! |        |  payload: one UTF-8 operation line (see `Op`)
+//! +--------+
+//! | ...    |
+//! ```
+//!
+//! The payload is the text encoding produced by [`Op::encode`] /
+//! consumed by [`Op::decode`] — human-greppable on purpose, and exact:
+//! rationals round-trip through `Rat`'s `Display`/`FromStr`. The format
+//! is dependency-free; the CRC-32 implementation lives in this module.
+
+use dnc_net::ServerId;
+use dnc_num::Rat;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic header: format name + version byte + newline (greppable).
+const MAGIC: &[u8; 6] = b"DNCJ1\n";
+
+/// Upper bound on one record's payload; anything larger is corruption,
+/// not a request (routes and names are small).
+const MAX_RECORD: u32 = 1 << 20;
+
+/// An admission request as journaled: everything needed to rebuild the
+/// flow deterministically against the base network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdmitOp {
+    /// Engine-level connection name (no whitespace; unique while admitted).
+    pub name: String,
+    /// Route as server indices into the base network.
+    pub route: Vec<ServerId>,
+    /// Token buckets `(σ, ρ)`.
+    pub buckets: Vec<(Rat, Rat)>,
+    /// Optional peak-rate cap.
+    pub peak: Option<Rat>,
+    /// Priority for static-priority servers.
+    pub priority: u8,
+    /// The end-to-end deadline the admission certified.
+    pub deadline: Rat,
+}
+
+/// One committed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A certified admission.
+    Admit(AdmitOp),
+    /// A certified release of a previously admitted connection.
+    Release {
+        /// The connection name as admitted.
+        name: String,
+    },
+}
+
+impl Op {
+    /// Encode as one text line (no trailing newline). Stable format:
+    ///
+    /// `admit <name> deadline <d> prio <p> peak <r|-> route <i>... buckets <σ> <ρ> ...`
+    /// `release <name>`
+    pub fn encode(&self) -> String {
+        match self {
+            Op::Admit(a) => {
+                use fmt::Write as _;
+                let mut s = format!(
+                    "admit {} deadline {} prio {} peak {}",
+                    a.name,
+                    a.deadline,
+                    a.priority,
+                    a.peak.map_or("-".to_string(), |p| p.to_string()),
+                );
+                let _ = write!(s, " route");
+                for r in &a.route {
+                    let _ = write!(s, " {}", r.0);
+                }
+                let _ = write!(s, " buckets");
+                for (sigma, rho) in &a.buckets {
+                    let _ = write!(s, " {sigma} {rho}");
+                }
+                s
+            }
+            Op::Release { name } => format!("release {name}"),
+        }
+    }
+
+    /// Decode one line produced by [`Op::encode`].
+    pub fn decode(line: &str) -> Result<Op, JournalError> {
+        let bad = |m: &str| JournalError::BadRecord(format!("{m}: {line:?}"));
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("release") => {
+                let name = toks.next().ok_or_else(|| bad("release without a name"))?;
+                if toks.next().is_some() {
+                    return Err(bad("trailing tokens after release"));
+                }
+                Ok(Op::Release {
+                    name: name.to_string(),
+                })
+            }
+            Some("admit") => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| bad("admit without a name"))?
+                    .to_string();
+                expect_kw(&mut toks, "deadline", line)?;
+                let deadline = parse_rat_tok(toks.next(), line)?;
+                expect_kw(&mut toks, "prio", line)?;
+                let priority: u8 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("invalid priority"))?;
+                expect_kw(&mut toks, "peak", line)?;
+                let peak = match toks.next() {
+                    Some("-") => None,
+                    t => Some(parse_rat_tok(t, line)?),
+                };
+                expect_kw(&mut toks, "route", line)?;
+                let mut route = Vec::new();
+                let mut cursor = toks.next();
+                while let Some(t) = cursor {
+                    if t == "buckets" {
+                        break;
+                    }
+                    let idx: usize = t.parse().map_err(|_| bad("invalid route server index"))?;
+                    route.push(ServerId(idx));
+                    cursor = toks.next();
+                }
+                if cursor != Some("buckets") {
+                    return Err(bad("expected `buckets`"));
+                }
+                if route.is_empty() {
+                    return Err(bad("empty route"));
+                }
+                let mut buckets = Vec::new();
+                while let Some(sig) = toks.next() {
+                    let sigma = parse_rat_tok(Some(sig), line)?;
+                    let rho = parse_rat_tok(toks.next(), line)?;
+                    buckets.push((sigma, rho));
+                }
+                if buckets.is_empty() {
+                    return Err(bad("admit without buckets"));
+                }
+                Ok(Op::Admit(AdmitOp {
+                    name,
+                    route,
+                    buckets,
+                    peak,
+                    priority,
+                    deadline,
+                }))
+            }
+            _ => Err(bad("unknown operation")),
+        }
+    }
+}
+
+fn expect_kw(
+    toks: &mut std::str::SplitWhitespace<'_>,
+    kw: &str,
+    line: &str,
+) -> Result<(), JournalError> {
+    match toks.next() {
+        Some(t) if t == kw => Ok(()),
+        _ => Err(JournalError::BadRecord(format!(
+            "expected `{kw}`: {line:?}"
+        ))),
+    }
+}
+
+fn parse_rat_tok(tok: Option<&str>, line: &str) -> Result<Rat, JournalError> {
+    tok.and_then(|t| t.parse::<Rat>().ok())
+        .ok_or_else(|| JournalError::BadRecord(format!("invalid rational in {line:?}")))
+}
+
+/// Errors raised by journal I/O and decoding.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but does not start with the journal magic — not a
+    /// torn tail, a different file entirely; refusing to touch it.
+    BadHeader,
+    /// A fully framed record failed to decode (programmer error or
+    /// interior corruption past the CRC — never silently skipped).
+    BadRecord(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader => {
+                write!(f, "not a dnc journal (bad magic); refusing to truncate")
+            }
+            JournalError::BadRecord(m) => write!(f, "undecodable journal record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// Why the valid prefix of a journal ended before the file did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TailDefect {
+    /// Fewer bytes than one record frame remained.
+    TornFrame,
+    /// The length prefix exceeded [`MAX_RECORD`] or the remaining bytes.
+    TornPayload,
+    /// The checksum did not match the payload.
+    ChecksumMismatch,
+    /// The payload was not valid UTF-8 or not a decodable operation.
+    Undecodable,
+}
+
+impl fmt::Display for TailDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TailDefect::TornFrame => write!(f, "torn record frame"),
+            TailDefect::TornPayload => write!(f, "torn or oversized payload"),
+            TailDefect::ChecksumMismatch => write!(f, "checksum mismatch"),
+            TailDefect::Undecodable => write!(f, "undecodable payload"),
+        }
+    }
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every operation in the valid prefix, in commit order.
+    pub ops: Vec<Op>,
+    /// Byte length of the valid prefix (header + intact records).
+    pub valid_len: u64,
+    /// The defect that ended the prefix, with the total file length —
+    /// `None` when the whole file was intact.
+    pub tail: Option<(TailDefect, u64)>,
+}
+
+/// Replay `path` without modifying it: decode the valid prefix, stop at
+/// the first torn/corrupt record.
+///
+/// # Errors
+/// I/O failures and a missing/incorrect magic header are errors; a
+/// damaged *tail* is not (it is reported in [`Replay::tail`]).
+pub fn replay(path: &Path) -> Result<Replay, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() || !bytes.starts_with(MAGIC) {
+        return Err(JournalError::BadHeader);
+    }
+    let total = bytes.len() as u64;
+    let mut ops = Vec::new();
+    let mut offset = MAGIC.len();
+    loop {
+        let rest = bytes.get(offset..).unwrap_or(&[]);
+        if rest.is_empty() {
+            return Ok(Replay {
+                ops,
+                valid_len: offset as u64,
+                tail: None,
+            });
+        }
+        let defect = |d: TailDefect| {
+            Ok(Replay {
+                ops: Vec::new(),
+                valid_len: offset as u64,
+                tail: Some((d, total)),
+            })
+        };
+        let Some(len) = read_u32(rest, 0) else {
+            return defect(TailDefect::TornFrame).map(|r| Replay { ops, ..r });
+        };
+        let Some(crc) = read_u32(rest, 4) else {
+            return defect(TailDefect::TornFrame).map(|r| Replay { ops, ..r });
+        };
+        if len > MAX_RECORD {
+            return defect(TailDefect::TornPayload).map(|r| Replay { ops, ..r });
+        }
+        let Some(payload) = rest.get(8..8 + len as usize) else {
+            return defect(TailDefect::TornPayload).map(|r| Replay { ops, ..r });
+        };
+        if crc32(payload) != crc {
+            return defect(TailDefect::ChecksumMismatch).map(|r| Replay { ops, ..r });
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
+        };
+        let Ok(op) = Op::decode(text) else {
+            return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
+        };
+        ops.push(op);
+        offset += 8 + len as usize;
+    }
+}
+
+fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+    let b = buf.get(at..at + 4)?;
+    let arr: [u8; 4] = b.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+/// An append-only journal handle positioned at the end of its valid
+/// prefix.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Create a fresh journal at `path` (truncating any existing file)
+    /// and write the header.
+    pub fn create(path: &Path) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Open an existing journal (or create one): replays the valid
+    /// prefix, **truncates** any torn/corrupt tail, and positions the
+    /// handle for appends. Returns the handle and the replay.
+    pub fn resume(path: &Path) -> Result<(Journal, Replay), JournalError> {
+        if !path.exists() {
+            let journal = Journal::create(path)?;
+            let replay = Replay {
+                ops: Vec::new(),
+                valid_len: MAGIC.len() as u64,
+                tail: None,
+            };
+            return Ok((journal, replay));
+        }
+        let replay = replay(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if replay.tail.is_some() {
+            // The damaged tail is dead weight: a future append must not
+            // leave it dangling past fresh records.
+            file.set_len(replay.valid_len)?;
+            file.sync_data()?;
+        }
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        journal.file.seek(SeekFrom::Start(replay.valid_len))?;
+        Ok((journal, replay))
+    }
+
+    /// Append one committed operation and flush it to stable storage.
+    /// Returns only after the record is durable.
+    pub fn append(&mut self, op: &Op) -> Result<(), JournalError> {
+        let payload = op.encode();
+        let bytes = payload.as_bytes();
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| JournalError::BadRecord("operation payload exceeds u32 length".into()))?;
+        if len > MAX_RECORD {
+            return Err(JournalError::BadRecord(
+                "operation payload exceeds the record cap".into(),
+            ));
+        }
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
+/// classic table-driven implementation, dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        let entry = TABLE.get(idx).copied().unwrap_or(0);
+        crc = (crc >> 8) ^ entry;
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        // audit: allow(index, const-context loop with i < 256 over a [u32; 256]; slice::get is unusable for const assignment)
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnc_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_admit(name: &str) -> Op {
+        Op::Admit(AdmitOp {
+            name: name.into(),
+            route: vec![ServerId(0), ServerId(2)],
+            buckets: vec![(int(1), rat(1, 8)), (int(4), rat(1, 16))],
+            peak: Some(int(1)),
+            priority: 3,
+            deadline: rat(25, 2),
+        })
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn ops_round_trip_through_text() {
+        for op in [
+            sample_admit("video-7"),
+            Op::Admit(AdmitOp {
+                name: "x".into(),
+                route: vec![ServerId(5)],
+                buckets: vec![(int(2), rat(3, 7))],
+                peak: None,
+                priority: 0,
+                deadline: int(100),
+            }),
+            Op::Release {
+                name: "video-7".into(),
+            },
+        ] {
+            let text = op.encode();
+            assert_eq!(Op::decode(&text).unwrap(), op, "{text}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "frobnicate x",
+            "release",
+            "admit f deadline 3 prio 0 peak - route buckets 1 1/8", // empty route
+            "admit f deadline 3 prio 0 peak - route 0 buckets",     // no buckets
+            "admit f deadline 3 prio 0 peak - route 0 buckets 1",   // odd bucket
+            "admit f deadline x prio 0 peak - route 0 buckets 1 1", // bad rat
+        ] {
+            assert!(Op::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("round_trip.wal");
+        let ops = vec![
+            sample_admit("a"),
+            sample_admit("b"),
+            Op::Release { name: "a".into() },
+        ];
+        let mut j = Journal::create(&path).unwrap();
+        for op in &ops {
+            j.append(op).unwrap();
+        }
+        drop(j);
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops, ops);
+        assert!(r.tail.is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_at_every_offset() {
+        let path = tmp("torn.wal");
+        let ops = vec![sample_admit("a"), Op::Release { name: "a".into() }];
+        let mut j = Journal::create(&path).unwrap();
+        for op in &ops {
+            j.append(op).unwrap();
+        }
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Truncating anywhere must recover a (possibly empty) prefix of
+        // the committed ops, never garbage.
+        for cut in MAGIC.len()..full.len() {
+            let torn = tmp("torn_cut.wal");
+            std::fs::write(&torn, &full[..cut]).unwrap();
+            let (journal, r) = Journal::resume(&torn).unwrap();
+            assert!(r.ops.len() <= ops.len());
+            assert_eq!(r.ops.as_slice(), &ops[..r.ops.len()], "cut at {cut}");
+            if cut < full.len() {
+                assert!(
+                    r.tail.is_some() || r.valid_len == cut as u64,
+                    "cut at {cut} must either flag a defect or end exactly on a boundary"
+                );
+            }
+            // After truncation the file is the valid prefix, and appends
+            // resume cleanly.
+            drop(journal);
+            assert_eq!(std::fs::metadata(&torn).unwrap().len(), r.valid_len);
+            let (mut journal, _) = Journal::resume(&torn).unwrap();
+            journal.append(&sample_admit("post-crash")).unwrap();
+            let r2 = replay(&torn).unwrap();
+            assert!(r2.tail.is_none());
+            assert_eq!(r2.ops.last().unwrap(), &sample_admit("post-crash"));
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_in_tail_record_is_dropped() {
+        let path = tmp("corrupt.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("a")).unwrap();
+        j.append(&sample_admit("b")).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3; // inside record b's payload
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops, vec![sample_admit("a")]);
+        assert_eq!(
+            r.tail.as_ref().map(|(d, _)| d.clone()),
+            Some(TailDefect::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn non_journal_file_is_refused() {
+        let path = tmp("not_a_journal.txt");
+        std::fs::write(&path, b"hello world, definitely not a journal").unwrap();
+        assert!(matches!(replay(&path), Err(JournalError::BadHeader)));
+        assert!(matches!(
+            Journal::resume(&path),
+            Err(JournalError::BadHeader)
+        ));
+        // The impostor file is untouched.
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"hello world, definitely not a journal"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_torn_payload() {
+        let path = tmp("oversized.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("a")).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Append a frame claiming a huge payload.
+        bytes.extend_from_slice(&(MAX_RECORD + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(
+            r.tail.as_ref().map(|(d, _)| d.clone()),
+            Some(TailDefect::TornPayload)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Durable online admission: the churn engine.
+//!
+//! The paper's analysis exists to power admission control — a
+//! bounded-delay service admits a connection only when the delay
+//! analysis certifies every affected deadline. This crate is the
+//! robust online layer over that test: a long-lived engine processing
+//! `Admit`/`Release`/`Query` requests against a live [`dnc_net::Network`]
+//! with three guarantees:
+//!
+//! * **Transactional mutation** ([`engine`]): every mutation is staged
+//!   on a clone, certified by the [`dnc_core::resilient::ResilientRunner`]
+//!   fallback chain, and committed or rolled back atomically.
+//! * **Durability** ([`journal`]): committed operations hit a
+//!   checksummed write-ahead journal before acknowledgment; recovery
+//!   replays the journal and truncates torn tails.
+//! * **Overload control** ([`queue`]): a bounded queue sheds the
+//!   loosest-deadline admits first; certification runs under
+//!   per-request budgets with one retry at a cheaper analysis tier.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod journal;
+pub mod queue;
+pub mod request;
+
+pub use engine::{ChurnEngine, EngineConfig, EngineError, EngineStats, RecoveryInfo, Response};
+pub use journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
+pub use queue::{Pushed, ShedQueue, ShedReason};
+pub use request::{AdmitRequest, Request};

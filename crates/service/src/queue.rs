@@ -1,0 +1,226 @@
+//! Bounded request queue with deadline-aware load shedding.
+//!
+//! The churn engine admits work through this queue. Overload policy:
+//!
+//! * `Release` and `Query` requests are **never shed** — releases free
+//!   capacity (shedding them makes overload worse) and queries are
+//!   read-only and cheap.
+//! * `Admit` requests compete for the remaining slots. When the queue
+//!   is full, the *loosest-deadline* queued admit is compared against
+//!   the incoming one: the incoming request displaces it only if the
+//!   incoming deadline is strictly tighter; otherwise the incoming
+//!   request itself is shed. Under overload the engine therefore keeps
+//!   the admits that are hardest to serve later — shedding a tight
+//!   deadline and keeping a loose one would throw away exactly the
+//!   requests whose value decays fastest.
+//!
+//! Drain order stays FIFO: shedding changes *membership*, not order, so
+//! a script replays deterministically.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// Why a request was dropped instead of enqueued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Queue full and the incoming admit's deadline was no tighter than
+    /// every queued admit's.
+    IncomingLoosest,
+    /// Queue full of releases/queries (nothing sheddable) — the admit
+    /// had no slot to take.
+    NoSheddableSlot,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::IncomingLoosest => {
+                write!(f, "queue full; deadline looser than all queued admits")
+            }
+            ShedReason::NoSheddableSlot => {
+                write!(f, "queue full of unsheddable requests")
+            }
+        }
+    }
+}
+
+/// Outcome of [`ShedQueue::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pushed {
+    /// Enqueued without displacing anything.
+    Enqueued,
+    /// Enqueued; the named queued admit was shed to make room.
+    Displaced(Request),
+    /// The incoming request itself was shed (returned to the caller).
+    Shed(Request, ShedReason),
+}
+
+/// A bounded FIFO with deadline-aware shedding of admit requests.
+#[derive(Debug)]
+pub struct ShedQueue {
+    items: VecDeque<Request>,
+    capacity: usize,
+}
+
+impl ShedQueue {
+    /// A queue holding at most `capacity` pending requests
+    /// (`capacity >= 1`; zero is clamped to one).
+    pub fn new(capacity: usize) -> ShedQueue {
+        ShedQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pop the oldest queued request.
+    pub fn pop(&mut self) -> Option<Request> {
+        self.items.pop_front()
+    }
+
+    /// Offer a request. Releases/queries always fit (they may push the
+    /// queue past `capacity` by at most the number of concurrently
+    /// pending releases — bounded in practice by the admitted set);
+    /// admits obey the shedding policy above.
+    pub fn push(&mut self, req: Request) -> Pushed {
+        let incoming_deadline = match &req {
+            Request::Admit(a) => a.deadline,
+            Request::Release { .. } | Request::Query { .. } => {
+                self.items.push_back(req);
+                return Pushed::Enqueued;
+            }
+        };
+        if self.items.len() < self.capacity {
+            self.items.push_back(req);
+            return Pushed::Enqueued;
+        }
+        // Find the loosest-deadline queued admit.
+        let loosest = self
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                Request::Admit(a) => Some((i, a.deadline)),
+                _ => None,
+            })
+            .max_by(|(_, a), (_, b)| a.cmp(b));
+        match loosest {
+            Some((idx, loosest_deadline)) if incoming_deadline < loosest_deadline => {
+                // Displace: membership changes, order of survivors does not.
+                match self.items.remove(idx) {
+                    Some(victim) => {
+                        self.items.push_back(req);
+                        Pushed::Displaced(victim)
+                    }
+                    None => Pushed::Shed(req, ShedReason::NoSheddableSlot),
+                }
+            }
+            Some(_) => Pushed::Shed(req, ShedReason::IncomingLoosest),
+            None => Pushed::Shed(req, ShedReason::NoSheddableSlot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::AdmitRequest;
+    use dnc_net::ServerId;
+    use dnc_num::{int, Rat};
+
+    fn admit(name: &str, deadline: Rat) -> Request {
+        Request::Admit(AdmitRequest {
+            name: name.into(),
+            route: vec![ServerId(0)],
+            buckets: vec![(int(1), int(1))],
+            peak: None,
+            priority: 0,
+            deadline,
+        })
+    }
+
+    fn names(q: &ShedQueue) -> Vec<String> {
+        q.items
+            .iter()
+            .map(|r| match r {
+                Request::Admit(a) => a.name.clone(),
+                Request::Release { name } => format!("-{name}"),
+                Request::Query { name } => format!("?{}", name.clone().unwrap_or_default()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_below_capacity() {
+        let mut q = ShedQueue::new(4);
+        assert_eq!(q.push(admit("a", int(5))), Pushed::Enqueued);
+        assert_eq!(q.push(admit("b", int(1))), Pushed::Enqueued);
+        assert_eq!(names(&q), ["a", "b"]);
+        assert!(matches!(q.pop(), Some(Request::Admit(a)) if a.name == "a"));
+    }
+
+    #[test]
+    fn tighter_incoming_displaces_loosest_queued_admit() {
+        let mut q = ShedQueue::new(2);
+        q.push(admit("loose", int(100)));
+        q.push(admit("mid", int(10)));
+        let out = q.push(admit("tight", int(1)));
+        assert!(
+            matches!(&out, Pushed::Displaced(Request::Admit(a)) if a.name == "loose"),
+            "{out:?}"
+        );
+        // Survivor order is unchanged; the newcomer goes to the back.
+        assert_eq!(names(&q), ["mid", "tight"]);
+    }
+
+    #[test]
+    fn looser_incoming_is_shed() {
+        let mut q = ShedQueue::new(2);
+        q.push(admit("a", int(1)));
+        q.push(admit("b", int(2)));
+        assert!(
+            matches!(
+                q.push(admit("c", int(2))),
+                Pushed::Shed(Request::Admit(a), ShedReason::IncomingLoosest) if a.name == "c"
+            ),
+            "equal deadline must not displace (strictly tighter only)"
+        );
+        assert_eq!(names(&q), ["a", "b"]);
+    }
+
+    #[test]
+    fn releases_and_queries_are_never_shed() {
+        let mut q = ShedQueue::new(1);
+        q.push(admit("a", int(1)));
+        assert_eq!(
+            q.push(Request::Release { name: "a".into() }),
+            Pushed::Enqueued
+        );
+        assert_eq!(q.push(Request::Query { name: None }), Pushed::Enqueued);
+        assert_eq!(q.len(), 3, "unsheddable requests may exceed capacity");
+    }
+
+    #[test]
+    fn admit_cannot_displace_unsheddable_requests() {
+        let mut q = ShedQueue::new(1);
+        q.push(Request::Release { name: "x".into() });
+        assert!(matches!(
+            q.push(admit("a", int(1))),
+            Pushed::Shed(_, ShedReason::NoSheddableSlot)
+        ));
+    }
+}

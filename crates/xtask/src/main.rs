@@ -41,6 +41,7 @@ const ANALYSIS_SRC: &[&str] = &[
     "crates/core/src",
     "crates/net/src",
     "crates/telemetry/src",
+    "crates/service/src",
 ];
 
 /// Crates whose public `Curve` API must document shape preconditions (L3).

@@ -38,9 +38,12 @@ fn admitted_connections(analysis: &dyn DelayAnalysis, deadline: Rat) -> usize {
         };
         match try_admit(&net, candidate, deadline, &deadlines, analysis).expect("analysis failure")
         {
-            Some((updated, id)) => {
-                net = updated;
-                deadlines.push(Deadline { flow: id, deadline });
+            Some(admission) => {
+                net = admission.net;
+                deadlines.push(Deadline {
+                    flow: admission.flow,
+                    deadline,
+                });
                 count += 1;
                 if count > 64 {
                     break; // safety stop
