@@ -3,8 +3,11 @@
 //! after every commit and kill-point crash-recovery checks against the
 //! write-ahead journal.
 //!
-//! Usage: `churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I]`
+//! Usage: `churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I]
+//! [--workers W]`
 //! `--seq I` replays sequence `I` of the seed alone (bit-exact).
+//! `--workers W` fans each certification over `W` threads — the
+//! falsifiers must stay just as quiet.
 //! Exits 1 on any certification or recovery violation; a full sweep
 //! also writes `results/metrics-churn.json` (`dnc-metrics/v1`).
 
@@ -47,10 +50,14 @@ fn main() {
                 seq = Some(int(i, "--seq") as usize);
                 i += 2;
             }
+            "--workers" => {
+                cfg.workers = (int(i, "--workers") as usize).max(1);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option {other}");
                 eprintln!(
-                    "usage: churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I]"
+                    "usage: churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I] [--workers W]"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,76 @@
+//! Churn-certification throughput: drive the admission engine through
+//! one deterministic request sequence under three certification modes
+//! (from-scratch sequential, from-scratch parallel, incremental fast
+//! path) and report admissions/sec for each. Every mode must answer
+//! bit-identically — speed without exactness is a violation.
+//!
+//! Usage: `throughput [--n N] [--ops N] [--seed S] [--workers W] [--check]`
+//! `--check` additionally requires the incremental mode to reach at
+//! least the from-scratch sequential admissions/sec.
+//! Exits 1 on any cross-mode mismatch (or a failed `--check`); also
+//! writes `results/metrics-throughput.json` (`dnc-metrics/v1`).
+
+use dnc_bench::throughput::{
+    render_report, run_throughput, write_throughput_metrics, ThroughputConfig,
+};
+
+fn main() {
+    let mut cfg = ThroughputConfig::default();
+    let mut check = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let int = |i: usize, name: &str| -> u64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs an integer");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--n" => {
+                cfg.n = (int(i, "--n") as usize).max(2);
+                i += 2;
+            }
+            "--ops" => {
+                cfg.ops = int(i, "--ops") as usize;
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = int(i, "--seed");
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = (int(i, "--workers") as usize).max(1);
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                eprintln!("usage: throughput [--n N] [--ops N] [--seed S] [--workers W] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_throughput(&cfg);
+    print!("{}", render_report(&report));
+    match write_throughput_metrics(&report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
+    }
+    if !report.sound() {
+        std::process::exit(1);
+    }
+    if check && report.speedup() < 1.0 {
+        eprintln!(
+            "check failed: incremental fast path slower than from-scratch sequential ({:.2}x)",
+            report.speedup()
+        );
+        std::process::exit(1);
+    }
+}

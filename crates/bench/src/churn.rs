@@ -44,6 +44,9 @@ pub struct ChurnConfig {
     pub seed: u64,
     /// Random journal-truncation offsets tried per sequence.
     pub kill_points: usize,
+    /// Analysis worker threads per certification (1 = sequential; the
+    /// report is bit-identical at any worker count).
+    pub workers: usize,
 }
 
 impl Default for ChurnConfig {
@@ -53,6 +56,7 @@ impl Default for ChurnConfig {
             ops: 40,
             seed: 1,
             kill_points: 8,
+            workers: 1,
         }
     }
 }
@@ -286,7 +290,10 @@ pub fn run_sequence(seq: usize, cfg: &ChurnConfig, dir: &Path) -> SequenceOutcom
     let (commits, rollbacks, live) = match ChurnEngine::open(
         base.clone(),
         Vec::new(),
-        EngineConfig::default(),
+        EngineConfig {
+            workers: cfg.workers.max(1),
+            ..EngineConfig::default()
+        },
         &journal,
     ) {
         Err(e) => {
@@ -472,8 +479,16 @@ pub fn render_report(report: &ChurnReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "churn: {} sequences x {} ops, seed {}, {} kill points each",
-        report.cfg.seqs, report.cfg.ops, report.cfg.seed, report.cfg.kill_points
+        "churn: {} sequences x {} ops, seed {}, {} kill points each{}",
+        report.cfg.seqs,
+        report.cfg.ops,
+        report.cfg.seed,
+        report.cfg.kill_points,
+        if report.cfg.workers > 1 {
+            format!(", {} workers", report.cfg.workers)
+        } else {
+            String::new()
+        }
     );
     let _ = writeln!(
         s,
@@ -533,6 +548,7 @@ mod tests {
             ops: 16,
             seed: 7,
             kill_points: 4,
+            workers: 1,
         }
     }
 
@@ -569,6 +585,7 @@ mod tests {
             ops: 8,
             seed: 3,
             kill_points: 2,
+            workers: 1,
         });
         let mut doc = dnc_telemetry::export::MetricsDoc::new(
             "churn-test",

@@ -68,10 +68,12 @@ commands:
   analyze   end-to-end delay bounds   [--algo integrated|decomposed|service-curve|
                                        fifo-family|time-stopping|resilient|all]
                                       [--csv <path>] [--metrics <path>] [--trace <path>]
+                                      [--workers N]
             `resilient` runs the guarded Integrated -> Decomposed -> Unbounded
-            fallback chain; exit code 3 means no valid bound within budget
+            fallback chain; exit code 3 means no valid bound within budget;
+            --workers N fans pairing groups over N threads (identical output)
   profile   run every applicable algorithm and compare cost vs tightness
-                                      [--metrics <path>] [--trace <path>]
+            (incl. curve-cache hit rate) [--metrics <path>] [--trace <path>]
   backlog   per-server buffer bounds
   simulate  adversarial simulation    [--ticks N] [--seed S]
   chaos     randomized fault-injection soundness sweep (no file argument)
@@ -82,7 +84,7 @@ commands:
   churn     randomized online-admission soundness sweep (no file argument)
                                       [--seqs N] [--ops N] [--seed S]
                                       [--kill-points K] [--metrics <path>]
-                                      [--seq I]
+                                      [--seq I] [--workers N]
             every commit is independently re-certified and every journal
             is crash-recovered from K random truncation points; exit
             code 1 flags either falsifier firing; --seq I replays
@@ -90,7 +92,7 @@ commands:
   tandem    emit the paper's tandem as a .dnc file: dnc tandem <n> <U>
   provision minimal GPS reservations meeting the declared deadlines
   serve     durable online admission   --script <requests> [--journal <wal>]
-                                       [--queue N]
+                                       [--queue N] [--workers N]
             processes scripted admit/release/query requests against the
             network file; certified commits are journaled before they are
             acknowledged, and an existing journal is recovered first
@@ -122,6 +124,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
             let mut algo = "all".to_string();
             let mut csv: Option<String> = None;
+            let mut workers = 1usize;
             let mut sinks = ExportSinks::default();
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
@@ -142,10 +145,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         );
                         i += 2;
                     }
+                    "--workers" => {
+                        workers = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse::<usize>().ok())
+                            .filter(|&w| w >= 1)
+                            .ok_or_else(|| CliError::new("--workers needs a positive integer"))?;
+                        i += 2;
+                    }
                     other => i = sinks.parse_opt(&rest, i, other)?,
                 }
             }
-            analyze(path, &algo, csv.as_deref(), &sinks)
+            analyze(path, &algo, csv.as_deref(), &sinks, workers)
         }
         "profile" => {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
@@ -267,6 +278,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         seq = Some(int_value("--seq", i)? as usize);
                         i += 2;
                     }
+                    "--workers" => {
+                        cfg.workers = (int_value("--workers", i)? as usize).max(1);
+                        i += 2;
+                    }
                     "--metrics" => {
                         metrics = Some(
                             rest.get(i + 1)
@@ -289,6 +304,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut script: Option<String> = None;
             let mut journal: Option<String> = None;
             let mut queue = 64usize;
+            let mut workers = 1usize;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -310,6 +326,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         queue = value("--queue", i)?
                             .parse()
                             .map_err(|_| CliError::new("--queue needs an integer"))?;
+                        i += 2;
+                    }
+                    "--workers" => {
+                        workers = value("--workers", i)?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&w| w >= 1)
+                            .ok_or_else(|| CliError::new("--workers needs a positive integer"))?;
                         i += 2;
                     }
                     other => return Err(CliError::new(format!("unknown option {other}"))),
@@ -334,6 +358,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     script,
                     journal,
                     queue,
+                    workers,
                 },
                 built.net,
                 base_deadlines,
@@ -357,10 +382,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn algorithms(which: &str) -> Result<Vec<Box<dyn DelayAnalysis>>, CliError> {
+fn algorithms(which: &str, workers: usize) -> Result<Vec<Box<dyn DelayAnalysis>>, CliError> {
     let one = |name: &str| -> Option<Box<dyn DelayAnalysis>> {
         match name {
-            "integrated" => Some(Box::new(Integrated::paper())),
+            "integrated" => Some(Box::new(Integrated::paper().with_workers(workers))),
             "decomposed" => Some(Box::new(Decomposed::paper())),
             "service-curve" => Some(Box::new(ServiceCurve::paper())),
             "fifo-family" => Some(Box::new(FifoFamily::default())),
@@ -457,8 +482,19 @@ struct ProfileRow {
     wall_us: u64,
     conv_calls: u64,
     hdev_calls: u64,
+    /// Curve/aggregate cache hits (`cache.hit` counter).
+    cache_hits: u64,
+    /// Total cache lookups (hits + misses); 0 = the run never consulted
+    /// a cache, rendered as "-".
+    cache_lookups: u64,
     notes: String,
 }
+
+/// Hit fraction of the curve/aggregate caches during one profiled run.
+const CACHE_HIT_RATE: dnc_telemetry::schema::ColumnMeta = dnc_telemetry::schema::ColumnMeta {
+    label: "cache hit rate",
+    unit: "",
+};
 
 /// One profiled analysis run: the report plus a free-form notes string.
 type ProfileRun<'a> = dyn Fn(&dnc_net::Network) -> Result<(AnalysisReport, String), String> + 'a;
@@ -487,6 +523,8 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
         events.extend(dnc_telemetry::take_trace());
         let conv_calls = snap.span_count("curve.conv");
         let hdev_calls = snap.span_count("curve.hdev") + snap.span_count("curve.hdev_general");
+        let cache_hits = snap.counter_value("cache.hit");
+        let cache_lookups = cache_hits + snap.counter_value("cache.miss");
         let (bound, notes) = match outcome {
             Ok((report, mut notes)) => {
                 let worst = report.flows.iter().map(|f| f.e2e).max();
@@ -514,6 +552,8 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             wall_us,
             conv_calls,
             hdev_calls,
+            cache_hits,
+            cache_lookups,
             notes,
         });
     };
@@ -530,13 +570,25 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             }
         });
     } else {
-        for alg in algorithms("all")? {
+        for alg in algorithms("all", 1)? {
             let name = alg.name();
-            run_one(name, &|net| {
-                alg.analyze(net)
-                    .map(|r| (r, String::new()))
-                    .map_err(|e| e.to_string())
-            });
+            if name == "integrated" {
+                // Profile the cached path so the hit-rate column reflects
+                // what analyze/serve/churn actually run.
+                run_one(name, &|net| {
+                    let cache = dnc_core::cache::AnalysisCache::new();
+                    Integrated::paper()
+                        .analyze_with(net, Some(&cache))
+                        .map(|r| (r, String::new()))
+                        .map_err(|e| e.to_string())
+                });
+            } else {
+                run_one(name, &|net| {
+                    alg.analyze(net)
+                        .map(|r| (r, String::new()))
+                        .map_err(|e| e.to_string())
+                });
+            }
         }
     }
 
@@ -552,8 +604,8 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "{:<14} {:>12} {:>8} {:>10} {:>7} {:>7}  notes",
-        "algorithm", "worst bound", "vs best", "wall", "conv", "hdev"
+        "{:<14} {:>12} {:>8} {:>10} {:>7} {:>7} {:>6}  notes",
+        "algorithm", "worst bound", "vs best", "wall", "conv", "hdev", "hit%"
     );
     let mut algo_series = Series::new(
         "profile.algorithms",
@@ -562,6 +614,7 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             schema::bound_column(),
             schema::REL_IMPROVEMENT,
             schema::WALL_TIME,
+            CACHE_HIT_RATE,
         ],
     );
     for r in &rows {
@@ -574,9 +627,12 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             (Some(_), None) => "1.00x".to_string(), // every bound is zero
             (None, _) => "-".to_string(),
         };
+        // With telemetry compiled out (or a cache-free algorithm) there
+        // are no lookups at all — show "-" rather than a fake 0%.
+        let hit_rate = (r.cache_lookups > 0).then(|| r.cache_hits as f64 / r.cache_lookups as f64); // audit: allow(float, display-only hit rate; never feeds back into the analysis)
         let _ = writeln!(
             out,
-            "{:<14} {:>12} {:>8} {:>10} {:>7} {:>7}  {}",
+            "{:<14} {:>12} {:>8} {:>10} {:>7} {:>7} {:>6}  {}",
             r.name,
             r.bound
                 .map_or("-".to_string(), |b| format!("{:.4}", b.to_f64())),
@@ -584,6 +640,7 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             format!("{}µs", r.wall_us),
             r.conv_calls,
             r.hdev_calls,
+            hit_rate.map_or("-".to_string(), |h| format!("{:.0}%", 100.0 * h)),
             r.notes
         );
         algo_series.push_row(vec![
@@ -591,6 +648,7 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
             r.bound.map_or(Cell::Null, |b| Cell::Num(b.to_f64())),
             ratio.map_or(Cell::Null, |q| Cell::Num(q.to_f64())),
             Cell::int(r.wall_us),
+            hit_rate.map_or(Cell::Null, Cell::Num),
         ]);
     }
     if !dnc_telemetry::enabled() {
@@ -701,6 +759,7 @@ fn analyze(
     which: &str,
     csv: Option<&str>,
     sinks: &ExportSinks,
+    workers: usize,
 ) -> Result<String, CliError> {
     let (built, _) = load(path)?;
     if sinks.any() {
@@ -744,7 +803,11 @@ fn analyze(
         };
     let cyclic = built.net.topological_order().is_err();
     if which == "resilient" || which == "time-stopping" || (cyclic && which == "all") {
-        let r = ResilientRunner::default().analyze(&built.net);
+        let runner = ResilientRunner {
+            workers,
+            ..ResilientRunner::default()
+        };
+        let r = runner.analyze(&built.net);
         match r.bounds() {
             Some(report) => {
                 let _ = writeln!(
@@ -775,7 +838,7 @@ fn analyze(
             "network is cyclic: only `--algo time-stopping` (or `resilient`) applies",
         ));
     }
-    for alg in algorithms(which)? {
+    for alg in algorithms(which, workers)? {
         match alg.analyze(&built.net) {
             Ok(report) => {
                 format_report(&mut out, &report, &built.deadlines);

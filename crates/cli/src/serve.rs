@@ -38,6 +38,8 @@ pub struct ServeOptions {
     pub journal: Option<String>,
     /// Bound on the pending-request queue.
     pub queue: usize,
+    /// Analysis worker threads per certification (1 = sequential).
+    pub workers: usize,
 }
 
 /// Parse the script into requests, resolving server names via `names`.
@@ -176,6 +178,7 @@ pub fn serve(
 
     let config = EngineConfig {
         queue_capacity: opts.queue,
+        workers: opts.workers.max(1),
         ..EngineConfig::default()
     };
     let mut out = String::new();

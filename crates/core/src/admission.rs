@@ -57,13 +57,15 @@ pub fn certify(
 }
 
 /// Check whether every listed deadline is certified by `analysis` on
-/// `net`.
+/// `net`. Unlike [`certify`] this stops at the first violated deadline
+/// instead of collecting the full violation vector.
 pub fn all_deadlines_met(
     net: &Network,
     deadlines: &[Deadline],
     analysis: &dyn DelayAnalysis,
 ) -> Result<bool, AnalysisError> {
-    certify(net, deadlines, analysis).map(|c| c.ok())
+    let report = analysis.analyze(net)?;
+    Ok(deadlines.iter().all(|d| report.bound(d.flow) <= d.deadline))
 }
 
 /// A successful admission: the mutated network, the new flow's id, and
@@ -92,7 +94,27 @@ pub fn try_admit(
     existing: &[Deadline],
     analysis: &dyn DelayAnalysis,
 ) -> Result<Option<Admission>, AnalysisError> {
-    let mut trial = net.clone();
+    try_admit_into(
+        net.clone(),
+        candidate,
+        candidate_deadline,
+        existing,
+        analysis,
+    )
+}
+
+/// [`try_admit`] over an **owned** network: callers that already hold a
+/// scratch copy (e.g. a churn engine's staged clone) avoid a second
+/// whole-network clone on every admission test. On success the trial
+/// network is returned inside the [`Admission`]; on rejection it is
+/// dropped (the caller's source of truth was never mutated).
+pub fn try_admit_into(
+    mut trial: Network,
+    candidate: Flow,
+    candidate_deadline: Rat,
+    existing: &[Deadline],
+    analysis: &dyn DelayAnalysis,
+) -> Result<Option<Admission>, AnalysisError> {
     let id = match trial.add_flow(candidate) {
         Ok(id) => id,
         Err(_) => return Ok(None),

@@ -1,0 +1,134 @@
+//! Cross-run memoization for the analysis layer.
+//!
+//! [`AnalysisCache`] bundles the memo tables the fast-path analyses
+//! share: pair bounds, local delays, and propagated entry envelopes. It
+//! is keyed **structurally** (full operand curves and parameters, via
+//! [`dnc_curves::cache::CacheKey`]) so a hit is exactly the value the
+//! recomputation would produce — see DESIGN.md §13 for the soundness
+//! argument. One cache can serve many analyses: across the passes of a
+//! time-stopping fixed point, across the successive admissions of a
+//! churn workload, or across the algorithms compared by `dnc profile`.
+//!
+//! Every memoized computation is a *pure function of its key*: the key
+//! contains no flow ids, server ids, or other network coordinates, only
+//! curves and rates. That makes the cache immune to id renumbering
+//! (e.g. `Network::remove_flow` shifting flow ids) and safe to share
+//! between networks that merely overlap.
+
+use crate::integrated::PairBound;
+use crate::OutputCap;
+use dnc_curves::cache::{CacheKey, CurveCache};
+use dnc_curves::Curve;
+use dnc_num::Rat;
+
+/// Encode an [`OutputCap`] as a cache-key word.
+pub(crate) fn cap_word(cap: OutputCap) -> u64 {
+    match cap {
+        OutputCap::Shift => 0,
+        OutputCap::ShiftRateCapped => 1,
+    }
+}
+
+/// Memo tables shared by the fast-path analyses. Cheap to create, safe
+/// to share across threads, and sound to reuse across networks (keys
+/// are structural — see the module docs).
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    /// Two-server pair bounds, keyed by the aggregate entry constraints,
+    /// service curves/rates, and output cap.
+    pub(crate) pair: CurveCache<PairBound>,
+    /// Local FIFO delays, keyed by (aggregate curve, server rate).
+    pub(crate) delay: CurveCache<Rat>,
+    /// Propagated entry envelopes, keyed by (source curve, per-hop
+    /// delays, per-hop rates, output cap).
+    pub(crate) curve: CurveCache<Curve>,
+}
+
+impl AnalysisCache {
+    /// A fresh, empty cache with default capacities.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Drop every memoized entry.
+    pub fn clear(&self) {
+        self.pair.clear();
+        self.delay.clear();
+        self.curve.clear();
+    }
+
+    /// Total memoized entries across all tables (telemetry/diagnostics).
+    pub fn len(&self) -> usize {
+        self.pair.len() + self.delay.len() + self.curve.len()
+    }
+
+    /// Whether no entries are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn pair_bound<E>(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<PairBound, E>,
+    ) -> Result<PairBound, E> {
+        self.pair.get_or_try_insert_with(key, compute)
+    }
+
+    pub(crate) fn local_delay<E>(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<Rat, E>,
+    ) -> Result<Rat, E> {
+        self.delay.get_or_try_insert_with(key, compute)
+    }
+
+    pub(crate) fn entry_curve(&self, key: CacheKey, compute: impl FnOnce() -> Curve) -> Curve {
+        self.curve.get_or_insert_with(key, compute)
+    }
+}
+
+/// Local-delay memoization shared by the FIFO analyses: the delay is a
+/// pure function of the aggregate curve and the server rate, so the key
+/// omits the server id (which only flavors error context — errors are
+/// never cached).
+pub(crate) fn cached_local_delay(
+    cache: Option<&AnalysisCache>,
+    g: &Curve,
+    rate: Rat,
+    server: dnc_net::ServerId,
+) -> Result<Rat, crate::AnalysisError> {
+    match cache {
+        Some(c) => c.local_delay(CacheKey::new("core.local_delay").curve(g).rat(rate), || {
+            crate::fifo::local_delay(g, rate, server)
+        }),
+        None => crate::fifo::local_delay(g, rate, server),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn entry_curve_memoizes() {
+        let cache = AnalysisCache::new();
+        let spec = Curve::token_bucket(int(2), rat(1, 4));
+        let key = || CacheKey::new("test_entry").curve(&spec).rat(int(3));
+        let mut computed = 0;
+        let a = cache.entry_curve(key(), || {
+            computed += 1;
+            spec.shift_left(int(3))
+        });
+        let b = cache.entry_curve(key(), || {
+            computed += 1;
+            Curve::zero()
+        });
+        assert_eq!(a, b, "hit returns the memoized curve");
+        assert_eq!(computed, 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

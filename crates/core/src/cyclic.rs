@@ -22,11 +22,16 @@
 //! bound (the method's stability region is exceeded; reported as
 //! non-convergence, *not* as a valid bound).
 
+use crate::cache::{cached_local_delay, cap_word, AnalysisCache};
 use crate::propagate::Propagation;
 use crate::{fifo, sp, AnalysisError, AnalysisReport, FlowReport, OutputCap};
+use dnc_curves::cache::CacheKey;
 use dnc_curves::CurveError;
 use dnc_net::{Discipline, FlowId, Network, ServerId};
 use dnc_num::Rat;
+
+/// One server's recomputed `(flow, hop index, local delay)` triples.
+type ServerUpdates = Vec<(FlowId, usize, Rat)>;
 
 /// Result of a time-stopping run.
 ///
@@ -80,6 +85,11 @@ pub struct TimeStopping {
     /// making the fixed point a lattice point the iteration can actually
     /// reach.
     pub grid_denominator: i128,
+    /// Scoped worker threads fanning the per-server loop of each pass out
+    /// (`1` = fully sequential). Each server's update reads only the
+    /// previous iterate, so the merge is order-independent and reports
+    /// are **bit-identical** for every value (DESIGN.md §13).
+    pub workers: usize,
 }
 
 impl Default for TimeStopping {
@@ -88,11 +98,17 @@ impl Default for TimeStopping {
             cap: OutputCap::Shift,
             max_iters: 64,
             grid_denominator: 4096,
+            workers: 1,
         }
     }
 }
 
 impl TimeStopping {
+    /// Same analysis fanned out over `workers` scoped threads.
+    pub fn with_workers(mut self, workers: usize) -> TimeStopping {
+        self.workers = workers;
+        self
+    }
     /// Run the fixed-point iteration.
     ///
     /// Unlike the feedforward algorithms this does **not** require a
@@ -145,6 +161,10 @@ impl TimeStopping {
             Some(g) => g.effective_iters(self.max_iters),
             None => self.max_iters,
         };
+        // Per-run memo table: entry envelopes and local delays repeat
+        // verbatim between passes wherever the upstream delay prefix has
+        // already converged, which is most of the network on late passes.
+        let cache = AnalysisCache::new();
         let mut iterations = 0;
         let mut converged = false;
         while iterations < max_iters {
@@ -154,7 +174,7 @@ impl TimeStopping {
             iterations += 1;
             let new_delays = {
                 let _iter = dnc_telemetry::span("core.time_stopping.pass");
-                self.one_pass(net, &delays)?
+                self.one_pass(net, &delays, &cache)?
             };
             // Per-iteration residual: the largest per-hop delay growth this
             // pass (zero exactly at the fixed point).
@@ -202,26 +222,47 @@ impl TimeStopping {
 
     /// One application of the monotone operator: given per-hop delay
     /// estimates, recompute every local delay from the induced
-    /// characterizations.
-    fn one_pass(&self, net: &Network, delays: &[Vec<Rat>]) -> Result<Vec<Vec<Rat>>, AnalysisError> {
+    /// characterizations. Each server's update reads only the previous
+    /// iterate, so servers may compute concurrently
+    /// ([`TimeStopping::workers`]) and the ordered merge writes each
+    /// `(flow, hop)` slot exactly once — results are bit-identical for
+    /// any worker count.
+    fn one_pass(
+        &self,
+        net: &Network,
+        delays: &[Vec<Rat>],
+        cache: &AnalysisCache,
+    ) -> Result<Vec<Vec<Rat>>, AnalysisError> {
         // Characterize flow `i` at hop `h` by shifting its source curve
-        // through the *current* upstream delay estimates.
+        // through the *current* upstream delay estimates. Memoized on the
+        // (source curve, delay prefix, rate prefix, cap) chain: across
+        // passes the prefix is unchanged wherever upstream has converged.
         let curve_at = |i: usize, h: usize| {
             let f = &net.flows()[i]; // audit: allow(index, delay tables are sized per flow and route length; i/k/h index the same network)
-            let mut c = f.spec.arrival_curve();
-            for (k, &srv) in f.route.iter().enumerate().take(h) {
-                let rate = net.server(srv).rate;
-                c = fifo::propagate_output(&c, delays[i][k], rate, self.cap); // audit: allow(index, delay tables are sized per flow and route length; i/k/h index the same network)
-            }
-            c
+            let spec = f.spec.arrival_curve();
+            let key = CacheKey::new("core.ts_entry")
+                .curve(&spec)
+                .rat_seq(delays[i].iter().copied().take(h)) // audit: allow(index, delay tables are sized per flow and route length; i/k/h index the same network)
+                .rat_seq(f.route.iter().take(h).map(|&srv| net.server(srv).rate))
+                .word(cap_word(self.cap))
+                .word(h as u64);
+            cache.entry_curve(key, || {
+                let mut c = spec.clone();
+                for (k, &srv) in f.route.iter().enumerate().take(h) {
+                    let rate = net.server(srv).rate;
+                    // audit: allow(index, delay tables are sized per flow and route length; i/k/h index the same network)
+                    c = fifo::propagate_output(&c, delays[i][k], rate, self.cap);
+                }
+                c
+            })
         };
 
-        let mut out: Vec<Vec<Rat>> = delays.to_vec();
-        for s in 0..net.servers().len() {
+        // Pure per-server update: (flow, hop, new delay) triples.
+        let compute_server = |s: usize| -> Result<Vec<(FlowId, usize, Rat)>, AnalysisError> {
             let server = ServerId(s);
             let incident = net.flows_through(server);
             if incident.is_empty() {
-                continue;
+                return Ok(Vec::new());
             }
             let srv = net.server(server);
             let curves: Vec<(FlowId, dnc_curves::Curve)> = incident
@@ -234,7 +275,7 @@ impl TimeStopping {
             let per_flow: Vec<(FlowId, Rat)> = match srv.discipline {
                 Discipline::Fifo => {
                     let g = fifo::aggregate_curve(curves.iter().map(|(_, c)| c));
-                    let d = match fifo::local_delay(&g, srv.rate, server) {
+                    let d = match cached_local_delay(Some(cache), &g, srv.rate, server) {
                         Ok(d) => d,
                         Err(AnalysisError::Curve {
                             source: CurveError::Unstable { .. },
@@ -255,9 +296,36 @@ impl TimeStopping {
                 Discipline::Gps => crate::gps::local_delays(net, server, &curves)?,
                 Discipline::Edf => crate::edf::local_delays(net, server, &curves)?,
             };
-            for (f, d) in per_flow {
-                let h = net.hop_index(f, server).expect("incident"); // audit: allow(expect, f is drawn from the flows incident to server, so hop_index is Some)
-                out[f.0][h] = d.ceil_to_denom(self.grid_denominator); // audit: allow(index, delay tables are sized per flow and route length; i/k/h index the same network)
+            Ok(per_flow
+                .into_iter()
+                .map(|(f, d)| {
+                    let h = net.hop_index(f, server).expect("incident"); // audit: allow(expect, f is drawn from the flows incident to server, so hop_index is Some)
+                    (f, h, d.ceil_to_denom(self.grid_denominator))
+                })
+                .collect())
+        };
+
+        let n = net.servers().len();
+        let updates: Vec<Result<ServerUpdates, AnalysisError>> = if self.workers > 1 && n > 1 {
+            crate::par::fan_out(n, self.workers, &compute_server)
+        } else {
+            // Sequential path short-circuits at the first error, like
+            // the historical per-server loop.
+            let mut v = Vec::with_capacity(n);
+            for s in 0..n {
+                let r = compute_server(s);
+                let failed = r.is_err();
+                v.push(r);
+                if failed {
+                    break;
+                }
+            }
+            v
+        };
+        let mut out: Vec<Vec<Rat>> = delays.to_vec();
+        for r in updates {
+            for (f, h, d) in r? {
+                out[f.0][h] = d; // audit: allow(index, delay tables are sized per flow and route length; i/k/h index the same network)
             }
         }
         Ok(out)
@@ -419,6 +487,25 @@ mod tests {
             TimeStopping::default().analyze(&net),
             Err(AnalysisError::Network(_))
         ));
+    }
+
+    #[test]
+    fn workers_yield_bit_identical_fixed_points() {
+        let net = ring(rat(1, 8), int(1));
+        let seq = TimeStopping::default().analyze(&net).unwrap();
+        for workers in [2usize, 8] {
+            let par = TimeStopping::default()
+                .with_workers(workers)
+                .analyze(&net)
+                .unwrap();
+            assert_eq!(par.converged, seq.converged);
+            assert_eq!(par.iterations, seq.iterations, "workers={workers}");
+            assert_eq!(
+                par.bounds().unwrap(),
+                seq.bounds().unwrap(),
+                "workers={workers} must match sequential exactly"
+            );
+        }
     }
 
     #[test]

@@ -40,13 +40,36 @@
 //! phenomenon. The maximization is a vertical-deviation computation on
 //! exact PWL curves, so the bound is exact and cheap (the paper's
 //! *efficiency* requirement for on-line admission control).
+//!
+//! # The fast path
+//!
+//! The analysis is organized as a list of **units** (pairing groups
+//! specialized by discipline) whose per-unit work is split into a pure
+//! *compute* step (reads the shared propagation state, returns
+//! [`StageEntry`] records) and a deterministic *apply* step (pushes
+//! stages and advances propagation in a fixed order). That split is what
+//! enables, without ever changing a bound (DESIGN.md §13):
+//!
+//! * **parallel fan-out** ([`Integrated::workers`]) — independent units
+//!   of the same dependency depth compute on scoped threads, results
+//!   merge in unit order, so reports are bit-identical to sequential;
+//! * **memoization** ([`Integrated::analyze_with`] with an
+//!   [`AnalysisCache`]) — pair bounds and local delays are pure
+//!   functions of their operand curves, keyed structurally;
+//! * **incremental re-certification**
+//!   ([`Integrated::analyze_incremental`]) — replay the recorded
+//!   [`GroupTrace`] for units outside the mutated flow's downstream
+//!   closure, recompute only the dirty ones.
 
+use crate::cache::{cached_local_delay, cap_word, AnalysisCache};
 use crate::propagate::Propagation;
 use crate::{fifo, AnalysisError, AnalysisReport, DelayAnalysis, FlowReport, OutputCap};
+use dnc_curves::cache::CacheKey;
 use dnc_curves::{bounds, Curve, CurveError};
 use dnc_net::pairing::{classify_pair_flows, partition, Group, PairingStrategy};
 use dnc_net::{Discipline, FlowId, Network, ServerId};
 use dnc_num::Rat;
+use std::collections::BTreeSet;
 
 /// The three delay figures of one analyzed pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,6 +167,10 @@ pub struct Integrated {
     /// How servers are grouped into subnetworks (paper: pairs along the
     /// chain; [`PairingStrategy::Singletons`] degenerates to Decomposed).
     pub strategy: PairingStrategy,
+    /// Scoped worker threads fanning independent pairing groups out
+    /// (`1` = fully sequential). Results are merged in a fixed order, so
+    /// reports are **bit-identical** for every value (DESIGN.md §13).
+    pub workers: usize,
 }
 
 impl Default for Integrated {
@@ -151,6 +178,7 @@ impl Default for Integrated {
         Integrated {
             cap: OutputCap::Shift,
             strategy: PairingStrategy::GreedyChain,
+            workers: 1,
         }
     }
 }
@@ -160,6 +188,185 @@ impl Integrated {
     pub fn paper() -> Integrated {
         Integrated::default()
     }
+
+    /// Same analysis fanned out over `workers` scoped threads.
+    pub fn with_workers(mut self, workers: usize) -> Integrated {
+        self.workers = workers;
+        self
+    }
+}
+
+/// One schedulable work item: a pairing group specialized by server
+/// discipline. A mixed-discipline [`Group::Pair`] expands into two
+/// sequential singles (correct, no joint gain), matching the historical
+/// fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Unit {
+    Single(ServerId),
+    FifoPair(ServerId, ServerId),
+    SpPair(ServerId, ServerId),
+}
+
+impl Unit {
+    fn servers(self) -> (ServerId, Option<ServerId>) {
+        match self {
+            Unit::Single(s) => (s, None),
+            Unit::FifoPair(a, b) | Unit::SpPair(a, b) => (a, Some(b)),
+        }
+    }
+}
+
+/// How one computed delay advances the propagation state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Advance {
+    One(ServerId),
+    Pair(ServerId, ServerId),
+}
+
+/// One (flow, stage) outcome of analyzing a unit — everything the apply
+/// step needs to update the report stages and the propagation tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct StageEntry {
+    flow: FlowId,
+    label: String,
+    delay: Rat,
+    advance: Advance,
+}
+
+/// The replayable outcome of one full Integrated analysis: the unit list
+/// and, per unit, the stage entries it produced.
+/// [`Integrated::analyze_incremental`] replays the entries of clean
+/// units verbatim and recomputes only dirty ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupTrace {
+    units: Vec<Unit>,
+    entries: Vec<Vec<StageEntry>>,
+}
+
+impl GroupTrace {
+    /// Number of units (pairing groups after discipline specialization).
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Rewrite the trace for a network about to lose `victim`: the
+    /// victim's own entries are dropped and flow ids above it shift down
+    /// by one, mirroring [`Network::remove_flow`]'s id compaction.
+    pub fn remap_release(&mut self, victim: FlowId) {
+        for entries in &mut self.entries {
+            entries.retain(|e| e.flow != victim);
+            for e in entries.iter_mut() {
+                if e.flow.0 > victim.0 {
+                    e.flow = FlowId(e.flow.0 - 1);
+                }
+            }
+        }
+    }
+}
+
+/// A successful incremental re-analysis
+/// (see [`Integrated::analyze_incremental`]).
+#[derive(Clone, Debug)]
+pub struct IncrementalOutcome {
+    /// The spliced report — Rat-exact equal to a from-scratch analysis.
+    pub report: AnalysisReport,
+    /// The refreshed trace for the next churn operation.
+    pub trace: GroupTrace,
+    /// Units inside the dirty closure (recomputed).
+    pub dirty_units: usize,
+    /// Total units in the partition.
+    pub total_units: usize,
+}
+
+/// `unit_of[server] → unit index` plus the forward dependency edges
+/// between units (deduplicated successors, from consecutive route hops).
+/// `None` when an edge points backwards — the partition guarantees a
+/// contracted-topological order so this cannot happen, but callers fall
+/// back to the sequential path instead of trusting it blindly.
+fn unit_graph(net: &Network, units: &[Unit]) -> Option<(Vec<usize>, Vec<BTreeSet<usize>>)> {
+    let mut unit_of = vec![usize::MAX; net.servers().len()];
+    for (i, u) in units.iter().enumerate() {
+        let (a, b) = u.servers();
+        unit_of[a.0] = i; // audit: allow(index, unit_of is sized to the server count; ServerId comes from the same network)
+        if let Some(b) = b {
+            unit_of[b.0] = i; // audit: allow(index, unit_of is sized to the server count; ServerId comes from the same network)
+        }
+    }
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); units.len()];
+    for f in net.flows() {
+        for w in f.route.windows(2) {
+            let (iu, iv) = (unit_of[w[0].0], unit_of[w[1].0]); // audit: allow(index, unit_of is sized to the server count; routes only name servers of this network)
+            if iu == usize::MAX || iv == usize::MAX || iu == iv {
+                continue;
+            }
+            if iu > iv {
+                return None; // not in contracted-topological order
+            }
+            succs[iu].insert(iv); // audit: allow(index, iu is a unit index assigned above)
+        }
+    }
+    Some((unit_of, succs))
+}
+
+/// Group unit indices into dependency waves: a unit's wave (depth) is one
+/// past the deepest unit feeding it, so units within a wave share no
+/// data dependency and may compute concurrently. Waves are emitted in
+/// depth order with ascending unit indices inside each wave.
+fn schedule_waves(net: &Network, units: &[Unit]) -> Option<Vec<Vec<usize>>> {
+    let (_, succs) = unit_graph(net, units)?;
+    let mut depth = vec![0usize; units.len()];
+    for u in 0..units.len() {
+        // audit: allow(index, u and v are unit indices below units.len())
+        for &v in &succs[u] {
+            // audit: allow(index, u and v are unit indices below units.len())
+            depth[v] = depth[v].max(depth[u] + 1);
+        }
+    }
+    let levels = depth.iter().max().map_or(0, |d| d + 1);
+    let mut waves: Vec<Vec<usize>> = vec![Vec::new(); levels];
+    for (u, &d) in depth.iter().enumerate() {
+        waves[d].push(u); // audit: allow(index, d < levels by construction)
+    }
+    Some(waves)
+}
+
+/// Mark every unit whose inputs the mutated flow can reach: seed with the
+/// units containing the flow's route servers, then close forward over the
+/// dependency edges (one in-order pass suffices — edges only point
+/// forward). Everything unmarked provably sees byte-identical inputs
+/// (DESIGN.md §13).
+fn dirty_flags(net: &Network, units: &[Unit], seed: &[ServerId]) -> Option<Vec<bool>> {
+    let (unit_of, succs) = unit_graph(net, units)?;
+    let mut dirty = vec![false; units.len()];
+    for s in seed {
+        let iu = *unit_of.get(s.0)?;
+        if iu != usize::MAX {
+            dirty[iu] = true; // audit: allow(index, iu is a unit index assigned by unit_graph)
+        }
+    }
+    for u in 0..units.len() {
+        // audit: allow(index, u is a unit index below units.len())
+        if dirty[u] {
+            // audit: allow(index, u is a unit index below units.len())
+            for &v in &succs[u] {
+                // audit: allow(index, successors are unit indices below units.len())
+                dirty[v] = true;
+            }
+        }
+    }
+    Some(dirty)
+}
+
+/// Replay/record apply step: push report stages and advance propagation,
+/// in the entry order the compute step fixed.
+fn apply(prop: &mut Propagation<'_>, stages: &mut [Vec<(String, Rat)>], entries: &[StageEntry]) {
+    for e in entries {
+        stages[e.flow.0].push((e.label.clone(), e.delay)); // audit: allow(index, stages is sized to the flow count; entries only name flows of the same network)
+        match e.advance {
+            Advance::One(s) => prop.advance(e.flow, s, e.delay),
+            Advance::Pair(a, b) => prop.advance_pair(e.flow, a, b, e.delay),
+        }
+    }
 }
 
 impl DelayAnalysis for Integrated {
@@ -168,39 +375,176 @@ impl DelayAnalysis for Integrated {
     }
 
     fn analyze(&self, net: &Network) -> Result<AnalysisReport, AnalysisError> {
+        self.analyze_with(net, None)
+    }
+}
+
+impl Integrated {
+    /// [`DelayAnalysis::analyze`] with an optional [`AnalysisCache`]:
+    /// pair bounds and local delays are memoized by their structural
+    /// keys, so the report is Rat-exact identical with or without the
+    /// cache, across runs, and across networks sharing the cache.
+    pub fn analyze_with(
+        &self,
+        net: &Network,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<AnalysisReport, AnalysisError> {
+        self.analyze_traced(net, cache).map(|(report, _)| report)
+    }
+
+    /// Like [`Integrated::analyze_with`], additionally returning the
+    /// [`GroupTrace`] that [`Integrated::analyze_incremental`] replays.
+    pub fn analyze_traced(
+        &self,
+        net: &Network,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<(AnalysisReport, GroupTrace), AnalysisError> {
         let _span = dnc_telemetry::span("algo.integrated");
         net.validate()?;
-        let part = partition(net, self.strategy)?;
-        let mut prop = Propagation::new(net, self.cap);
-        let mut stages: Vec<Vec<(String, Rat)>> = vec![Vec::new(); net.flows().len()];
+        let units = self.units_of(net)?;
+        self.run(net, cache, &units, None)
+    }
 
+    /// Re-certify after a churn mutation by recomputing only the units
+    /// inside the mutated flow's dirty closure (`seed`: the flow's route
+    /// servers) and replaying `prev`'s recorded entries for the rest.
+    ///
+    /// Returns `Ok(None)` when the mutation changed the pairing
+    /// partition itself — the caller must fall back to
+    /// [`Integrated::analyze_traced`]. On success the report is Rat-exact
+    /// equal to a from-scratch analysis (asserted under
+    /// `debug-invariants`; argued in DESIGN.md §13).
+    pub fn analyze_incremental(
+        &self,
+        net: &Network,
+        prev: &GroupTrace,
+        seed: &[ServerId],
+        cache: Option<&AnalysisCache>,
+    ) -> Result<Option<IncrementalOutcome>, AnalysisError> {
+        let _span = dnc_telemetry::span("algo.integrated.incremental");
+        net.validate()?;
+        let units = self.units_of(net)?;
+        if units != prev.units || prev.entries.len() != units.len() {
+            return Ok(None); // partition changed: splice targets are gone
+        }
+        let Some(dirty) = dirty_flags(net, &units, seed) else {
+            return Ok(None);
+        };
+        let dirty_units = dirty.iter().filter(|&&d| d).count();
+        let (report, trace) = self.run(net, cache, &units, Some((prev, &dirty)))?;
+
+        #[cfg(feature = "debug-invariants")]
+        {
+            let (full, _) = self.run(net, None, &units, None)?;
+            assert_eq!(
+                report, full,
+                "incremental splice diverged from the from-scratch analysis"
+            );
+        }
+
+        Ok(Some(IncrementalOutcome {
+            report,
+            trace,
+            dirty_units,
+            total_units: units.len(),
+        }))
+    }
+
+    /// The partition specialized into schedulable units.
+    fn units_of(&self, net: &Network) -> Result<Vec<Unit>, AnalysisError> {
+        let part = partition(net, self.strategy)?;
+        let mut units = Vec::with_capacity(part.groups.len());
         for group in &part.groups {
             match *group {
-                Group::Single(s) => {
-                    self.analyze_single(net, s, &mut prop, &mut stages)?;
-                }
+                Group::Single(s) => units.push(Unit::Single(s)),
                 Group::Pair(a, b) => {
                     let (da, db) = (net.server(a).discipline, net.server(b).discipline);
                     match (da, db) {
-                        (Discipline::Fifo, Discipline::Fifo) => {
-                            self.analyze_pair(net, a, b, &mut prop, &mut stages)?;
-                        }
+                        (Discipline::Fifo, Discipline::Fifo) => units.push(Unit::FifoPair(a, b)),
                         (Discipline::StaticPriority, Discipline::StaticPriority) => {
-                            self.analyze_pair_sp(net, a, b, &mut prop, &mut stages)?;
+                            units.push(Unit::SpPair(a, b))
                         }
                         // Mixed-discipline pairs fall back to sequential
                         // single-server analysis (still correct, no joint
                         // gain).
                         _ => {
-                            self.analyze_single(net, a, &mut prop, &mut stages)?;
-                            self.analyze_single(net, b, &mut prop, &mut stages)?;
+                            units.push(Unit::Single(a));
+                            units.push(Unit::Single(b));
                         }
                     }
                 }
             }
         }
+        Ok(units)
+    }
 
-        Ok(AnalysisReport {
+    /// The analysis driver: compute every unit (sequentially in unit
+    /// order, or wave-parallel when `workers > 1`), apply entries in unit
+    /// order, assemble the report and the trace. `replay` carries the
+    /// previous trace plus per-unit dirty flags for the incremental path;
+    /// clean units replay their recorded entries instead of computing.
+    fn run(
+        &self,
+        net: &Network,
+        cache: Option<&AnalysisCache>,
+        units: &[Unit],
+        replay: Option<(&GroupTrace, &[bool])>,
+    ) -> Result<(AnalysisReport, GroupTrace), AnalysisError> {
+        let mut prop = Propagation::new(net, self.cap);
+        let mut stages: Vec<Vec<(String, Rat)>> = vec![Vec::new(); net.flows().len()];
+        let mut trace_entries: Vec<Vec<StageEntry>> = vec![Vec::new(); units.len()];
+
+        let compute =
+            |i: usize, prop: &Propagation<'_>| -> Result<Vec<StageEntry>, AnalysisError> {
+                if let Some((prev, dirty)) = replay {
+                    // audit: allow(index, dirty and entries are sized to units — checked by analyze_incremental)
+                    if !dirty[i] {
+                        // audit: allow(index, dirty and entries are sized to units — checked by analyze_incremental)
+                        return Ok(prev.entries[i].clone());
+                    }
+                }
+                // audit: allow(index, i is a unit index below units.len())
+                match units[i] {
+                    Unit::Single(s) => self.compute_single(net, s, prop, cache),
+                    Unit::FifoPair(a, b) => self.compute_pair(net, a, b, prop, cache),
+                    Unit::SpPair(a, b) => self.compute_pair_sp(net, a, b, prop, cache),
+                }
+            };
+
+        let waves = if self.workers > 1 {
+            schedule_waves(net, units)
+        } else {
+            None
+        };
+        match waves {
+            Some(waves) => {
+                for wave in &waves {
+                    // Spawning threads for a single-unit wave is pure
+                    // overhead (chain-shaped unit graphs are all such
+                    // waves) — fan out only when the wave has real width.
+                    let results = if wave.len() > 1 {
+                        let per_unit = |k: usize| compute(wave[k], &prop); // audit: allow(index, fan_out only calls k < wave.len())
+                        crate::par::fan_out(wave.len(), self.workers, &per_unit)
+                    } else {
+                        wave.iter().map(|&i| compute(i, &prop)).collect()
+                    };
+                    for (entries, &i) in results.into_iter().zip(wave.iter()) {
+                        let entries = entries?;
+                        apply(&mut prop, &mut stages, &entries);
+                        trace_entries[i] = entries; // audit: allow(index, i is a unit index below units.len())
+                    }
+                }
+            }
+            None => {
+                for (i, slot) in trace_entries.iter_mut().enumerate() {
+                    let entries = compute(i, &prop)?;
+                    apply(&mut prop, &mut stages, &entries);
+                    *slot = entries;
+                }
+            }
+        }
+
+        let report = AnalysisReport {
             algorithm: self.name(),
             flows: net
                 .flows()
@@ -213,21 +557,24 @@ impl DelayAnalysis for Integrated {
                     stages: std::mem::take(&mut stages[i]), // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
                 })
                 .collect(),
-        })
+        };
+        let trace = GroupTrace {
+            units: units.to_vec(),
+            entries: trace_entries,
+        };
+        Ok((report, trace))
     }
-}
 
-impl Integrated {
-    fn analyze_single(
+    fn compute_single(
         &self,
         net: &Network,
         server: ServerId,
-        prop: &mut Propagation<'_>,
-        stages: &mut [Vec<(String, Rat)>],
-    ) -> Result<(), AnalysisError> {
+        prop: &Propagation<'_>,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<Vec<StageEntry>, AnalysisError> {
         let incident = net.flows_through(server);
         if incident.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
         let srv = net.server(server);
         let delays: Vec<(FlowId, Rat)> = match srv.discipline {
@@ -237,7 +584,7 @@ impl Integrated {
                     .map(|&f| prop.curve_at(f, server).clone())
                     .collect();
                 let g = fifo::aggregate_curve(curves.iter());
-                let d = fifo::local_delay(&g, srv.rate, server)?;
+                let d = cached_local_delay(cache, &g, srv.rate, server)?;
                 incident.iter().map(|&f| (f, d)).collect()
             }
             Discipline::StaticPriority => {
@@ -262,11 +609,15 @@ impl Integrated {
                 crate::edf::local_delays(net, server, &curves)?
             }
         };
-        for (f, d) in delays {
-            stages[f.0].push((srv.name.clone(), d)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-            prop.advance(f, server, d);
-        }
-        Ok(())
+        Ok(delays
+            .into_iter()
+            .map(|(f, d)| StageEntry {
+                flow: f,
+                label: srv.name.clone(),
+                delay: d,
+                advance: Advance::One(server),
+            })
+            .collect())
     }
 
     /// Joint analysis of a static-priority pair, level by level (lower
@@ -275,20 +626,23 @@ impl Integrated {
     /// residual strict service curves `[C·t − α_higher(t)]⁺` at both
     /// servers, with the higher-priority constraint at server 2 taken as
     /// its server-1 constraint delayed by that level's own server-1
-    /// bound.
-    fn analyze_pair_sp(
+    /// bound. Reads only entry curves seeded by upstream units, so it is
+    /// a pure compute step: the level recursion feeds on its own
+    /// aggregates, never on this unit's applied advances.
+    fn compute_pair_sp(
         &self,
         net: &Network,
         a: ServerId,
         b: ServerId,
-        prop: &mut Propagation<'_>,
-        stages: &mut [Vec<(String, Rat)>],
-    ) -> Result<(), AnalysisError> {
+        prop: &Propagation<'_>,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<Vec<StageEntry>, AnalysisError> {
         use std::collections::BTreeMap;
         let (s12, s1, s2) = classify_pair_flows(net, a, b);
         let c1 = net.server(a).rate;
         let c2 = net.server(b).rate;
         let label = format!("{}+{}", net.server(a).name, net.server(b).name);
+        let mut out = Vec::new();
 
         // Group every involved flow by priority level.
         let mut levels: BTreeMap<u8, (Vec<_>, Vec<_>, Vec<_>)> = BTreeMap::new();
@@ -336,37 +690,62 @@ impl Integrated {
             };
             let beta1 = residual(c1, &higher1);
             let beta2 = residual(c2, &higher2);
-            let pb = pair_delay_bound_curves(&f12, &f1, &f2, c1, &beta1, &beta2, self.cap)
-                .map_err(|e| AnalysisError::at(a, e))?;
+            let pb = match cache {
+                Some(cch) => cch.pair_bound(
+                    CacheKey::new("core.pair_bound_sp")
+                        .curve(&f12)
+                        .curve(&f1)
+                        .curve(&f2)
+                        .curve(&beta1)
+                        .curve(&beta2)
+                        .rat(c1)
+                        .word(cap_word(self.cap)),
+                    || pair_delay_bound_curves(&f12, &f1, &f2, c1, &beta1, &beta2, self.cap),
+                ),
+                None => pair_delay_bound_curves(&f12, &f1, &f2, c1, &beta1, &beta2, self.cap),
+            }
+            .map_err(|e| AnalysisError::at(a, e))?;
 
             for &f in &l12 {
-                stages[f.0].push((label.clone(), pb.through)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-                prop.advance_pair(f, a, b, pb.through);
+                out.push(StageEntry {
+                    flow: f,
+                    label: label.clone(),
+                    delay: pb.through,
+                    advance: Advance::Pair(a, b),
+                });
             }
             for &f in &l1 {
-                stages[f.0].push((net.server(a).name.clone(), pb.d1)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-                prop.advance(f, a, pb.d1);
+                out.push(StageEntry {
+                    flow: f,
+                    label: net.server(a).name.clone(),
+                    delay: pb.d1,
+                    advance: Advance::One(a),
+                });
             }
             for &f in &l2 {
-                stages[f.0].push((net.server(b).name.clone(), pb.d2)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-                prop.advance(f, b, pb.d2);
+                out.push(StageEntry {
+                    flow: f,
+                    label: net.server(b).name.clone(),
+                    delay: pb.d2,
+                    advance: Advance::One(b),
+                });
             }
 
             // This level now interferes with everything less urgent.
             higher1.push(f12.add(&f1));
             higher2.push(f2.add(&fifo::propagate_output(&f12, pb.d1, c1, self.cap)));
         }
-        Ok(())
+        Ok(out)
     }
 
-    fn analyze_pair(
+    fn compute_pair(
         &self,
         net: &Network,
         a: ServerId,
         b: ServerId,
-        prop: &mut Propagation<'_>,
-        stages: &mut [Vec<(String, Rat)>],
-    ) -> Result<(), AnalysisError> {
+        prop: &Propagation<'_>,
+        cache: Option<&AnalysisCache>,
+    ) -> Result<Vec<StageEntry>, AnalysisError> {
         let (s12, s1, s2) = classify_pair_flows(net, a, b);
         let f12 = fifo::aggregate_curve(
             s12.iter()
@@ -388,23 +767,48 @@ impl Integrated {
         );
         let c1 = net.server(a).rate;
         let c2 = net.server(b).rate;
-        let pb = pair_delay_bound(&f12, &f1, &f2, c1, c2, self.cap)
-            .map_err(|e| AnalysisError::at(a, e))?;
+        let pb = match cache {
+            Some(cch) => cch.pair_bound(
+                CacheKey::new("core.pair_bound")
+                    .curve(&f12)
+                    .curve(&f1)
+                    .curve(&f2)
+                    .rat(c1)
+                    .rat(c2)
+                    .word(cap_word(self.cap)),
+                || pair_delay_bound(&f12, &f1, &f2, c1, c2, self.cap),
+            ),
+            None => pair_delay_bound(&f12, &f1, &f2, c1, c2, self.cap),
+        }
+        .map_err(|e| AnalysisError::at(a, e))?;
 
         let label = format!("{}+{}", net.server(a).name, net.server(b).name);
+        let mut out = Vec::new();
         for &f in &s12 {
-            stages[f.0].push((label.clone(), pb.through)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-            prop.advance_pair(f, a, b, pb.through);
+            out.push(StageEntry {
+                flow: f,
+                label: label.clone(),
+                delay: pb.through,
+                advance: Advance::Pair(a, b),
+            });
         }
         for &f in &s1 {
-            stages[f.0].push((net.server(a).name.clone(), pb.d1)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-            prop.advance(f, a, pb.d1);
+            out.push(StageEntry {
+                flow: f,
+                label: net.server(a).name.clone(),
+                delay: pb.d1,
+                advance: Advance::One(a),
+            });
         }
         for &f in &s2 {
-            stages[f.0].push((net.server(b).name.clone(), pb.d2)); // audit: allow(index, stages is sized to the flow count; f is a FlowId of the same network)
-            prop.advance(f, b, pb.d2);
+            out.push(StageEntry {
+                flow: f,
+                label: net.server(b).name.clone(),
+                delay: pb.d2,
+                advance: Advance::One(b),
+            });
         }
-        Ok(())
+        Ok(out)
     }
 }
 
@@ -500,8 +904,8 @@ mod tests {
     fn singleton_strategy_equals_decomposed() {
         let t = builders::tandem(4, int(1), rat(1, 8), builders::TandemOptions::default());
         let int_single = Integrated {
-            cap: OutputCap::Shift,
             strategy: PairingStrategy::Singletons,
+            ..Integrated::default()
         }
         .analyze(&t.net)
         .unwrap();
@@ -606,5 +1010,89 @@ mod tests {
         assert_eq!(r.bound(f12[0]), rat(83, 12));
         assert_eq!(r.bound(f1[0]), int(3));
         assert_eq!(r.bound(f2[0]), rat(23, 4));
+    }
+
+    #[test]
+    fn workers_yield_bit_identical_reports() {
+        use dnc_net::Discipline;
+        for discipline in [Discipline::Fifo, Discipline::StaticPriority] {
+            let t = builders::tandem(
+                6,
+                int(1),
+                rat(3, 32),
+                builders::TandemOptions {
+                    discipline,
+                    ..builders::TandemOptions::default()
+                },
+            );
+            let sequential = Integrated::paper().analyze(&t.net).unwrap();
+            for workers in [2usize, 8] {
+                let parallel = Integrated::paper()
+                    .with_workers(workers)
+                    .analyze(&t.net)
+                    .unwrap();
+                assert_eq!(
+                    sequential, parallel,
+                    "workers={workers} ({discipline:?}) must match sequential exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_equals_uncached_and_hits_across_runs() {
+        let t = builders::tandem(6, int(1), rat(1, 16), builders::TandemOptions::default());
+        let cache = AnalysisCache::new();
+        let plain = Integrated::paper().analyze(&t.net).unwrap();
+        let cold = Integrated::paper()
+            .analyze_with(&t.net, Some(&cache))
+            .unwrap();
+        assert!(!cache.is_empty(), "first run must populate the cache");
+        let warm = Integrated::paper()
+            .analyze_with(&t.net, Some(&cache))
+            .unwrap();
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm, "cache hits must be Rat-exact");
+    }
+
+    #[test]
+    fn incremental_matches_full_after_admit_and_release() {
+        let t = builders::tandem(5, int(1), rat(1, 16), builders::TandemOptions::default());
+        let alg = Integrated::paper();
+        let cache = AnalysisCache::new();
+        let (_, trace) = alg.analyze_traced(&t.net, Some(&cache)).unwrap();
+
+        // Admit a new flow over the middle servers.
+        let mut grown = t.net.clone();
+        let candidate = dnc_net::Flow {
+            name: "extra".into(),
+            spec: TrafficSpec::token_bucket(int(1), rat(1, 32)),
+            route: t.middle.clone(),
+            priority: 0,
+        };
+        let seed = candidate.route.clone();
+        grown.add_flow(candidate).unwrap();
+        let full = alg.analyze_traced(&grown, Some(&cache)).unwrap();
+        let inc = alg
+            .analyze_incremental(&grown, &trace, &seed, Some(&cache))
+            .unwrap()
+            .expect("tandem admit keeps the partition");
+        assert_eq!(inc.report, full.0, "spliced report must be Rat-exact");
+        assert_eq!(inc.trace, full.1, "refreshed trace must be replayable");
+        assert!(inc.dirty_units <= inc.total_units);
+
+        // Release it again: remap the trace and splice back.
+        let victim = FlowId(grown.flows().len() - 1);
+        let mut shrunk = grown.clone();
+        shrunk.remove_flow(victim).unwrap();
+        let mut remapped = inc.trace.clone();
+        remapped.remap_release(victim);
+        let full_back = alg.analyze_traced(&shrunk, Some(&cache)).unwrap();
+        let inc_back = alg
+            .analyze_incremental(&shrunk, &remapped, &seed, Some(&cache))
+            .unwrap()
+            .expect("tandem release keeps the partition");
+        assert_eq!(inc_back.report, full_back.0);
+        assert_eq!(inc_back.trace, full_back.1);
     }
 }

@@ -33,10 +33,12 @@
 
 mod error;
 mod fifo;
+mod par;
 mod propagate;
 mod report;
 
 pub mod admission;
+pub mod cache;
 pub mod closed_form;
 pub mod cyclic;
 pub mod decomposed;

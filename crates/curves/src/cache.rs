@@ -1,0 +1,280 @@
+//! Content-addressed memoization for exact curve computations.
+//!
+//! The curve algebra is **pure and exact**: every operation is a
+//! deterministic function of its operand curves and rational parameters,
+//! and [`Curve`]'s canonical form makes structural equality coincide with
+//! functional equality. That combination is what makes memoization sound
+//! here — a cache hit returns a value that is bit-identical to what the
+//! recomputation would produce, so cached and uncached runs of an
+//! analysis cannot differ (DESIGN.md §13).
+//!
+//! Keys are **full structural keys** ([`CacheKey`]: the operation tag
+//! plus clones of every input the computation reads), never bare hashes:
+//! a 64-bit fingerprint collision would silently return a wrong bound,
+//! which this workspace never accepts in exchange for speed. The hash is
+//! only the bucket index; equality is checked on the real inputs.
+//!
+//! [`CurveCache`] is a thread-safe memo table with telemetry `cache.hit`
+//! / `cache.miss` counters (surfaced by `dnc profile`) and whole-table
+//! eviction once a capacity is reached — the workloads that benefit
+//! (repeated passes of a fixed-point iteration, successive admission
+//! operations on a mostly-unchanged network) re-warm a cleared table in
+//! one round, so an LRU's bookkeeping would cost more than it saves.
+
+use crate::Curve;
+use dnc_num::Rat;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A structural cache key: an operation tag plus every input the
+/// computation reads. Build one with the fluent helpers, listing inputs
+/// in a fixed order per tag:
+///
+/// ```
+/// use dnc_curves::cache::CacheKey;
+/// use dnc_curves::Curve;
+/// use dnc_num::{int, rat};
+///
+/// let g = Curve::token_bucket(int(2), rat(1, 4));
+/// let key = CacheKey::new("local_delay").curve(&g).rat(int(1));
+/// assert_eq!(key, CacheKey::new("local_delay").curve(&g).rat(int(1)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    tag: &'static str,
+    curves: Vec<Curve>,
+    rats: Vec<Rat>,
+    words: Vec<u64>,
+}
+
+impl CacheKey {
+    /// Start a key for the operation named `tag`.
+    pub fn new(tag: &'static str) -> CacheKey {
+        CacheKey {
+            tag,
+            curves: Vec::new(),
+            rats: Vec::new(),
+            words: Vec::new(),
+        }
+    }
+
+    /// Append one operand curve. Any shape is accepted — no concave,
+    /// convex, or monotone precondition; the key records the curve's
+    /// canonical segments structurally, whatever they describe.
+    pub fn curve(mut self, c: &Curve) -> CacheKey {
+        self.curves.push(c.clone());
+        self
+    }
+
+    /// Append a sequence of operand curves (order-sensitive). Like
+    /// [`CacheKey::curve`], shape-agnostic: no concave/convex/monotone
+    /// precondition is imposed on the operands.
+    pub fn curve_seq<'a, I: IntoIterator<Item = &'a Curve>>(mut self, cs: I) -> CacheKey {
+        self.curves.extend(cs.into_iter().cloned());
+        self
+    }
+
+    /// Append one rational parameter.
+    pub fn rat(mut self, r: Rat) -> CacheKey {
+        self.rats.push(r);
+        self
+    }
+
+    /// Append a sequence of rational parameters (order-sensitive).
+    pub fn rat_seq<I: IntoIterator<Item = Rat>>(mut self, rs: I) -> CacheKey {
+        self.rats.extend(rs);
+        self
+    }
+
+    /// Append one discrete parameter (an enum discriminant, a count, …).
+    pub fn word(mut self, w: u64) -> CacheKey {
+        self.words.push(w);
+        self
+    }
+}
+
+/// A thread-safe memo table from [`CacheKey`] to a cloneable value.
+///
+/// Lookups record `cache.hit` / `cache.miss` telemetry counters. When an
+/// insert would push the table past its capacity the whole table is
+/// cleared first (counted under `cache.evictions`); see the module docs
+/// for why whole-table eviction fits the workloads this serves.
+#[derive(Debug)]
+pub struct CurveCache<V> {
+    map: Mutex<HashMap<CacheKey, V>>,
+    capacity: usize,
+}
+
+/// Default capacity: plenty for every topology in the test suite and the
+/// benchmark harness while bounding memory on adversarial inputs.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+impl<V> Default for CurveCache<V> {
+    fn default() -> Self {
+        CurveCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl<V> CurveCache<V> {
+    /// An empty cache evicting wholesale at `capacity` entries.
+    pub fn new(capacity: usize) -> CurveCache<V> {
+        CurveCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, V>> {
+        // A poisoned map only means another thread panicked mid-insert of
+        // an unrelated entry; every stored value is still a completed,
+        // exact result.
+        self.map.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.locked().clear();
+    }
+}
+
+impl<V: Clone> CurveCache<V> {
+    /// Look `key` up, recording a hit or miss counter.
+    pub fn lookup(&self, key: &CacheKey) -> Option<V> {
+        let hit = self.locked().get(key).cloned();
+        match hit {
+            Some(v) => {
+                dnc_telemetry::counter("cache.hit", 1);
+                Some(v)
+            }
+            None => {
+                dnc_telemetry::counter("cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Insert a computed value, evicting wholesale at capacity.
+    pub fn insert(&self, key: CacheKey, value: V) {
+        let mut map = self.locked();
+        if map.len() >= self.capacity {
+            map.clear();
+            dnc_telemetry::counter("cache.evictions", 1);
+        }
+        map.insert(key, value);
+    }
+
+    /// Memoize an infallible computation.
+    pub fn get_or_insert_with(&self, key: CacheKey, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.lookup(&key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Memoize a fallible computation: return the cached value for `key`
+    /// or run `compute`, caching only the `Ok` result (errors are
+    /// recomputed — they are rare and carry context that should stay
+    /// fresh).
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.lookup(&key) {
+            return Ok(v);
+        }
+        let v = compute()?;
+        self.insert(key, v.clone());
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnc_num::{int, rat};
+
+    #[test]
+    fn keys_are_structural_not_hashed() {
+        let a = CacheKey::new("op")
+            .curve(&Curve::token_bucket(int(2), rat(1, 4)))
+            .rat(int(1));
+        let b = CacheKey::new("op")
+            .curve(&Curve::token_bucket(int(2), rat(1, 4)))
+            .rat(int(1));
+        let c = CacheKey::new("op")
+            .curve(&Curve::token_bucket(int(3), rat(1, 4)))
+            .rat(int(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, b.clone().word(0), "extra input distinguishes keys");
+    }
+
+    #[test]
+    fn memoizes_and_returns_identical_values() {
+        let cache: CurveCache<Rat> = CurveCache::default();
+        let key = || CacheKey::new("sum").rat(int(2)).rat(int(3));
+        let mut calls = 0;
+        let v1: Result<Rat, ()> = cache.get_or_try_insert_with(key(), || {
+            calls += 1;
+            Ok(int(5))
+        });
+        let v2: Result<Rat, ()> = cache.get_or_try_insert_with(key(), || {
+            calls += 1;
+            Ok(int(99))
+        });
+        assert_eq!(v1, Ok(int(5)));
+        assert_eq!(v2, Ok(int(5)), "hit must return the first computation");
+        assert_eq!(calls, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: CurveCache<Rat> = CurveCache::default();
+        let key = || CacheKey::new("fail");
+        let r: Result<Rat, &str> = cache.get_or_try_insert_with(key(), || Err("boom"));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        let r: Result<Rat, &str> = cache.get_or_try_insert_with(key(), || Ok(int(1)));
+        assert_eq!(r, Ok(int(1)));
+    }
+
+    #[test]
+    fn capacity_evicts_wholesale() {
+        let cache: CurveCache<u64> = CurveCache::new(2);
+        cache.insert(CacheKey::new("a"), 1);
+        cache.insert(CacheKey::new("b"), 2);
+        assert_eq!(cache.len(), 2);
+        cache.insert(CacheKey::new("c"), 3);
+        assert_eq!(cache.len(), 1, "table cleared before the new insert");
+        assert_eq!(cache.lookup(&CacheKey::new("c")), Some(3));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache: CurveCache<Rat> = CurveCache::default();
+        std::thread::scope(|s| {
+            for i in 0..4i64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    let key = CacheKey::new("t").rat(int(i % 2));
+                    let _: Result<Rat, ()> = cache.get_or_try_insert_with(key, || Ok(int(i)));
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2);
+    }
+}

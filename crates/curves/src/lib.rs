@@ -42,6 +42,7 @@ mod curve;
 mod error;
 
 pub mod bounds;
+pub mod cache;
 pub mod invariant;
 pub mod limits;
 pub mod minplus;

@@ -19,9 +19,11 @@ use crate::journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
 use crate::queue::{Pushed, ShedQueue};
 use crate::request::{AdmitRequest, Request};
 use dnc_core::admission::Deadline;
+use dnc_core::cache::AnalysisCache;
 use dnc_core::guard::Guard;
-use dnc_core::resilient::{Outcome, ResilientReport, ResilientRunner, Tier};
-use dnc_net::{Flow, FlowId, Network, NetworkError};
+use dnc_core::integrated::GroupTrace;
+use dnc_core::resilient::{FastPath, FastReport, Outcome, ResilientReport, ResilientRunner, Tier};
+use dnc_net::{Flow, FlowId, Network, NetworkError, ServerId};
 use dnc_num::Rat;
 use dnc_traffic::{TokenBucket, TrafficSpec};
 use std::fmt;
@@ -35,6 +37,15 @@ pub struct EngineConfig {
     pub guard: Guard,
     /// Bound on the pending-request queue (see [`ShedQueue`]).
     pub queue_capacity: usize,
+    /// Scoped-thread fan-out width for each certification run (1 =
+    /// sequential; bounds are bit-identical at any width).
+    pub workers: usize,
+    /// Use the fast path: share memoized curve operations across
+    /// requests and re-certify incrementally off the previous accepted
+    /// analysis (splicing cached bounds for unaffected pairing groups).
+    /// `false` runs every certification from scratch — the honest
+    /// baseline the throughput harness compares against.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +53,8 @@ impl Default for EngineConfig {
         EngineConfig {
             guard: Guard::interactive(),
             queue_capacity: 64,
+            workers: 1,
+            incremental: true,
         }
     }
 }
@@ -191,6 +204,15 @@ pub struct ChurnEngine {
     runner: ResilientRunner,
     queue: ShedQueue,
     stats: EngineStats,
+    /// Memo tables shared across certifications (fast path only).
+    cache: AnalysisCache,
+    /// The group trace of the last analysis accepted for the live
+    /// network — the splice base for incremental re-certification.
+    /// Always in sync with `net`: refreshed on commit, kept on rollback
+    /// (the live network did not change), never set after replay-only
+    /// mutations (recovery skips certification entirely).
+    trace: Option<GroupTrace>,
+    incremental: bool,
 }
 
 impl ChurnEngine {
@@ -212,9 +234,15 @@ impl ChurnEngine {
             base_deadlines,
             admitted: Vec::new(),
             journal: None,
-            runner: ResilientRunner::new(config.guard.clone()),
+            runner: ResilientRunner {
+                workers: config.workers.max(1),
+                ..ResilientRunner::new(config.guard.clone())
+            },
             queue: ShedQueue::new(config.queue_capacity),
             stats: EngineStats::default(),
+            cache: AnalysisCache::new(),
+            trace: None,
+            incremental: config.incremental,
         })
     }
 
@@ -379,6 +407,28 @@ impl ChurnEngine {
         Response::Queried { entries }
     }
 
+    /// Run the guarded certification chain on a staged network. On the
+    /// fast path this shares the memo cache across requests and — given
+    /// a splice base — re-analyzes only the pairing groups reachable
+    /// from the mutation's `seed` servers; otherwise every run is from
+    /// scratch.
+    fn certify(&self, staged: &Network, prev: Option<(&GroupTrace, &[ServerId])>) -> FastReport {
+        if !self.incremental {
+            return self.runner.analyze_fast(staged, None);
+        }
+        let fast = self.runner.analyze_fast(
+            staged,
+            Some(FastPath {
+                cache: &self.cache,
+                prev,
+            }),
+        );
+        if let Some((dirty, _total)) = fast.dirty_units {
+            dnc_telemetry::counter("churn.dirty_groups", dirty as u64);
+        }
+        fast
+    }
+
     fn admit(&mut self, req: AdmitRequest) -> Result<Response, EngineError> {
         let _span = dnc_telemetry::span("service.admit");
         let name = req.name.clone();
@@ -401,13 +451,17 @@ impl ChurnEngine {
         }
 
         // Certify: the runner embodies retry-with-decay (Integrated,
-        // then the cheaper Decomposed on budget breach).
+        // then the cheaper Decomposed on budget breach). The new flow
+        // only changes inputs along its own route, so those servers
+        // seed the incremental dirty set.
         let mut deadlines = self.deadlines();
         deadlines.push(Deadline {
             flow: id,
             deadline: req.deadline,
         });
-        let report = self.runner.analyze(&staged);
+        let seed = req.route.clone();
+        let fast = self.certify(&staged, self.trace.as_ref().map(|t| (t, seed.as_slice())));
+        let report = fast.report;
         let retried = was_retried(&report);
         if retried {
             self.stats.retries += 1;
@@ -437,6 +491,7 @@ impl ChurnEngine {
             j.append(&Op::Admit(admit_op.clone()))?;
         }
         self.net = staged;
+        self.trace = fast.trace;
         self.admitted.push(admit_op);
         self.stats.commits += 1;
         dnc_telemetry::counter("service.commits", 1);
@@ -459,6 +514,14 @@ impl ChurnEngine {
             });
         };
         let victim = FlowId(self.base_flows + idx);
+        // The removal only changes inputs along the victim's route;
+        // those servers seed the incremental dirty set.
+        let seed: Vec<ServerId> = self
+            .net
+            .flows()
+            .get(victim.0)
+            .map(|f| f.route.clone())
+            .unwrap_or_default();
         let mut staged = self.net.clone();
         if let Err(e) = staged.remove_flow(victim) {
             return Ok(Response::ReleaseFailed {
@@ -479,7 +542,14 @@ impl ChurnEngine {
                 deadline: a.deadline,
             });
         }
-        let report = self.runner.analyze(&staged);
+        // Rebase the previous trace into the post-removal id space so
+        // the splice can reuse the untouched groups' recorded stages.
+        let prev_trace = self.trace.clone().map(|mut t| {
+            t.remap_release(victim);
+            t
+        });
+        let fast = self.certify(&staged, prev_trace.as_ref().map(|t| (t, seed.as_slice())));
+        let report = fast.report;
         if was_retried(&report) {
             self.stats.retries += 1;
             dnc_telemetry::counter("service.retries", 1);
@@ -516,6 +586,7 @@ impl ChurnEngine {
             j.append(&op)?;
         }
         self.net = staged;
+        self.trace = fast.trace;
         self.admitted.remove(idx);
         self.stats.commits += 1;
         dnc_telemetry::counter("service.commits", 1);
@@ -598,13 +669,15 @@ impl ChurnEngine {
 }
 
 /// True when the Integrated tier breached its budget and the Decomposed
-/// retry produced the answer — the retry-with-decay path.
+/// retry produced the answer — the retry-with-decay path. The fast path
+/// may record two Integrated attempts (incremental splice, then full),
+/// so any budget breach at that tier counts.
 fn was_retried(report: &ResilientReport) -> bool {
     report.tier() == Tier::Decomposed
-        && matches!(
-            report.attempts().first().map(|a| &a.outcome),
-            Some(Outcome::Budget(_))
-        )
+        && report
+            .attempts()
+            .iter()
+            .any(|a| a.tier == Tier::Integrated && matches!(a.outcome, Outcome::Budget(_)))
 }
 
 /// Build the network flow for an admit request. Validation must already

@@ -58,6 +58,9 @@ const FLOAT_WHITELIST: &[&str] = &[
     "crates/telemetry/src/record.rs",
     "crates/telemetry/src/export.rs",
     "crates/telemetry/src/json.rs",
+    // Admissions/sec reporting — rates are lossy, never feed back into
+    // the Rat analysis.
+    "crates/bench/src/throughput.rs",
 ];
 
 /// Directory trees never scanned.
