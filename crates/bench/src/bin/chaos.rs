@@ -23,35 +23,35 @@ fn main() {
             "--scenarios" => {
                 cfg.scenarios = value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--scenarios needs an integer");
-                    std::process::exit(2);
+                    std::process::exit(dnc_bench::exit::USAGE);
                 });
                 i += 2;
             }
             "--seed" => {
                 cfg.seed = value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--seed needs an integer");
-                    std::process::exit(2);
+                    std::process::exit(dnc_bench::exit::USAGE);
                 });
                 i += 2;
             }
             "--ticks" => {
                 cfg.ticks = value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--ticks needs an integer");
-                    std::process::exit(2);
+                    std::process::exit(dnc_bench::exit::USAGE);
                 });
                 i += 2;
             }
             "--scenario" => {
                 scenario = Some(value(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--scenario needs an integer");
-                    std::process::exit(2);
+                    std::process::exit(dnc_bench::exit::USAGE);
                 }));
                 i += 2;
             }
             other => {
                 eprintln!("unknown option {other}");
                 eprintln!("usage: chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K]");
-                std::process::exit(2);
+                std::process::exit(dnc_bench::exit::USAGE);
             }
         }
     }
@@ -60,7 +60,7 @@ fn main() {
         let outcome = replay_scenario(&cfg, id);
         print!("{}", render_scenario(&cfg, &outcome));
         if !outcome.violations.is_empty() {
-            std::process::exit(1);
+            std::process::exit(dnc_bench::exit::VIOLATION);
         }
         return;
     }
@@ -72,6 +72,6 @@ fn main() {
         Err(e) => eprintln!("could not write metrics: {e}"),
     }
     if report.violation_count() > 0 {
-        std::process::exit(1);
+        std::process::exit(dnc_bench::exit::VIOLATION);
     }
 }

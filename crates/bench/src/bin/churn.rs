@@ -26,7 +26,7 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| {
                     eprintln!("{name} needs an integer");
-                    std::process::exit(2);
+                    std::process::exit(dnc_bench::exit::USAGE);
                 })
         };
         match args[i].as_str() {
@@ -59,7 +59,7 @@ fn main() {
                 eprintln!(
                     "usage: churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I] [--workers W]"
                 );
-                std::process::exit(2);
+                std::process::exit(dnc_bench::exit::USAGE);
             }
         }
     }
@@ -72,7 +72,7 @@ fn main() {
         };
         print!("{}", render_report(&report));
         if !report.sound() {
-            std::process::exit(1);
+            std::process::exit(dnc_bench::exit::VIOLATION);
         }
         return;
     }
@@ -84,6 +84,6 @@ fn main() {
         Err(e) => eprintln!("could not write metrics: {e}"),
     }
     if !report.sound() {
-        std::process::exit(1);
+        std::process::exit(dnc_bench::exit::VIOLATION);
     }
 }

@@ -25,7 +25,7 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| {
                     eprintln!("{name} needs an integer");
-                    std::process::exit(2);
+                    std::process::exit(dnc_bench::exit::USAGE);
                 })
         };
         match args[i].as_str() {
@@ -52,7 +52,7 @@ fn main() {
             other => {
                 eprintln!("unknown option {other}");
                 eprintln!("usage: throughput [--n N] [--ops N] [--seed S] [--workers W] [--check]");
-                std::process::exit(2);
+                std::process::exit(dnc_bench::exit::USAGE);
             }
         }
     }
@@ -64,13 +64,13 @@ fn main() {
         Err(e) => eprintln!("could not write metrics: {e}"),
     }
     if !report.sound() {
-        std::process::exit(1);
+        std::process::exit(dnc_bench::exit::VIOLATION);
     }
     if check && report.speedup() < 1.0 {
         eprintln!(
             "check failed: incremental fast path slower than from-scratch sequential ({:.2}x)",
             report.speedup()
         );
-        std::process::exit(1);
+        std::process::exit(dnc_bench::exit::VIOLATION);
     }
 }

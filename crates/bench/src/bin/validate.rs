@@ -46,7 +46,7 @@ fn main() {
                 batch::collect_reports(batch::seed_sweep(&t.net, &onoff, &cfg, &[1, 2, 3], 3))
                     .unwrap_or_else(|e| {
                         eprintln!("seed sweep failed: {e}");
-                        std::process::exit(1);
+                        std::process::exit(dnc_bench::exit::VIOLATION);
                     });
             let observed = greedy.flows[t.conn0.0]
                 .max_delay
@@ -98,7 +98,7 @@ fn main() {
 
     if violations > 0 {
         eprintln!("BOUND VIOLATIONS: {violations}");
-        std::process::exit(1);
+        std::process::exit(dnc_bench::exit::VIOLATION);
     }
     println!("all observed delays within all bounds");
 }

@@ -200,7 +200,7 @@ fn kill_point_checks(
     let Ok(bytes) = std::fs::read(journal) else {
         return (0, vec![format!("seq {seq}: cannot re-read journal")]);
     };
-    let magic = 6; // length of the DNCJ1 header
+    let magic = dnc_service::journal::HEADER_LEN;
     if bytes.len() <= magic {
         return (0, Vec::new());
     }

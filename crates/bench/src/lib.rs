@@ -22,6 +22,7 @@
 pub mod chaos;
 pub mod chart;
 pub mod churn;
+pub mod exit;
 pub mod throughput;
 
 use dnc_core::{

@@ -28,12 +28,13 @@ pub struct CliError {
 }
 
 /// Exit code for a run that completed but found a bound violation.
-pub const EXIT_VIOLATION: i32 = 1;
+/// (Single-sourced from the workspace exit-code table, `dnc_bench::exit`.)
+pub const EXIT_VIOLATION: i32 = dnc_bench::exit::VIOLATION;
 /// Exit code for usage/input errors.
-pub const EXIT_USAGE: i32 = 2;
+pub const EXIT_USAGE: i32 = dnc_bench::exit::USAGE;
 /// Exit code for "no valid bound within budget" (time-stopping
 /// divergence or guard exhaustion after the full degradation chain).
-pub const EXIT_NO_BOUND: i32 = 3;
+pub const EXIT_NO_BOUND: i32 = dnc_bench::exit::NO_BOUND;
 
 impl CliError {
     fn new(message: impl Into<String>) -> CliError {
@@ -516,6 +517,7 @@ fn profile(path: &str, sinks: &ExportSinks) -> Result<String, CliError> {
 
     let mut run_one = |name: &'static str, run: &ProfileRun<'_>| {
         dnc_telemetry::reset();
+        // audit: allow(det-wall-clock, profile wall-time column is reporting-side by design and never feeds the Rat analysis)
         let t0 = Instant::now();
         let outcome = run(net);
         let wall_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -919,7 +921,7 @@ fn simulate_cmd(path: &str, ticks: u64, seed: u64) -> Result<String, CliError> {
     if violations > 0 {
         return Err(CliError {
             message: format!("{out}\n{violations} bound violation(s)"),
-            code: 1,
+            code: EXIT_VIOLATION,
         });
     }
     Ok(out)

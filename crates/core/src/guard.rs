@@ -90,6 +90,7 @@ impl Guard {
     /// deadline.
     pub fn arm(&self) -> ArmedGuard {
         ArmedGuard {
+            // audit: allow(det-wall-clock, arming the sanctioned wall-clock deadline; it gates degradation, not bound arithmetic)
             deadline: self.deadline.map(|d| Instant::now() + d),
             op_cap: self.op_cap,
             segment_cap: self.segment_cap,
@@ -136,6 +137,7 @@ impl ArmedGuard {
             }
         }
         if let Some(deadline) = self.deadline {
+            // audit: allow(det-wall-clock, the documented wall-clock budget check; on breach the run degrades instead of emitting a bound)
             if Instant::now() >= deadline {
                 return Err(AnalysisError::Budget("wall-clock deadline exceeded".into()));
             }

@@ -388,6 +388,7 @@ fn run_attempt<F>(armed: &ArmedGuard, f: F) -> ((Outcome, u64), Option<AnalysisR
 where
     F: FnOnce() -> Result<(AnalysisReport, Option<usize>), AnalysisError>,
 {
+    // audit: allow(det-wall-clock, attempt wall-time goes to telemetry only; the certified bound is unaffected)
     let started = Instant::now();
     let result = {
         let _limits = limits::install(armed.limits());

@@ -189,6 +189,7 @@ pub fn checkpoint(segments: usize) {
             }
         }
         if let Some(deadline) = top.limits.deadline {
+            // audit: allow(det-wall-clock, checkpoint's sanctioned deadline probe; a breach aborts the attempt rather than skewing any bound)
             if Instant::now() >= deadline {
                 return Some(BudgetBreach::Deadline);
             }

@@ -35,6 +35,11 @@ use std::path::{Path, PathBuf};
 /// Magic header: format name + version byte + newline (greppable).
 const MAGIC: &[u8; 6] = b"DNCJ1\n";
 
+/// Length of the magic header in bytes — exported so tools that slice
+/// raw journal files (e.g. the churn harness's kill-point replayer)
+/// stay in sync with the framing instead of hardcoding `6`.
+pub const HEADER_LEN: usize = MAGIC.len();
+
 /// Upper bound on one record's payload; anything larger is corruption,
 /// not a request (routes and names are small).
 const MAX_RECORD: u32 = 1 << 20;

@@ -1,0 +1,31 @@
+// deepcheck fixture — scanned as crates/fixture/src/sharded.rs. Known
+// false-positive shapes that must stay clean: a fan_out job doing plain
+// compute (checkpoint probes are sanctioned and create no edge to the
+// limits machinery here), a limits::install in a function the job never
+// reaches, and panic_any payloads that are visibly BudgetBreach.
+
+pub fn run_shards(n: usize) {
+    let job = |k: usize| {
+        compute(k);
+    };
+    fan_out(n, 4, &job);
+}
+
+fn compute(k: usize) -> usize {
+    k.wrapping_mul(3)
+}
+
+pub fn outside_the_jobs() {
+    let _guard = limits::install(None);
+}
+
+pub fn rethrow(b: BudgetBreach) {
+    std::panic::panic_any(b);
+}
+
+pub fn rethrow_checked() {
+    if let Some(b) = breach() {
+        let breach: BudgetBreach = b;
+        std::panic::panic_any(breach);
+    }
+}

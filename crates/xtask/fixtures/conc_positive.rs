@@ -1,0 +1,24 @@
+// deepcheck fixture — scanned as crates/fixture/src/sharded.rs. Seeded
+// true positives: a fan_out job whose helper re-enters the limits
+// thread-local stack, an inline job touching a thread-local static, and
+// a panic_any with a non-BudgetBreach payload.
+
+pub fn run_shards(n: usize) {
+    let job = |k: usize| {
+        per_shard(k);
+    };
+    fan_out(n, 4, &job);
+}
+
+fn per_shard(k: usize) {
+    let _guard = limits::install(None);
+    let _ = k;
+}
+
+pub fn run_scratch(n: usize) {
+    fan_out(n, 4, &|k: usize| SCRATCH.with(|s| s.set(k)));
+}
+
+pub fn bail(msg: String) {
+    std::panic::panic_any(msg);
+}

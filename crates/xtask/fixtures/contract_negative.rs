@@ -1,0 +1,22 @@
+// deepcheck fixture — scanned as crates/fixture/src/bin/tool.rs. Known
+// false-positive shapes that must stay clean: exit codes drawn from the
+// unified table, a span guard held in a named binding, a span passed as
+// an expression argument, and a struct field annotation `code: i32`.
+
+struct CliError {
+    code: i32,
+    message: String,
+}
+
+fn main() {
+    std::process::exit(dnc_bench::exit::USAGE);
+}
+
+fn run() -> CliError {
+    let _g = dnc_telemetry::span("tool.phase");
+    record(dnc_telemetry::span("tool.inner"));
+    CliError {
+        code: dnc_bench::exit::VIOLATION,
+        message: String::new(),
+    }
+}

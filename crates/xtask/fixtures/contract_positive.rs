@@ -1,0 +1,17 @@
+// deepcheck fixture — scanned as crates/fixture/src/bin/tool.rs. Seeded
+// true positives: bare exit-code literals through all three shapes, a
+// telemetry span opened in statement position, and one bound to `_`.
+
+fn main() {
+    if parse_failed() {
+        std::process::exit(2);
+    }
+    let _code = std::process::ExitCode::from(3);
+    let err = CliError {
+        code: 1,
+        message: String::new(),
+    };
+    dnc_telemetry::span("tool.phase");
+    let _ = dnc_telemetry::span("tool.other");
+    let _err = err;
+}

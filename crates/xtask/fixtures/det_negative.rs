@@ -1,0 +1,29 @@
+// deepcheck fixture — scanned as crates/fixture/src/report.rs. Known
+// false-positive shapes that must stay clean: ordered-collection
+// iteration, hash *lookups* (deterministic), a hash-map mutation that
+// never observes order, and iteration over a Vec that merely shares a
+// method name.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(b: &BTreeMap<u32, u32>, m: &HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (k, v) in b.iter() {
+        acc += v + m.get(k).copied().unwrap_or(0);
+    }
+    acc
+}
+
+pub fn update(m: &mut HashMap<u32, u32>, k: u32) {
+    m.insert(k, m.len() as u32);
+    if m.contains_key(&k) {
+        m.remove(&k);
+    }
+}
+
+pub fn sum(rows: &[u32]) -> u32 {
+    let mut acc = 0;
+    for r in rows.iter() {
+        acc += r;
+    }
+    acc
+}

@@ -1,0 +1,24 @@
+// deepcheck fixture — scanned as crates/fixture/src/report.rs (an emit
+// root), so every function here is on an emit path. Seeded true
+// positives: two hash-order iterations and one wall-clock read.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn render(m: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (k, _v) in m.iter() {
+        out.push_str(k);
+    }
+    out
+}
+
+pub fn dump(tags: &HashMap<u32, String>) {
+    for t in tags {
+        let _ = t;
+    }
+}
+
+pub fn footer() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}

@@ -1,0 +1,15 @@
+// deepcheck fixture — scanned as crates/fixture/src/sweep.rs, which is
+// NOT an emit root and is called by nothing: hash iteration and
+// wall-clock reads off the emit paths are allowed (e.g. internal
+// work-distribution order that a later stage sorts).
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn shuffle_work(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    for v in m.values() {
+        acc += u64::from(*v);
+    }
+    let t0 = Instant::now();
+    acc + t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,556 @@
+//! Cross-file symbol index for the deepcheck passes.
+//!
+//! Built once over every scanned file, the index records:
+//!
+//! * **function definitions** — name, file, line, and the token range of
+//!   the body (brace-matched on the token stream);
+//! * **call sites** — for each function, the set of names it calls
+//!   (free functions, methods, and path tails alike);
+//! * **local closures** — `let name = |…| …;` bindings inside a function
+//!   body, so a closure passed by name to `fan_out` can be resolved to
+//!   the code it runs.
+//!
+//! On top sits name-based reachability ([`SymbolIndex::reachable`]): a
+//! breadth-first walk of the call graph where an edge `f → g` exists
+//! whenever `f`'s body mentions a call named `g` and some function named
+//! `g` is defined in the workspace. This is deliberately an
+//! **over-approximation** (no type-based method resolution; a call to
+//! `Foo::encode` reaches every `encode` in the tree) with one documented
+//! correction: ubiquitous trait/std method names ([`STOP_NAMES`]) never
+//! create edges, because nearly every such call targets a std type, and
+//! following them would make the whole workspace "reachable". The
+//! soundness consequences are spelled out in DESIGN §14.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::ScannedFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Method/function names too common to create call-graph edges: calls
+/// with these names overwhelmingly target std/trait impls, and an edge
+/// to every same-named workspace function would drown reachability.
+/// A workspace function with one of these names can still be a *root*;
+/// it just cannot be reached by name.
+pub const STOP_NAMES: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "from",
+    "into",
+    "fmt",
+    "drop",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "to_string",
+    "as_ref",
+    "as_str",
+    "as_bytes",
+    "min",
+    "max",
+    "abs",
+    "filter",
+    "collect",
+    "extend",
+    "clear",
+    "find",
+    "position",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "zip",
+    "rev",
+    "take",
+    "skip",
+    "chain",
+    "flat_map",
+    "flatten",
+    "fold",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "dedup",
+    "join",
+    "split",
+    "trim",
+    "parse",
+    "write",
+    "read",
+    "flush",
+    "with_capacity",
+    "to_owned",
+    "to_vec",
+    "as_slice",
+    "first",
+    "last",
+    "expect",
+    "unwrap",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "ok",
+    "err",
+    "enumerate",
+    "cloned",
+    "copied",
+    "starts_with",
+    "ends_with",
+    "replace",
+    "chars",
+    "bytes",
+    "lines",
+    "contains_key",
+];
+
+/// Keywords that look like call heads (`if (…)`, `match (…)`) but are not.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "mut",
+    "let", "fn", "impl", "where", "pub", "use", "mod", "struct", "enum", "trait", "type", "const",
+    "static", "unsafe", "break", "continue", "crate", "super", "self", "Self", "dyn",
+];
+
+/// One function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Index into the scanned-file slice.
+    pub file: usize,
+    /// Token range of the body, including the outer braces.
+    pub body: Range<usize>,
+    /// `true` when the definition sits inside a `#[cfg(test)]` span.
+    pub is_test: bool,
+}
+
+/// A `let name = |…| …;` closure local to a function body.
+#[derive(Debug)]
+pub struct LocalClosure {
+    /// The binding's name.
+    pub name: String,
+    /// Token range of the closure body (after the parameter list, up to
+    /// the end of the `let` statement).
+    pub body: Range<usize>,
+}
+
+/// The cross-file symbol index. Lifetimes: borrows the scanned files it
+/// was built from.
+pub struct SymbolIndex<'a> {
+    /// The scanned files, in the order definitions reference them.
+    pub files: &'a [ScannedFile],
+    /// Every function definition found.
+    pub fns: Vec<FnDef>,
+    /// Definition indices by function name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per definition: the set of names its body calls.
+    pub calls: Vec<BTreeSet<String>>,
+    /// Per definition: its local closures.
+    pub closures: Vec<Vec<LocalClosure>>,
+}
+
+impl<'a> SymbolIndex<'a> {
+    /// Build the index over `files`.
+    pub fn build(files: &'a [ScannedFile]) -> SymbolIndex<'a> {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            collect_fns(fi, file, &mut fns);
+        }
+        let mut calls = Vec::with_capacity(fns.len());
+        let mut closures = Vec::with_capacity(fns.len());
+        for (di, def) in fns.iter().enumerate() {
+            by_name.entry(def.name.clone()).or_default().push(di);
+            let toks = &files[def.file].tokens;
+            calls.push(call_names(toks, def.body.clone()));
+            closures.push(local_closures(toks, def.body.clone()));
+        }
+        SymbolIndex {
+            files,
+            fns,
+            by_name,
+            calls,
+            closures,
+        }
+    }
+
+    /// The innermost definition in `file` whose body contains token
+    /// index `tok` (nested fns resolve to the inner one).
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.file == file && d.body.contains(&tok))
+            .min_by_key(|(_, d)| d.body.end - d.body.start)
+            .map(|(i, _)| i)
+    }
+
+    /// Definition indices reachable from `roots` by following call
+    /// names breadth-first (edges through [`STOP_NAMES`] are dropped).
+    /// Returns one flag per definition.
+    pub fn reachable(&self, roots: &[usize]) -> Vec<bool> {
+        let stop: BTreeSet<&str> = STOP_NAMES.iter().copied().collect();
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if let Some(flag) = seen.get_mut(r) {
+                if !*flag {
+                    *flag = true;
+                    queue.push(r);
+                }
+            }
+        }
+        while let Some(at) = queue.pop() {
+            for name in &self.calls[at] {
+                if stop.contains(name.as_str()) {
+                    continue;
+                }
+                for &target in self.by_name.get(name).map_or(&[][..], |v| v) {
+                    if !seen[target] {
+                        seen[target] = true;
+                        queue.push(target);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Find every `fn name … { … }` in `file` and append a [`FnDef`].
+fn collect_fns(fi: usize, file: &ScannedFile, out: &mut Vec<FnDef>) {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        // `fn(&str) -> T` function-pointer types have no name ident.
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Walk to the body `{` (or a `;` for bodyless trait items) at
+        // bracket/paren depth 0. Angle brackets are not tracked: `<`/`>`
+        // never nest braces in a signature.
+        let mut j = i + 2;
+        let mut depth = 0i64;
+        let mut body_open = None;
+        while let Some(t) = toks.get(j) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i += 2;
+            continue;
+        };
+        // Matching close brace.
+        let mut braces = 0i64;
+        let mut k = open;
+        let mut close = None;
+        while let Some(t) = toks.get(k) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => braces += 1,
+                    "}" => {
+                        braces -= 1;
+                        if braces == 0 {
+                            close = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(close) = close else {
+            i += 2;
+            continue;
+        };
+        out.push(FnDef {
+            name: name_tok.text.clone(),
+            file: fi,
+            body: open..close + 1,
+            is_test: file.line_in_test(line),
+        });
+        // Continue *inside* the body too: nested fns are definitions.
+        i += 2;
+    }
+}
+
+/// Names called within a token range: `name(` heads that are not
+/// keywords, macro invocations (`name!(`), or definitions (`fn name(`).
+pub(crate) fn call_names(toks: &[Token], range: Range<usize>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in range.clone() {
+        let Some(t) = toks.get(i) else { break };
+        if t.kind != TokenKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if !next.is_punct('(') {
+            continue;
+        }
+        if let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) {
+            if prev.is_ident("fn") || prev.is_punct('!') {
+                continue;
+            }
+        }
+        out.insert(t.text.clone());
+    }
+    out
+}
+
+/// `let name = [move] |…| body` closures within a token range. The body
+/// extends to the `;` closing the `let` statement at the statement's
+/// own bracket depth.
+fn local_closures(toks: &[Token], range: Range<usize>) -> Vec<LocalClosure> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // Pattern: let [mut] NAME [: …] = [move] |
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let name = name_tok.text.clone();
+        // Find the `=` at depth 0 before the statement ends.
+        let mut k = j + 1;
+        let mut depth = 0i64;
+        let mut eq = None;
+        while let Some(t) = toks.get(k) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0 => {
+                        eq = Some(k);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            i += 1;
+            continue;
+        };
+        let mut v = eq + 1;
+        if toks.get(v).is_some_and(|t| t.is_ident("move")) {
+            v += 1;
+        }
+        if !toks.get(v).is_some_and(|t| t.is_punct('|')) {
+            i += 1;
+            continue;
+        }
+        // Parameter list: to the matching `|` (an immediate second `|`
+        // is the empty list).
+        let mut p = v + 1;
+        let mut pdepth = 0i64;
+        while let Some(t) = toks.get(p) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "<" => pdepth += 1,
+                    ")" | "]" | ">" => pdepth -= 1,
+                    "|" if pdepth == 0 => break,
+                    _ => {}
+                }
+            }
+            p += 1;
+        }
+        let body_start = p + 1;
+        // Statement end: the `;` at depth 0 relative to the `let`.
+        let mut q = body_start;
+        let mut sdepth = 0i64;
+        let mut body_end = range.end;
+        while let Some(t) = toks.get(q) {
+            if q >= range.end {
+                break;
+            }
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => sdepth += 1,
+                    ")" | "]" | "}" => sdepth -= 1,
+                    ";" if sdepth == 0 => {
+                        body_end = q;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            q += 1;
+        }
+        out.push(LocalClosure {
+            name,
+            body: body_start..body_end,
+        });
+        i = body_end.max(i + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new("test.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn fns_and_bodies_are_found() {
+        let files = vec![scan(
+            "pub fn outer(x: usize) -> usize {\n    helper(x)\n}\nfn helper(x: usize) -> usize { x + 1 }\n",
+        )];
+        let idx = SymbolIndex::build(&files);
+        assert_eq!(idx.fns.len(), 2);
+        assert_eq!(idx.fns[0].name, "outer");
+        assert_eq!(idx.fns[1].name, "helper");
+        assert!(idx.calls[0].contains("helper"));
+        assert!(idx.calls[1].is_empty());
+    }
+
+    #[test]
+    fn bodyless_trait_items_are_skipped() {
+        let files = vec![scan(
+            "trait T { fn sig(&self) -> usize; fn has(&self) -> usize { 1 } }\n",
+        )];
+        let idx = SymbolIndex::build(&files);
+        let names: Vec<&str> = idx.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["has"]);
+    }
+
+    #[test]
+    fn reachability_follows_names_across_files() {
+        let files = vec![
+            scan("pub fn root() { middle() }\n"),
+            scan("pub fn middle() { leaf_op() }\npub fn unrelated() {}\n"),
+            scan("pub fn leaf_op() {}\n"),
+        ];
+        let idx = SymbolIndex::build(&files);
+        let root = idx.by_name["root"][0];
+        let seen = idx.reachable(&[root]);
+        let reached: Vec<&str> = idx
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| seen[i])
+            .map(|(_, d)| d.name.as_str())
+            .collect();
+        assert_eq!(reached, ["root", "middle", "leaf_op"]);
+    }
+
+    #[test]
+    fn stop_names_do_not_create_edges() {
+        let files = vec![
+            scan("pub fn root() { list.clone() }\n"),
+            scan("pub fn clone() { hidden_op() }\npub fn hidden_op() {}\n"),
+        ];
+        let idx = SymbolIndex::build(&files);
+        let root = idx.by_name["root"][0];
+        let seen = idx.reachable(&[root]);
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 1, "only the root");
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let files = vec![scan(
+            "fn f(x: bool) { if x { println!(\"hi\") } match x { _ => real_call() } }\n",
+        )];
+        let idx = SymbolIndex::build(&files);
+        assert!(idx.calls[0].contains("real_call"));
+        assert!(!idx.calls[0].contains("println"));
+        assert!(!idx.calls[0].contains("if"));
+        assert!(!idx.calls[0].contains("match"));
+    }
+
+    #[test]
+    fn local_closures_resolve_with_their_bodies() {
+        let files = vec![scan(
+            "fn f(w: &[usize]) {\n    let per_unit = |k: usize| compute(w[k]);\n    fan_out(w.len(), 2, &per_unit);\n}\nfn compute(x: usize) {}\n",
+        )];
+        let idx = SymbolIndex::build(&files);
+        let f = idx.by_name["f"][0];
+        assert_eq!(idx.closures[f].len(), 1);
+        let c = &idx.closures[f][0];
+        assert_eq!(c.name, "per_unit");
+        let called = call_names(&files[0].tokens, c.body.clone());
+        assert!(called.contains("compute"), "{called:?}");
+    }
+
+    #[test]
+    fn nested_fns_resolve_to_the_inner_definition() {
+        let files = vec![scan(
+            "fn outer() {\n    fn inner() { tick(); }\n    inner();\n}\n",
+        )];
+        let idx = SymbolIndex::build(&files);
+        let tick_tok = files[0]
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("tick"))
+            .unwrap();
+        let encl = idx.enclosing_fn(0, tick_tok).unwrap();
+        assert_eq!(idx.fns[encl].name, "inner");
+    }
+
+    #[test]
+    fn test_mod_fns_are_marked() {
+        let files = vec![scan(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        )];
+        let idx = SymbolIndex::build(&files);
+        assert!(!idx.fns[0].is_test);
+        assert!(idx.fns[1].is_test);
+    }
+}

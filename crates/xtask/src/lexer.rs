@@ -1,0 +1,594 @@
+//! A lightweight Rust lexer for the static-analysis passes.
+//!
+//! One scan of a source file produces three views at once:
+//!
+//! * a **token stream** ([`Token`]) — identifiers, lifetimes, literals,
+//!   and single-character punctuation, each tagged with its 1-based
+//!   line. The semantic passes (symbol index, deepcheck lints) walk
+//!   this stream instead of re-matching substrings.
+//! * the **code mask** — the source with comment, string, and char
+//!   contents blanked to spaces (newlines preserved), which the
+//!   token-level audit lints still operate on.
+//! * the **comment list** ([`Comment`]) — doc/plain comments with their
+//!   text, feeding the shape-doc lint and the `audit: allow` parser.
+//!
+//! The lexer is deliberately not a parser: it resolves exactly the
+//! ambiguities that break substring scanning — raw strings (`r#"…"#`
+//! with any hash depth, including byte variants), nested `/* /* */ */`
+//! block comments, and `'a` lifetimes versus `'a'` char literals — and
+//! leaves grammar to the passes above it.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `foo`, `HashMap`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`) — quote included.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`), quotes included.
+    CharLit,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`,
+    /// `br"…"`) — delimiters and *unmasked* contents included, so
+    /// constant-provenance lints can inspect the literal text.
+    StrLit,
+    /// A numeric literal run (`42`, `0xEDB8_8320`, `1_000u64`).
+    NumLit,
+    /// One punctuation character (`(`, `:`, `.`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's source text (unmasked, delimiters included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment found in a file (both `//`-family and `/* */`-family).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Comment text without the delimiters, trimmed.
+    pub text: String,
+    /// `true` for `///` and `//!` doc comments.
+    pub is_doc: bool,
+    /// `true` when the comment occupies its line alone (no code before it).
+    pub standalone: bool,
+}
+
+/// Everything one lexer pass produces.
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// The source with comment/string/char contents blanked to spaces
+    /// (newlines preserved, so line/column arithmetic matches).
+    pub mask: String,
+}
+
+/// States of the scanner.
+enum State {
+    Code,
+    LineComment {
+        start: usize,
+        doc: bool,
+    },
+    BlockComment {
+        depth: usize,
+        start: usize,
+        doc: bool,
+    },
+    Str {
+        start: usize,
+        tok_start: usize,
+    },
+    RawStr {
+        hashes: usize,
+        start: usize,
+        tok_start: usize,
+    },
+    Char {
+        start: usize,
+        tok_start: usize,
+    },
+}
+
+/// Lex `source` into tokens, comments, and the code mask.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut comment_buf = String::new();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut line_had_code = false;
+    let mut i = 0usize;
+
+    macro_rules! push_masked {
+        ($c:expr) => {
+            if $c == '\n' {
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'))
+                        && bytes.get(i + 3) != Some(&'/'); // `////` separators are not docs
+                    state = State::LineComment { start: line, doc };
+                    comment_buf.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    let doc = matches!(bytes.get(i + 2), Some('*') | Some('!'))
+                        && bytes.get(i + 3) != Some(&'/');
+                    state = State::BlockComment {
+                        depth: 1,
+                        start: line,
+                        doc,
+                    };
+                    comment_buf.clear();
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str {
+                        start: line,
+                        tok_start: i,
+                    };
+                    out.push('"');
+                    line_had_code = true;
+                }
+                'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                    let (consumed, hashes) = raw_string_open(&bytes, i);
+                    for k in 0..consumed {
+                        push_masked!(bytes[i + k]);
+                    }
+                    state = State::RawStr {
+                        hashes,
+                        start: line,
+                        tok_start: i,
+                    };
+                    line_had_code = true;
+                    i += consumed;
+                    continue;
+                }
+                '\'' => {
+                    // Lifetime (`'a`, `'static`, `'_`) vs char literal
+                    // (`'a'`, `'\n'`): a quote followed by an identifier
+                    // run is a lifetime unless a closing quote follows
+                    // the single identifier character.
+                    let is_lifetime = match (next, bytes.get(i + 2)) {
+                        (Some(n), after) if n.is_alphanumeric() || n == '_' => after != Some(&'\''),
+                        _ => false,
+                    };
+                    line_had_code = true;
+                    if is_lifetime {
+                        let mut j = i + 1;
+                        while bytes
+                            .get(j)
+                            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                        {
+                            j += 1;
+                        }
+                        let text: String = bytes[i..j].iter().collect();
+                        out.push_str(&text);
+                        tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            text,
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                    state = State::Char {
+                        start: line,
+                        tok_start: i,
+                    };
+                    out.push('\'');
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                    line_had_code = false;
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut j = i;
+                    while bytes
+                        .get(j)
+                        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                    {
+                        j += 1;
+                    }
+                    let text: String = bytes[i..j].iter().collect();
+                    out.push_str(&text);
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                    line_had_code = true;
+                    i = j;
+                    continue;
+                }
+                c if c.is_ascii_digit() => {
+                    // A numeric run: covers `0xEDB8_8320`, `1_000u64`,
+                    // `1e3`. A `.` splits (good enough for these lints).
+                    let mut j = i;
+                    while bytes
+                        .get(j)
+                        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                    {
+                        j += 1;
+                    }
+                    let text: String = bytes[i..j].iter().collect();
+                    out.push_str(&text);
+                    tokens.push(Token {
+                        kind: TokenKind::NumLit,
+                        text,
+                        line,
+                    });
+                    line_had_code = true;
+                    i = j;
+                    continue;
+                }
+                _ => {
+                    out.push(c);
+                    if !c.is_whitespace() {
+                        tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: c.to_string(),
+                            line,
+                        });
+                        line_had_code = true;
+                    }
+                }
+            },
+            State::LineComment { start, doc } => {
+                if c == '\n' {
+                    comments.push(Comment {
+                        line: start,
+                        text: comment_buf.trim().to_string(),
+                        is_doc: doc,
+                        standalone: !line_had_code,
+                    });
+                    out.push('\n');
+                    line += 1;
+                    line_had_code = false;
+                    state = State::Code;
+                } else {
+                    comment_buf.push(c);
+                    out.push(' ');
+                }
+            }
+            State::BlockComment {
+                ref mut depth,
+                start,
+                doc,
+            } => {
+                // Rust block comments nest: `/* /* */ */` is one comment.
+                if c == '/' && next == Some('*') {
+                    *depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        comments.push(Comment {
+                            line: start,
+                            text: comment_buf.trim().to_string(),
+                            is_doc: doc,
+                            standalone: !line_had_code,
+                        });
+                        state = State::Code;
+                    }
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                comment_buf.push(c);
+                push_masked!(c);
+                if c == '\n' {
+                    line += 1;
+                    line_had_code = false;
+                }
+            }
+            State::Str { start, tok_start } => match c {
+                '\\' => {
+                    out.push(' ');
+                    if let Some(n) = next {
+                        push_masked!(n);
+                        if n == '\n' {
+                            line += 1;
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    out.push('"');
+                    tokens.push(Token {
+                        kind: TokenKind::StrLit,
+                        text: bytes[tok_start..=i].iter().collect(),
+                        line: start,
+                    });
+                    state = State::Code;
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(' '),
+            },
+            State::RawStr {
+                hashes,
+                start,
+                tok_start,
+            } => {
+                if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                    for k in 0..=hashes {
+                        push_masked!(bytes[i + k]);
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::StrLit,
+                        text: bytes[tok_start..=i + hashes].iter().collect(),
+                        line: start,
+                    });
+                    state = State::Code;
+                    i += hashes + 1;
+                    continue;
+                }
+                push_masked!(c);
+                if c == '\n' {
+                    line += 1;
+                }
+            }
+            State::Char { start, tok_start } => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    out.push('\'');
+                    tokens.push(Token {
+                        kind: TokenKind::CharLit,
+                        text: bytes[tok_start..=i].iter().collect(),
+                        line: start,
+                    });
+                    state = State::Code;
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    if let State::LineComment { start, doc } = state {
+        comments.push(Comment {
+            line: start,
+            text: comment_buf.trim().to_string(),
+            is_doc: doc,
+            standalone: !line_had_code,
+        });
+    }
+    Lexed {
+        tokens,
+        comments,
+        mask: out,
+    }
+}
+
+/// Is `i` the start of a raw/byte string (`r"`, `r#"`, `br"`, `b"`, …)?
+///
+/// An identifier character immediately before disqualifies the match:
+/// `r`/`b` there is the tail of an identifier (`for`, `sub`), not a
+/// string prefix.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'"');
+    }
+    // Plain byte string `b"…"`.
+    bytes[i] == 'b' && bytes.get(j) == Some(&'"')
+}
+
+/// Length of the raw-string opener at `i` and its `#` count.
+fn raw_string_open(bytes: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // j is at the quote
+    (j + 1 - i, hashes)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw_string(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn tokens_carry_kinds_and_lines() {
+        let l = lex("fn f() {\n    x.call(42);\n}\n");
+        let f = &l.tokens[1];
+        assert!(f.is_ident("f"));
+        assert_eq!(f.line, 1);
+        let call = l.tokens.iter().find(|t| t.is_ident("call")).unwrap();
+        assert_eq!(call.line, 2);
+        let num = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::NumLit)
+            .unwrap();
+        assert_eq!(num.text, "42");
+    }
+
+    #[test]
+    fn raw_strings_of_every_flavor_are_single_tokens() {
+        for (src, lit) in [
+            ("let s = r\"a//b\";", "r\"a//b\""),
+            (
+                "let s = r#\"has \"quotes\" inside\"#;",
+                "r#\"has \"quotes\" inside\"#",
+            ),
+            ("let s = r##\"one \"# deep\"##;", "r##\"one \"# deep\"##"),
+            ("let s = b\"bytes\";", "b\"bytes\""),
+            ("let s = br#\"raw bytes\"#;", "br#\"raw bytes\"#"),
+        ] {
+            let l = lex(src);
+            let strs: Vec<&Token> = l
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::StrLit)
+                .collect();
+            assert_eq!(strs.len(), 1, "{src}");
+            assert_eq!(strs[0].text, lit, "{src}");
+            // The mask must not leak the contents.
+            assert!(!l.mask.contains("quotes"), "{src}");
+            assert!(!l.mask.contains("bytes"), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_string_prefix_requires_a_token_boundary() {
+        // `for` ends in `r`; the following string is a plain string, and
+        // the identifier must survive as a token.
+        let l = lex("for x in list { push(x, \"r\") }");
+        assert!(l.tokens.iter().any(|t| t.is_ident("for")));
+        assert!(l.mask.contains("for x in list"));
+    }
+
+    #[test]
+    fn nested_block_comments_unwind_fully() {
+        let l = lex("a /* outer /* inner */ still comment */ b\n");
+        assert!(l.mask.contains('a'));
+        assert!(l.mask.contains('b'));
+        assert!(!l.mask.contains("inner"));
+        assert!(!l.mask.contains("still"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+        // Only `a` and `b` survive as tokens.
+        assert_eq!(
+            idents("a /* outer /* inner */ still comment */ b\n"),
+            ["a", "b"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_tokens_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str, y: &'static u8, z: &'_ u8) -> &'a str { x }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static", "'_", "'a"]);
+        assert!(l.tokens.iter().all(|t| t.kind != TokenKind::CharLit));
+    }
+
+    #[test]
+    fn char_literals_including_escapes_are_masked() {
+        let l = lex("let a = 'x'; let q = '\\''; let s = '\\\\'; let u = '\\u{1F600}';");
+        let chars: Vec<&Token> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 4, "{:?}", l.tokens);
+        assert!(!l.mask.contains('x'), "char contents must be masked");
+        assert!(!l.mask.contains("1F600"));
+    }
+
+    #[test]
+    fn hex_literals_lex_as_one_numeric_token() {
+        let l = lex("const P: u32 = 0xEDB8_8320;");
+        let num = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::NumLit)
+            .unwrap();
+        assert_eq!(num.text, "0xEDB8_8320");
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let l = lex("let s = \"a\\\"b\"; let t = 1;");
+        assert!(l.mask.contains("let t = 1;"));
+        let lit = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::StrLit)
+            .unwrap();
+        assert_eq!(lit.text, "\"a\\\"b\"");
+    }
+}

@@ -297,10 +297,55 @@ fn mentions_curve(sig: &str) -> bool {
     false
 }
 
+/// Lint names the audit task owns (deepcheck owns
+/// [`crate::deepcheck::DEEPCHECK_LINTS`]); `all` is the audit-only
+/// blanket — deepcheck findings must be allowed by name.
+pub const AUDIT_LINTS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "index",
+    "float",
+    "doc-shape",
+    "all",
+];
+
 /// The `stale-allow` lint: escape hatches that suppressed nothing. Run
 /// after all other passes so `used` flags are final.
-pub fn lint_stale_allows(file: &ScannedFile, findings: &mut Vec<Finding>) {
+///
+/// Allow hygiene is *shared* between `audit` and `deepcheck` but each
+/// task polices only the lint names it owns (`owned`), so an unused
+/// `allow(det-wall-clock, …)` is not "stale" to the audit — that lint
+/// never ran there. Exactly one task (`flag_unknown`, the audit) reports
+/// names owned by neither, so typos surface once, not twice.
+pub fn lint_stale_allows(
+    file: &ScannedFile,
+    findings: &mut Vec<Finding>,
+    owned: &[&str],
+    flag_unknown: bool,
+) {
     for a in &file.allows {
+        let lint = a.lint.as_str();
+        let known =
+            AUDIT_LINTS.contains(&lint) || crate::deepcheck::DEEPCHECK_LINTS.contains(&lint);
+        if !known {
+            if flag_unknown {
+                findings.push(Finding {
+                    lint: "stale-allow".to_string(),
+                    file: file.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`audit: allow({lint}, ...)` names a lint no task runs — typo, or a \
+                         removed lint"
+                    ),
+                    snippet: file.snippet(a.line).to_string(),
+                });
+            }
+            continue;
+        }
+        if !owned.contains(&lint) {
+            continue;
+        }
         if !a.used.get() {
             findings.push(Finding {
                 lint: "stale-allow".to_string(),
@@ -372,7 +417,7 @@ mod tests {
         let mut out = Vec::new();
         lint_panic_family(&scanned, &mut out);
         assert!(out.is_empty());
-        lint_stale_allows(&scanned, &mut out);
+        lint_stale_allows(&scanned, &mut out, AUDIT_LINTS, true);
         assert!(out.is_empty(), "used allow must not be stale");
     }
 
@@ -381,9 +426,42 @@ mod tests {
         let scanned = scan("fn f() {} // audit: allow(unwrap, nothing here)\n");
         let mut out = Vec::new();
         lint_panic_family(&scanned, &mut out);
-        lint_stale_allows(&scanned, &mut out);
+        lint_stale_allows(&scanned, &mut out, AUDIT_LINTS, true);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].lint, "stale-allow");
+    }
+
+    #[test]
+    fn stale_allow_ownership_split() {
+        // A deepcheck-owned allow is not audit's business even when
+        // unused in the audit pass …
+        let scanned =
+            scan("fn f() {}\n// audit: allow(det-wall-clock, timing footer)\nfn g() {}\n");
+        let mut out = Vec::new();
+        lint_stale_allows(&scanned, &mut out, AUDIT_LINTS, true);
+        assert!(out.is_empty(), "{out:?}");
+        // … but it *is* stale to the task that owns the lint.
+        lint_stale_allows(&scanned, &mut out, crate::deepcheck::DEEPCHECK_LINTS, false);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("suppressed no finding"));
+    }
+
+    #[test]
+    fn unknown_lint_names_flagged_once() {
+        let scanned = scan("fn f() {} // audit: allow(unwarp, oops)\n");
+        let mut out = Vec::new();
+        lint_stale_allows(&scanned, &mut out, AUDIT_LINTS, true);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no task runs"));
+        // The non-flagging task stays silent about it.
+        let mut out2 = Vec::new();
+        lint_stale_allows(
+            &scanned,
+            &mut out2,
+            crate::deepcheck::DEEPCHECK_LINTS,
+            false,
+        );
+        assert!(out2.is_empty(), "{out2:?}");
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! and `cargo xtask validate-trace <file>...` (CI runs both on the
 //! `dnc profile` smoke outputs).
 
+mod deepcheck;
+mod index;
+mod lexer;
 mod lints;
 mod report;
 mod scan;
@@ -63,32 +66,37 @@ const FLOAT_WHITELIST: &[&str] = &[
     "crates/bench/src/throughput.rs",
 ];
 
-/// Directory trees never scanned.
-const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "results", "docs"];
+/// Directory trees never scanned (`fixtures` is the deepcheck lint
+/// corpus: deliberately seeded findings, exercised only by unit tests).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "results", "docs", "fixtures"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, flags) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask <audit [--json] | validate-metrics <file>... | validate-trace <file>...>");
+            eprintln!("usage: cargo xtask <audit [--json] | deepcheck [--json] | validate-metrics <file>... | validate-trace <file>...>");
             return ExitCode::FAILURE;
         }
     };
     match cmd {
-        "audit" => {
+        "audit" | "deepcheck" => {
             let json = flags.iter().any(|f| f == "--json");
             if let Some(bad) = flags.iter().find(|f| *f != "--json") {
-                eprintln!("xtask audit: unknown flag `{bad}`");
+                eprintln!("xtask {cmd}: unknown flag `{bad}`");
                 return ExitCode::FAILURE;
             }
-            audit(json)
+            if cmd == "audit" {
+                audit(json)
+            } else {
+                deepcheck_cmd(json)
+            }
         }
         "validate-metrics" => validate_files(cmd, flags, dnc_telemetry::schema::validate_metrics),
         "validate-trace" => validate_files(cmd, flags, dnc_telemetry::schema::validate_trace),
         other => {
             eprintln!(
-                "xtask: unknown task `{other}` (tasks: audit, validate-metrics, validate-trace)"
+                "xtask: unknown task `{other}` (tasks: audit, deepcheck, validate-metrics, validate-trace)"
             );
             ExitCode::FAILURE
         }
@@ -163,8 +171,11 @@ fn audit(json: bool) -> ExitCode {
         if SHAPE_DOC_SRC.iter().any(|p| rel.starts_with(p)) {
             lints::lint_doc_shape(&file, &mut findings);
         }
-        // Escape-hatch hygiene runs last so `used` flags reflect all passes.
-        lints::lint_stale_allows(&file, &mut findings);
+        // Escape-hatch hygiene runs last so `used` flags reflect all
+        // passes. The audit owns its own lint names (deepcheck allows in
+        // the same file are that task's business) and is the one pass
+        // that flags unrecognized lint names.
+        lints::lint_stale_allows(&file, &mut findings, lints::AUDIT_LINTS, true);
 
         for a in &file.allows {
             if a.used.get() {
@@ -184,7 +195,65 @@ fn audit(json: bool) -> ExitCode {
     if json {
         print!("{}", report::to_json(&findings, &allows, scanned));
     } else {
-        report::print_text(&findings, &allows, scanned);
+        report::print_text("audit", &findings, &allows, scanned);
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `cargo xtask deepcheck [--json]` — the cross-file determinism /
+/// concurrency / durability / contract passes. Unlike `audit`, every
+/// file is scanned up front so the symbol index sees the whole
+/// workspace before any lint runs.
+fn deepcheck_cmd(json: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        collect_rs(&root.join(top), &mut paths);
+    }
+    paths.sort();
+
+    let mut files = Vec::new();
+    for path in &paths {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("xtask deepcheck: skipping unreadable file {rel}");
+            continue;
+        };
+        files.push(ScannedFile::new(rel, source));
+    }
+    let scanned = files.len();
+
+    let mut findings = deepcheck::run(&files);
+    let mut allows: Vec<AllowRecord> = Vec::new();
+    for file in &files {
+        lints::lint_stale_allows(file, &mut findings, deepcheck::DEEPCHECK_LINTS, false);
+        for a in &file.allows {
+            if a.used.get() && deepcheck::DEEPCHECK_LINTS.contains(&a.lint.as_str()) {
+                allows.push(AllowRecord {
+                    lint: a.lint.clone(),
+                    file: file.path.clone(),
+                    line: a.line,
+                    reason: a.reason.clone(),
+                });
+            }
+        }
+    }
+
+    report::sort_findings(&mut findings);
+    report::sort_allows(&mut allows);
+
+    if json {
+        print!("{}", report::to_json(&findings, &allows, scanned));
+    } else {
+        report::print_text("deepcheck", &findings, &allows, scanned);
     }
     if findings.is_empty() {
         ExitCode::SUCCESS

@@ -39,7 +39,12 @@ pub fn sort_allows(allows: &mut [AllowRecord]) {
 }
 
 /// Human-readable report to stdout. Returns the finding count.
-pub fn print_text(findings: &[Finding], allows: &[AllowRecord], files_scanned: usize) -> usize {
+pub fn print_text(
+    task: &str,
+    findings: &[Finding],
+    allows: &[AllowRecord],
+    files_scanned: usize,
+) -> usize {
     for f in findings {
         println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
         if !f.snippet.is_empty() {
@@ -52,14 +57,14 @@ pub fn print_text(findings: &[Finding], allows: &[AllowRecord], files_scanned: u
     }
     if findings.is_empty() {
         println!(
-            "audit: clean — {} files scanned, 0 findings, {} allow(s) in effect",
+            "{task}: clean — {} files scanned, 0 findings, {} allow(s) in effect",
             files_scanned,
             allows.len()
         );
     } else {
         let breakdown: Vec<String> = per_lint.iter().map(|(l, n)| format!("{l}: {n}")).collect();
         println!(
-            "audit: {} finding(s) in {} files scanned ({}); {} allow(s) in effect",
+            "{task}: {} finding(s) in {} files scanned ({}); {} allow(s) in effect",
             findings.len(),
             files_scanned,
             breakdown.join(", "),

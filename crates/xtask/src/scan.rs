@@ -1,25 +1,20 @@
 //! Comment/string-aware scanning of Rust source files.
 //!
 //! The audit deliberately avoids a full parser (the build environment has
-//! no access to `syn`): every lint here operates on a *code mask* — the
-//! original source with comments, string literals, and char literals
-//! blanked out — plus side tables of comments and `#[cfg(test)]` module
-//! spans. That is enough to make token-level lints (`.unwrap()`, `f64`,
-//! indexing) immune to false positives from text inside strings or docs,
-//! which is the failure mode of plain grep.
+//! no access to `syn`): every lint here operates on the [`lexer`]'s
+//! output — a token stream plus a *code mask* (the original source with
+//! comments, string literals, and char literals blanked out) and side
+//! tables of comments and `#[cfg(test)]` module spans. That is enough to
+//! make token-level lints (`.unwrap()`, `f64`, indexing) immune to false
+//! positives from text inside strings or docs, which is the failure mode
+//! of plain grep, and enough for the deepcheck passes to build a
+//! cross-file symbol index on top.
+//!
+//! [`lexer`]: crate::lexer
 
-/// One comment found in a file (both `//`-family and `/* */`-family).
-#[derive(Debug, Clone)]
-pub struct Comment {
-    /// 1-based line of the comment's first character.
-    pub line: usize,
-    /// Comment text without the delimiters, trimmed.
-    pub text: String,
-    /// `true` for `///` and `//!` doc comments.
-    pub is_doc: bool,
-    /// `true` when the comment occupies its line alone (no code before it).
-    pub standalone: bool,
-}
+use crate::lexer::{self, Token};
+
+pub use crate::lexer::Comment;
 
 /// An `// audit: allow(<lint>, <reason>)` escape-hatch annotation.
 #[derive(Debug, Clone)]
@@ -45,27 +40,48 @@ pub struct ScannedFile {
     pub code: String,
     /// Original source (for snippets in reports).
     pub source: String,
+    /// The token stream (see [`crate::lexer`]).
+    pub tokens: Vec<Token>,
     /// All comments, in order.
     pub comments: Vec<Comment>,
     /// Escape-hatch annotations, in order.
     pub allows: Vec<Allow>,
     /// `in_test[line-1]` is `true` for lines inside `#[cfg(test)]` modules.
     pub in_test: Vec<bool>,
+    /// Byte offset of each line's first character in `source`
+    /// (`line_starts[0] == 0`), built once so [`ScannedFile::snippet`]
+    /// is O(line length) instead of re-splitting the whole file.
+    line_starts: Vec<usize>,
 }
 
 impl ScannedFile {
-    /// Scan `source` (from `path`) into masked code + side tables.
+    /// Scan `source` (from `path`) into tokens, masked code, and side
+    /// tables.
     pub fn new(path: String, source: String) -> ScannedFile {
-        let (code, comments) = mask(&source);
+        let lexer::Lexed {
+            tokens,
+            comments,
+            mask: code,
+        } = lexer::lex(&source);
         let allows = extract_allows(&code, &comments);
         let in_test = test_spans(&code);
+        let mut line_starts = vec![0usize];
+        line_starts.extend(
+            source
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(at, _)| at + 1),
+        );
         ScannedFile {
             path,
             code,
             source,
+            tokens,
             comments,
             allows,
             in_test,
+            line_starts,
         }
     }
 
@@ -75,15 +91,35 @@ impl ScannedFile {
     }
 
     /// The original source line (1-based), trimmed, for report snippets.
+    /// O(line length) via the precomputed line-offset index.
     pub fn snippet(&self, line: usize) -> &str {
-        self.source.lines().nth(line - 1).unwrap_or("").trim()
+        let Some(&start) = self.line_starts.get(line - 1) else {
+            return "";
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.source.len(), |&next| next);
+        self.source.get(start..end).unwrap_or("").trim()
     }
 
-    /// Look for an unused-or-used allow covering `line` for `lint`; marks
-    /// it used and returns `true` when found.
+    /// Look for an allow covering `line` for `lint` — including blanket
+    /// `allow(all, …)` annotations; marks it used and returns `true`
+    /// when found.
     pub fn allowed(&self, line: usize, lint: &str) -> bool {
+        self.allow_lookup(line, lint, true)
+    }
+
+    /// Like [`ScannedFile::allowed`], but blanket `all` annotations do
+    /// not apply: the deepcheck families require naming the lint (see
+    /// DESIGN, escape-hatch policy).
+    pub fn allowed_named(&self, line: usize, lint: &str) -> bool {
+        self.allow_lookup(line, lint, false)
+    }
+
+    fn allow_lookup(&self, line: usize, lint: &str, blanket: bool) -> bool {
         for a in &self.allows {
-            if a.target_line == line && (a.lint == lint || a.lint == "all") {
+            if a.target_line == line && (a.lint == lint || (blanket && a.lint == "all")) {
                 a.used.set(true);
                 return true;
             }
@@ -120,279 +156,6 @@ impl ScannedFile {
         doc_lines.reverse();
         doc_lines.join("\n")
     }
-}
-
-/// States of the masking scanner.
-enum State {
-    Code,
-    LineComment {
-        start: usize,
-        doc: bool,
-    },
-    BlockComment {
-        depth: usize,
-        start: usize,
-        doc: bool,
-    },
-    Str,
-    RawStr {
-        hashes: usize,
-    },
-    Char,
-}
-
-/// Blank out comment/string/char contents; collect comments.
-fn mask(source: &str) -> (String, Vec<Comment>) {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut comments: Vec<Comment> = Vec::new();
-    let mut comment_buf = String::new();
-    let mut state = State::Code;
-    let mut line = 1usize;
-    let mut line_had_code = false;
-    let mut i = 0usize;
-
-    macro_rules! push_masked {
-        ($c:expr) => {
-            if $c == '\n' {
-                out.push('\n');
-            } else {
-                out.push(' ');
-            }
-        };
-    }
-
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'))
-                        && bytes.get(i + 3) != Some(&'/'); // `////` separators are not docs
-                    state = State::LineComment { start: line, doc };
-                    comment_buf.clear();
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    let doc = matches!(bytes.get(i + 2), Some('*') | Some('!'))
-                        && bytes.get(i + 3) != Some(&'/');
-                    state = State::BlockComment {
-                        depth: 1,
-                        start: line,
-                        doc,
-                    };
-                    comment_buf.clear();
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push('"');
-                    line_had_code = true;
-                }
-                'r' | 'b' if is_raw_string_start(&bytes, i) => {
-                    let (consumed, hashes) = raw_string_open(&bytes, i);
-                    for k in 0..consumed {
-                        push_masked!(bytes[i + k]);
-                    }
-                    state = State::RawStr { hashes };
-                    line_had_code = true;
-                    i += consumed;
-                    continue;
-                }
-                '\'' => {
-                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                    let is_lifetime = match (next, bytes.get(i + 2)) {
-                        (Some(n), after) if n.is_alphanumeric() || n == '_' => after != Some(&'\''),
-                        _ => false,
-                    };
-                    if is_lifetime {
-                        out.push(c);
-                        line_had_code = true;
-                    } else {
-                        state = State::Char;
-                        out.push('\'');
-                        line_had_code = true;
-                    }
-                }
-                '\n' => {
-                    out.push('\n');
-                    line += 1;
-                    line_had_code = false;
-                }
-                _ => {
-                    out.push(c);
-                    if !c.is_whitespace() {
-                        line_had_code = true;
-                    }
-                }
-            },
-            State::LineComment { start, doc } => {
-                if c == '\n' {
-                    comments.push(Comment {
-                        line: start,
-                        text: comment_buf.trim().to_string(),
-                        is_doc: doc,
-                        standalone: !line_had_code,
-                    });
-                    out.push('\n');
-                    line += 1;
-                    line_had_code = false;
-                    state = State::Code;
-                } else {
-                    comment_buf.push(c);
-                    out.push(' ');
-                }
-            }
-            State::BlockComment {
-                ref mut depth,
-                start,
-                doc,
-            } => {
-                if c == '/' && next == Some('*') {
-                    *depth += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '*' && next == Some('/') {
-                    *depth -= 1;
-                    if *depth == 0 {
-                        comments.push(Comment {
-                            line: start,
-                            text: comment_buf.trim().to_string(),
-                            is_doc: doc,
-                            standalone: !line_had_code,
-                        });
-                        state = State::Code;
-                    }
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                comment_buf.push(c);
-                push_masked!(c);
-                if c == '\n' {
-                    line += 1;
-                    line_had_code = false;
-                }
-            }
-            State::Str => match c {
-                '\\' => {
-                    out.push(' ');
-                    if let Some(n) = next {
-                        push_masked!(n);
-                        if n == '\n' {
-                            line += 1;
-                        }
-                    }
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    out.push('"');
-                    state = State::Code;
-                }
-                '\n' => {
-                    out.push('\n');
-                    line += 1;
-                }
-                _ => out.push(' '),
-            },
-            State::RawStr { hashes } => {
-                if c == '"' && closes_raw_string(&bytes, i, hashes) {
-                    for k in 0..=hashes {
-                        push_masked!(bytes[i + k]);
-                    }
-                    state = State::Code;
-                    i += hashes + 1;
-                    continue;
-                }
-                push_masked!(c);
-                if c == '\n' {
-                    line += 1;
-                }
-            }
-            State::Char => match c {
-                '\\' => {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                    }
-                    i += 2;
-                    continue;
-                }
-                '\'' => {
-                    out.push('\'');
-                    state = State::Code;
-                }
-                _ => out.push(' '),
-            },
-        }
-        i += 1;
-    }
-    if let State::LineComment { start, doc } = state {
-        comments.push(Comment {
-            line: start,
-            text: comment_buf.trim().to_string(),
-            is_doc: doc,
-            standalone: !line_had_code,
-        });
-    }
-    (out, comments)
-}
-
-/// Is `i` the start of a raw/byte string (`r"`, `r#"`, `br"`, `b"`, ...)?
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    let mut j = i;
-    if bytes[j] == 'b' {
-        j += 1;
-    }
-    if bytes.get(j) == Some(&'r') {
-        j += 1;
-        while bytes.get(j) == Some(&'#') {
-            j += 1;
-        }
-        return bytes.get(j) == Some(&'"');
-    }
-    // Plain byte string b"..."; treat like a normal string start only if
-    // the previous char is not an identifier char (avoid matching `rb` in
-    // an identifier like `verb"`... identifiers can't contain quotes, but
-    // `b` could end an identifier like `sub`).
-    bytes[i] == 'b'
-        && bytes.get(j) == Some(&'"')
-        && (i == 0 || !(bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_'))
-}
-
-/// Length of the raw-string opener at `i` and its `#` count.
-fn raw_string_open(bytes: &[char], i: usize) -> (usize, usize) {
-    let mut j = i;
-    if bytes[j] == 'b' {
-        j += 1;
-    }
-    if bytes.get(j) == Some(&'r') {
-        j += 1;
-    }
-    let mut hashes = 0;
-    while bytes.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    // j is at the quote
-    (j + 1 - i, hashes)
-}
-
-/// Does the `"` at `i` close a raw string with `hashes` hashes?
-fn closes_raw_string(bytes: &[char], i: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
 }
 
 /// Parse `audit: allow(<lint>, <reason>)` annotations out of comments and
@@ -512,10 +275,60 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_embedded_comment_markers_stay_strings() {
+        // `//` and `/*` inside a raw string must not open a comment: the
+        // code after the literal still gets linted.
+        let f = scan("let s = r#\"// not /* a comment\"#; let live = 3;\n");
+        assert!(f.code.contains("let live = 3;"));
+        assert!(!f.code.contains("not"));
+        assert!(f.comments.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let f = scan("let a = 1; /* outer /* inner */ tail */ let b = 2;\n");
+        assert!(f.code.contains("let a = 1;"));
+        assert!(f.code.contains("let b = 2;"));
+        assert!(!f.code.contains("tail"));
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("inner"));
+    }
+
+    #[test]
     fn lifetimes_are_not_char_literals() {
         let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
         assert!(f.code.contains("fn f<'a>(x: &'a str)"));
         assert!(!f.code.contains("'x'"));
+    }
+
+    #[test]
+    fn static_and_anonymous_lifetimes_survive_masking() {
+        let f = scan("fn f(x: &'static str, y: &'_ u8) { g::<'static>(x, y) }\n");
+        assert!(f.code.contains("&'static str"));
+        assert!(f.code.contains("&'_ u8"));
+    }
+
+    #[test]
+    fn ident_ending_in_r_before_string_is_not_a_raw_string() {
+        let f = scan("for x in v { h(\"lit\") }\nlet after = 1;\n");
+        assert!(f.code.contains("for x in v"));
+        assert!(f.code.contains("let after = 1;"));
+    }
+
+    #[test]
+    fn snippet_uses_the_line_offset_index() {
+        let f = scan("first line\n  second line  \nthird\n");
+        assert_eq!(f.snippet(1), "first line");
+        assert_eq!(f.snippet(2), "second line");
+        assert_eq!(f.snippet(3), "third");
+        assert_eq!(f.snippet(4), "");
+        assert_eq!(f.snippet(99), "");
+    }
+
+    #[test]
+    fn snippet_of_last_line_without_trailing_newline() {
+        let f = scan("only line, no newline");
+        assert_eq!(f.snippet(1), "only line, no newline");
     }
 
     #[test]
@@ -537,6 +350,17 @@ mod tests {
         assert_eq!(f.allows[0].target_line, 2);
         assert!(f.allowed(2, "index"));
         assert!(!f.allowed(3, "index"));
+    }
+
+    #[test]
+    fn named_lookup_ignores_blanket_all_allows() {
+        let f = scan("do_thing(); // audit: allow(all, blanket)\n");
+        assert!(f.allowed(1, "unwrap"), "blanket applies to audit lookup");
+        assert!(
+            !f.allowed_named(1, "det-hash-iter"),
+            "blanket must not satisfy a named-only lookup"
+        );
+        assert!(f.allowed_named(1, "all"), "exact name still matches");
     }
 
     #[test]
