@@ -2,19 +2,21 @@
 //! simulator and the guarded analysis chain, flagging any simulated
 //! delay above a bound still claimed valid for the degraded capacity.
 //!
-//! Usage: `chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K]`
+//! Usage: `chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K]
+//! [--out-dir DIR]`
 //! `--scenario K` replays scenario `K` of the seed alone (bit-exact,
 //! without running the others). Exits 1 on any soundness violation;
-//! a full sweep also writes `results/metrics-chaos.json`
-//! (`dnc-metrics/v1`).
+//! a full sweep also writes `<out-dir>/metrics-chaos.json`
+//! (`dnc-metrics/v1`, default `results/`).
 
 use dnc_bench::chaos::{
-    render_report, render_scenario, replay_scenario, run_chaos, write_chaos_metrics, ChaosConfig,
+    render_report, render_scenario, replay_scenario, run_chaos, write_chaos_metrics_in, ChaosConfig,
 };
 
 fn main() {
     let mut cfg = ChaosConfig::default();
     let mut scenario: Option<usize> = None;
+    let mut out_dir = dnc_bench::results_dir();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -48,9 +50,16 @@ fn main() {
                 }));
                 i += 2;
             }
+            "--out-dir" => {
+                out_dir = value(i).map(std::path::PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a path");
+                    std::process::exit(dnc_bench::exit::USAGE);
+                });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option {other}");
-                eprintln!("usage: chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K]");
+                eprintln!("usage: chaos [--scenarios N] [--seed S] [--ticks T] [--scenario K] [--out-dir DIR]");
                 std::process::exit(dnc_bench::exit::USAGE);
             }
         }
@@ -67,7 +76,7 @@ fn main() {
 
     let report = run_chaos(&cfg);
     print!("{}", render_report(&report));
-    match write_chaos_metrics(&report) {
+    match write_chaos_metrics_in(&out_dir, &report) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write metrics: {e}"),
     }

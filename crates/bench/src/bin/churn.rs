@@ -4,20 +4,22 @@
 //! write-ahead journal.
 //!
 //! Usage: `churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I]
-//! [--workers W]`
+//! [--workers W] [--out-dir DIR]`
 //! `--seq I` replays sequence `I` of the seed alone (bit-exact).
 //! `--workers W` fans each certification over `W` threads — the
 //! falsifiers must stay just as quiet.
 //! Exits 1 on any certification or recovery violation; a full sweep
-//! also writes `results/metrics-churn.json` (`dnc-metrics/v1`).
+//! also writes `<out-dir>/metrics-churn.json` (`dnc-metrics/v1`,
+//! default `results/`).
 
 use dnc_bench::churn::{
-    render_report, replay_sequence, run_churn, write_churn_metrics, ChurnConfig, ChurnReport,
+    render_report, replay_sequence, run_churn, write_churn_metrics_in, ChurnConfig, ChurnReport,
 };
 
 fn main() {
     let mut cfg = ChurnConfig::default();
     let mut seq: Option<usize> = None;
+    let mut out_dir = dnc_bench::results_dir();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -54,10 +56,20 @@ fn main() {
                 cfg.workers = (int(i, "--workers") as usize).max(1);
                 i += 2;
             }
+            "--out-dir" => {
+                out_dir = args
+                    .get(i + 1)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out-dir needs a path");
+                        std::process::exit(dnc_bench::exit::USAGE);
+                    });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option {other}");
                 eprintln!(
-                    "usage: churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I] [--workers W]"
+                    "usage: churn [--seqs N] [--ops N] [--seed S] [--kill-points K] [--seq I] [--workers W] [--out-dir DIR]"
                 );
                 std::process::exit(dnc_bench::exit::USAGE);
             }
@@ -79,7 +91,7 @@ fn main() {
 
     let report = run_churn(&cfg);
     print!("{}", render_report(&report));
-    match write_churn_metrics(&report) {
+    match write_churn_metrics_in(&out_dir, &report) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write metrics: {e}"),
     }

@@ -4,19 +4,22 @@
 //! path) and report admissions/sec for each. Every mode must answer
 //! bit-identically — speed without exactness is a violation.
 //!
-//! Usage: `throughput [--n N] [--ops N] [--seed S] [--workers W] [--check]`
+//! Usage: `throughput [--n N] [--ops N] [--seed S] [--workers W] [--check]
+//! [--out-dir DIR]`
 //! `--check` additionally requires the incremental mode to reach at
 //! least the from-scratch sequential admissions/sec.
 //! Exits 1 on any cross-mode mismatch (or a failed `--check`); also
-//! writes `results/metrics-throughput.json` (`dnc-metrics/v1`).
+//! writes `<out-dir>/metrics-throughput.json` (`dnc-metrics/v1`,
+//! default `results/`).
 
 use dnc_bench::throughput::{
-    render_report, run_throughput, write_throughput_metrics, ThroughputConfig,
+    render_report, run_throughput, write_throughput_metrics_in, ThroughputConfig,
 };
 
 fn main() {
     let mut cfg = ThroughputConfig::default();
     let mut check = false;
+    let mut out_dir = dnc_bench::results_dir();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -49,9 +52,19 @@ fn main() {
                 check = true;
                 i += 1;
             }
+            "--out-dir" => {
+                out_dir = args
+                    .get(i + 1)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out-dir needs a path");
+                        std::process::exit(dnc_bench::exit::USAGE);
+                    });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option {other}");
-                eprintln!("usage: throughput [--n N] [--ops N] [--seed S] [--workers W] [--check]");
+                eprintln!("usage: throughput [--n N] [--ops N] [--seed S] [--workers W] [--check] [--out-dir DIR]");
                 std::process::exit(dnc_bench::exit::USAGE);
             }
         }
@@ -59,7 +72,7 @@ fn main() {
 
     let report = run_throughput(&cfg);
     print!("{}", render_report(&report));
-    match write_throughput_metrics(&report) {
+    match write_throughput_metrics_in(&out_dir, &report) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write metrics: {e}"),
     }

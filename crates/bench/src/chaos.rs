@@ -414,6 +414,14 @@ pub fn write_chaos_metrics(report: &ChaosReport) -> std::io::Result<std::path::P
     write_metrics_doc("chaos", chaos_series(report))
 }
 
+/// Write `<dir>/metrics-chaos.json`; returns the path written.
+pub fn write_chaos_metrics_in(
+    dir: &std::path::Path,
+    report: &ChaosReport,
+) -> std::io::Result<std::path::PathBuf> {
+    crate::write_metrics_doc_in(dir, "chaos", chaos_series(report))
+}
+
 /// Column header shared by the full report and single-scenario replay.
 fn render_header(s: &mut String) {
     let _ = writeln!(

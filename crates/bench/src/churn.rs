@@ -474,6 +474,14 @@ pub fn write_churn_metrics(report: &ChurnReport) -> std::io::Result<std::path::P
     write_metrics_doc("churn", churn_series(report))
 }
 
+/// Write `<dir>/metrics-churn.json`; returns the path written.
+pub fn write_churn_metrics_in(
+    dir: &std::path::Path,
+    report: &ChurnReport,
+) -> std::io::Result<std::path::PathBuf> {
+    crate::write_metrics_doc_in(dir, "churn", churn_series(report))
+}
+
 /// Render the run as a fixed-width text report.
 pub fn render_report(report: &ChurnReport) -> String {
     let mut s = String::new();

@@ -18,3 +18,7 @@ pub const USAGE: i32 = 2;
 /// No valid bound within budget: time-stopping divergence or guard
 /// exhaustion after the full degradation chain.
 pub const NO_BOUND: i32 = 3;
+
+/// The perf-trajectory regression gate tripped: at least one metric of
+/// the latest bench record left the noise band of the recent history.
+pub const REGRESSION: i32 = 4;

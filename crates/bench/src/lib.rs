@@ -22,8 +22,12 @@
 pub mod chaos;
 pub mod chart;
 pub mod churn;
+pub mod dashboard;
 pub mod exit;
+pub mod profile;
+pub mod runner;
 pub mod throughput;
+pub mod trajectory;
 
 use dnc_core::{
     decomposed::Decomposed, fifo_family::FifoFamily, integrated::Integrated,
@@ -277,11 +281,12 @@ pub fn sweep_series(points: &[SweepPoint], algos: &[Algo]) -> Vec<dnc_telemetry:
     out
 }
 
-/// Write `results/metrics-<name>.json`: the given series wrapped around
+/// Write `<dir>/metrics-<name>.json`: the given series wrapped around
 /// whatever the telemetry registry aggregated since the last reset (an
 /// empty snapshot in builds without `--features telemetry`). Returns the
 /// path written.
-pub fn write_metrics_doc(
+pub fn write_metrics_doc_in(
+    dir: &Path,
     name: &str,
     series: Vec<dnc_telemetry::export::Series>,
 ) -> std::io::Result<std::path::PathBuf> {
@@ -295,9 +300,17 @@ pub fn write_metrics_doc(
             },
         );
     doc.series = series;
-    let path = results_dir().join(format!("metrics-{name}.json"));
+    let path = dir.join(format!("metrics-{name}.json"));
     dnc_telemetry::export::write_metrics(&doc, &path)?;
     Ok(path)
+}
+
+/// [`write_metrics_doc_in`] into the default [`results_dir`].
+pub fn write_metrics_doc(
+    name: &str,
+    series: Vec<dnc_telemetry::export::Series>,
+) -> std::io::Result<std::path::PathBuf> {
+    write_metrics_doc_in(&results_dir(), name, series)
 }
 
 #[cfg(test)]

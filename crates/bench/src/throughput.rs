@@ -26,7 +26,6 @@ use dnc_service::{AdmitRequest, ChurnEngine, EngineConfig, Request, Response};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Knobs of a throughput run.
 #[derive(Clone, Debug)]
@@ -176,14 +175,14 @@ fn run_mode(
     let mut engine =
         ChurnEngine::new(base, Vec::new(), engine_cfg).expect("base tandem is structurally valid");
     let mut prints = Vec::with_capacity(reqs.len());
-    let started = Instant::now();
-    for req in reqs {
-        match engine.process(req.clone()) {
-            Ok(resp) => prints.push(fingerprint(&resp)),
-            Err(e) => prints.push(format!("engine-error {e}")),
+    let ((), wall_us) = crate::trajectory::time_micros(|| {
+        for req in reqs {
+            match engine.process(req.clone()) {
+                Ok(resp) => prints.push(fingerprint(&resp)),
+                Err(e) => prints.push(format!("engine-error {e}")),
+            }
         }
-    }
-    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    });
     let stats = engine.stats();
     let secs = (wall_us.max(1)) as f64 / 1_000_000.0;
     (
@@ -318,6 +317,14 @@ pub fn throughput_series(report: &ThroughputReport) -> Vec<dnc_telemetry::export
 /// Write `results/metrics-throughput.json`; returns the path written.
 pub fn write_throughput_metrics(report: &ThroughputReport) -> std::io::Result<std::path::PathBuf> {
     write_metrics_doc("throughput", throughput_series(report))
+}
+
+/// Write `<dir>/metrics-throughput.json`; returns the path written.
+pub fn write_throughput_metrics_in(
+    dir: &std::path::Path,
+    report: &ThroughputReport,
+) -> std::io::Result<std::path::PathBuf> {
+    crate::write_metrics_doc_in(dir, "throughput", throughput_series(report))
 }
 
 /// Render the run as a fixed-width text report.

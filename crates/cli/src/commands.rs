@@ -35,6 +35,8 @@ pub const EXIT_USAGE: i32 = dnc_bench::exit::USAGE;
 /// Exit code for "no valid bound within budget" (time-stopping
 /// divergence or guard exhaustion after the full degradation chain).
 pub const EXIT_NO_BOUND: i32 = dnc_bench::exit::NO_BOUND;
+/// Exit code for a tripped perf-regression gate (`bench --gate`).
+pub const EXIT_REGRESSION: i32 = dnc_bench::exit::REGRESSION;
 
 impl CliError {
     fn new(message: impl Into<String>) -> CliError {
@@ -90,6 +92,15 @@ commands:
             is crash-recovered from K random truncation points; exit
             code 1 flags either falsifier firing; --seq I replays
             sequence I of the seed alone, bit-exact
+  bench     record one perf-trajectory run (no file argument): run the
+            throughput, profile, chaos, and churn harnesses with pinned
+            seeds, archive their raw metrics under results/runs/<sha>-<ts>/,
+            and append one dnc-bench/v1 record each to BENCH_throughput.json
+            and BENCH_churn.json     [--quick] [--seed S] [--out-dir DIR]
+                                     [--gate] [--window K] [--threshold PCT]
+                                     [--dashboard DIR]
+            with --gate, exit code 4 flags a gated metric outside the
+            noise band (median of the last K runs ± the threshold)
   tandem    emit the paper's tandem as a .dnc file: dnc tandem <n> <U>
   provision minimal GPS reservations meeting the declared deadlines
   serve     durable online admission   --script <requests> [--journal <wal>]
@@ -105,6 +116,8 @@ exit codes (uniform across commands):
   2  usage error — bad flags, unreadable files, malformed input
   3  no bound — the resilient chain ended at the explicit Unbounded tier
      (analyze --algo resilient/time-stopping)
+  4  regression — a gated perf metric left the trajectory noise band
+     (bench --gate)
 
 `--metrics` writes a dnc-metrics/v1 JSON document; `--trace` writes Chrome
 trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).
@@ -295,6 +308,61 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             churn_cmd(&cfg, metrics.as_deref(), seq)
+        }
+        "bench" => {
+            let mut opts = dnc_bench::runner::BenchOptions::default();
+            let mut gate_enforced = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let value = |name: &str, i: usize| -> Result<String, CliError> {
+                    rest.get(i + 1)
+                        .map(|v| v.to_string())
+                        .ok_or_else(|| CliError::new(format!("{name} needs a value")))
+                };
+                match rest[i].as_str() {
+                    "--quick" => {
+                        opts.quick = true;
+                        i += 1;
+                    }
+                    "--gate" => {
+                        gate_enforced = true;
+                        i += 1;
+                    }
+                    "--seed" => {
+                        opts.seed = value("--seed", i)?
+                            .parse()
+                            .map_err(|_| CliError::new("--seed needs an integer"))?;
+                        i += 2;
+                    }
+                    "--window" => {
+                        opts.gate.window = value("--window", i)?
+                            .parse()
+                            .map_err(|_| CliError::new("--window needs an integer"))?;
+                        i += 2;
+                    }
+                    "--threshold" => {
+                        opts.gate.threshold_pct = value("--threshold", i)?
+                            .parse()
+                            .map_err(|_| CliError::new("--threshold needs an integer"))?;
+                        i += 2;
+                    }
+                    "--out-dir" => {
+                        opts.out_dir = std::path::PathBuf::from(value("--out-dir", i)?);
+                        i += 2;
+                    }
+                    "--bench-dir" => {
+                        opts.bench_dir = std::path::PathBuf::from(value("--bench-dir", i)?);
+                        i += 2;
+                    }
+                    "--dashboard" => {
+                        opts.dashboard = Some(std::path::PathBuf::from(value("--dashboard", i)?));
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            bench_cmd(&opts, gate_enforced)
         }
         "provision" => {
             let path = it.next().ok_or_else(|| CliError::new(USAGE))?;
@@ -1002,6 +1070,34 @@ fn churn_cmd(
             code: EXIT_VIOLATION,
         })
     }
+}
+
+/// `dnc bench`: record one perf-trajectory run through
+/// [`dnc_bench::runner::run_bench`], then map the outcome onto the
+/// unified exit table: harness soundness failures exit 1, a tripped
+/// gate (only when `--gate` was passed) exits 4.
+fn bench_cmd(
+    opts: &dnc_bench::runner::BenchOptions,
+    gate_enforced: bool,
+) -> Result<String, CliError> {
+    let summary =
+        dnc_bench::runner::run_bench(opts).map_err(|e| CliError::new(format!("bench: {e}")))?;
+    let mut out = summary.text.clone();
+    if !summary.sound() {
+        let _ = writeln!(out, "bench: harness soundness failure");
+        return Err(CliError {
+            message: out,
+            code: EXIT_VIOLATION,
+        });
+    }
+    if gate_enforced && summary.regressed() {
+        let _ = writeln!(out, "bench: regression gate tripped");
+        return Err(CliError {
+            message: out,
+            code: EXIT_REGRESSION,
+        });
+    }
+    Ok(out)
 }
 
 /// For every flow with a deadline that crosses GPS servers, find the

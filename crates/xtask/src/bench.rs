@@ -1,0 +1,92 @@
+//! `cargo xtask bench` — the perf-trajectory recorder.
+//!
+//! Thin flag-parsing shell over [`dnc_bench::runner::run_bench`]: one
+//! command runs the throughput, profile, chaos, and churn harnesses
+//! with pinned seeds, archives their raw metrics under
+//! `results/runs/<sha>-<ts>/`, appends one `dnc-bench/v1` record to
+//! each of `BENCH_throughput.json` / `BENCH_churn.json`, and maps the
+//! outcome onto the workspace exit table: harness soundness failures
+//! exit [`exit::VIOLATION`]; with `--gate`, an out-of-band metric
+//! exits [`exit::REGRESSION`].
+
+use dnc_bench::exit;
+use dnc_bench::runner::{run_bench, BenchOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask bench [--quick] [--seed N] [--out-dir DIR] \
+[--bench-dir DIR] [--gate] [--window K] [--threshold PCT] [--dashboard DIR]";
+
+fn as_exit(code: i32) -> ExitCode {
+    ExitCode::from(code as u8)
+}
+
+/// Parse flags and run one recorded bench pass.
+pub fn bench_cmd(flags: &[String]) -> ExitCode {
+    let mut opts = BenchOptions::default();
+    let mut gate_enforced = false;
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let mut value = |name: &str| -> Option<String> {
+            i += 1;
+            let v = flags.get(i).cloned();
+            if v.is_none() {
+                eprintln!("xtask bench: {name} needs a value\n{USAGE}");
+            }
+            v
+        };
+        match flag {
+            "--quick" => opts.quick = true,
+            "--gate" => gate_enforced = true,
+            "--seed" => match value("--seed").and_then(|v| v.parse().ok()) {
+                Some(n) => opts.seed = n,
+                None => return as_exit(exit::USAGE),
+            },
+            "--window" => match value("--window").and_then(|v| v.parse().ok()) {
+                Some(n) => opts.gate.window = n,
+                None => return as_exit(exit::USAGE),
+            },
+            "--threshold" => match value("--threshold").and_then(|v| v.parse().ok()) {
+                Some(n) => opts.gate.threshold_pct = n,
+                None => return as_exit(exit::USAGE),
+            },
+            "--out-dir" => match value("--out-dir") {
+                Some(dir) => opts.out_dir = PathBuf::from(dir),
+                None => return as_exit(exit::USAGE),
+            },
+            "--bench-dir" => match value("--bench-dir") {
+                Some(dir) => opts.bench_dir = PathBuf::from(dir),
+                None => return as_exit(exit::USAGE),
+            },
+            "--dashboard" => match value("--dashboard") {
+                Some(dir) => opts.dashboard = Some(PathBuf::from(dir)),
+                None => return as_exit(exit::USAGE),
+            },
+            other => {
+                eprintln!("xtask bench: unknown flag `{other}`\n{USAGE}");
+                return as_exit(exit::USAGE);
+            }
+        }
+        i += 1;
+    }
+
+    match run_bench(&opts) {
+        Ok(summary) => {
+            print!("{}", summary.text);
+            if !summary.sound() {
+                eprintln!("xtask bench: harness soundness failure");
+                as_exit(exit::VIOLATION)
+            } else if gate_enforced && summary.regressed() {
+                eprintln!("xtask bench: regression gate tripped");
+                as_exit(exit::REGRESSION)
+            } else {
+                as_exit(exit::OK)
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            as_exit(exit::USAGE)
+        }
+    }
+}

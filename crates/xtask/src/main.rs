@@ -19,11 +19,15 @@
 //! so CI can gate on it. `--json` prints the stable machine-readable
 //! report that `results/audit-baseline.json` is a snapshot of.
 //!
-//! Two sibling tasks check emitted telemetry artifacts against the
-//! `dnc-metrics/v1` schema: `cargo xtask validate-metrics <file>...`
-//! and `cargo xtask validate-trace <file>...` (CI runs both on the
-//! `dnc profile` smoke outputs).
+//! Sibling tasks check emitted telemetry artifacts against their
+//! schemas: `cargo xtask validate-metrics <file>...` and
+//! `cargo xtask validate-trace <file>...` (CI runs both on the
+//! `dnc profile` smoke outputs), plus
+//! `cargo xtask validate-bench [--shape] <file>...` for the
+//! `dnc-bench/v1` perf trajectories that `cargo xtask bench` appends
+//! (see `bench.rs` and DESIGN §15).
 
+mod bench;
 mod deepcheck;
 mod index;
 mod lexer;
@@ -64,6 +68,12 @@ const FLOAT_WHITELIST: &[&str] = &[
     // Admissions/sec reporting — rates are lossy, never feed back into
     // the Rat analysis.
     "crates/bench/src/throughput.rs",
+    // The perf-trajectory layer is reporting-side end to end: records,
+    // gate math, and dashboard charts consume already-lossy measurements
+    // and never feed back into the Rat analysis.
+    "crates/bench/src/trajectory.rs",
+    "crates/bench/src/dashboard.rs",
+    "crates/bench/src/runner.rs",
 ];
 
 /// Directory trees never scanned (`fixtures` is the deepcheck lint
@@ -75,7 +85,7 @@ fn main() -> ExitCode {
     let (cmd, flags) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask <audit [--json] | deepcheck [--json] | validate-metrics <file>... | validate-trace <file>...>");
+            eprintln!("usage: cargo xtask <audit [--json] | deepcheck [--json] | bench [flags] | validate-metrics <file>... | validate-trace <file>... | validate-bench [--shape] <file>...>");
             return ExitCode::FAILURE;
         }
     };
@@ -92,15 +102,52 @@ fn main() -> ExitCode {
                 deepcheck_cmd(json)
             }
         }
+        "bench" => bench::bench_cmd(flags),
         "validate-metrics" => validate_files(cmd, flags, dnc_telemetry::schema::validate_metrics),
         "validate-trace" => validate_files(cmd, flags, dnc_telemetry::schema::validate_trace),
+        "validate-bench" => {
+            let shape = flags.iter().any(|f| f == "--shape");
+            let paths: Vec<String> = flags.iter().filter(|f| *f != "--shape").cloned().collect();
+            if shape {
+                shape_files(&paths)
+            } else {
+                validate_files(cmd, &paths, dnc_telemetry::schema::validate_bench)
+            }
+        }
         other => {
             eprintln!(
-                "xtask: unknown task `{other}` (tasks: audit, deepcheck, validate-metrics, validate-trace)"
+                "xtask: unknown task `{other}` (tasks: audit, deepcheck, bench, validate-metrics, validate-trace, validate-bench)"
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// `validate-bench --shape`: print each file's last-record shape (sorted
+/// `key: type` lines), so CI can diff an appended record against the
+/// committed example without comparing values.
+fn shape_files(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: cargo xtask validate-bench [--shape] <file>...");
+        return ExitCode::FAILURE;
+    }
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match dnc_telemetry::schema::bench_record_shape(&text) {
+            Ok(shape) => print!("{shape}"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Run a schema validator over each listed file; report per-file results
