@@ -1,0 +1,99 @@
+//! Socket acks/sec: drive the TCP admission front end with concurrent
+//! pipelining clients under two commit modes (per-op fsync, group
+//! commit) and report end-to-end acknowledged ops per second for each.
+//! Both modes must acknowledge the same workload and their journals
+//! must replay to the served state — speed without durability is a
+//! violation.
+//!
+//! Usage: `socket [--clients N] [--ops N] [--batch N] [--seed S]
+//! [--check X] [--out-dir DIR]`
+//! `--check X` additionally requires the group-commit mode to reach at
+//! least `X` (a float, e.g. `2.0`) times the per-op acks/sec.
+//! Exits 1 on any soundness mismatch (or a failed `--check`); also
+//! writes `<out-dir>/metrics-socket.json` (`dnc-metrics/v1`, default
+//! `results/`).
+
+use dnc_bench::socket::{render_report, run_socket, write_socket_metrics_in, SocketConfig};
+
+fn main() {
+    let mut cfg = SocketConfig::default();
+    let mut check: Option<f64> = None; // audit: allow(float, gate threshold for a lossy rate ratio; never feeds back into the analysis)
+    let mut out_dir = dnc_bench::results_dir();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let int = |i: usize, name: &str| -> u64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs an integer");
+                    std::process::exit(dnc_bench::exit::USAGE);
+                })
+        };
+        match args[i].as_str() {
+            "--clients" => {
+                cfg.clients = (int(i, "--clients") as usize).max(1);
+                i += 2;
+            }
+            "--ops" => {
+                cfg.ops_per_client = (int(i, "--ops") as usize).max(2);
+                i += 2;
+            }
+            "--batch" => {
+                cfg.batch = (int(i, "--batch") as usize).max(2);
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = int(i, "--seed");
+                i += 2;
+            }
+            "--check" => {
+                check = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--check needs a speedup factor (e.g. 2.0)");
+                            std::process::exit(dnc_bench::exit::USAGE);
+                        }),
+                );
+                i += 2;
+            }
+            "--out-dir" => {
+                out_dir = args
+                    .get(i + 1)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out-dir needs a path");
+                        std::process::exit(dnc_bench::exit::USAGE);
+                    });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                eprintln!(
+                    "usage: socket [--clients N] [--ops N] [--batch N] [--seed S] [--check X] [--out-dir DIR]"
+                );
+                std::process::exit(dnc_bench::exit::USAGE);
+            }
+        }
+    }
+
+    let report = run_socket(&cfg);
+    print!("{}", render_report(&report));
+    match write_socket_metrics_in(&out_dir, &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
+    }
+    if !report.sound() {
+        std::process::exit(dnc_bench::exit::VIOLATION);
+    }
+    if let Some(want) = check {
+        if report.speedup() < want {
+            eprintln!(
+                "check failed: group commit reached {:.2}x of per-op fsync (wanted >= {want:.2}x)",
+                report.speedup()
+            );
+            std::process::exit(dnc_bench::exit::VIOLATION);
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod dashboard;
 pub mod exit;
 pub mod profile;
 pub mod runner;
+pub mod socket;
 pub mod throughput;
 pub mod trajectory;
 

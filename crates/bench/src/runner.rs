@@ -25,7 +25,7 @@ use crate::trajectory::{
     append_record, evaluate_gate, load_trajectory, render_gate_table, resolve_stamp, BenchRecord,
     GateConfig, GateReport, Stamp,
 };
-use crate::{chaos, churn, profile, throughput};
+use crate::{chaos, churn, profile, socket, throughput};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -120,6 +120,21 @@ fn profile_config(opts: &BenchOptions) -> profile::ProfileConfig {
         }
     } else {
         profile::ProfileConfig::default()
+    }
+}
+
+fn socket_config(opts: &BenchOptions) -> socket::SocketConfig {
+    if opts.quick {
+        socket::SocketConfig {
+            ops_per_client: 6,
+            seed: opts.seed,
+            ..socket::SocketConfig::default()
+        }
+    } else {
+        socket::SocketConfig {
+            seed: opts.seed,
+            ..socket::SocketConfig::default()
+        }
     }
 }
 
@@ -222,12 +237,14 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchSummary> {
     );
     let mut failures = Vec::new();
 
-    // Window 1: throughput + profile → BENCH_throughput.json.
+    // Window 1: throughput + profile + socket → BENCH_throughput.json.
     let tcfg = throughput_config(opts);
     let pcfg = profile_config(opts);
+    let scfg = socket_config(opts);
     dnc_telemetry::reset();
     let tp = throughput::run_throughput(&tcfg);
     let prof = profile::run_profile(&pcfg);
+    let sock = socket::run_socket(&scfg);
     let snap1 = dnc_telemetry::snapshot();
     check_archived(&throughput::write_throughput_metrics_in(&archive_dir, &tp)?)?;
     check_archived(&crate::write_metrics_doc_in(
@@ -235,11 +252,18 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchSummary> {
         "profile",
         profile::profile_series(&prof),
     )?)?;
+    check_archived(&socket::write_socket_metrics_in(&archive_dir, &sock)?)?;
 
     if !tp.sound() {
         failures.push(format!(
             "throughput: {} cross-mode mismatch(es)",
             tp.mismatches.len()
+        ));
+    }
+    if !sock.sound() {
+        failures.push(format!(
+            "socket: {} soundness mismatch(es)",
+            sock.mismatches.len()
         ));
     }
     let mut throughput_record = BenchRecord::stamped(&stamp);
@@ -250,6 +274,9 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchSummary> {
         ("throughput.workers", tcfg.workers.to_string()),
         ("profile.n", pcfg.n.to_string()),
         ("profile.repeats", pcfg.repeats.to_string()),
+        ("socket.clients", scfg.clients.to_string()),
+        ("socket.ops", scfg.ops_per_client.to_string()),
+        ("socket.batch", scfg.batch.to_string()),
     ] {
         throughput_record.knobs.insert(k.to_string(), v);
     }
@@ -285,6 +312,26 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchSummary> {
                 .insert(format!("profile.{}.bound", a.label), b.to_f64());
         }
     }
+    for m in &sock.modes {
+        let key = m.label.replace('-', "_");
+        throughput_record
+            .metrics
+            .insert(format!("socket.{key}.acks_per_sec"), m.acks_per_sec);
+        throughput_record
+            .metrics
+            .insert(format!("socket.{key}.wall_us"), m.wall_us as f64);
+        throughput_record.metrics.insert(
+            format!("socket.{key}.group_commits"),
+            m.group_commits as f64,
+        );
+    }
+    throughput_record
+        .metrics
+        .insert("socket.speedup".to_string(), sock.speedup());
+    throughput_record.metrics.insert(
+        "socket.mismatches".to_string(),
+        sock.mismatches.len() as f64,
+    );
     if let Some(rate) = cache_hit_rate(&snap1) {
         throughput_record
             .metrics
@@ -294,6 +341,7 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchSummary> {
 
     let _ = writeln!(text, "  {}", throughput_one_liner(&tp));
     let _ = writeln!(text, "  {}", profile_one_liner(&prof));
+    let _ = writeln!(text, "  {}", socket_one_liner(&sock));
 
     // Window 2: chaos + churn → BENCH_churn.json.
     let ccfg = chaos_config(opts);
@@ -469,6 +517,20 @@ fn throughput_one_liner(tp: &throughput::ThroughputReport) -> String {
     )
 }
 
+fn socket_one_liner(sock: &socket::SocketReport) -> String {
+    let rates: Vec<String> = sock
+        .modes
+        .iter()
+        .map(|m| format!("{} {:.0} acks/s", m.label, m.acks_per_sec))
+        .collect();
+    format!(
+        "socket: {}; group-commit speedup {:.2}x; {} mismatch(es)",
+        rates.join(", "),
+        sock.speedup(),
+        sock.mismatches.len()
+    )
+}
+
 fn profile_one_liner(prof: &profile::ProfileReport) -> String {
     let cells: Vec<String> = prof
         .algos
@@ -516,7 +578,7 @@ mod tests {
         }
         // All four harness docs archived under runs/<slug>/.
         let slug_dir = &summary.archive_dir;
-        for name in ["throughput", "profile", "chaos", "churn"] {
+        for name in ["throughput", "profile", "socket", "chaos", "churn"] {
             assert!(
                 slug_dir.join(format!("metrics-{name}.json")).exists(),
                 "missing archived metrics-{name}.json"

@@ -108,6 +108,12 @@ commands:
             processes scripted admit/release/query requests against the
             network file; certified commits are journaled before they are
             acknowledged, and an existing journal is recovered first
+            socket mode: --listen <addr> [--max-conns N] [--batch N]
+                         [--drain-timeout SECS]
+            serves the same request lines to concurrent TCP clients; up
+            to --batch ops share one journal record and fsync (group
+            commit) and are acknowledged only after it; a `shutdown`
+            line drains the server (flush, fsync, exit 0)
 
 exit codes (uniform across commands):
   0  success — rejections/sheds by `serve` are normal service answers
@@ -374,6 +380,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut journal: Option<String> = None;
             let mut queue = 64usize;
             let mut workers = 1usize;
+            let mut listen: Option<String> = None;
+            let mut max_conns = 64usize;
+            let mut batch = 8usize;
+            let mut drain_timeout = 5u64;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -405,10 +415,40 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .ok_or_else(|| CliError::new("--workers needs a positive integer"))?;
                         i += 2;
                     }
+                    "--listen" => {
+                        listen = Some(value("--listen", i)?);
+                        i += 2;
+                    }
+                    "--max-conns" => {
+                        max_conns = value("--max-conns", i)?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| CliError::new("--max-conns needs a positive integer"))?;
+                        i += 2;
+                    }
+                    "--batch" => {
+                        batch = value("--batch", i)?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| CliError::new("--batch needs a positive integer"))?;
+                        i += 2;
+                    }
+                    "--drain-timeout" => {
+                        drain_timeout = value("--drain-timeout", i)?
+                            .parse()
+                            .map_err(|_| CliError::new("--drain-timeout needs seconds"))?;
+                        i += 2;
+                    }
                     other => return Err(CliError::new(format!("unknown option {other}"))),
                 }
             }
-            let script = script.ok_or_else(|| CliError::new("serve needs --script <requests>"))?;
+            if script.is_none() && listen.is_none() {
+                return Err(CliError::new(
+                    "serve needs --script <requests> or --listen <addr>",
+                ));
+            }
             let (built, _) = load(path)?;
             let base_deadlines = built
                 .deadlines
@@ -428,6 +468,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     journal,
                     queue,
                     workers,
+                    listen,
+                    max_conns,
+                    batch,
+                    drain_timeout,
                 },
                 built.net,
                 base_deadlines,

@@ -16,7 +16,7 @@
 //! exact committed state, truncating any torn tail.
 
 use crate::journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
-use crate::queue::{Pushed, ShedQueue};
+use crate::queue::{Pushed, ShedQueue, DEFAULT_RETRY_SEED};
 use crate::request::{AdmitRequest, Request};
 use dnc_core::admission::Deadline;
 use dnc_core::cache::AnalysisCache;
@@ -46,6 +46,10 @@ pub struct EngineConfig {
     /// `false` runs every certification from scratch — the honest
     /// baseline the throughput harness compares against.
     pub incremental: bool,
+    /// Seed for the shed queue's deterministic retry-after jitter (see
+    /// [`ShedQueue::retry_after`]). Same seed + same shed history ⇒
+    /// identical hints, so scripted runs stay bit-reproducible.
+    pub shed_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +59,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             workers: 1,
             incremental: true,
+            shed_seed: DEFAULT_RETRY_SEED,
         }
     }
 }
@@ -75,6 +80,11 @@ pub struct EngineStats {
     pub recoveries: u64,
     /// Operations replayed from the journal during recovery.
     pub recovered_ops: u64,
+    /// Group commits: batches whose committed ops shared one journal
+    /// record and one fsync (see [`ChurnEngine::process_batch`]).
+    pub group_commits: u64,
+    /// Committed operations that rode in a group commit.
+    pub batched_ops: u64,
 }
 
 /// What a recovery found in the journal.
@@ -150,6 +160,11 @@ pub enum Response {
         name: String,
         /// The shed reason.
         reason: String,
+        /// Deterministic, seed-derived retry-after hint in deadline
+        /// ticks: load-proportional base plus jitter, so honest clients
+        /// back off without stampeding back together (see
+        /// [`ShedQueue::retry_after`]).
+        retry_after: u64,
     },
 }
 
@@ -238,7 +253,7 @@ impl ChurnEngine {
                 workers: config.workers.max(1),
                 ..ResilientRunner::new(config.guard.clone())
             },
-            queue: ShedQueue::new(config.queue_capacity),
+            queue: ShedQueue::with_seed(config.queue_capacity, config.shed_seed),
             stats: EngineStats::default(),
             cache: AnalysisCache::new(),
             trace: None,
@@ -370,6 +385,7 @@ impl ChurnEngine {
         Response::Shed {
             name,
             reason: reason.to_string(),
+            retry_after: self.queue.retry_after(),
         }
     }
 
@@ -387,24 +403,137 @@ impl ChurnEngine {
         Ok(responses)
     }
 
+    /// Drain the queue through the group-commit path: pop up to `max`
+    /// requests at a time and run each chunk through
+    /// [`ChurnEngine::process_batch`], so every chunk's committed ops
+    /// share one journal record and one fsync. FIFO order and response
+    /// order are identical to [`ChurnEngine::drain`].
+    ///
+    /// # Errors
+    /// As for [`ChurnEngine::process_batch`].
+    pub fn drain_batched(&mut self, max: usize) -> Result<Vec<Response>, EngineError> {
+        let max = max.max(1);
+        let mut responses = Vec::new();
+        loop {
+            let mut chunk = Vec::with_capacity(max);
+            while chunk.len() < max {
+                match self.queue.pop() {
+                    Some(req) => chunk.push(req),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                return Ok(responses);
+            }
+            responses.extend(self.process_batch(chunk)?);
+        }
+    }
+
     /// Process one request immediately (bypassing the queue).
     ///
     /// # Errors
     /// Only journal failures are errors; rejections are [`Response`]s.
     pub fn process(&mut self, req: Request) -> Result<Response, EngineError> {
-        match req {
-            Request::Admit(r) => self.admit(r),
-            Request::Release { name } => self.release(&name),
-            Request::Query { name } => Ok(self.query(name.as_deref())),
+        match self.stage(req) {
+            Staged::Done(ack) => Ok(ack.into_response()),
+            Staged::Commit {
+                op,
+                net,
+                trace,
+                ack,
+            } => {
+                // Durability before acknowledgment: journal first, then
+                // swap the staged state in.
+                if let Some(j) = self.journal.as_mut() {
+                    j.append(&op)?;
+                }
+                self.apply_commit(&op, net, trace);
+                Ok(ack.into_response())
+            }
         }
     }
 
-    fn query(&self, name: Option<&str>) -> Response {
+    /// Process a batch of requests under **group commit**: each request
+    /// is staged and certified in arrival order against the evolving
+    /// in-memory state, every committed op of the batch lands in *one*
+    /// journal record flushed by *one* fsync, and only after that fsync
+    /// are the responses produced — acknowledged together, exactly as
+    /// they were ordered. A crash therefore preserves the whole
+    /// acknowledged batch or none of it (the journal record is atomic
+    /// on replay), and acknowledged commits are never reordered:
+    /// journal order == staging order == response order.
+    ///
+    /// # Errors
+    /// A journal failure fails the whole batch with **nothing
+    /// acknowledged**. As with [`ChurnEngine::process`], the error is
+    /// fatal to the durability contract and the engine must be dropped
+    /// (in-memory state may already include the batch's staged
+    /// commits, but no caller ever saw them acknowledged).
+    pub fn process_batch(&mut self, reqs: Vec<Request>) -> Result<Vec<Response>, EngineError> {
+        let _span = dnc_telemetry::span("service.batch");
+        let mut acks = Vec::with_capacity(reqs.len());
+        let mut ops = Vec::new();
+        for req in reqs {
+            match self.stage(req) {
+                Staged::Done(ack) => acks.push(ack),
+                Staged::Commit {
+                    op,
+                    net,
+                    trace,
+                    ack,
+                } => {
+                    self.apply_commit(&op, net, trace);
+                    ops.push(*op);
+                    acks.push(ack);
+                }
+            }
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.append_batch(&ops)?;
+        }
+        if !ops.is_empty() {
+            self.stats.group_commits += 1;
+            self.stats.batched_ops += ops.len() as u64;
+            dnc_telemetry::counter("service.group_commits", 1);
+            dnc_telemetry::counter("service.batched_ops", ops.len() as u64);
+        }
+        Ok(acks.into_iter().map(Ack::into_response).collect())
+    }
+
+    /// Certify one request against the current state without mutating
+    /// it: the returned [`Staged::Commit`] carries everything a commit
+    /// needs (the op to journal, the staged network/trace to swap in,
+    /// and the acknowledgment to hand back **after** the journal fsync).
+    fn stage(&mut self, req: Request) -> Staged {
+        match req {
+            Request::Admit(r) => self.stage_admit(r),
+            Request::Release { name } => self.stage_release(&name),
+            Request::Query { name } => Staged::Done(self.query_ack(name.as_deref())),
+        }
+    }
+
+    /// Swap a staged, journaled commit into the live state.
+    fn apply_commit(&mut self, op: &Op, net: Network, trace: Option<GroupTrace>) {
+        match op {
+            Op::Admit(a) => self.admitted.push(a.clone()),
+            Op::Release { name } => {
+                if let Some(idx) = self.admitted.iter().position(|a| a.name == *name) {
+                    self.admitted.remove(idx);
+                }
+            }
+        }
+        self.net = net;
+        self.trace = trace;
+        self.stats.commits += 1;
+        dnc_telemetry::counter("service.commits", 1);
+    }
+
+    fn query_ack(&self, name: Option<&str>) -> Ack {
         let entries = self
             .admitted()
             .filter(|e| name.is_none_or(|n| e.name == n))
             .collect();
-        Response::Queried { entries }
+        Ack::Queried { entries }
     }
 
     /// Run the guarded certification chain on a staged network. On the
@@ -429,25 +558,25 @@ impl ChurnEngine {
         fast
     }
 
-    fn admit(&mut self, req: AdmitRequest) -> Result<Response, EngineError> {
+    fn stage_admit(&mut self, req: AdmitRequest) -> Staged {
         let _span = dnc_telemetry::span("service.admit");
         let name = req.name.clone();
         if let Err(reason) = self.validate_admit(&req) {
-            return Ok(self.reject(name, reason));
+            return Staged::Done(self.reject_ack(name, reason));
         }
         let flow = match build_flow(&req) {
             Ok(f) => f,
-            Err(reason) => return Ok(self.reject(name, reason.to_string())),
+            Err(reason) => return Staged::Done(self.reject_ack(name, reason.to_string())),
         };
 
         // Stage: mutate a clone, never the live network.
         let mut staged = self.net.clone();
         let id = match staged.add_flow(flow) {
             Ok(id) => id,
-            Err(e) => return Ok(self.reject(name, format!("invalid flow: {e}"))),
+            Err(e) => return Staged::Done(self.reject_ack(name, format!("invalid flow: {e}"))),
         };
         if let Err(e) = staged.validate() {
-            return Ok(self.reject(name, format!("structural rejection: {e}")));
+            return Staged::Done(self.reject_ack(name, format!("structural rejection: {e}")));
         }
 
         // Certify: the runner embodies retry-with-decay (Integrated,
@@ -468,7 +597,7 @@ impl ChurnEngine {
             dnc_telemetry::counter("service.retries", 1);
         }
         let Some(bounds) = report.bounds() else {
-            return Ok(self.reject(
+            return Staged::Done(self.reject_ack(
                 name,
                 format!("no bound within budget: {}", report.chain_summary()),
             ));
@@ -479,36 +608,36 @@ impl ChurnEngine {
             .map(|d| self.describe_deadline(d, &req.name, id))
             .collect();
         if !violated.is_empty() {
-            return Ok(self.reject(name, format!("deadline violation: {}", violated.join(", "))));
+            return Staged::Done(
+                self.reject_ack(name, format!("deadline violation: {}", violated.join(", "))),
+            );
         }
 
-        // Commit: journal first (durability before acknowledgment),
-        // then swap the staged network in.
+        // Certified: hand the caller everything the commit needs. The
+        // acknowledgment is only released after the journal fsync.
         let bound = bounds.bound(id);
+        let tier = report.tier();
         let admit_op: AdmitOp = req.into();
         let deadline = admit_op.deadline;
-        if let Some(j) = self.journal.as_mut() {
-            j.append(&Op::Admit(admit_op.clone()))?;
+        Staged::Commit {
+            op: Box::new(Op::Admit(admit_op)),
+            net: staged,
+            trace: fast.trace,
+            ack: Ack::Admitted {
+                name,
+                flow: id,
+                bound,
+                deadline,
+                tier,
+                retried,
+            },
         }
-        self.net = staged;
-        self.trace = fast.trace;
-        self.admitted.push(admit_op);
-        self.stats.commits += 1;
-        dnc_telemetry::counter("service.commits", 1);
-        Ok(Response::Admitted {
-            name,
-            flow: id,
-            bound,
-            deadline,
-            tier: report.tier(),
-            retried,
-        })
     }
 
-    fn release(&mut self, name: &str) -> Result<Response, EngineError> {
+    fn stage_release(&mut self, name: &str) -> Staged {
         let _span = dnc_telemetry::span("service.release");
         let Some(idx) = self.admitted.iter().position(|a| a.name == name) else {
-            return Ok(Response::ReleaseFailed {
+            return Staged::Done(Ack::ReleaseFailed {
                 name: name.to_string(),
                 reason: "no admitted connection with this name".into(),
             });
@@ -524,7 +653,7 @@ impl ChurnEngine {
             .unwrap_or_default();
         let mut staged = self.net.clone();
         if let Err(e) = staged.remove_flow(victim) {
-            return Ok(Response::ReleaseFailed {
+            return Staged::Done(Ack::ReleaseFailed {
                 name: name.to_string(),
                 reason: format!("remove failed: {e}"),
             });
@@ -557,7 +686,7 @@ impl ChurnEngine {
         let Some(bounds) = report.bounds() else {
             self.stats.rollbacks += 1;
             dnc_telemetry::counter("service.rollbacks", 1);
-            return Ok(Response::ReleaseFailed {
+            return Staged::Done(Ack::ReleaseFailed {
                 name: name.to_string(),
                 reason: format!(
                     "remaining set no longer certifies within budget: {}",
@@ -568,7 +697,7 @@ impl ChurnEngine {
         if let Some(d) = deadlines.iter().find(|d| bounds.bound(d.flow) > d.deadline) {
             self.stats.rollbacks += 1;
             dnc_telemetry::counter("service.rollbacks", 1);
-            return Ok(Response::ReleaseFailed {
+            return Staged::Done(Ack::ReleaseFailed {
                 name: name.to_string(),
                 reason: format!(
                     "release breaks a remaining deadline ({} > {} for {})",
@@ -579,26 +708,22 @@ impl ChurnEngine {
             });
         }
 
-        let op = Op::Release {
-            name: name.to_string(),
-        };
-        if let Some(j) = self.journal.as_mut() {
-            j.append(&op)?;
+        Staged::Commit {
+            op: Box::new(Op::Release {
+                name: name.to_string(),
+            }),
+            net: staged,
+            trace: fast.trace,
+            ack: Ack::Released {
+                name: name.to_string(),
+            },
         }
-        self.net = staged;
-        self.trace = fast.trace;
-        self.admitted.remove(idx);
-        self.stats.commits += 1;
-        dnc_telemetry::counter("service.commits", 1);
-        Ok(Response::Released {
-            name: name.to_string(),
-        })
     }
 
-    fn reject(&mut self, name: String, reason: String) -> Response {
+    fn reject_ack(&mut self, name: String, reason: String) -> Ack {
         self.stats.rollbacks += 1;
         dnc_telemetry::counter("service.rollbacks", 1);
-        Response::Rejected { name, reason }
+        Ack::Rejected { name, reason }
     }
 
     fn describe_deadline(&self, d: &Deadline, candidate: &str, candidate_id: FlowId) -> String {
@@ -666,6 +791,75 @@ impl ChurnEngine {
         }
         h
     }
+}
+
+/// A staged acknowledgment: everything a [`Response`] will say, held
+/// back until the journal record that justifies it is durable. Both
+/// commit paths (single-op and group commit) stage through this type,
+/// so no code path can hand out an acknowledgment before its fsync.
+enum Ack {
+    /// Mirrors [`Response::Admitted`].
+    Admitted {
+        name: String,
+        flow: FlowId,
+        bound: Rat,
+        deadline: Rat,
+        tier: Tier,
+        retried: bool,
+    },
+    /// Mirrors [`Response::Rejected`].
+    Rejected { name: String, reason: String },
+    /// Mirrors [`Response::Released`].
+    Released { name: String },
+    /// Mirrors [`Response::ReleaseFailed`].
+    ReleaseFailed { name: String, reason: String },
+    /// Mirrors [`Response::Queried`].
+    Queried { entries: Vec<QueryEntry> },
+}
+
+impl Ack {
+    /// Convert into the public response — called only after the owning
+    /// commit path has made the op durable (or determined that no state
+    /// changed).
+    fn into_response(self) -> Response {
+        match self {
+            Ack::Admitted {
+                name,
+                flow,
+                bound,
+                deadline,
+                tier,
+                retried,
+            } => Response::Admitted {
+                name,
+                flow,
+                bound,
+                deadline,
+                tier,
+                retried,
+            },
+            Ack::Rejected { name, reason } => Response::Rejected { name, reason },
+            Ack::Released { name } => Response::Released { name },
+            Ack::ReleaseFailed { name, reason } => Response::ReleaseFailed { name, reason },
+            Ack::Queried { entries } => Response::Queried { entries },
+        }
+    }
+}
+
+/// The outcome of staging one request against the current state.
+enum Staged {
+    /// Certified: commit by journaling `op`, swapping `net`/`trace` in,
+    /// and only then releasing `ack`. The op is boxed to keep this
+    /// transient enum's variants close in size.
+    Commit {
+        op: Box<Op>,
+        net: Network,
+        trace: Option<GroupTrace>,
+        ack: Ack,
+    },
+    /// No state change (rejection, failed release, query): answerable
+    /// immediately, nothing to journal.
+    Done(Ack),
 }
 
 /// True when the Integrated tier breached its budget and the Decomposed
@@ -876,6 +1070,112 @@ mod tests {
         assert_eq!(recovered.stats().recoveries, 1);
         let names: Vec<_> = recovered.admitted().map(|q| q.name).collect();
         assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn group_commit_batch_matches_serial_processing_and_recovers() {
+        let path = tmp("batch.wal");
+        let _ = std::fs::remove_file(&path);
+        let reqs = || {
+            vec![
+                admit_req("a", rat(1, 32), int(50)),
+                admit_req("b", rat(1, 32), int(60)),
+                Request::Query { name: None },
+                Request::Release { name: "a".into() },
+                admit_req("c", rat(1, 32), int(70)),
+            ]
+        };
+        let (mut batched, _) =
+            ChurnEngine::open(base(), Vec::new(), EngineConfig::default(), &path).unwrap();
+        let batch_answers = batched.process_batch(reqs()).unwrap();
+        assert_eq!(batch_answers.len(), 5);
+
+        // Bit-identical to serial one-at-a-time processing.
+        let mut serial = engine();
+        for (i, req) in reqs().into_iter().enumerate() {
+            let want = serial.process(req).unwrap();
+            assert_eq!(
+                format!("{:?}", batch_answers.get(i).unwrap()),
+                format!("{want:?}"),
+                "response {i} diverged from serial processing"
+            );
+        }
+        assert_eq!(batched.canonical_state(), serial.canonical_state());
+        assert_eq!(batched.stats().commits, 4);
+        assert_eq!(batched.stats().group_commits, 1);
+        assert_eq!(batched.stats().batched_ops, 4);
+
+        // The journal holds the whole batch and recovery lands exactly
+        // on the acknowledged state.
+        let digest = batched.state_digest();
+        drop(batched);
+        let replayed = crate::journal::replay(&path).unwrap();
+        assert_eq!(replayed.ops.len(), 4);
+        assert!(replayed.tail.is_none());
+        let (recovered, info) =
+            ChurnEngine::open(base(), Vec::new(), EngineConfig::default(), &path).unwrap();
+        assert_eq!(info.ops_replayed, 4);
+        assert_eq!(recovered.state_digest(), digest);
+    }
+
+    #[test]
+    fn drain_batched_answers_like_drain_in_fifo_order() {
+        let mut a = engine();
+        let mut b = engine();
+        let reqs = || {
+            vec![
+                admit_req("x", rat(1, 32), int(50)),
+                admit_req("y", rat(1, 32), int(60)),
+                Request::Release { name: "x".into() },
+                Request::Query { name: None },
+            ]
+        };
+        for r in reqs() {
+            assert!(a.submit(r).is_empty());
+        }
+        for r in reqs() {
+            assert!(b.submit(r).is_empty());
+        }
+        let one_by_one = a.drain().unwrap();
+        let grouped = b.drain_batched(3).unwrap();
+        assert_eq!(one_by_one.len(), grouped.len());
+        for (i, (x, y)) in one_by_one.iter().zip(&grouped).enumerate() {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"), "answer {i} diverged");
+        }
+        assert_eq!(a.canonical_state(), b.canonical_state());
+    }
+
+    #[test]
+    fn shed_responses_carry_deterministic_retry_after_hints() {
+        let cfg = EngineConfig {
+            queue_capacity: 1,
+            ..EngineConfig::default()
+        };
+        let hints = |seed: u64| -> Vec<u64> {
+            let mut e = ChurnEngine::new(
+                base(),
+                Vec::new(),
+                EngineConfig {
+                    shed_seed: seed,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap();
+            e.submit(admit_req("keep", rat(1, 32), int(5)));
+            let mut out = Vec::new();
+            for i in 0..4 {
+                for resp in e.submit(admit_req(&format!("late{i}"), rat(1, 32), int(90))) {
+                    let Response::Shed { retry_after, .. } = resp else {
+                        panic!("expected a shed, got {resp:?}");
+                    };
+                    assert!(retry_after > 0);
+                    out.push(retry_after);
+                }
+            }
+            out
+        };
+        assert_eq!(hints(11), hints(11), "same seed must hint identically");
+        assert_ne!(hints(11), hints(12), "seeds must decorrelate the jitter");
     }
 
     #[test]

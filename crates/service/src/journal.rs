@@ -15,7 +15,7 @@
 //! +--------+
 //! | record |  u32 LE payload length
 //! |        |  u32 LE CRC-32 (IEEE) of the payload bytes
-//! |        |  payload: one UTF-8 operation line (see `Op`)
+//! |        |  payload: one or more UTF-8 operation lines (see `Op`)
 //! +--------+
 //! | ...    |
 //! ```
@@ -24,6 +24,17 @@
 //! consumed by [`Op::decode`] — human-greppable on purpose, and exact:
 //! rationals round-trip through `Rat`'s `Display`/`FromStr`. The format
 //! is dependency-free; the CRC-32 implementation lives in this module.
+//!
+//! ## Group commit
+//!
+//! [`Journal::append`] frames one op per record; the group-commit fast
+//! path [`Journal::append_batch`] joins N encoded ops with `'\n'` into
+//! a *single* record flushed by a *single* fsync, so a batch of
+//! concurrent requests pays one disk round-trip instead of N. Replay
+//! treats the record atomically: a torn or corrupt batch contributes
+//! none of its ops, which is exactly the acknowledgment boundary — the
+//! engine only acks a batch after its record is durable, so recovered
+//! state is always a serial prefix of the acknowledged history.
 
 use dnc_net::ServerId;
 use dnc_num::Rat;
@@ -311,10 +322,20 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
         let Ok(text) = std::str::from_utf8(payload) else {
             return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
         };
-        let Ok(op) = Op::decode(text) else {
+        // A record holds one op line, or a whole group-committed batch
+        // of them. Decode all-or-nothing: one bad line poisons the
+        // record, never a partial batch.
+        let mut batch = Vec::new();
+        for line in text.lines() {
+            let Ok(op) = Op::decode(line) else {
+                return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
+            };
+            batch.push(op);
+        }
+        if batch.is_empty() {
             return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
-        };
-        ops.push(op);
+        }
+        ops.append(&mut batch);
         offset += 8 + len as usize;
     }
 }
@@ -345,6 +366,10 @@ impl Journal {
             .open(path)?;
         file.write_all(MAGIC)?;
         file.sync_data()?;
+        // The file's *data* being durable is not enough: until the
+        // directory entry is flushed, a crash can forget the file ever
+        // existed and recovery would silently start from nothing.
+        sync_parent_dir(path)?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
@@ -371,6 +396,9 @@ impl Journal {
             // leave it dangling past fresh records.
             file.set_len(replay.valid_len)?;
             file.sync_data()?;
+            // Metadata (the new length) must survive a crash too, or a
+            // re-crash during recovery could resurrect the torn tail.
+            sync_parent_dir(path)?;
         }
         let mut journal = Journal {
             file,
@@ -383,7 +411,28 @@ impl Journal {
     /// Append one committed operation and flush it to stable storage.
     /// Returns only after the record is durable.
     pub fn append(&mut self, op: &Op) -> Result<(), JournalError> {
-        let payload = op.encode();
+        self.append_payload(&op.encode())
+    }
+
+    /// Append a whole batch of committed operations as **one** framed
+    /// record flushed by **one** fsync — the group-commit fast path.
+    ///
+    /// The payload is the newline-joined [`Op::encode`] text of every
+    /// op ([`Op::encode`] never emits a newline), so the batch lands in
+    /// the journal in slice order — the order the engine certified the
+    /// ops — and replays atomically: a torn batch contributes none of
+    /// its ops. An empty batch writes nothing.
+    pub fn append_batch(&mut self, ops: &[Op]) -> Result<(), JournalError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let payload = ops.iter().map(Op::encode).collect::<Vec<_>>().join("\n");
+        self.append_payload(&payload)
+    }
+
+    /// Frame `payload`, write it, and fsync — the single durability
+    /// point every acknowledgment path funnels through.
+    fn append_payload(&mut self, payload: &str) -> Result<(), JournalError> {
         let bytes = payload.as_bytes();
         let len = u32::try_from(bytes.len())
             .map_err(|_| JournalError::BadRecord("operation payload exceeds u32 length".into()))?;
@@ -405,6 +454,19 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Flush the directory entry for `path` so a freshly created (or just
+/// truncated) journal survives a crash between the file operation and
+/// the next directory sync. Without this, POSIX permits recovery to
+/// find no journal at all even though `create` returned success.
+fn sync_parent_dir(path: &Path) -> Result<(), JournalError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
 }
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
@@ -558,6 +620,112 @@ mod tests {
             assert!(r2.tail.is_none());
             assert_eq!(r2.ops.last().unwrap(), &sample_admit("post-crash"));
         }
+    }
+
+    #[test]
+    fn batch_append_replays_in_order_alongside_single_records() {
+        let path = tmp("batch_mix.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("solo")).unwrap();
+        let batch = vec![
+            sample_admit("a"),
+            sample_admit("b"),
+            Op::Release { name: "a".into() },
+        ];
+        j.append_batch(&batch).unwrap();
+        j.append(&Op::Release { name: "b".into() }).unwrap();
+        drop(j);
+        let r = replay(&path).unwrap();
+        let mut want = vec![sample_admit("solo")];
+        want.extend(batch);
+        want.push(Op::Release { name: "b".into() });
+        assert_eq!(r.ops, want);
+        assert!(r.tail.is_none());
+    }
+
+    #[test]
+    fn empty_batch_writes_nothing() {
+        let path = tmp("batch_empty.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append_batch(&[]).unwrap();
+        drop(j);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            MAGIC.len() as u64,
+            "an empty batch must not frame an empty record"
+        );
+        let r = replay(&path).unwrap();
+        assert!(r.ops.is_empty());
+        assert!(r.tail.is_none());
+    }
+
+    #[test]
+    fn torn_batch_is_dropped_wholesale() {
+        let path = tmp("batch_torn.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("committed")).unwrap();
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        j.append_batch(&[sample_admit("x"), sample_admit("y"), sample_admit("z")])
+            .unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Cut anywhere inside the batch record: either the whole batch
+        // survives (no cut) or none of it does — never x without z.
+        for cut in intact_len as usize..full.len() {
+            let torn = tmp("batch_torn_cut.wal");
+            std::fs::write(&torn, &full[..cut]).unwrap();
+            let r = replay(&torn).unwrap();
+            assert_eq!(
+                r.ops,
+                vec![sample_admit("committed")],
+                "cut at {cut} leaked a partial batch"
+            );
+            assert!(
+                r.tail.is_some() || cut as u64 == intact_len,
+                "cut at {cut} must flag a defect"
+            );
+            assert_eq!(r.valid_len, intact_len);
+        }
+    }
+
+    #[test]
+    fn batch_with_one_bad_line_is_atomic_poison() {
+        let path = tmp("batch_poison.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("good")).unwrap();
+        drop(j);
+        // Hand-frame a batch whose second line does not decode: the CRC
+        // is valid, so only the all-or-nothing decode rule rejects it.
+        let payload = b"release good\nfrobnicate nonsense";
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops, vec![sample_admit("good")]);
+        assert_eq!(
+            r.tail.as_ref().map(|(d, _)| d.clone()),
+            Some(TailDefect::Undecodable)
+        );
+    }
+
+    #[test]
+    fn empty_payload_record_is_a_defect() {
+        let path = tmp("empty_record.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("a")).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&crc32(b"").to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops, vec![sample_admit("a")]);
+        assert_eq!(
+            r.tail.as_ref().map(|(d, _)| d.clone()),
+            Some(TailDefect::Undecodable)
+        );
     }
 
     #[test]

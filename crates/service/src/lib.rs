@@ -19,12 +19,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod journal;
 pub mod queue;
 pub mod request;
+pub mod server;
 
+pub use batch::{Batcher, Job, RenderFn, Work};
 pub use engine::{ChurnEngine, EngineConfig, EngineError, EngineStats, RecoveryInfo, Response};
 pub use journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
-pub use queue::{Pushed, ShedQueue, ShedReason};
+pub use queue::{Pushed, ShedQueue, ShedReason, Sheddable};
 pub use request::{AdmitRequest, Request};
+pub use server::{DecodeFn, ServerConfig, ServerError, ServerReport};

@@ -16,9 +16,38 @@
 //!
 //! Drain order stays FIFO: shedding changes *membership*, not order, so
 //! a script replays deterministically.
+//!
+//! Every shed decision comes with a **deterministic retry-after hint**
+//! (see [`ShedQueue::retry_after`]): a load-proportional base plus
+//! seed-derived jitter, so honest clients back off long enough for the
+//! queue to drain and do not stampede back in lockstep — yet the same
+//! seed and shed history always produce the same hints, keeping scripted
+//! runs and falsifiers bit-reproducible.
+//!
+//! The queue is generic over its item: the engine queues bare
+//! [`Request`]s, while the socket front end queues requests still
+//! attached to their reply channels. Anything [`Sheddable`] works.
 
 use crate::request::Request;
+use dnc_num::Rat;
 use std::collections::VecDeque;
+
+/// How the queue inspects an item for the shedding policy.
+pub trait Sheddable {
+    /// `Some(deadline)` when the item is an admit competing for slots
+    /// under that end-to-end deadline; `None` for unsheddable work
+    /// (releases/queries), which always enqueues.
+    fn shed_deadline(&self) -> Option<Rat>;
+}
+
+impl Sheddable for Request {
+    fn shed_deadline(&self) -> Option<Rat> {
+        match self {
+            Request::Admit(a) => Some(a.deadline),
+            Request::Release { .. } | Request::Query { .. } => None,
+        }
+    }
+}
 
 /// Why a request was dropped instead of enqueued.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,29 +75,46 @@ impl std::fmt::Display for ShedReason {
 
 /// Outcome of [`ShedQueue::push`].
 #[derive(Debug, PartialEq, Eq)]
-pub enum Pushed {
+pub enum Pushed<T = Request> {
     /// Enqueued without displacing anything.
     Enqueued,
     /// Enqueued; the named queued admit was shed to make room.
-    Displaced(Request),
+    Displaced(T),
     /// The incoming request itself was shed (returned to the caller).
-    Shed(Request, ShedReason),
+    Shed(T, ShedReason),
 }
 
 /// A bounded FIFO with deadline-aware shedding of admit requests.
 #[derive(Debug)]
-pub struct ShedQueue {
-    items: VecDeque<Request>,
+pub struct ShedQueue<T = Request> {
+    items: VecDeque<T>,
     capacity: usize,
+    seed: u64,
+    sheds: u64,
 }
 
-impl ShedQueue {
+/// Default seed for [`ShedQueue::new`] — any fixed value works; shared
+/// (and exported for `EngineConfig`'s default) so two engines built
+/// from the same config hint identically.
+pub const DEFAULT_RETRY_SEED: u64 = 0x5EED_0BAC_C0FF_EE01;
+
+impl<T: Sheddable> ShedQueue<T> {
     /// A queue holding at most `capacity` pending requests
-    /// (`capacity >= 1`; zero is clamped to one).
-    pub fn new(capacity: usize) -> ShedQueue {
+    /// (`capacity >= 1`; zero is clamped to one), with the default
+    /// retry-after seed.
+    pub fn new(capacity: usize) -> ShedQueue<T> {
+        ShedQueue::with_seed(capacity, DEFAULT_RETRY_SEED)
+    }
+
+    /// Like [`ShedQueue::new`] with an explicit retry-after jitter seed,
+    /// so deployments can decorrelate their backoff hints while staying
+    /// individually deterministic.
+    pub fn with_seed(capacity: usize, seed: u64) -> ShedQueue<T> {
         ShedQueue {
             items: VecDeque::new(),
             capacity: capacity.max(1),
+            seed,
+            sheds: 0,
         }
     }
 
@@ -88,7 +134,7 @@ impl ShedQueue {
     }
 
     /// Pop the oldest queued request.
-    pub fn pop(&mut self) -> Option<Request> {
+    pub fn pop(&mut self) -> Option<T> {
         self.items.pop_front()
     }
 
@@ -96,13 +142,10 @@ impl ShedQueue {
     /// queue past `capacity` by at most the number of concurrently
     /// pending releases — bounded in practice by the admitted set);
     /// admits obey the shedding policy above.
-    pub fn push(&mut self, req: Request) -> Pushed {
-        let incoming_deadline = match &req {
-            Request::Admit(a) => a.deadline,
-            Request::Release { .. } | Request::Query { .. } => {
-                self.items.push_back(req);
-                return Pushed::Enqueued;
-            }
+    pub fn push(&mut self, req: T) -> Pushed<T> {
+        let Some(incoming_deadline) = req.shed_deadline() else {
+            self.items.push_back(req);
+            return Pushed::Enqueued;
         };
         if self.items.len() < self.capacity {
             self.items.push_back(req);
@@ -113,10 +156,7 @@ impl ShedQueue {
             .items
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| match r {
-                Request::Admit(a) => Some((i, a.deadline)),
-                _ => None,
-            })
+            .filter_map(|(i, r)| r.shed_deadline().map(|d| (i, d)))
             .max_by(|(_, a), (_, b)| a.cmp(b));
         match loosest {
             Some((idx, loosest_deadline)) if incoming_deadline < loosest_deadline => {
@@ -133,6 +173,34 @@ impl ShedQueue {
             None => Pushed::Shed(req, ShedReason::NoSheddableSlot),
         }
     }
+
+    /// The retry-after hint (in deadline ticks) to attach to the next
+    /// SHED response. Deterministic and seed-derived: the base grows
+    /// with the current queue depth (the more backed up we are, the
+    /// longer the wait), and per-shed jitter of up to half the base —
+    /// drawn from a splitmix64 stream over `(seed, shed counter)` —
+    /// spreads retries out so shed clients do not return in lockstep.
+    /// The same seed and shed history always yield the same hints.
+    pub fn retry_after(&mut self) -> u64 {
+        let base = 2 * self.items.len() as u64 + 2;
+        let roll = splitmix64(self.seed ^ self.sheds.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.sheds = self.sheds.wrapping_add(1);
+        base + roll % (base / 2 + 1)
+    }
+
+    /// How many retry-after hints have been issued (== sheds answered).
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+}
+
+/// splitmix64's finalizer: a full-avalanche 64-bit mixer, dependency-
+/// free and plenty for de-correlating backoff jitter (not a CSPRNG).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -222,5 +290,63 @@ mod tests {
             q.push(admit("a", int(1))),
             Pushed::Shed(_, ShedReason::NoSheddableSlot)
         ));
+    }
+
+    #[test]
+    fn retry_after_is_deterministic_in_seed_and_shed_history() {
+        let mut a: ShedQueue = ShedQueue::with_seed(2, 7);
+        let mut b: ShedQueue = ShedQueue::with_seed(2, 7);
+        a.push(admit("x", int(1)));
+        b.push(admit("x", int(1)));
+        let ha: Vec<u64> = (0..6).map(|_| a.retry_after()).collect();
+        let hb: Vec<u64> = (0..6).map(|_| b.retry_after()).collect();
+        assert_eq!(ha, hb, "same seed + history must hint identically");
+        let mut c: ShedQueue = ShedQueue::with_seed(2, 8);
+        c.push(admit("x", int(1)));
+        let hc: Vec<u64> = (0..6).map(|_| c.retry_after()).collect();
+        assert_ne!(ha, hc, "different seeds must decorrelate the jitter");
+        assert_eq!(a.sheds(), 6);
+    }
+
+    #[test]
+    fn retry_after_grows_with_load_and_jitter_stays_bounded() {
+        let mut q: ShedQueue = ShedQueue::with_seed(64, 3);
+        let mut shallow = ShedQueue::with_seed(64, 3);
+        shallow.push(admit("only", int(5)));
+        for i in 0..16 {
+            q.push(admit(&format!("f{i}"), int(5)));
+        }
+        let base = 2 * q.len() as u64 + 2;
+        let shallow_cap = {
+            let b = 2 * shallow.len() as u64 + 2;
+            b + b / 2
+        };
+        for _ in 0..32 {
+            let h = q.retry_after();
+            assert!(
+                h >= base && h <= base + base / 2,
+                "{h} outside the [base, 1.5*base] band at depth 16"
+            );
+            assert!(h > shallow_cap, "deep-queue hints must exceed shallow ones");
+        }
+    }
+
+    #[test]
+    fn queue_is_generic_over_sheddable_items() {
+        struct Tagged(u32, Option<Rat>);
+        impl Sheddable for Tagged {
+            fn shed_deadline(&self) -> Option<Rat> {
+                self.1
+            }
+        }
+        let mut q: ShedQueue<Tagged> = ShedQueue::new(1);
+        assert!(matches!(q.push(Tagged(1, Some(int(5)))), Pushed::Enqueued));
+        match q.push(Tagged(2, Some(int(1)))) {
+            Pushed::Displaced(Tagged(id, _)) => assert_eq!(id, 1, "loosest item displaced"),
+            _ => panic!("tighter incoming item must displace the loose one"),
+        }
+        // Unsheddable items (deadline None) always fit, even past capacity.
+        assert!(matches!(q.push(Tagged(3, None)), Pushed::Enqueued));
+        assert_eq!(q.len(), 2);
     }
 }

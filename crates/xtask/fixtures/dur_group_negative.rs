@@ -1,0 +1,29 @@
+// deepcheck fixture — scanned as crates/service/src/fixture.rs. Known
+// false-positive shapes for `dur-group-ack` that must stay clean: an
+// ack sink dominated by a direct batch append, one dominated
+// transitively through helpers that reach the fsync primitive, and the
+// sink's own definition (a definition is not a call site).
+
+pub fn flush_direct(j: &mut Journal, deliveries: Vec<(Sender, String)>) {
+    j.append_batch(&[]).ok();
+    send_acks(deliveries);
+}
+
+pub fn flush_via_helper(deliveries: Vec<(Sender, String)>) {
+    commit_pending();
+    send_acks(deliveries);
+}
+
+fn commit_pending() {
+    fsync_now();
+}
+
+fn fsync_now() {
+    journal_file().sync_data().ok();
+}
+
+pub fn send_acks(deliveries: Vec<(Sender, String)>) {
+    for (tx, line) in deliveries {
+        let _ = tx.send(line);
+    }
+}

@@ -1,0 +1,17 @@
+// deepcheck fixture — scanned as crates/service/src/fixture.rs. Seeded
+// true positives for `dur-group-ack`: reply lines leave through the ack
+// sink before any journal commit dominates them — once with the sink as
+// the first call in the function (the append lands too late), and once
+// behind a helper that never reaches a commit primitive.
+
+pub fn drain_eagerly(j: &mut Journal, deliveries: Vec<(Sender, String)>) {
+    send_acks(deliveries);
+    j.append_batch(&[]).ok();
+}
+
+pub fn ack_after_bookkeeping(deliveries: Vec<(Sender, String)>) {
+    note_backlog(deliveries.len());
+    send_acks(deliveries);
+}
+
+fn note_backlog(_n: usize) {}

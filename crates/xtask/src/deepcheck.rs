@@ -8,7 +8,7 @@
 //! |---------------|-----------------------------------------|---------------------------------------------|
 //! | determinism   | `det-hash-iter`, `det-wall-clock`       | bit-identical reports across worker counts  |
 //! | concurrency   | `conc-thread-local`, `conc-panic-payload` | `fan_out` jobs stay thread-local-clean    |
-//! | durability    | `dur-fsync`, `dur-framing`              | fsync-before-ack; single-sourced framing    |
+//! | durability    | `dur-fsync`, `dur-framing`, `dur-group-ack` | fsync-before-ack; single-sourced framing; commit-dominated ack sink |
 //! | contract      | `contract-exit`, `contract-span`        | unified exit codes; RAII spans held open    |
 //!
 //! All passes share the `// audit: allow(<lint>, <reason>)` escape hatch,
@@ -31,6 +31,7 @@ pub const DEEPCHECK_LINTS: &[&str] = &[
     "conc-panic-payload",
     "dur-fsync",
     "dur-framing",
+    "dur-group-ack",
     "contract-exit",
     "contract-span",
 ];
@@ -83,6 +84,15 @@ const DURABILITY_SRC: &str = "crates/service/";
 /// The one file allowed to define the journal framing constants.
 const FRAMING_HOME: &str = "crates/service/src/journal.rs";
 
+/// Functions that deliver acknowledgement lines to clients. Every call
+/// site must be *dominated* by a journal commit — an earlier call in
+/// the same body that (transitively) reaches one of [`COMMIT_CALLS`].
+const ACK_SINKS: &[&str] = &["send_acks"];
+
+/// Calls that make queued operations durable: the WAL appends (which
+/// fsync internally) and the raw fsync primitives themselves.
+const COMMIT_CALLS: &[&str] = &["append", "append_batch", "sync_data", "sync_all"];
+
 /// The deepcheck tool itself mentions the framing needles (below) and
 /// must not flag its own configuration.
 const SELF_SRC: &str = "crates/xtask/";
@@ -106,6 +116,7 @@ pub fn run(files: &[ScannedFile]) -> Vec<Finding> {
     lint_conc_panic_payload(files, &idx, &mut out);
     lint_dur_fsync(files, &idx, &mut out);
     lint_dur_framing(files, &mut out);
+    lint_dur_group_ack(files, &idx, &mut out);
     lint_contract_exit(files, &mut out);
     lint_contract_span(files, &mut out);
     // Distinct passes can rediscover the same site (e.g. two fan_out
@@ -572,7 +583,7 @@ fn lint_conc_panic_payload(files: &[ScannedFile], idx: &SymbolIndex, out: &mut V
 }
 
 // ---------------------------------------------------------------------------
-// Durability: dur-fsync, dur-framing
+// Durability: dur-fsync, dur-framing, dur-group-ack
 // ---------------------------------------------------------------------------
 
 fn lint_dur_fsync(files: &[ScannedFile], idx: &SymbolIndex, out: &mut Vec<Finding>) {
@@ -682,6 +693,97 @@ fn lint_dur_framing(files: &[ScannedFile], out: &mut Vec<Finding>) {
                 );
             }
             *seen = true;
+        }
+    }
+}
+
+/// Is the token at `i` a call head (`name(`) and not a definition
+/// (`fn name(`) or a macro invocation (`name!(`)?
+fn is_call_head(toks: &[Token], i: usize) -> bool {
+    toks[i].kind == TokenKind::Ident
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && !i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|p| p.is_ident("fn") || p.is_punct('!'))
+}
+
+/// `dur-group-ack`: every call to an ack sink ([`ACK_SINKS`]) in the
+/// service crate must be *dominated by a journal commit* — an earlier
+/// call in the same function body that is a [`COMMIT_CALLS`] primitive
+/// directly, or a workspace function from which one is reachable by
+/// name. With group commit, the fsync moved out of the per-op path into
+/// the batch commit; this pass pins the ordering "fsync, then
+/// acknowledge" that `dur-fsync` can no longer see locally.
+fn lint_dur_group_ack(files: &[ScannedFile], idx: &SymbolIndex, out: &mut Vec<Finding>) {
+    let stop: BTreeSet<&str> = index::STOP_NAMES.iter().copied().collect();
+    // Which definitions (transitively) perform a journal commit? Seed
+    // with bodies that call a commit primitive, then propagate backwards
+    // over name-based call edges to a fixed point.
+    let mut commits: Vec<bool> = (0..idx.fns.len())
+        .map(|di| {
+            idx.calls[di]
+                .iter()
+                .any(|c| COMMIT_CALLS.contains(&c.as_str()))
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for di in 0..idx.fns.len() {
+            if commits[di] {
+                continue;
+            }
+            let reaches = idx.calls[di].iter().any(|name| {
+                !stop.contains(name.as_str())
+                    && idx
+                        .by_name
+                        .get(name)
+                        .is_some_and(|defs| defs.iter().any(|&d| commits[d]))
+            });
+            if reaches {
+                commits[di] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let commit_dominates = |toks: &[Token], j: usize| {
+        let c = &toks[j];
+        COMMIT_CALLS.contains(&c.text.as_str())
+            || (!stop.contains(c.text.as_str())
+                && idx
+                    .by_name
+                    .get(&c.text)
+                    .is_some_and(|defs| defs.iter().any(|&d| commits[d])))
+    };
+    for d in &idx.fns {
+        let file = &files[d.file];
+        if !file.path.starts_with(DURABILITY_SRC) || !in_scope(&file.path) || d.is_test {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in d.body.clone() {
+            if !is_call_head(toks, i) || !ACK_SINKS.contains(&toks[i].text.as_str()) {
+                continue;
+            }
+            let dominated =
+                (d.body.start..i).any(|j| is_call_head(toks, j) && commit_dominates(toks, j));
+            if !dominated {
+                emit(
+                    file,
+                    out,
+                    toks[i].line,
+                    "dur-group-ack",
+                    format!(
+                        "`{}` acknowledges client operations in `{}` with no dominating \
+                         journal commit; a call reaching `append_batch`/`append`/fsync must \
+                         come earlier in the function",
+                        toks[i].text, d.name
+                    ),
+                );
+            }
         }
     }
 }
@@ -1165,6 +1267,16 @@ mod tests {
             ),
             ("dur_negative.rs", "crates/service/src/fixture.rs", &[]),
             (
+                "dur_group_positive.rs",
+                "crates/service/src/fixture.rs",
+                &["dur-group-ack", "dur-group-ack"],
+            ),
+            (
+                "dur_group_negative.rs",
+                "crates/service/src/fixture.rs",
+                &[],
+            ),
+            (
                 "contract_positive.rs",
                 "crates/fixture/src/bin/tool.rs",
                 &[
@@ -1243,6 +1355,38 @@ mod tests {
         assert!(
             f.iter().any(|x| x.lint == "dur-fsync"),
             "dropping the fsync guard must produce a dur-fsync finding: {f:?}"
+        );
+    }
+
+    #[test]
+    fn real_batcher_is_clean_until_the_group_commit_stops_dominating_the_acks() {
+        // The batcher's ack sink is sanctioned only because the call
+        // before it reaches `append_batch` through `process_batch`, so
+        // the engine and journal sources must be in the scan set.
+        let sources = [
+            ("crates/service/src/batch.rs", service_source("batch.rs")),
+            ("crates/service/src/engine.rs", service_source("engine.rs")),
+            (
+                "crates/service/src/journal.rs",
+                service_source("journal.rs"),
+            ),
+        ];
+        let files: Vec<ScannedFile> = sources.iter().map(|(p, s)| scan(p, s)).collect();
+        let clean = run(&files);
+        assert!(clean.is_empty(), "pristine batcher must pass: {clean:?}");
+
+        let mutated = sources[0].1.replace("process_batch(", "apply_unjournaled(");
+        assert_ne!(mutated, sources[0].1, "commit-detour mutation must apply");
+        let files = vec![
+            scan("crates/service/src/batch.rs", &mutated),
+            scan("crates/service/src/engine.rs", &sources[1].1),
+            scan("crates/service/src/journal.rs", &sources[2].1),
+        ];
+        let f = run(&files);
+        assert!(
+            f.iter().any(|x| x.lint == "dur-group-ack"),
+            "routing the batch around the journaled commit path must produce a \
+             dur-group-ack finding: {f:?}"
         );
     }
 

@@ -65,9 +65,10 @@ const FLOAT_WHITELIST: &[&str] = &[
     "crates/telemetry/src/record.rs",
     "crates/telemetry/src/export.rs",
     "crates/telemetry/src/json.rs",
-    // Admissions/sec reporting — rates are lossy, never feed back into
-    // the Rat analysis.
+    // Admissions/sec and acks/sec reporting — rates are lossy, never
+    // feed back into the Rat analysis.
     "crates/bench/src/throughput.rs",
+    "crates/bench/src/socket.rs",
     // The perf-trajectory layer is reporting-side end to end: records,
     // gate math, and dashboard charts consume already-lossy measurements
     // and never feed back into the Rat analysis.
