@@ -47,6 +47,12 @@ pub struct ChurnConfig {
     /// Analysis worker threads per certification (1 = sequential; the
     /// report is bit-identical at any worker count).
     pub workers: usize,
+    /// Snapshot-and-rotate the journal every N committed ops. `None`
+    /// (the default) keeps the full journal, which is what the raw
+    /// truncation falsifier assumes; with a cadence set, the harness
+    /// instead checks that recovery replays only the tail past the
+    /// newest snapshot and still lands on the live state.
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ChurnConfig {
@@ -57,6 +63,7 @@ impl Default for ChurnConfig {
             seed: 1,
             kill_points: 8,
             workers: 1,
+            snapshot_every: None,
         }
     }
 }
@@ -81,11 +88,19 @@ pub struct SequenceOutcome {
     /// Certification falsifier hits: deadlines the engine left
     /// uncovered after an acknowledged commit.
     pub violations: Vec<String>,
-    /// Journal truncation offsets recovered from.
+    /// Journal truncation offsets recovered from (plus the final
+    /// whole-journal recovery rounds).
     pub recovery_checks: usize,
     /// Durability falsifier hits: recoveries that did not land on a
     /// committed prefix, or were not deterministic.
     pub recovery_failures: Vec<String>,
+    /// Valid journal bytes seen by the final recovery.
+    pub journal_bytes: u64,
+    /// Newest snapshot the final recovery loaded: `(generation, seq)`.
+    pub snapshot_gen: Option<(u64, u64)>,
+    /// Operations the final recovery replayed past the snapshot (the
+    /// whole journal when no snapshot exists).
+    pub tail_replayed: usize,
 }
 
 /// A full churn run.
@@ -287,18 +302,20 @@ pub fn run_sequence(seq: usize, cfg: &ChurnConfig, dir: &Path) -> SequenceOutcom
     let mut violations = Vec::new();
     let mut cert_checks = 0;
     let mut next_name = 0usize;
-    let (commits, rollbacks, live) = match ChurnEngine::open(
+    let engine_cfg = || EngineConfig {
+        workers: cfg.workers.max(1),
+        snapshot_every: cfg.snapshot_every,
+        ..EngineConfig::default()
+    };
+    let (commits, rollbacks, live, live_digest) = match ChurnEngine::open(
         base.clone(),
         Vec::new(),
-        EngineConfig {
-            workers: cfg.workers.max(1),
-            ..EngineConfig::default()
-        },
+        engine_cfg(),
         &journal,
     ) {
         Err(e) => {
             violations.push(format!("seq {seq}: engine failed to open: {e}"));
-            (0, 0, 0)
+            (0, 0, 0, None)
         }
         Ok((mut engine, _)) => {
             for step in 0..cfg.ops {
@@ -336,12 +353,78 @@ pub fn run_sequence(seq: usize, cfg: &ChurnConfig, dir: &Path) -> SequenceOutcom
                 }
             }
             let stats = engine.stats();
-            (stats.commits, stats.rollbacks, engine.admitted().count())
+            let digest = engine.state_digest();
+            (
+                stats.commits,
+                stats.rollbacks,
+                engine.admitted().count(),
+                Some(digest),
+            )
         }
     };
 
-    let (recovery_checks, recovery_failures) =
-        kill_point_checks(&mut rng, &journal, &base, cfg.kill_points, seq);
+    // Final whole-journal recovery, twice: collect the recovery-banner
+    // facts (journal bytes, snapshot generation, tail replayed) and
+    // check the recovered state digest against the live engine and the
+    // second round against the first (determinism).
+    let mut recovery_checks = 0usize;
+    let mut recovery_failures: Vec<String> = Vec::new();
+    let mut journal_bytes = 0u64;
+    let mut snapshot_gen = None;
+    let mut tail_replayed = 0usize;
+    let mut digests: Vec<u64> = Vec::new();
+    for round in 0..2 {
+        match ChurnEngine::open(base.clone(), Vec::new(), engine_cfg(), &journal) {
+            Ok((engine, info)) => {
+                recovery_checks += 1;
+                if round == 0 {
+                    journal_bytes = info.valid_len;
+                    snapshot_gen = info.snapshot;
+                    tail_replayed = info.ops_replayed;
+                    if let Some((gen, snap_seq)) = info.snapshot {
+                        if info.ops_replayed as u64 != info.committed_seq.saturating_sub(snap_seq) {
+                            recovery_failures.push(format!(
+                                "seq {seq}: snapshot gen {gen} at seq {snap_seq} but {} op(s) \
+                                 replayed to reach seq {} — recovery is not tail-only",
+                                info.ops_replayed, info.committed_seq
+                            ));
+                        }
+                    }
+                    if let Some(every) = cfg.snapshot_every {
+                        if info.ops_replayed as u64 >= every.max(1) * 2 {
+                            recovery_failures.push(format!(
+                                "seq {seq}: replayed {} op(s) at snapshot cadence {every} — \
+                                 compaction is not bounding the tail",
+                                info.ops_replayed
+                            ));
+                        }
+                    }
+                }
+                digests.push(engine.state_digest());
+            }
+            Err(e) => recovery_failures.push(format!("seq {seq} recovery round {round}: {e}")),
+        }
+    }
+    if digests.windows(2).any(|w| w[0] != w[1]) {
+        recovery_failures.push(format!("seq {seq}: final recovery is not deterministic"));
+    }
+    if let (Some(live), Some(rec)) = (&live_digest, digests.first()) {
+        if live != rec {
+            recovery_failures.push(format!(
+                "seq {seq}: recovered state digest diverges from the live engine"
+            ));
+        }
+    }
+
+    // The raw truncation falsifier assumes an unrotated journal whose
+    // first op is seq 0; with compaction on, the tail-only checks above
+    // replace it.
+    if cfg.snapshot_every.is_none() {
+        let (kp_checks, kp_failures) =
+            kill_point_checks(&mut rng, &journal, &base, cfg.kill_points, seq);
+        recovery_checks += kp_checks;
+        recovery_failures.extend(kp_failures);
+    }
     let _ = std::fs::remove_file(&journal);
 
     dnc_telemetry::counter("churn.sequences", 1);
@@ -363,6 +446,9 @@ pub fn run_sequence(seq: usize, cfg: &ChurnConfig, dir: &Path) -> SequenceOutcom
         violations,
         recovery_checks,
         recovery_failures,
+        journal_bytes,
+        snapshot_gen,
+        tail_replayed,
     }
 }
 
@@ -436,6 +522,14 @@ pub fn churn_series(report: &ChurnReport) -> Vec<dnc_telemetry::export::Series> 
         label: "recovery failures",
         unit: "",
     };
+    const JOURNAL_BYTES: ColumnMeta = ColumnMeta {
+        label: "journal bytes",
+        unit: "B",
+    };
+    const TAIL_REPLAYED: ColumnMeta = ColumnMeta {
+        label: "tail ops replayed",
+        unit: "",
+    };
     let mut s = Series::new(
         "churn",
         vec![
@@ -449,6 +543,8 @@ pub fn churn_series(report: &ChurnReport) -> Vec<dnc_telemetry::export::Series> 
             VIOLATIONS,
             RECOVERIES,
             RECOVERY_FAILURES,
+            JOURNAL_BYTES,
+            TAIL_REPLAYED,
         ],
     );
     for o in &report.outcomes {
@@ -463,6 +559,8 @@ pub fn churn_series(report: &ChurnReport) -> Vec<dnc_telemetry::export::Series> 
             Cell::int(o.violations.len() as u64),
             Cell::int(o.recovery_checks as u64),
             Cell::int(o.recovery_failures.len() as u64),
+            Cell::int(o.journal_bytes),
+            Cell::int(o.tail_replayed as u64),
         ]);
     }
     vec![s]
@@ -487,7 +585,7 @@ pub fn render_report(report: &ChurnReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "churn: {} sequences x {} ops, seed {}, {} kill points each{}",
+        "churn: {} sequences x {} ops, seed {}, {} kill points each{}{}",
         report.cfg.seqs,
         report.cfg.ops,
         report.cfg.seed,
@@ -496,6 +594,10 @@ pub fn render_report(report: &ChurnReport) -> String {
             format!(", {} workers", report.cfg.workers)
         } else {
             String::new()
+        },
+        match report.cfg.snapshot_every {
+            Some(every) => format!(", snapshot every {every}"),
+            None => String::new(),
         }
     );
     let _ = writeln!(
@@ -529,6 +631,19 @@ pub fn render_report(report: &ChurnReport) -> String {
         );
     }
     for o in &report.outcomes {
+        let _ = writeln!(
+            s,
+            "seq {} recovery: journal {} byte(s), {}, {} op(s) replayed since snapshot",
+            o.seq,
+            o.journal_bytes,
+            match o.snapshot_gen {
+                Some((gen, seq)) => format!("snapshot generation {gen} (seq {seq})"),
+                None => "no snapshot".to_string(),
+            },
+            o.tail_replayed
+        );
+    }
+    for o in &report.outcomes {
         for v in o.violations.iter().chain(&o.recovery_failures) {
             let _ = writeln!(s, "VIOLATION: {v}");
         }
@@ -557,6 +672,7 @@ mod tests {
             seed: 7,
             kill_points: 4,
             workers: 1,
+            snapshot_every: None,
         }
     }
 
@@ -594,6 +710,7 @@ mod tests {
             seed: 3,
             kill_points: 2,
             workers: 1,
+            snapshot_every: None,
         });
         let mut doc = dnc_telemetry::export::MetricsDoc::new(
             "churn-test",
@@ -604,6 +721,32 @@ mod tests {
         dnc_telemetry::schema::validate_metrics(&json).unwrap();
         let text = render_report(&report);
         assert!(text.contains("1 sequences"), "{text}");
+    }
+
+    #[test]
+    fn churn_with_compaction_stays_sound_and_bounds_the_tail() {
+        let report = run_churn(&ChurnConfig {
+            snapshot_every: Some(3),
+            ..small()
+        });
+        assert!(report.sound(), "{}", render_report(&report));
+        let snapped = report
+            .outcomes
+            .iter()
+            .filter(|o| o.snapshot_gen.is_some())
+            .count();
+        assert!(snapped > 0, "no sequence ever snapshotted");
+        for o in &report.outcomes {
+            assert!(
+                (o.tail_replayed as u64) < 6,
+                "seq {} replayed {} ops at cadence 3",
+                o.seq,
+                o.tail_replayed
+            );
+        }
+        let text = render_report(&report);
+        assert!(text.contains("snapshot generation"), "{text}");
+        assert!(text.contains("snapshot every 3"), "{text}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod profile;
 pub mod runner;
 pub mod socket;
 pub mod throughput;
+pub mod torture;
 pub mod trajectory;
 
 use dnc_core::{

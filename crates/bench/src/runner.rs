@@ -161,6 +161,7 @@ fn churn_config(opts: &BenchOptions) -> churn::ChurnConfig {
             seed: opts.seed,
             kill_points: 2,
             workers: 1,
+            snapshot_every: None,
         }
     } else {
         churn::ChurnConfig {

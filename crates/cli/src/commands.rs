@@ -91,7 +91,18 @@ commands:
             every commit is independently re-certified and every journal
             is crash-recovered from K random truncation points; exit
             code 1 flags either falsifier firing; --seq I replays
-            sequence I of the seed alone, bit-exact
+            sequence I of the seed alone, bit-exact; --snapshot-every E
+            compacts the journal and checks tail-only recovery instead
+            of the raw truncation falsifier
+  torture   disk-fault torture sweep (no file argument): enumerate every
+            storage failpoint (journal append/fsync, snapshot publish,
+            rotation), inject EIO/ENOSPC/short-write/crash at each, and
+            verify fail-stop recovery — no acked op lost, no phantom op
+            recovered, tail-only replay past the newest snapshot
+                                      [--scenarios N] [--ops N] [--seed S]
+                                      [--snapshot-every E] [--stride K]
+                                      [--metrics <path>]
+            exit code 1 flags any lost ack or recovery divergence
   bench     record one perf-trajectory run (no file argument): run the
             throughput, profile, chaos, and churn harnesses with pinned
             seeds, archive their raw metrics under results/runs/<sha>-<ts>/,
@@ -105,9 +116,14 @@ commands:
   provision minimal GPS reservations meeting the declared deadlines
   serve     durable online admission   --script <requests> [--journal <wal>]
                                        [--queue N] [--workers N]
+                                       [--snapshot-every N]
             processes scripted admit/release/query requests against the
             network file; certified commits are journaled before they are
             acknowledged, and an existing journal is recovered first
+            (newest valid snapshot + tail replay); --snapshot-every N
+            compacts the journal every N commits via an atomically
+            published snapshot; a storage failure poisons the journal
+            and the server fail-stops (terminal ERR, no ack)
             socket mode: --listen <addr> [--max-conns N] [--batch N]
                          [--drain-timeout SECS]
             serves the same request lines to concurrent TCP clients; up
@@ -117,8 +133,8 @@ commands:
 
 exit codes (uniform across commands):
   0  success — rejections/sheds by `serve` are normal service answers
-  1  violation — a simulated delay exceeded a claimed bound
-     (simulate, chaos, churn)
+  1  violation — a simulated delay exceeded a claimed bound, or a
+     durability falsifier fired (simulate, chaos, churn, torture)
   2  usage error — bad flags, unreadable files, malformed input
   3  no bound — the resilient chain ended at the explicit Unbounded tier
      (analyze --algo resilient/time-stopping)
@@ -294,6 +310,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         cfg.kill_points = int_value("--kill-points", i)? as usize;
                         i += 2;
                     }
+                    "--snapshot-every" => {
+                        cfg.snapshot_every = Some(int_value("--snapshot-every", i)?.max(1));
+                        i += 2;
+                    }
                     "--seq" => {
                         seq = Some(int_value("--seq", i)? as usize);
                         i += 2;
@@ -314,6 +334,51 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             churn_cmd(&cfg, metrics.as_deref(), seq)
+        }
+        "torture" => {
+            let mut cfg = dnc_bench::torture::TortureConfig::default();
+            let mut metrics: Option<String> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let int_value = |name: &str, i: usize| -> Result<u64, CliError> {
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| CliError::new(format!("{name} needs an integer")))
+                };
+                match rest[i].as_str() {
+                    "--scenarios" => {
+                        cfg.scenarios = int_value("--scenarios", i)? as usize;
+                        i += 2;
+                    }
+                    "--ops" => {
+                        cfg.ops = int_value("--ops", i)? as usize;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        cfg.seed = int_value("--seed", i)?;
+                        i += 2;
+                    }
+                    "--snapshot-every" => {
+                        cfg.snapshot_every = int_value("--snapshot-every", i)?.max(1);
+                        i += 2;
+                    }
+                    "--stride" => {
+                        cfg.stride = (int_value("--stride", i)? as usize).max(1);
+                        i += 2;
+                    }
+                    "--metrics" => {
+                        metrics = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::new("--metrics needs a path"))?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
+                    other => return Err(CliError::new(format!("unknown option {other}"))),
+                }
+            }
+            torture_cmd(&cfg, metrics.as_deref())
         }
         "bench" => {
             let mut opts = dnc_bench::runner::BenchOptions::default();
@@ -384,6 +449,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut max_conns = 64usize;
             let mut batch = 8usize;
             let mut drain_timeout = 5u64;
+            let mut snapshot_every: Option<u64> = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -441,8 +507,23 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .map_err(|_| CliError::new("--drain-timeout needs seconds"))?;
                         i += 2;
                     }
+                    "--snapshot-every" => {
+                        snapshot_every = Some(
+                            value("--snapshot-every", i)?
+                                .parse::<u64>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or_else(|| {
+                                    CliError::new("--snapshot-every needs a positive integer")
+                                })?,
+                        );
+                        i += 2;
+                    }
                     other => return Err(CliError::new(format!("unknown option {other}"))),
                 }
+            }
+            if snapshot_every.is_some() && journal.is_none() {
+                return Err(CliError::new("--snapshot-every needs --journal <wal>"));
             }
             if script.is_none() && listen.is_none() {
                 return Err(CliError::new(
@@ -472,6 +553,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     max_conns,
                     batch,
                     drain_timeout,
+                    snapshot_every,
                 },
                 built.net,
                 base_deadlines,
@@ -1102,6 +1184,34 @@ fn churn_cmd(
     if let Some(p) = metrics {
         let mut doc = MetricsDoc::new("churn", dnc_telemetry::snapshot());
         doc.series = dnc_bench::churn::churn_series(&report);
+        write_metrics(&doc, std::path::Path::new(p))
+            .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
+        let _ = writeln!(out, "wrote {p}");
+    }
+    if report.sound() {
+        Ok(out)
+    } else {
+        Err(CliError {
+            message: out,
+            code: EXIT_VIOLATION,
+        })
+    }
+}
+
+/// Run the disk-fault torture sweep: enumerate every storage failpoint
+/// (journal append/fsync, snapshot publish, rotation), inject each
+/// fault kind at each site, and verify fail-stop recovery — no acked
+/// op lost, no phantom op recovered, tail-only replay past the newest
+/// snapshot. Any falsifier hit is exit code [`EXIT_VIOLATION`].
+fn torture_cmd(
+    cfg: &dnc_bench::torture::TortureConfig,
+    metrics: Option<&str>,
+) -> Result<String, CliError> {
+    let report = dnc_bench::torture::run_torture(cfg);
+    let mut out = dnc_bench::torture::render_report(&report);
+    if let Some(p) = metrics {
+        let mut doc = MetricsDoc::new("torture", dnc_telemetry::snapshot());
+        doc.series = dnc_bench::torture::torture_series(&report);
         write_metrics(&doc, std::path::Path::new(p))
             .map_err(|e| CliError::new(format!("cannot write {p}: {e}")))?;
         let _ = writeln!(out, "wrote {p}");

@@ -63,6 +63,9 @@ pub struct ServeOptions {
     pub batch: usize,
     /// Socket mode: drain budget in seconds after `shutdown`.
     pub drain_timeout: u64,
+    /// Snapshot-and-rotate the journal every N committed ops
+    /// (`None` = never compact).
+    pub snapshot_every: Option<u64>,
 }
 
 /// Parse one non-empty, comment-stripped request line (shared by the
@@ -208,6 +211,7 @@ fn open_engine(
     let config = EngineConfig {
         queue_capacity: opts.queue,
         workers: opts.workers.max(1),
+        snapshot_every: opts.snapshot_every,
         ..EngineConfig::default()
     };
     match &opts.journal {
@@ -224,6 +228,23 @@ fn open_engine(
                     out,
                     "recovery: {defect} at byte {} of {total}; torn tail truncated",
                     info.valid_len
+                );
+            }
+            if let Some((gen, seq)) = info.snapshot {
+                let _ = writeln!(
+                    out,
+                    "recovery: snapshot generation {gen} restored through seq {seq}{}; \
+                     journal tail {} byte(s), {} op(s) replayed since snapshot",
+                    if info.snapshots_skipped > 0 {
+                        format!(
+                            " ({} torn/stale snapshot(s) skipped)",
+                            info.snapshots_skipped
+                        )
+                    } else {
+                        String::new()
+                    },
+                    info.valid_len,
+                    info.ops_replayed
                 );
             }
             if info.ops_replayed > 0 {

@@ -28,6 +28,13 @@ use std::sync::mpsc::Sender;
 /// presentation-free.
 pub type RenderFn = dyn Fn(&Response) -> String + Send + Sync;
 
+/// Prefix of the terminal reply sent to jobs caught behind a storage
+/// failure (the failure cause is appended). The one piece of
+/// presentation this module owns: when the journal is poisoned there is
+/// no engine response to render, but every pending client is still owed
+/// a line saying the server is fail-stop.
+pub const FAIL_STOP_PREFIX: &str = "ERR     fail-stop: ";
+
 /// One unit of connection work awaiting the commit loop.
 pub struct Job {
     /// What to do.
@@ -190,7 +197,24 @@ impl Batcher {
             }
         }
         // One journal record, one fsync, for every committed op below.
-        let responses = self.engine.process_batch(reqs)?;
+        let responses = match self.engine.process_batch(reqs) {
+            Ok(r) => r,
+            Err(e) => {
+                // Fail-stop: nothing in this chunk was acknowledged and
+                // nothing further ever will be. Tell every waiting
+                // client so instead of silently dropping its reply
+                // channel (pre-rendered protocol-error lines are still
+                // accurate and keep arrival order).
+                let line = format!("{FAIL_STOP_PREFIX}{e}");
+                for p in pending {
+                    let _ = match p {
+                        Pending::Op(tx) => tx.send(line.clone()),
+                        Pending::Line(tx, l) => tx.send(l),
+                    };
+                }
+                return Err(e);
+            }
+        };
         let mut rendered = responses.iter().map(render);
         let deliveries: Vec<(Sender<String>, String)> = pending
             .into_iter()
@@ -201,6 +225,30 @@ impl Batcher {
             .collect();
         send_acks(deliveries);
         Ok(())
+    }
+
+    /// Fail-stop drain: answer every still-queued job with the terminal
+    /// `line` and commit nothing. Called after a storage failure has
+    /// poisoned the journal — every pending client is owed an answer,
+    /// and the only honest one is a refusal (no op here was journaled,
+    /// so no durability is being claimed). Returns the number of jobs
+    /// answered.
+    pub fn fail_pending(&mut self, line: &str) -> u64 {
+        let mut answered = 0;
+        while let Some(job) = self.queue.pop() {
+            answered += 1;
+            let reply = match job.work {
+                // Pre-rendered lines (protocol errors) are still
+                // accurate; everything else gets the terminal ERR.
+                Work::Line(l) => l,
+                Work::Op(_) => line.to_string(),
+            };
+            let _ = job.reply.send(reply);
+        }
+        if answered > 0 {
+            dnc_telemetry::counter("server.failed_pending", answered);
+        }
+        answered
     }
 }
 

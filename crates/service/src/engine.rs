@@ -13,11 +13,20 @@
 //! Durability: when a journal is attached, the committed operation is
 //! appended and flushed **before** the engine acknowledges it.
 //! [`ChurnEngine::open`] replays an existing journal to reconstruct the
-//! exact committed state, truncating any torn tail.
+//! exact committed state, truncating any torn tail. With
+//! [`EngineConfig::snapshot_every`] set, the engine periodically
+//! publishes a crash-safe snapshot and rotates the journal (see
+//! [`crate::snapshot`]), so recovery folds the newest valid snapshot
+//! and replays only the journal tail past it. Any storage failure
+//! poisons the journal handle: the engine returns
+//! [`JournalError::Poisoned`] on every later commit attempt and must
+//! fail-stop rather than acknowledge an undurable operation.
 
-use crate::journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
+use crate::fs::StorageHandle;
+use crate::journal::{AdmitOp, Journal, JournalError, Op, TailDefect};
 use crate::queue::{Pushed, ShedQueue, DEFAULT_RETRY_SEED};
 use crate::request::{AdmitRequest, Request};
+use crate::snapshot::{self, RecoverError, Snapshot};
 use dnc_core::admission::Deadline;
 use dnc_core::cache::AnalysisCache;
 use dnc_core::guard::Guard;
@@ -50,6 +59,10 @@ pub struct EngineConfig {
     /// [`ShedQueue::retry_after`]). Same seed + same shed history ⇒
     /// identical hints, so scripted runs stay bit-reproducible.
     pub shed_seed: u64,
+    /// Publish a snapshot and rotate the journal every N committed
+    /// operations (`None` disables compaction). Bounds recovery cost by
+    /// churn since the last snapshot instead of lifetime history.
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +73,7 @@ impl Default for EngineConfig {
             workers: 1,
             incremental: true,
             shed_seed: DEFAULT_RETRY_SEED,
+            snapshot_every: None,
         }
     }
 }
@@ -85,18 +99,29 @@ pub struct EngineStats {
     pub group_commits: u64,
     /// Committed operations that rode in a group commit.
     pub batched_ops: u64,
+    /// Snapshots published (each followed by a journal rotation).
+    pub snapshots: u64,
 }
 
-/// What a recovery found in the journal.
+/// What a recovery found in the journal and snapshot directory.
 #[derive(Clone, Debug)]
 pub struct RecoveryInfo {
-    /// Committed operations replayed, in order.
+    /// Committed operations replayed from the journal tail (past the
+    /// snapshot, if one was folded), in order.
     pub ops_replayed: usize,
     /// Torn/corrupt tail that was truncated, with the pre-truncation
     /// file length.
     pub tail: Option<(TailDefect, u64)>,
     /// Byte length of the valid journal prefix.
     pub valid_len: u64,
+    /// `(generation, sequence)` of the snapshot recovery folded, if
+    /// any.
+    pub snapshot: Option<(u64, u64)>,
+    /// Snapshots passed over as torn, corrupt, or out of range.
+    pub snapshots_skipped: usize,
+    /// Total committed operations across the whole history (snapshot
+    /// plus tail).
+    pub committed_seq: u64,
 }
 
 /// One admitted-connection row, as reported by `Query`.
@@ -216,6 +241,13 @@ pub struct ChurnEngine {
     base_deadlines: Vec<Deadline>,
     admitted: Vec<AdmitOp>,
     journal: Option<Journal>,
+    /// Committed operations across the whole history (snapshot + live).
+    committed_seq: u64,
+    /// Sequence of the last published snapshot (0 = none).
+    last_snapshot_seq: u64,
+    /// Current snapshot generation (0 = none yet; next publish is +1).
+    gen: u64,
+    snapshot_every: Option<u64>,
     runner: ResilientRunner,
     queue: ShedQueue,
     stats: EngineStats,
@@ -249,6 +281,10 @@ impl ChurnEngine {
             base_deadlines,
             admitted: Vec::new(),
             journal: None,
+            committed_seq: 0,
+            last_snapshot_seq: 0,
+            gen: 0,
+            snapshot_every: config.snapshot_every,
             runner: ResilientRunner {
                 workers: config.workers.max(1),
                 ..ResilientRunner::new(config.guard.clone())
@@ -272,22 +308,49 @@ impl ChurnEngine {
         config: EngineConfig,
         path: &Path,
     ) -> Result<(ChurnEngine, RecoveryInfo), EngineError> {
+        ChurnEngine::open_with(base, base_deadlines, config, path, crate::fs::real())
+    }
+
+    /// [`ChurnEngine::open`] on an explicit storage backend — the
+    /// torture falsifier's entry point for injecting disk faults.
+    pub fn open_with(
+        base: Network,
+        base_deadlines: Vec<Deadline>,
+        config: EngineConfig,
+        path: &Path,
+        fs: StorageHandle,
+    ) -> Result<(ChurnEngine, RecoveryInfo), EngineError> {
         let _span = dnc_telemetry::span("service.recover");
         let mut engine = ChurnEngine::new(base, base_deadlines, config)?;
-        let (journal, replay) = Journal::resume(path)?;
-        let Replay {
-            ops,
-            valid_len,
-            tail,
-        } = replay;
-        let ops_replayed = ops.len();
-        for op in ops {
+        let plan = snapshot::recover(path, fs).map_err(|e| match e {
+            RecoverError::Journal(j) => EngineError::Journal(j),
+            RecoverError::Layout(m) => EngineError::Recovery(m),
+        })?;
+        let snapshot_loaded = plan.snapshot.as_ref().map(|s| (s.gen, s.seq));
+        if let Some(s) = &plan.snapshot {
+            if s.base_flows != engine.base_flows {
+                return Err(EngineError::Recovery(format!(
+                    "snapshot was taken over {} base flow(s), this engine has {}",
+                    s.base_flows, engine.base_flows
+                )));
+            }
+            for a in &s.admits {
+                engine.apply_replayed(&Op::Admit(a.clone())).map_err(|m| {
+                    EngineError::Recovery(format!("folding snapshot admit {:?}: {m}", a.name))
+                })?;
+            }
+        }
+        let ops_replayed = plan.tail_ops.len();
+        for op in &plan.tail_ops {
             engine
-                .apply_replayed(&op)
+                .apply_replayed(op)
                 .map_err(|m| EngineError::Recovery(format!("replaying {:?}: {m}", op.encode())))?;
         }
-        engine.journal = Some(journal);
-        if ops_replayed > 0 || tail.is_some() {
+        engine.journal = Some(plan.journal);
+        engine.committed_seq = plan.committed_seq;
+        engine.last_snapshot_seq = snapshot_loaded.map_or(0, |(_, seq)| seq);
+        engine.gen = plan.gen;
+        if ops_replayed > 0 || plan.tail.is_some() || plan.snapshot.is_some() {
             engine.stats.recoveries += 1;
             dnc_telemetry::counter("service.recoveries", 1);
         }
@@ -296,8 +359,11 @@ impl ChurnEngine {
             engine,
             RecoveryInfo {
                 ops_replayed,
-                tail,
-                valid_len,
+                tail: plan.tail,
+                valid_len: plan.valid_len,
+                snapshot: snapshot_loaded,
+                snapshots_skipped: plan.snapshots_skipped,
+                committed_seq: plan.committed_seq,
             },
         ))
     }
@@ -448,6 +514,7 @@ impl ChurnEngine {
                     j.append(&op)?;
                 }
                 self.apply_commit(&op, net, trace);
+                self.maybe_snapshot()?;
                 Ok(ack.into_response())
             }
         }
@@ -496,6 +563,7 @@ impl ChurnEngine {
             self.stats.batched_ops += ops.len() as u64;
             dnc_telemetry::counter("service.group_commits", 1);
             dnc_telemetry::counter("service.batched_ops", ops.len() as u64);
+            self.maybe_snapshot()?;
         }
         Ok(acks.into_iter().map(Ack::into_response).collect())
     }
@@ -524,8 +592,57 @@ impl ChurnEngine {
         }
         self.net = net;
         self.trace = trace;
+        self.committed_seq += 1;
         self.stats.commits += 1;
         dnc_telemetry::counter("service.commits", 1);
+    }
+
+    /// Publish a snapshot and rotate the journal once enough ops have
+    /// committed since the last one. Called after the commit's journal
+    /// record is durable, so a snapshot never precedes its own history.
+    ///
+    /// # Errors
+    /// A failed publish or rotation poisons the journal: the already-
+    /// journaled ops stay durable and recoverable, but the engine must
+    /// fail-stop (the caller surfaces the error and shuts down).
+    fn maybe_snapshot(&mut self) -> Result<(), EngineError> {
+        let Some(every) = self.snapshot_every else {
+            return Ok(());
+        };
+        if self.committed_seq - self.last_snapshot_seq < every.max(1) {
+            return Ok(());
+        }
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let _span = dnc_telemetry::span("service.snapshot");
+        let gen = self.gen + 1;
+        let snap = Snapshot {
+            gen,
+            seq: self.committed_seq,
+            base_flows: self.base_flows,
+            admits: self.admitted.clone(),
+        };
+        let fs = j.storage();
+        let path = j.path().to_path_buf();
+        if let Err(e) = snapshot::publish_snapshot(fs.as_ref(), &path, &snap) {
+            let why = format!("snapshot publish failed: {e}");
+            j.poison(&why);
+            return Err(EngineError::Journal(JournalError::Poisoned(why)));
+        }
+        j.rotate(gen, self.committed_seq)?;
+        snapshot::prune_snapshots(fs.as_ref(), &path, gen);
+        self.gen = gen;
+        self.last_snapshot_seq = self.committed_seq;
+        self.stats.snapshots += 1;
+        dnc_telemetry::counter("service.snapshots", 1);
+        Ok(())
+    }
+
+    /// Total committed operations across the whole history (snapshot
+    /// plus everything journaled since).
+    pub fn committed_seq(&self) -> u64 {
+        self.committed_seq
     }
 
     fn query_ack(&self, name: Option<&str>) -> Ack {
@@ -940,6 +1057,13 @@ mod tests {
         dir.join(name)
     }
 
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnc_engine_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn admit_release_round_trip() {
         let mut e = engine();
@@ -1143,6 +1267,64 @@ mod tests {
             assert_eq!(format!("{x:?}"), format!("{y:?}"), "answer {i} diverged");
         }
         assert_eq!(a.canonical_state(), b.canonical_state());
+    }
+
+    #[test]
+    fn snapshot_compaction_bounds_recovery_to_the_tail() {
+        let dir = tmpdir("compact");
+        let path = dir.join("engine.wal");
+        let cfg = EngineConfig {
+            snapshot_every: Some(2),
+            ..EngineConfig::default()
+        };
+        let digest = {
+            let (mut e, _) = ChurnEngine::open(base(), Vec::new(), cfg.clone(), &path).unwrap();
+            e.process(admit_req("a", rat(1, 32), int(50))).unwrap();
+            e.process(admit_req("b", rat(1, 32), int(60))).unwrap(); // snapshot 1 @ seq 2
+            e.process(Request::Release { name: "a".into() }).unwrap();
+            e.process(admit_req("c", rat(1, 32), int(70))).unwrap(); // snapshot 2 @ seq 4
+            e.process(admit_req("d", rat(1, 32), int(80))).unwrap(); // journal tail
+            assert_eq!(e.stats().snapshots, 2);
+            assert_eq!(e.committed_seq(), 5);
+            e.state_digest()
+        };
+        let (rec, info) = ChurnEngine::open(base(), Vec::new(), cfg, &path).unwrap();
+        assert_eq!(rec.state_digest(), digest);
+        assert_eq!(info.snapshot, Some((2, 4)));
+        assert_eq!(info.ops_replayed, 1, "recovery must replay only the tail");
+        assert_eq!(info.committed_seq, 5);
+        assert_eq!(info.snapshots_skipped, 0);
+        let names: Vec<_> = rec.admitted().map(|q| q.name).collect();
+        assert_eq!(names, ["b", "c", "d"]);
+    }
+
+    #[test]
+    fn engine_fail_stops_after_a_storage_fault() {
+        use crate::fs::{FaultFs, FaultKind};
+        use std::sync::Arc;
+        let dir = tmpdir("failstop");
+        let path = dir.join("engine.wal");
+        // Journal creation consumes sites 0..3; site 3 is the first
+        // commit's append write.
+        let fs: StorageHandle = Arc::new(FaultFs::new(3, FaultKind::Enospc));
+        let (mut e, _) =
+            ChurnEngine::open_with(base(), Vec::new(), EngineConfig::default(), &path, fs).unwrap();
+        let first = e.process(admit_req("a", rat(1, 32), int(50)));
+        assert!(
+            matches!(first, Err(EngineError::Journal(JournalError::Io(_)))),
+            "{first:?}"
+        );
+        let second = e.process(admit_req("b", rat(1, 32), int(60)));
+        assert!(
+            matches!(second, Err(EngineError::Journal(JournalError::Poisoned(_)))),
+            "fail-stop: every later commit must see the poisoned handle, got {second:?}"
+        );
+        drop(e);
+        // A real-backend recovery sees a consistent, empty history.
+        let (rec, info) =
+            ChurnEngine::open(base(), Vec::new(), EngineConfig::default(), &path).unwrap();
+        assert_eq!(info.committed_seq, 0);
+        assert_eq!(rec.network().flows().len(), 0);
     }
 
     #[test]

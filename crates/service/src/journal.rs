@@ -25,6 +25,24 @@
 //! rationals round-trip through `Rat`'s `Display`/`FromStr`. The format
 //! is dependency-free; the CRC-32 implementation lives in this module.
 //!
+//! A journal created by snapshot rotation additionally carries an
+//! **epoch record** as its first record: the single line
+//! `epoch <gen> <base_seq>`, marking that this file is the tail segment
+//! starting after the `base_seq`-th committed operation, paired with
+//! snapshot generation `gen` (see `snapshot.rs`). A journal without an
+//! epoch record starts at generation 0, sequence 0 — the pre-rotation
+//! format, which stays byte-identical.
+//!
+//! ## Storage faults and poisoning
+//!
+//! All write-side I/O goes through a [`StorageFs`](crate::fs::StorageFs)
+//! backend (fault-injectable; see `fs.rs`). Once any append, flush, or
+//! rotation step fails, the handle is **poisoned**: the in-memory write
+//! offset can no longer be trusted to match the file, so every later
+//! call fails with [`JournalError::Poisoned`] and the service must
+//! fail-stop rather than acknowledge an operation of unknown
+//! durability.
+//!
 //! ## Group commit
 //!
 //! [`Journal::append`] frames one op per record; the group-commit fast
@@ -36,11 +54,12 @@
 //! engine only acks a batch after its record is durable, so recovered
 //! state is always a serial prefix of the acknowledged history.
 
+use crate::fs::StorageHandle;
 use dnc_net::ServerId;
 use dnc_num::Rat;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// Magic header: format name + version byte + newline (greppable).
@@ -215,6 +234,10 @@ pub enum JournalError {
     /// A fully framed record failed to decode (programmer error or
     /// interior corruption past the CRC — never silently skipped).
     BadRecord(String),
+    /// An earlier append, flush, or rotation failed; the in-memory
+    /// offset no longer matches the file, so the handle fails every
+    /// call — the fail-stop half of the durability contract.
+    Poisoned(String),
 }
 
 impl fmt::Display for JournalError {
@@ -225,6 +248,10 @@ impl fmt::Display for JournalError {
                 write!(f, "not a dnc journal (bad magic); refusing to truncate")
             }
             JournalError::BadRecord(m) => write!(f, "undecodable journal record: {m}"),
+            JournalError::Poisoned(why) => write!(
+                f,
+                "journal poisoned by an earlier storage failure ({why}); fail-stop"
+            ),
         }
     }
 }
@@ -271,6 +298,24 @@ pub struct Replay {
     /// The defect that ended the prefix, with the total file length —
     /// `None` when the whole file was intact.
     pub tail: Option<(TailDefect, u64)>,
+    /// Snapshot generation from the epoch record (0 when absent).
+    pub gen: u64,
+    /// Committed operations preceding this file's first op — the
+    /// sequence number the segment starts after (0 when absent).
+    pub base_seq: u64,
+}
+
+impl Replay {
+    /// The replay of a freshly created, empty journal.
+    fn fresh() -> Replay {
+        Replay {
+            ops: Vec::new(),
+            valid_len: HEADER_LEN as u64,
+            tail: None,
+            gen: 0,
+            base_seq: 0,
+        }
+    }
 }
 
 /// Replay `path` without modifying it: decode the valid prefix, stop at
@@ -282,68 +327,134 @@ pub struct Replay {
 pub fn replay(path: &Path) -> Result<Replay, JournalError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
+    replay_bytes(&bytes)
+}
+
+/// Replay an in-memory journal image (see [`replay`]).
+fn replay_bytes(bytes: &[u8]) -> Result<Replay, JournalError> {
     if bytes.len() < MAGIC.len() || !bytes.starts_with(MAGIC) {
         return Err(JournalError::BadHeader);
     }
     let total = bytes.len() as u64;
     let mut ops = Vec::new();
-    let mut offset = MAGIC.len();
+    let mut offset = HEADER_LEN;
+    let mut tail = None;
+    let mut gen = 0u64;
+    let mut base_seq = 0u64;
     loop {
         let rest = bytes.get(offset..).unwrap_or(&[]);
         if rest.is_empty() {
-            return Ok(Replay {
-                ops,
-                valid_len: offset as u64,
-                tail: None,
-            });
+            break;
         }
-        let defect = |d: TailDefect| {
-            Ok(Replay {
-                ops: Vec::new(),
-                valid_len: offset as u64,
-                tail: Some((d, total)),
-            })
-        };
-        let Some(len) = read_u32(rest, 0) else {
-            return defect(TailDefect::TornFrame).map(|r| Replay { ops, ..r });
-        };
-        let Some(crc) = read_u32(rest, 4) else {
-            return defect(TailDefect::TornFrame).map(|r| Replay { ops, ..r });
-        };
-        if len > MAX_RECORD {
-            return defect(TailDefect::TornPayload).map(|r| Replay { ops, ..r });
-        }
-        let Some(payload) = rest.get(8..8 + len as usize) else {
-            return defect(TailDefect::TornPayload).map(|r| Replay { ops, ..r });
-        };
-        if crc32(payload) != crc {
-            return defect(TailDefect::ChecksumMismatch).map(|r| Replay { ops, ..r });
-        }
-        let Ok(text) = std::str::from_utf8(payload) else {
-            return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
-        };
-        // A record holds one op line, or a whole group-committed batch
-        // of them. Decode all-or-nothing: one bad line poisons the
-        // record, never a partial batch.
-        let mut batch = Vec::new();
-        for line in text.lines() {
-            let Ok(op) = Op::decode(line) else {
-                return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
+        let defect = 'rec: {
+            let (Some(len), Some(crc)) = (read_u32(rest, 0), read_u32(rest, 4)) else {
+                break 'rec Some(TailDefect::TornFrame);
             };
-            batch.push(op);
+            if len > MAX_RECORD {
+                break 'rec Some(TailDefect::TornPayload);
+            }
+            let Some(payload) = rest.get(8..8 + len as usize) else {
+                break 'rec Some(TailDefect::TornPayload);
+            };
+            if crc32(payload) != crc {
+                break 'rec Some(TailDefect::ChecksumMismatch);
+            }
+            let Ok(text) = std::str::from_utf8(payload) else {
+                break 'rec Some(TailDefect::Undecodable);
+            };
+            if offset == HEADER_LEN && text.starts_with("epoch") {
+                // The rotation epoch may only ever be the first record;
+                // anywhere else, `epoch` fails `Op::decode` below.
+                let Some((g, s)) = parse_epoch(text) else {
+                    break 'rec Some(TailDefect::Undecodable);
+                };
+                gen = g;
+                base_seq = s;
+            } else {
+                // A record holds one op line, or a whole group-committed
+                // batch of them. Decode all-or-nothing: one bad line
+                // poisons the record, never a partial batch.
+                let mut batch = Vec::new();
+                for line in text.lines() {
+                    let Ok(op) = Op::decode(line) else {
+                        break 'rec Some(TailDefect::Undecodable);
+                    };
+                    batch.push(op);
+                }
+                if batch.is_empty() {
+                    break 'rec Some(TailDefect::Undecodable);
+                }
+                ops.append(&mut batch);
+            }
+            offset += 8 + len as usize;
+            None
+        };
+        if let Some(d) = defect {
+            tail = Some((d, total));
+            break;
         }
-        if batch.is_empty() {
-            return defect(TailDefect::Undecodable).map(|r| Replay { ops, ..r });
-        }
-        ops.append(&mut batch);
-        offset += 8 + len as usize;
     }
+    Ok(Replay {
+        ops,
+        valid_len: offset as u64,
+        tail,
+        gen,
+        base_seq,
+    })
 }
 
-fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+pub(crate) fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
     let b = buf.get(at..at + 4)?;
     let arr: [u8; 4] = b.try_into().ok()?;
     Some(u32::from_le_bytes(arr))
+}
+
+/// The epoch record payload for a rotated journal segment.
+fn epoch_payload(gen: u64, base_seq: u64) -> String {
+    format!("epoch {gen} {base_seq}")
+}
+
+/// Parse `epoch <gen> <base_seq>` — exactly one line, exactly three
+/// tokens.
+fn parse_epoch(text: &str) -> Option<(u64, u64)> {
+    if text.lines().count() != 1 {
+        return None;
+    }
+    let mut toks = text.split_whitespace();
+    if toks.next() != Some("epoch") {
+        return None;
+    }
+    let gen = toks.next()?.parse().ok()?;
+    let base_seq = toks.next()?.parse().ok()?;
+    if toks.next().is_some() {
+        return None;
+    }
+    Some((gen, base_seq))
+}
+
+/// Frame one record: u32 LE length, u32 LE CRC-32, payload bytes.
+pub(crate) fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// `path`'s sibling named `<file_name>.<suffix>` in the same directory.
+pub(crate) fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{suffix}"));
+    path.with_file_name(name)
+}
+
+/// The directory whose entry table must be flushed for `path`'s
+/// creation/rename/truncation to survive a crash.
+pub(crate) fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
 }
 
 /// An append-only journal handle positioned at the end of its valid
@@ -352,58 +463,98 @@ fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
 pub struct Journal {
     file: File,
     path: PathBuf,
+    fs: StorageHandle,
+    poisoned: Option<String>,
 }
 
 impl Journal {
     /// Create a fresh journal at `path` (truncating any existing file)
-    /// and write the header.
+    /// and write the header. Uses the production storage backend.
     pub fn create(path: &Path) -> Result<Journal, JournalError> {
+        Journal::create_with(path, crate::fs::real())
+    }
+
+    /// [`Journal::create`] on an explicit storage backend.
+    pub fn create_with(path: &Path, fs: StorageHandle) -> Result<Journal, JournalError> {
+        Journal::create_at(path, fs, 0, 0)
+    }
+
+    /// Create a journal whose first record is the epoch
+    /// `epoch <gen> <base_seq>` — the tail segment started by a
+    /// snapshot rotation. Generation 0 / sequence 0 writes the bare
+    /// header (the pre-rotation format).
+    pub fn create_at(
+        path: &Path,
+        fs: StorageHandle,
+        gen: u64,
+        base_seq: u64,
+    ) -> Result<Journal, JournalError> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        file.write_all(MAGIC)?;
-        file.sync_data()?;
+        let mut buf = MAGIC.to_vec();
+        if gen > 0 || base_seq > 0 {
+            buf.extend_from_slice(&frame_record(epoch_payload(gen, base_seq).as_bytes()));
+        }
+        fs.write(&mut file, &buf)?;
+        fs.sync_data(&file)?;
         // The file's *data* being durable is not enough: until the
         // directory entry is flushed, a crash can forget the file ever
         // existed and recovery would silently start from nothing.
-        sync_parent_dir(path)?;
+        fs.sync_dir(parent_dir(path))?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
+            fs,
+            poisoned: None,
         })
     }
 
     /// Open an existing journal (or create one): replays the valid
     /// prefix, **truncates** any torn/corrupt tail, and positions the
-    /// handle for appends. Returns the handle and the replay.
+    /// handle for appends. Returns the handle and the replay. Uses the
+    /// production storage backend.
     pub fn resume(path: &Path) -> Result<(Journal, Replay), JournalError> {
+        Journal::resume_with(path, crate::fs::real())
+    }
+
+    /// [`Journal::resume`] on an explicit storage backend.
+    pub fn resume_with(path: &Path, fs: StorageHandle) -> Result<(Journal, Replay), JournalError> {
         if !path.exists() {
-            let journal = Journal::create(path)?;
-            let replay = Replay {
-                ops: Vec::new(),
-                valid_len: MAGIC.len() as u64,
-                tail: None,
-            };
-            return Ok((journal, replay));
+            let journal = Journal::create_with(path, fs)?;
+            return Ok((journal, Replay::fresh()));
         }
-        let replay = replay(path)?;
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() && MAGIC.starts_with(&bytes) {
+            // A crash mid-creation: the file holds a proper prefix of
+            // the magic (possibly nothing). No record — in particular no
+            // acknowledged op — can precede a complete header, so
+            // recreating in place is safe. A *non-prefix* short file is
+            // still refused as not-a-journal below.
+            let journal = Journal::create_with(path, fs)?;
+            return Ok((journal, Replay::fresh()));
+        }
+        let replay = replay_bytes(&bytes)?;
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        if replay.tail.is_some() {
-            // The damaged tail is dead weight: a future append must not
-            // leave it dangling past fresh records.
-            file.set_len(replay.valid_len)?;
-            file.sync_data()?;
-            // Metadata (the new length) must survive a crash too, or a
-            // re-crash during recovery could resurrect the torn tail.
-            sync_parent_dir(path)?;
-        }
         let mut journal = Journal {
             file,
             path: path.to_path_buf(),
+            fs,
+            poisoned: None,
         };
+        if replay.tail.is_some() {
+            // The damaged tail is dead weight: a future append must not
+            // leave it dangling past fresh records. Metadata (the new
+            // length) must survive a crash too, or a re-crash during
+            // recovery could resurrect the torn tail.
+            journal.fs.set_len(&journal.file, replay.valid_len)?;
+            journal.fs.sync_data(&journal.file)?;
+            journal.fs.sync_dir(parent_dir(path))?;
+        }
         journal.file.seek(SeekFrom::Start(replay.valid_len))?;
         Ok((journal, replay))
     }
@@ -431,8 +582,13 @@ impl Journal {
     }
 
     /// Frame `payload`, write it, and fsync — the single durability
-    /// point every acknowledgment path funnels through.
+    /// point every acknowledgment path funnels through. Any storage
+    /// failure poisons the handle: the write offset may be out of sync
+    /// with the file, so no further append can be trusted.
     fn append_payload(&mut self, payload: &str) -> Result<(), JournalError> {
+        if let Some(why) = &self.poisoned {
+            return Err(JournalError::Poisoned(why.clone()));
+        }
         let bytes = payload.as_bytes();
         let len = u32::try_from(bytes.len())
             .map_err(|_| JournalError::BadRecord("operation payload exceeds u32 length".into()))?;
@@ -441,32 +597,89 @@ impl Journal {
                 "operation payload exceeds the record cap".into(),
             ));
         }
-        let mut frame = Vec::with_capacity(8 + bytes.len());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&crc32(bytes).to_le_bytes());
-        frame.extend_from_slice(bytes);
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        let frame = frame_record(bytes);
+        let flushed = self
+            .fs
+            .write(&mut self.file, &frame)
+            .and_then(|()| self.fs.sync_data(&self.file));
+        match flushed {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(JournalError::Io(e))
+            }
+        }
+    }
+
+    /// Rotate this journal under a just-published snapshot at
+    /// (`gen`, `base_seq`): the current file moves aside to
+    /// `<path>.prev` and a fresh segment whose epoch record points past
+    /// the snapshot takes its place — built complete at `<path>.new`,
+    /// flushed, then atomically renamed in, so a crash at any step
+    /// leaves either the old segment or a fully formed new one.
+    ///
+    /// Any failure poisons the handle (the file layout is in an
+    /// intermediate state only recovery may interpret).
+    pub fn rotate(&mut self, gen: u64, base_seq: u64) -> Result<(), JournalError> {
+        if let Some(why) = &self.poisoned {
+            return Err(JournalError::Poisoned(why.clone()));
+        }
+        match self.rotate_inner(gen, base_seq) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn rotate_inner(&mut self, gen: u64, base_seq: u64) -> Result<(), JournalError> {
+        let dir = parent_dir(&self.path).to_path_buf();
+        let prev = sibling(&self.path, "prev");
+        self.fs.rename(&self.path, &prev)?;
+        self.fs.sync_dir(&dir)?;
+        let staging = sibling(&self.path, "new");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&staging)?;
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&frame_record(epoch_payload(gen, base_seq).as_bytes()));
+        self.fs.write(&mut file, &buf)?;
+        self.fs.sync_data(&file)?;
+        self.fs.rename(&staging, &self.path)?;
+        self.fs.sync_dir(&dir)?;
+        // The handle follows the inode through the rename; its cursor
+        // already sits at the end of the epoch record.
+        self.file = file;
         Ok(())
+    }
+
+    /// Poison the handle from outside (e.g. a snapshot publish failed
+    /// mid-protocol): every later call returns
+    /// [`JournalError::Poisoned`].
+    pub fn poison(&mut self, why: &str) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(why.to_string());
+        }
+    }
+
+    /// Why the handle is poisoned, if it is.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// The storage backend this journal writes through.
+    pub fn storage(&self) -> StorageHandle {
+        self.fs.clone()
     }
 
     /// The path this journal writes to.
     pub fn path(&self) -> &Path {
         &self.path
     }
-}
-
-/// Flush the directory entry for `path` so a freshly created (or just
-/// truncated) journal survives a crash between the file operation and
-/// the next directory sync. Without this, POSIX permits recovery to
-/// find no journal at all even though `create` returned success.
-fn sync_parent_dir(path: &Path) -> Result<(), JournalError> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    File::open(parent)?.sync_all()?;
-    Ok(())
 }
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
@@ -506,7 +719,9 @@ const fn crc32_table() -> [u32; 256] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::{FaultFs, FaultKind};
     use dnc_num::{int, rat};
+    use std::sync::Arc;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("dnc_journal_{}", std::process::id()));
@@ -559,9 +774,10 @@ mod tests {
             "",
             "frobnicate x",
             "release",
+            "epoch 1 2", // the epoch record is framing metadata, not an op
             "admit f deadline 3 prio 0 peak - route buckets 1 1/8", // empty route
-            "admit f deadline 3 prio 0 peak - route 0 buckets",     // no buckets
-            "admit f deadline 3 prio 0 peak - route 0 buckets 1",   // odd bucket
+            "admit f deadline 3 prio 0 peak - route 0 buckets", // no buckets
+            "admit f deadline 3 prio 0 peak - route 0 buckets 1", // odd bucket
             "admit f deadline x prio 0 peak - route 0 buckets 1 1", // bad rat
         ] {
             assert!(Op::decode(bad).is_err(), "{bad:?} must not decode");
@@ -584,6 +800,7 @@ mod tests {
         let r = replay(&path).unwrap();
         assert_eq!(r.ops, ops);
         assert!(r.tail.is_none());
+        assert_eq!((r.gen, r.base_seq), (0, 0));
     }
 
     #[test]
@@ -761,6 +978,13 @@ mod tests {
             std::fs::read(&path).unwrap(),
             b"hello world, definitely not a journal"
         );
+        // A short file that is NOT a magic prefix is refused too.
+        let short = tmp("short_impostor.txt");
+        std::fs::write(&short, b"DNX").unwrap();
+        assert!(matches!(
+            Journal::resume(&short),
+            Err(JournalError::BadHeader)
+        ));
     }
 
     #[test]
@@ -779,6 +1003,118 @@ mod tests {
         assert_eq!(
             r.tail.as_ref().map(|(d, _)| d.clone()),
             Some(TailDefect::TornPayload)
+        );
+    }
+
+    #[test]
+    fn crash_during_creation_resumes_as_a_fresh_journal() {
+        // Every proper prefix of the magic — including the empty file a
+        // crash-before-first-write leaves — recreates in place.
+        for cut in 0..MAGIC.len() {
+            let path = tmp("torn_create.wal");
+            std::fs::write(&path, &MAGIC[..cut]).unwrap();
+            let (mut j, r) = Journal::resume(&path).unwrap();
+            assert!(r.ops.is_empty(), "cut at {cut}");
+            assert_eq!(r.valid_len, MAGIC.len() as u64);
+            j.append(&sample_admit("a")).unwrap();
+            drop(j);
+            assert_eq!(replay(&path).unwrap().ops.len(), 1);
+        }
+    }
+
+    #[test]
+    fn failed_append_poisons_the_handle() {
+        // Regression: a short write used to leave the in-memory offset
+        // out of sync with the file while later appends kept going.
+        // Creation consumes sites 0..3 (write, sync_data, sync_dir);
+        // site 3 is the first append's write.
+        let path = tmp("poisoned.wal");
+        let fs = Arc::new(FaultFs::new(3, FaultKind::ShortWrite));
+        let mut j = Journal::create_with(&path, fs).unwrap();
+        let first = j.append(&sample_admit("a"));
+        assert!(matches!(first, Err(JournalError::Io(_))), "{first:?}");
+        assert!(j.poisoned().is_some());
+        // Every subsequent call fails without touching the file.
+        for _ in 0..2 {
+            let again = j.append(&sample_admit("b"));
+            assert!(matches!(again, Err(JournalError::Poisoned(_))), "{again:?}");
+        }
+        let batch = j.append_batch(&[sample_admit("c")]);
+        assert!(matches!(batch, Err(JournalError::Poisoned(_))));
+        assert!(matches!(j.rotate(1, 1), Err(JournalError::Poisoned(_))));
+        drop(j);
+        // The torn record is detected and truncated by recovery.
+        let (_, r) = Journal::resume(&path).unwrap();
+        assert!(r.ops.is_empty());
+        assert_eq!(r.valid_len, MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_handle_too() {
+        // Site 4 is the first append's sync_data: the bytes hit the
+        // file but durability is unknown — still fail-stop.
+        let path = tmp("poisoned_sync.wal");
+        let fs = Arc::new(FaultFs::new(4, FaultKind::Eio));
+        let mut j = Journal::create_with(&path, fs).unwrap();
+        assert!(matches!(
+            j.append(&sample_admit("a")),
+            Err(JournalError::Io(_))
+        ));
+        assert!(matches!(
+            j.append(&sample_admit("b")),
+            Err(JournalError::Poisoned(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_record_round_trips_and_survives_appends() {
+        let path = tmp("epoch.wal");
+        let mut j = Journal::create_at(&path, crate::fs::real(), 3, 17).unwrap();
+        j.append(&sample_admit("a")).unwrap();
+        drop(j);
+        let r = replay(&path).unwrap();
+        assert_eq!((r.gen, r.base_seq), (3, 17));
+        assert_eq!(r.ops.len(), 1);
+        assert!(r.tail.is_none());
+        // Resume lands after the epoch and keeps appending.
+        let (mut j, r) = Journal::resume(&path).unwrap();
+        assert_eq!((r.gen, r.base_seq), (3, 17));
+        j.append(&Op::Release { name: "a".into() }).unwrap();
+        drop(j);
+        assert_eq!(replay(&path).unwrap().ops.len(), 2);
+    }
+
+    #[test]
+    fn rotation_moves_the_segment_aside_and_starts_a_fresh_epoch() {
+        let path = tmp("rotate.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("a")).unwrap();
+        j.append(&sample_admit("b")).unwrap();
+        j.rotate(1, 2).unwrap();
+        j.append(&Op::Release { name: "a".into() }).unwrap();
+        drop(j);
+        let prev = replay(&sibling(&path, "prev")).unwrap();
+        assert_eq!(prev.ops.len(), 2);
+        assert_eq!((prev.gen, prev.base_seq), (0, 0));
+        let active = replay(&path).unwrap();
+        assert_eq!((active.gen, active.base_seq), (1, 2));
+        assert_eq!(active.ops, vec![Op::Release { name: "a".into() }]);
+    }
+
+    #[test]
+    fn epoch_after_first_record_is_a_defect() {
+        let path = tmp("late_epoch.wal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&sample_admit("a")).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&frame_record(b"epoch 1 1"));
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(
+            r.tail.as_ref().map(|(d, _)| d.clone()),
+            Some(TailDefect::Undecodable)
         );
     }
 }

@@ -10,9 +10,15 @@
 //! * **Transactional mutation** ([`engine`]): every mutation is staged
 //!   on a clone, certified by the [`dnc_core::resilient::ResilientRunner`]
 //!   fallback chain, and committed or rolled back atomically.
-//! * **Durability** ([`journal`]): committed operations hit a
-//!   checksummed write-ahead journal before acknowledgment; recovery
-//!   replays the journal and truncates torn tails.
+//! * **Durability** ([`journal`], [`snapshot`]): committed operations
+//!   hit a checksummed write-ahead journal before acknowledgment;
+//!   periodic snapshots compact the journal so recovery replays only
+//!   the tail past the newest snapshot; recovery truncates torn tails
+//!   and falls back past torn snapshots. All write-side I/O runs
+//!   through the [`fs`] backend trait, so the torture falsifier can
+//!   inject storage faults at every enumerated syscall site; a failed
+//!   append or publish poisons the journal handle and the server
+//!   fail-stops rather than acknowledge an undurable operation.
 //! * **Overload control** ([`queue`]): a bounded queue sheds the
 //!   loosest-deadline admits first; certification runs under
 //!   per-request budgets with one retry at a cheaper analysis tier.
@@ -21,14 +27,18 @@
 
 pub mod batch;
 pub mod engine;
+pub mod fs;
 pub mod journal;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod snapshot;
 
-pub use batch::{Batcher, Job, RenderFn, Work};
+pub use batch::{Batcher, Job, RenderFn, Work, FAIL_STOP_PREFIX};
 pub use engine::{ChurnEngine, EngineConfig, EngineError, EngineStats, RecoveryInfo, Response};
+pub use fs::{FaultFs, FaultKind, RealFs, StorageFs, StorageHandle, FAULT_KINDS};
 pub use journal::{AdmitOp, Journal, JournalError, Op, Replay, TailDefect};
 pub use queue::{Pushed, ShedQueue, ShedReason, Sheddable};
 pub use request::{AdmitRequest, Request};
 pub use server::{DecodeFn, ServerConfig, ServerError, ServerReport};
+pub use snapshot::{RecoverError, Recovered, Snapshot, SnapshotError};

@@ -27,7 +27,7 @@
 //! budget is counted in commit-loop ticks rather than wall-clock reads,
 //! so the server adds no nondeterministic clock sites.
 
-use crate::batch::{Batcher, Job, RenderFn, Work};
+use crate::batch::{Batcher, Job, RenderFn, Work, FAIL_STOP_PREFIX};
 use crate::engine::{ChurnEngine, EngineError, EngineStats};
 use crate::request::Request;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -242,6 +242,23 @@ pub fn run(
     // their own; their sends fail harmlessly once `job_rx` drops.
     shutdown.store(true, Ordering::SeqCst);
     let _ = acceptor.join();
+
+    if let Err(ServerError::Engine(e)) = &serve_result {
+        // Fail-stop: the journal is poisoned and nothing further will
+        // ever commit. Answer every job still queued — or racing in
+        // from a reader — with the terminal ERR so no client waits on
+        // an acknowledgment that cannot come. (The chunk that hit the
+        // failure was already answered by the batcher itself.)
+        let line = format!("{FAIL_STOP_PREFIX}{e}");
+        batcher.fail_pending(&line);
+        while let Ok(job) = job_rx.try_recv() {
+            let _ = match job.work {
+                Work::Line(l) => job.reply.send(l),
+                Work::Op(_) => job.reply.send(line.clone()),
+            };
+        }
+        dnc_telemetry::counter("server.fail_stop", 1);
+    }
 
     let report_base = ServerReport {
         connections: tallies.connections.load(Ordering::SeqCst),
@@ -559,6 +576,47 @@ mod tests {
         for c in 0..4 {
             assert!(admitted.contains(&format!("c{c}b")), "{admitted:?}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_failure_answers_clients_with_terminal_err() {
+        use crate::fs::{FaultFs, FaultKind};
+        let dir = scratch("failstop");
+        let wal = dir.join("wal");
+        // Journal creation consumes sites 0..3; site 3 is the first
+        // commit's append write.
+        let fs: crate::fs::StorageHandle = Arc::new(FaultFs::new(3, FaultKind::Eio));
+        let (engine, _) =
+            ChurnEngine::open_with(base(), Vec::new(), EngineConfig::default(), &wal, fs).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            run(
+                listener,
+                engine,
+                ServerConfig::default(),
+                Arc::new(decode),
+                Arc::new(render),
+                Arc::new(AtomicBool::new(false)),
+            )
+        });
+        let got = send_script(addr, &[admit_line("doomed", 60)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(
+            got[0].starts_with(FAIL_STOP_PREFIX),
+            "the client must see the terminal fail-stop ERR, got {got:?}"
+        );
+        let result = handle.join().unwrap();
+        assert!(
+            matches!(result, Err(ServerError::Engine(_))),
+            "the server must exit with the engine failure"
+        );
+        // Nothing was acknowledged, and recovery agrees: empty history.
+        let (recovered, info) =
+            ChurnEngine::open(base(), Vec::new(), EngineConfig::default(), &wal).unwrap();
+        assert_eq!(info.committed_seq, 0);
+        assert_eq!(recovered.network().flows().len(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,27 @@
+// deepcheck fixture — scanned as crates/service/src/fixture.rs. Clean
+// shapes for dur-atomic-publish: the publish site reaches all four
+// protocol stages, with the parent-directory fsync satisfied
+// transitively through a helper to exercise the call-graph walk.
+
+pub fn publish_snapshot(
+    fs: &dyn StorageFs,
+    tmp: &std::path::Path,
+    dst: &std::path::Path,
+    buf: &[u8],
+) -> std::io::Result<()> {
+    let mut file = open_staging(tmp)?;
+    fs.write(&mut file, buf)?;
+    fs.sync_data(&file)?;
+    fs.rename(tmp, dst)?;
+    durable_parent(fs, dst)?;
+    Ok(())
+}
+
+fn durable_parent(fs: &dyn StorageFs, path: &std::path::Path) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or(std::path::Path::new("."));
+    fs.sync_dir(dir)
+}
+
+fn open_staging(tmp: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(tmp)
+}

@@ -1,0 +1,22 @@
+// deepcheck fixture — scanned as crates/service/src/fixture.rs. Seeded
+// true positive for dur-atomic-publish: the publish site stages the
+// snapshot (temp write, data fsync, rename) but never fsyncs the
+// parent directory, so a crash after the rename can lose the directory
+// entry and recovery falls back past the compacted prefix.
+
+pub fn publish_snapshot(
+    fs: &dyn StorageFs,
+    tmp: &std::path::Path,
+    dst: &std::path::Path,
+    buf: &[u8],
+) -> std::io::Result<()> {
+    let mut file = open_staging(tmp)?;
+    fs.write(&mut file, buf)?;
+    fs.sync_data(&file)?;
+    fs.rename(tmp, dst)?;
+    Ok(())
+}
+
+fn open_staging(tmp: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(tmp)
+}

@@ -8,7 +8,7 @@
 //! |---------------|-----------------------------------------|---------------------------------------------|
 //! | determinism   | `det-hash-iter`, `det-wall-clock`       | bit-identical reports across worker counts  |
 //! | concurrency   | `conc-thread-local`, `conc-panic-payload` | `fan_out` jobs stay thread-local-clean    |
-//! | durability    | `dur-fsync`, `dur-framing`, `dur-group-ack` | fsync-before-ack; single-sourced framing; commit-dominated ack sink |
+//! | durability    | `dur-fsync`, `dur-framing`, `dur-group-ack`, `dur-atomic-publish` | fsync-before-ack; single-sourced framing; commit-dominated ack sink; crash-atomic snapshot publish |
 //! | contract      | `contract-exit`, `contract-span`        | unified exit codes; RAII spans held open    |
 //!
 //! All passes share the `// audit: allow(<lint>, <reason>)` escape hatch,
@@ -32,6 +32,7 @@ pub const DEEPCHECK_LINTS: &[&str] = &[
     "dur-fsync",
     "dur-framing",
     "dur-group-ack",
+    "dur-atomic-publish",
     "contract-exit",
     "contract-span",
 ];
@@ -117,6 +118,7 @@ pub fn run(files: &[ScannedFile]) -> Vec<Finding> {
     lint_dur_fsync(files, &idx, &mut out);
     lint_dur_framing(files, &mut out);
     lint_dur_group_ack(files, &idx, &mut out);
+    lint_dur_atomic_publish(files, &idx, &mut out);
     lint_contract_exit(files, &mut out);
     lint_contract_span(files, &mut out);
     // Distinct passes can rediscover the same site (e.g. two fan_out
@@ -583,7 +585,7 @@ fn lint_conc_panic_payload(files: &[ScannedFile], idx: &SymbolIndex, out: &mut V
 }
 
 // ---------------------------------------------------------------------------
-// Durability: dur-fsync, dur-framing, dur-group-ack
+// Durability: dur-fsync, dur-framing, dur-group-ack, dur-atomic-publish
 // ---------------------------------------------------------------------------
 
 fn lint_dur_fsync(files: &[ScannedFile], idx: &SymbolIndex, out: &mut Vec<Finding>) {
@@ -602,6 +604,15 @@ fn lint_dur_fsync(files: &[ScannedFile], idx: &SymbolIndex, out: &mut Vec<Findin
             if t.kind == TokenKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
                 match t.text.as_str() {
                     "write_all" | "set_len" => writes.push(i),
+                    // A `fs.write(..)` through the storage trait is a
+                    // journal/snapshot write even though the method is
+                    // just `write`; the narrow receiver check keeps
+                    // socket `write` calls out.
+                    "write"
+                        if i >= 2 && toks[i - 1].is_punct('.') && toks[i - 2].is_ident("fs") =>
+                    {
+                        writes.push(i)
+                    }
                     "sync_data" | "sync_all" => syncs.push(i),
                     "append" if first_append.is_none() => first_append = Some(i),
                     _ => {}
@@ -784,6 +795,79 @@ fn lint_dur_group_ack(files: &[ScannedFile], idx: &SymbolIndex, out: &mut Vec<Fi
                     ),
                 );
             }
+        }
+    }
+}
+
+/// Functions that publish a snapshot under its final name. Each must
+/// reach every stage of the atomic-publish protocol through its call
+/// graph.
+const PUBLISH_FNS: &[&str] = &["publish_snapshot"];
+
+/// The atomic-publish stages and the call names that satisfy each.
+const PUBLISH_STAGES: &[(&str, &[&str])] = &[
+    ("the temp-file write", &["write", "write_all"]),
+    ("the data fsync", &["sync_data", "sync_all"]),
+    ("the atomic rename", &["rename"]),
+    ("the parent-directory fsync", &["sync_dir"]),
+];
+
+/// `dur-atomic-publish`: a snapshot publish site ([`PUBLISH_FNS`]) must
+/// reach, through name-based call edges, all four stages of the atomic
+/// publish protocol: temp write -> fsync -> rename -> dir fsync
+/// ([`PUBLISH_STAGES`]). A missing stage opens a crash window where a
+/// torn or unlinked snapshot can be observed under the final name and
+/// recovery silently loses the compacted prefix.
+fn lint_dur_atomic_publish(files: &[ScannedFile], idx: &SymbolIndex, out: &mut Vec<Finding>) {
+    let stop: BTreeSet<&str> = index::STOP_NAMES.iter().copied().collect();
+    for (di, d) in idx.fns.iter().enumerate() {
+        let file = &files[d.file];
+        if !file.path.starts_with(DURABILITY_SRC)
+            || !in_scope(&file.path)
+            || d.is_test
+            || !PUBLISH_FNS.contains(&d.name.as_str())
+        {
+            continue;
+        }
+        // Forward reachability: union of call names over every
+        // definition reachable from the publish function.
+        let mut reached: BTreeSet<&str> = BTreeSet::new();
+        let mut seen = vec![false; idx.fns.len()];
+        let mut stack = vec![di];
+        while let Some(f) = stack.pop() {
+            if std::mem::replace(&mut seen[f], true) {
+                continue;
+            }
+            for name in &idx.calls[f] {
+                reached.insert(name.as_str());
+                if stop.contains(name.as_str()) {
+                    continue;
+                }
+                if let Some(defs) = idx.by_name.get(name) {
+                    stack.extend(defs.iter().copied());
+                }
+            }
+        }
+        let missing: Vec<&str> = PUBLISH_STAGES
+            .iter()
+            .filter(|(_, calls)| !calls.iter().any(|c| reached.contains(c)))
+            .map(|(stage, _)| *stage)
+            .collect();
+        if !missing.is_empty() {
+            let toks = &file.tokens;
+            emit(
+                file,
+                out,
+                toks[sig_start(toks, d.body.start)].line,
+                "dur-atomic-publish",
+                format!(
+                    "`{}` never reaches {} through its call graph; a snapshot is only \
+                     crash-atomic when it is staged as temp write -> fsync -> rename -> \
+                     parent-dir fsync",
+                    d.name,
+                    missing.join(", ")
+                ),
+            );
         }
     }
 }
@@ -1277,6 +1361,16 @@ mod tests {
                 &[],
             ),
             (
+                "dur_atomic_positive.rs",
+                "crates/service/src/fixture.rs",
+                &["dur-atomic-publish"],
+            ),
+            (
+                "dur_atomic_negative.rs",
+                "crates/service/src/fixture.rs",
+                &[],
+            ),
+            (
                 "contract_positive.rs",
                 "crates/fixture/src/bin/tool.rs",
                 &[
@@ -1346,7 +1440,7 @@ mod tests {
         let clean = run(&[scan(path, &src)]);
         assert!(clean.is_empty(), "pristine journal must pass: {clean:?}");
 
-        let mutated = src.replace("self.file.sync_data()?;", "");
+        let mutated = src.replace(".and_then(|()| self.fs.sync_data(&self.file))", "");
         assert!(
             mutated.len() < src.len(),
             "fsync-removal mutation must apply"
@@ -1355,6 +1449,29 @@ mod tests {
         assert!(
             f.iter().any(|x| x.lint == "dur-fsync"),
             "dropping the fsync guard must produce a dur-fsync finding: {f:?}"
+        );
+    }
+
+    #[test]
+    fn real_snapshot_publish_is_clean_until_a_stage_is_removed() {
+        let src = service_source("snapshot.rs");
+        let path = "crates/service/src/snapshot.rs";
+        let clean = run(&[scan(path, &src)]);
+        assert!(
+            clean.is_empty(),
+            "pristine snapshot module must pass: {clean:?}"
+        );
+
+        let mutated = src.replace("fs.sync_dir(parent_dir(&final_path))?;", "");
+        assert!(
+            mutated.len() < src.len(),
+            "dir-fsync removal mutation must apply"
+        );
+        let f = run(&[scan(path, &mutated)]);
+        assert!(
+            f.iter().any(|x| x.lint == "dur-atomic-publish"),
+            "dropping the directory fsync from the publish protocol must produce a \
+             dur-atomic-publish finding: {f:?}"
         );
     }
 
