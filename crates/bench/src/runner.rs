@@ -298,6 +298,10 @@ pub fn run_bench(opts: &BenchOptions) -> std::io::Result<BenchSummary> {
         "throughput.mismatches".to_string(),
         tp.mismatches.len() as f64,
     );
+    throughput_record.metrics.insert(
+        "throughput.cache_entries".to_string(),
+        tp.cache_entries as f64,
+    );
     if let Some(base) = tp.mode("scratch-seq") {
         throughput_record
             .metrics
@@ -576,6 +580,27 @@ mod tests {
         for path in &summary.trajectory_paths {
             let text = std::fs::read_to_string(path).unwrap();
             dnc_telemetry::schema::validate_bench(&text).unwrap();
+        }
+        // The throughput stages share one analysis cache, so the
+        // record must show real reuse, not the perpetual zero that
+        // per-stage private caches used to report: the shared cache
+        // retains entries in every build, and the derived
+        // `cache.hit_rate` is present whenever counters are compiled
+        // in (the telemetry feature — CI's bench-record job).
+        let records = load_trajectory(&summary.trajectory_paths[0]).unwrap();
+        let entries = records[0]
+            .metrics
+            .get("throughput.cache_entries")
+            .copied()
+            .unwrap_or(0.0);
+        assert!(entries > 0.0, "shared cache memoized nothing: {entries}");
+        if cfg!(feature = "telemetry") {
+            let rate = records[0]
+                .metrics
+                .get("cache.hit_rate")
+                .copied()
+                .unwrap_or(0.0);
+            assert!(rate > 0.0, "cache.hit_rate missing or zero: {rate}");
         }
         // All four harness docs archived under runs/<slug>/.
         let slug_dir = &summary.archive_dir;

@@ -4,13 +4,22 @@
 //! The modes differ **only** in how the engine certifies — never in what
 //! it answers:
 //!
-//! * `scratch-seq` — every certification from scratch, sequential: the
-//!   honest baseline.
+//! * `scratch-seq` — every certification from scratch, sequential,
+//!   with a cold private cache: the honest baseline.
 //! * `parallel` — from scratch, pairing groups fanned out over
-//!   `workers` scoped threads.
-//! * `incremental` — the full fast path: shared memo cache, parallel
-//!   fan-out, and incremental re-certification off the previous
-//!   accepted analysis.
+//!   `workers` scoped threads, certifying against the run's shared
+//!   memo cache.
+//! * `incremental` — the full fast path: the same shared memo cache,
+//!   parallel fan-out, and incremental re-certification off the
+//!   previous accepted analysis.
+//!
+//! The `parallel` and `incremental` stages thread **one**
+//! [`AnalysisCache`] between them (the workload replays the same
+//! request list, so the cache genuinely hits); `scratch-seq` keeps a
+//! cold cache so the baseline stays honest. The run's `cache.hit` /
+//! `cache.miss` telemetry — and the derived `cache.hit_rate` bench
+//! metric — therefore reflect real cross-stage reuse instead of the
+//! perpetual zero that per-stage private caches used to report.
 //!
 //! Every mode replays the *same* pre-drawn request list against the
 //! same base network, and the harness fingerprints every response
@@ -21,11 +30,13 @@
 
 use crate::chaos::scenario_rng;
 use crate::{paper_tandem, write_metrics_doc};
+use dnc_core::cache::AnalysisCache;
 use dnc_num::Rat;
 use dnc_service::{AdmitRequest, ChurnEngine, EngineConfig, Request, Response};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Knobs of a throughput run.
 #[derive(Clone, Debug)]
@@ -79,6 +90,9 @@ pub struct ThroughputReport {
     pub modes: Vec<ModeOutcome>,
     /// Responses or final states that differed from the baseline mode.
     pub mismatches: Vec<String>,
+    /// Entries left in the cache the fast stages shared — nonzero
+    /// whenever the workload actually reused memoized analyses.
+    pub cache_entries: usize,
 }
 
 impl ThroughputReport {
@@ -202,6 +216,10 @@ fn run_mode(
 pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let _span = dnc_telemetry::span("throughput.run");
     let reqs = draw_requests(cfg);
+    // One cache threaded through the two fast stages; the baseline
+    // stage gets none (a cold private cache) so its numbers stay an
+    // honest from-scratch measurement.
+    let shared = Arc::new(AnalysisCache::new());
     let plan: [(&'static str, EngineConfig); 3] = [
         (
             "scratch-seq",
@@ -216,6 +234,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
             EngineConfig {
                 workers: cfg.workers,
                 incremental: false,
+                cache: Some(Arc::clone(&shared)),
                 ..EngineConfig::default()
             },
         ),
@@ -224,6 +243,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
             EngineConfig {
                 workers: cfg.workers,
                 incremental: true,
+                cache: Some(Arc::clone(&shared)),
                 ..EngineConfig::default()
             },
         ),
@@ -255,6 +275,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         cfg: cfg.clone(),
         modes,
         mismatches,
+        cache_entries: shared.len(),
     }
 }
 
@@ -392,6 +413,10 @@ mod tests {
         for m in &report.modes {
             assert!(m.commits > 0, "{} committed nothing", m.label);
         }
+        assert!(
+            report.cache_entries > 0,
+            "the shared cache memoized nothing across the fast stages"
+        );
         let (a, b, c) = (
             report.modes[0].commits,
             report.modes[1].commits,

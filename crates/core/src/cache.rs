@@ -18,6 +18,7 @@
 use crate::integrated::PairBound;
 use crate::OutputCap;
 use dnc_curves::cache::{CacheKey, CurveCache};
+use dnc_curves::intern::{self, CurveId};
 use dnc_curves::Curve;
 use dnc_num::Rat;
 
@@ -40,8 +41,10 @@ pub struct AnalysisCache {
     /// Local FIFO delays, keyed by (aggregate curve, server rate).
     pub(crate) delay: CurveCache<Rat>,
     /// Propagated entry envelopes, keyed by (source curve, per-hop
-    /// delays, per-hop rates, output cap).
-    pub(crate) curve: CurveCache<Curve>,
+    /// delays, per-hop rates, output cap). Stores interned
+    /// [`CurveId`]s so a memoized envelope costs one table slot and
+    /// hits clone from the shared arena instead of a private copy.
+    pub(crate) curve: CurveCache<CurveId>,
 }
 
 impl AnalysisCache {
@@ -84,7 +87,10 @@ impl AnalysisCache {
     }
 
     pub(crate) fn entry_curve(&self, key: CacheKey, compute: impl FnOnce() -> Curve) -> Curve {
-        self.curve.get_or_insert_with(key, compute)
+        let id = self
+            .curve
+            .get_or_insert_with(key, || intern::intern(&compute()));
+        (*intern::resolve(id)).clone()
     }
 }
 

@@ -28,9 +28,21 @@
 
 use crate::propagate::Propagation;
 use crate::{fifo, AnalysisError, AnalysisReport, DelayAnalysis, FlowReport, OutputCap};
+use dnc_curves::cache::{CacheKey, CurveCache};
+use dnc_curves::intern::{self, CurveId};
 use dnc_curves::{bounds, minplus, Curve};
 use dnc_net::{Discipline, FlowId, Network};
 use dnc_num::Rat;
+use std::sync::OnceLock;
+
+/// Memo for [`family_curve`]: the coordinate descent rebuilds the same
+/// `(rate, α_cross, θ)` members over and over (only one hop's θ moves
+/// per step), so the construction — two curve subtractions, a min with
+/// crossing insertion, and a `future_min` monotonization — is the hot
+/// allocation path of the whole analysis. Keyed by interned curve id +
+/// the two rationals; values are interned ids (pure function of the
+/// key, so the global table is sound and bit-identity is preserved).
+static FAMILY_MEMO: OnceLock<CurveCache<CurveId>> = OnceLock::new();
 
 /// Build the (monotonized, ramp-capped) family member `β_θ` from a
 /// nondecreasing cross-traffic constraint; the `future_min` pass makes the
@@ -38,6 +50,22 @@ use dnc_num::Rat;
 pub fn family_curve(rate: Rat, alpha_cross: &Curve, theta: Rat) -> Curve {
     assert!(rate.is_positive(), "family_curve: rate must be positive");
     assert!(!theta.is_negative(), "family_curve: θ must be non-negative");
+    if intern::kernel_enabled() {
+        let key = CacheKey::new("core.family_curve")
+            .curve(alpha_cross)
+            .rat(rate)
+            .rat(theta);
+        let memo = FAMILY_MEMO.get_or_init(CurveCache::default);
+        let out = memo.get_or_insert_with(key, || {
+            intern::intern(&family_curve_core(rate, alpha_cross, theta))
+        });
+        return (*intern::resolve(out)).clone();
+    }
+    family_curve_core(rate, alpha_cross, theta)
+}
+
+/// The uncached [`family_curve`] construction.
+fn family_curve_core(rate: Rat, alpha_cross: &Curve, theta: Rat) -> Curve {
     let base = Curve::rate(rate).sub(&alpha_cross.shift_right_hold(theta));
     // Steep ramp enforcing the `1_{t > θ}` indicator; K > C makes the cap
     // inactive wherever the true curve is below the ramp, so θ = 0

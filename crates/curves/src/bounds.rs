@@ -1,8 +1,46 @@
 //! Bound extraction: horizontal deviation (delay), vertical deviation
 //! (backlog), and busy-period length.
+//!
+//! When [`crate::intern::kernel_enabled`] (the default), [`hdev`] and
+//! [`hdev_general`] answer the ubiquitous token-bucket/rate-latency
+//! case with the closed form `σ/R + T` ([`crate::shape::closed_hdev`])
+//! and memoize everything else in global caches keyed by interned
+//! [`CurveId`]s; shape preconditions are checked against the memoized
+//! [`crate::shape::ShapeInfo`] flags so the error behavior is
+//! unchanged. [`hdev_envelope`] / [`hdev_general_envelope`] expose the
+//! always-general candidate scans for differential testing.
 
+use crate::cache::{CacheKey, CurveCache};
+use crate::intern::{self, CurveId};
+use crate::shape;
 use crate::{Curve, CurveError};
 use dnc_num::Rat;
+use std::sync::OnceLock;
+
+static HDEV_MEMO: OnceLock<CurveCache<Rat>> = OnceLock::new();
+static HDEV_GENERAL_MEMO: OnceLock<CurveCache<Rat>> = OnceLock::new();
+
+fn hdev_memo() -> &'static CurveCache<Rat> {
+    HDEV_MEMO.get_or_init(CurveCache::default)
+}
+
+fn hdev_general_memo() -> &'static CurveCache<Rat> {
+    HDEV_GENERAL_MEMO.get_or_init(CurveCache::default)
+}
+
+/// Shared unstable-rate error so every path words it identically.
+fn unstable(alpha: &Curve, beta: &Curve) -> CurveError {
+    CurveError::Unstable {
+        arrival_rate: alpha.final_slope().to_string(),
+        service_rate: beta.final_slope().to_string(),
+    }
+}
+
+/// The id pair for an (α, β) memo key (order matters: hdev is not
+/// symmetric).
+fn pair_key(tag: &'static str, a: CurveId, b: CurveId) -> CacheKey {
+    CacheKey::new(tag).curve_id(a).curve_id(b)
+}
 
 /// Horizontal deviation `h(α, β) = sup_{t≥0} inf { d ≥ 0 : α(t) ≤ β(t+d) }`
 /// — the worst-case *delay* of a flow with arrival curve `α` through a
@@ -20,6 +58,51 @@ use dnc_num::Rat;
 pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     crate::limits::checkpoint(alpha.points().len() + beta.points().len());
     let _span = dnc_telemetry::span("curve.hdev");
+    if intern::kernel_enabled() {
+        let aid = intern::intern(alpha);
+        let bid = intern::intern(beta);
+        let ash = intern::shape_of(aid);
+        let bsh = intern::shape_of(bid);
+        if !ash.is_nondecreasing() || !ash.is_concave() {
+            return Err(CurveError::BadShape(
+                "hdev: α must be concave nondecreasing",
+            ));
+        }
+        if !bsh.is_nondecreasing() || !bsh.is_convex() {
+            return Err(CurveError::BadShape("hdev: β must be convex nondecreasing"));
+        }
+        if alpha.final_slope() > beta.final_slope() {
+            return Err(unstable(alpha, beta));
+        }
+        let best = match shape::closed_hdev(&ash, &bsh) {
+            Some(d) => {
+                dnc_telemetry::counter("curve.hdev.fast_path", 1);
+                d
+            }
+            None => hdev_memo().get_or_try_insert_with(pair_key("curve.hdev", aid, bid), || {
+                hdev_core(alpha, beta)
+            })?,
+        };
+        crate::invariant::hdev_post(alpha, beta, best);
+        return Ok(best);
+    }
+    hdev_checked(alpha, beta)
+}
+
+/// The always-general horizontal deviation, bypassing the shape fast
+/// path and the operation memo regardless of the kernel knob. Same
+/// precondition as [`hdev`]: nondecreasing α and β. Bit-identical to
+/// [`hdev`] — the property the differential tests assert by calling
+/// both.
+pub fn hdev_envelope(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    crate::limits::checkpoint(alpha.points().len() + beta.points().len());
+    let _span = dnc_telemetry::span("curve.hdev");
+    hdev_checked(alpha, beta)
+}
+
+/// Shape/stability checks plus the candidate scan (the pre-kernel
+/// [`hdev`] body).
+fn hdev_checked(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     if !alpha.is_nondecreasing() || !alpha.is_concave() {
         return Err(CurveError::BadShape(
             "hdev: α must be concave nondecreasing",
@@ -29,12 +112,15 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
         return Err(CurveError::BadShape("hdev: β must be convex nondecreasing"));
     }
     if alpha.final_slope() > beta.final_slope() {
-        return Err(CurveError::Unstable {
-            arrival_rate: alpha.final_slope().to_string(),
-            service_rate: beta.final_slope().to_string(),
-        });
+        return Err(unstable(alpha, beta));
     }
+    let best = hdev_core(alpha, beta)?;
+    crate::invariant::hdev_post(alpha, beta, best);
+    Ok(best)
+}
 
+/// The candidate scan of [`hdev`] (preconditions checked by callers).
+fn hdev_core(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     // Candidate abscissae: breakpoints of α and α-preimages of β's
     // breakpoint values.
     let mut cands: Vec<Rat> = alpha.breakpoint_xs();
@@ -105,7 +191,6 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
             return Err(CurveError::NeverServed);
         }
     }
-    crate::invariant::hdev_post(alpha, beta, best);
     Ok(best)
 }
 
@@ -122,6 +207,58 @@ pub fn hdev(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
 pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     crate::limits::checkpoint(alpha.points().len() + beta.points().len());
     let _span = dnc_telemetry::span("curve.hdev_general");
+    if intern::kernel_enabled() {
+        let aid = intern::intern(alpha);
+        let bid = intern::intern(beta);
+        let ash = intern::shape_of(aid);
+        let bsh = intern::shape_of(bid);
+        if !ash.is_nondecreasing() {
+            return Err(CurveError::BadShape(
+                "hdev_general: α must be nondecreasing",
+            ));
+        }
+        if !bsh.is_nondecreasing() {
+            return Err(CurveError::BadShape(
+                "hdev_general: β must be nondecreasing",
+            ));
+        }
+        if alpha.final_slope() > beta.final_slope() {
+            return Err(unstable(alpha, beta));
+        }
+        // The closed form computes the same supremum h(α, β); for
+        // token-bucket/rate-latency operands the flat-segment limit
+        // contributions are dominated by σ/R + T, so the value agrees
+        // with the candidate scan (differentially re-proven by
+        // tests/prop_intern.rs).
+        let best = match shape::closed_hdev(&ash, &bsh) {
+            Some(d) => {
+                dnc_telemetry::counter("curve.hdev.fast_path", 1);
+                d
+            }
+            None => hdev_general_memo()
+                .get_or_try_insert_with(pair_key("curve.hdev_general", aid, bid), || {
+                    hdev_general_core(alpha, beta)
+                })?,
+        };
+        crate::invariant::hdev_post(alpha, beta, best);
+        return Ok(best);
+    }
+    hdev_general_checked(alpha, beta)
+}
+
+/// The always-general [`hdev_general`] candidate scan, bypassing the
+/// fast path and the memo regardless of the kernel knob. Same
+/// precondition as [`hdev_general`]: nondecreasing α and β.
+/// Bit-identical to [`hdev_general`].
+pub fn hdev_general_envelope(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
+    crate::limits::checkpoint(alpha.points().len() + beta.points().len());
+    let _span = dnc_telemetry::span("curve.hdev_general");
+    hdev_general_checked(alpha, beta)
+}
+
+/// Shape/stability checks plus the candidate scan (the pre-kernel
+/// [`hdev_general`] body).
+fn hdev_general_checked(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     if !alpha.is_nondecreasing() {
         return Err(CurveError::BadShape(
             "hdev_general: α must be nondecreasing",
@@ -133,12 +270,16 @@ pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
         ));
     }
     if alpha.final_slope() > beta.final_slope() {
-        return Err(CurveError::Unstable {
-            arrival_rate: alpha.final_slope().to_string(),
-            service_rate: beta.final_slope().to_string(),
-        });
+        return Err(unstable(alpha, beta));
     }
+    let best = hdev_general_core(alpha, beta)?;
+    crate::invariant::hdev_post(alpha, beta, best);
+    Ok(best)
+}
 
+/// The candidate scan of [`hdev_general`] (preconditions checked by
+/// callers).
+fn hdev_general_core(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
     let mut cands: Vec<Rat> = alpha.breakpoint_xs();
     cands.push(Rat::ZERO);
     for &(_, v) in beta.points() {
@@ -172,9 +313,7 @@ pub fn hdev_general(alpha: &Curve, beta: &Curve) -> Result<Rat, CurveError> {
         // Only relevant if α actually exceeds v after t_v.
         best = best.max(tau - t_v);
     }
-    let best = best.max(Rat::ZERO);
-    crate::invariant::hdev_post(alpha, beta, best);
-    Ok(best)
+    Ok(best.max(Rat::ZERO))
 }
 
 /// Vertical deviation `v(α, β) = sup_{t≥0} [α(t) − β(t)]` — the worst-case

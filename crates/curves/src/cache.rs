@@ -6,21 +6,29 @@
 //! functional equality. That combination is what makes memoization sound
 //! here — a cache hit returns a value that is bit-identical to what the
 //! recomputation would produce, so cached and uncached runs of an
-//! analysis cannot differ (DESIGN.md §13).
+//! analysis cannot differ (DESIGN.md §13, §18).
 //!
-//! Keys are **full structural keys** ([`CacheKey`]: the operation tag
-//! plus clones of every input the computation reads), never bare hashes:
+//! Keys are **full structural keys** ([`CacheKey`]), never bare hashes:
 //! a 64-bit fingerprint collision would silently return a wrong bound,
-//! which this workspace never accepts in exchange for speed. The hash is
-//! only the bucket index; equality is checked on the real inputs.
+//! which this workspace never accepts in exchange for speed. Curve
+//! operands are recorded as hash-consed [`CurveId`]s from
+//! [`crate::intern`] — id equality is curve equality (the interner is
+//! injective on canonical structure), so the key stays a real structural
+//! key while comparing and hashing in O(1) per operand instead of
+//! re-walking every segment.
 //!
 //! [`CurveCache`] is a thread-safe memo table with telemetry `cache.hit`
-//! / `cache.miss` counters (surfaced by `dnc profile`) and whole-table
-//! eviction once a capacity is reached — the workloads that benefit
-//! (repeated passes of a fixed-point iteration, successive admission
-//! operations on a mostly-unchanged network) re-warm a cleared table in
-//! one round, so an LRU's bookkeeping would cost more than it saves.
+//! / `cache.miss` counters (surfaced by `dnc profile`) and **true LRU
+//! eviction**: an intrusive doubly-linked recency list threaded through
+//! the slot slab, evicting exactly one least-recently-used entry per
+//! overflowing insert (counted under `cache.evictions`). The previous
+//! whole-table `clear()` made every record in `BENCH_throughput.json`
+//! report `cache.hit_rate = 0` under churny workloads — one cold key
+//! past capacity threw away every warm entry. The linked-list
+//! bookkeeping is two index writes per touch, far cheaper than one
+//! wholesale re-warm.
 
+use crate::intern::{self, CurveId};
 use crate::Curve;
 use dnc_num::Rat;
 use std::collections::HashMap;
@@ -42,7 +50,7 @@ use std::sync::Mutex;
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     tag: &'static str,
-    curves: Vec<Curve>,
+    curves: Vec<CurveId>,
     rats: Vec<Rat>,
     words: Vec<u64>,
 }
@@ -58,11 +66,17 @@ impl CacheKey {
         }
     }
 
-    /// Append one operand curve. Any shape is accepted — no concave,
-    /// convex, or monotone precondition; the key records the curve's
-    /// canonical segments structurally, whatever they describe.
+    /// Append one operand curve (interned: the key records its
+    /// [`CurveId`], whose equality is structural curve equality). Any
+    /// shape is accepted — no concave, convex, or monotone precondition.
     pub fn curve(mut self, c: &Curve) -> CacheKey {
-        self.curves.push(c.clone());
+        self.curves.push(intern::intern(c));
+        self
+    }
+
+    /// Append an already-interned operand curve.
+    pub fn curve_id(mut self, id: CurveId) -> CacheKey {
+        self.curves.push(id);
         self
     }
 
@@ -70,7 +84,7 @@ impl CacheKey {
     /// [`CacheKey::curve`], shape-agnostic: no concave/convex/monotone
     /// precondition is imposed on the operands.
     pub fn curve_seq<'a, I: IntoIterator<Item = &'a Curve>>(mut self, cs: I) -> CacheKey {
-        self.curves.extend(cs.into_iter().cloned());
+        self.curves.extend(cs.into_iter().map(intern::intern));
         self
     }
 
@@ -93,16 +107,140 @@ impl CacheKey {
     }
 }
 
+/// Slot-index sentinel for "no neighbour" in the recency list.
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: CacheKey,
+    value: V,
+    /// Towards more recently used (NIL at the head).
+    prev: usize,
+    /// Towards less recently used (NIL at the tail).
+    next: usize,
+}
+
+struct Lru<V> {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Option<Slot<V>>>,
+    free: Vec<usize>,
+    /// Most recently used slot, NIL when empty.
+    head: usize,
+    /// Least recently used slot, NIL when empty.
+    tail: usize,
+}
+
+impl<V> Lru<V> {
+    fn new() -> Lru<V> {
+        Lru {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn slot(&mut self, idx: usize) -> &mut Slot<V> {
+        match self.slots.get_mut(idx) {
+            Some(Some(s)) => s,
+            _ => unreachable!("lru: dangling slot index"), // audit: allow(panic, map and recency list only reference occupied slots)
+        }
+    }
+
+    /// Unlink `idx` from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let s = self.slot(idx);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot(next).prev = prev;
+        }
+    }
+
+    /// Link `idx` as the most-recently-used entry.
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slot(idx);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot(old_head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Remove the least-recently-used entry. Returns `false` when empty.
+    fn evict_tail(&mut self) -> bool {
+        let idx = self.tail;
+        if idx == NIL {
+            return false;
+        }
+        self.detach(idx);
+        if let Some(slot) = self.slots.get_mut(idx).and_then(Option::take) {
+            self.map.remove(&slot.key);
+        }
+        self.free.push(idx);
+        true
+    }
+
+    fn insert_front(&mut self, key: CacheKey, value: V) {
+        let slot = Some(Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let idx = match self
+            .free
+            .pop()
+            .and_then(|i| self.slots.get_mut(i).map(|s| (i, s)))
+        {
+            Some((i, reuse)) => {
+                *reuse = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
 /// A thread-safe memo table from [`CacheKey`] to a cloneable value.
 ///
-/// Lookups record `cache.hit` / `cache.miss` telemetry counters. When an
-/// insert would push the table past its capacity the whole table is
-/// cleared first (counted under `cache.evictions`); see the module docs
-/// for why whole-table eviction fits the workloads this serves.
+/// Lookups record `cache.hit` / `cache.miss` telemetry counters and
+/// refresh the entry's recency. When an insert would push the table past
+/// its capacity, the **least recently used** entry — and only it — is
+/// evicted first (one `cache.evictions` count per evicted entry).
 #[derive(Debug)]
 pub struct CurveCache<V> {
-    map: Mutex<HashMap<CacheKey, V>>,
+    inner: Mutex<LruBox<V>>,
     capacity: usize,
+}
+
+/// Newtype so the `Mutex` debug output stays readable.
+struct LruBox<V>(Lru<V>);
+
+impl<V> std::fmt::Debug for LruBox<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lru(len={})", self.0.map.len())
+    }
 }
 
 /// Default capacity: plenty for every topology in the test suite and the
@@ -116,61 +254,98 @@ impl<V> Default for CurveCache<V> {
 }
 
 impl<V> CurveCache<V> {
-    /// An empty cache evicting wholesale at `capacity` entries.
+    /// An empty cache with per-entry LRU eviction at `capacity` entries.
     pub fn new(capacity: usize) -> CurveCache<V> {
         CurveCache {
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(LruBox(Lru::new())),
             capacity: capacity.max(1),
         }
     }
 
-    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, V>> {
-        // A poisoned map only means another thread panicked mid-insert of
-        // an unrelated entry; every stored value is still a completed,
+    fn locked(&self) -> std::sync::MutexGuard<'_, LruBox<V>> {
+        // A poisoned table only means another thread panicked mid-insert
+        // of an unrelated entry; every stored value is still a completed,
         // exact result.
-        self.map.lock().unwrap_or_else(|p| p.into_inner())
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
-        self.locked().len()
+        self.locked().0.map.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.locked().is_empty()
+        self.locked().0.map.is_empty()
     }
 
     /// Drop every entry.
     pub fn clear(&self) {
-        self.locked().clear();
+        let mut g = self.locked();
+        g.0 = Lru::new();
     }
 }
 
 impl<V: Clone> CurveCache<V> {
-    /// Look `key` up, recording a hit or miss counter.
+    /// Look `key` up, recording a hit or miss counter and refreshing the
+    /// entry's recency on a hit.
     pub fn lookup(&self, key: &CacheKey) -> Option<V> {
-        let hit = self.locked().get(key).cloned();
-        match hit {
-            Some(v) => {
+        let mut g = self.locked();
+        let lru = &mut g.0;
+        match lru.map.get(key).copied() {
+            Some(idx) => {
+                lru.detach(idx);
+                lru.push_front(idx);
+                let v = lru.slot(idx).value.clone();
+                drop(g);
                 dnc_telemetry::counter("cache.hit", 1);
                 Some(v)
             }
             None => {
+                drop(g);
                 dnc_telemetry::counter("cache.miss", 1);
                 None
             }
         }
     }
 
-    /// Insert a computed value, evicting wholesale at capacity.
+    /// Non-mutating probe: the value for `key` without touching recency
+    /// or the hit/miss counters (diagnostics and the LRU model tests).
+    pub fn peek(&self, key: &CacheKey) -> Option<V> {
+        let mut g = self.locked();
+        let lru = &mut g.0;
+        lru.map
+            .get(key)
+            .copied()
+            .map(|idx| lru.slot(idx).value.clone())
+    }
+
+    /// Insert a computed value as the most-recent entry, evicting the
+    /// single least-recently-used entry if the table is full.
     pub fn insert(&self, key: CacheKey, value: V) {
-        let mut map = self.locked();
-        if map.len() >= self.capacity {
-            map.clear();
-            dnc_telemetry::counter("cache.evictions", 1);
+        let mut g = self.locked();
+        let lru = &mut g.0;
+        if let Some(idx) = lru.map.get(&key).copied() {
+            // Same key recomputed (two threads racing the same miss):
+            // refresh value and recency; both values are bit-identical
+            // by purity, so either is correct.
+            lru.detach(idx);
+            lru.slot(idx).value = value;
+            lru.push_front(idx);
+            return;
         }
-        map.insert(key, value);
+        let mut evicted = 0u64;
+        while lru.map.len() >= self.capacity {
+            if !lru.evict_tail() {
+                break;
+            }
+            evicted += 1;
+        }
+        lru.insert_front(key, value);
+        drop(g);
+        if evicted > 0 {
+            dnc_telemetry::counter("cache.evictions", evicted);
+        }
     }
 
     /// Memoize an infallible computation.
@@ -223,6 +398,16 @@ mod tests {
     }
 
     #[test]
+    fn interned_key_equals_curve_key() {
+        let g = Curve::token_bucket(int(2), rat(1, 4));
+        let id = crate::intern::intern(&g);
+        assert_eq!(
+            CacheKey::new("op").curve(&g),
+            CacheKey::new("op").curve_id(id)
+        );
+    }
+
+    #[test]
     fn memoizes_and_returns_identical_values() {
         let cache: CurveCache<Rat> = CurveCache::default();
         let key = || CacheKey::new("sum").rat(int(2)).rat(int(3));
@@ -253,14 +438,47 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_wholesale() {
+    fn capacity_evicts_least_recently_used_only() {
         let cache: CurveCache<u64> = CurveCache::new(2);
         cache.insert(CacheKey::new("a"), 1);
         cache.insert(CacheKey::new("b"), 2);
-        assert_eq!(cache.len(), 2);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(cache.lookup(&CacheKey::new("a")), Some(1));
         cache.insert(CacheKey::new("c"), 3);
-        assert_eq!(cache.len(), 1, "table cleared before the new insert");
-        assert_eq!(cache.lookup(&CacheKey::new("c")), Some(3));
+        assert_eq!(cache.len(), 2, "exactly one entry evicted");
+        assert_eq!(cache.peek(&CacheKey::new("b")), None, "LRU entry gone");
+        assert_eq!(cache.peek(&CacheKey::new("a")), Some(1), "warm entry kept");
+        assert_eq!(cache.peek(&CacheKey::new("c")), Some(3));
+    }
+
+    #[test]
+    fn eviction_follows_recency_chain() {
+        let cache: CurveCache<u64> = CurveCache::new(3);
+        for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            cache.insert(CacheKey::new(k).word(0), v);
+        }
+        // Recency now c > b > a; touch a and b, then overflow twice.
+        cache.lookup(&CacheKey::new("a").word(0));
+        cache.lookup(&CacheKey::new("b").word(0));
+        cache.insert(CacheKey::new("d").word(0), 4); // evicts c
+        cache.insert(CacheKey::new("e").word(0), 5); // evicts a
+        assert_eq!(cache.peek(&CacheKey::new("c").word(0)), None);
+        assert_eq!(cache.peek(&CacheKey::new("a").word(0)), None);
+        assert_eq!(cache.peek(&CacheKey::new("b").word(0)), Some(2));
+        assert_eq!(cache.peek(&CacheKey::new("d").word(0)), Some(4));
+        assert_eq!(cache.peek(&CacheKey::new("e").word(0)), Some(5));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let cache: CurveCache<u64> = CurveCache::new(2);
+        cache.insert(CacheKey::new("a"), 1);
+        cache.insert(CacheKey::new("b"), 2);
+        cache.insert(CacheKey::new("a"), 1); // refresh, not duplicate
+        cache.insert(CacheKey::new("c"), 3); // evicts b (a was refreshed)
+        assert_eq!(cache.peek(&CacheKey::new("a")), Some(1));
+        assert_eq!(cache.peek(&CacheKey::new("b")), None);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -2,6 +2,136 @@
 
 use dnc_num::Rat;
 use std::fmt;
+use std::ops::Deref;
+
+/// Breakpoint lists this long or shorter are stored inline in the
+/// [`Curve`] value itself — no heap allocation. Real topologies are
+/// dominated by token buckets (1 point), rate-latency curves (≤ 2) and
+/// their small combinations, so 4 covers the overwhelming majority of
+/// curves an analysis touches.
+const INLINE_POINTS: usize = 4;
+
+/// Small-vec breakpoint storage: inline array for ≤ [`INLINE_POINTS`]
+/// breakpoints, spilling to a `Vec` beyond that. `Deref`s to the point
+/// slice, so readers are untouched; equality/hash are slice-based and
+/// therefore representation-independent (an inline curve and a spilled
+/// curve with equal points compare equal, though canonical lengths make
+/// that pairing unreachable in practice).
+// The size asymmetry is the design: the inline array exists precisely
+// so small curves pay no allocation, and boxing it (clippy's
+// suggestion) would reintroduce one on every construction.
+#[allow(clippy::large_enum_variant)]
+enum PointBuf {
+    Inline {
+        len: u8,
+        buf: [(Rat, Rat); INLINE_POINTS],
+    },
+    Heap(Vec<(Rat, Rat)>),
+}
+
+impl PointBuf {
+    fn from_vec(v: Vec<(Rat, Rat)>) -> PointBuf {
+        if v.len() <= INLINE_POINTS {
+            let mut buf = [(Rat::ZERO, Rat::ZERO); INLINE_POINTS];
+            for (slot, p) in buf.iter_mut().zip(v.iter()) {
+                *slot = *p;
+            }
+            PointBuf::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            PointBuf::Heap(v)
+        }
+    }
+
+    fn as_slice(&self) -> &[(Rat, Rat)] {
+        match self {
+            PointBuf::Inline { len, buf } => buf.get(..*len as usize).unwrap_or(buf),
+            PointBuf::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [(Rat, Rat)] {
+        match self {
+            PointBuf::Inline { len, buf } => {
+                let n = (*len as usize).min(INLINE_POINTS);
+                &mut buf[..n] // audit: allow(index, n is clamped to the buffer length)
+            }
+            PointBuf::Heap(v) => v,
+        }
+    }
+
+    /// Shorten to `n` points (no-op when already shorter). A heap
+    /// buffer stays heap even when it shrinks under the inline bound:
+    /// canonicalization is the only shrinker and converts via
+    /// [`PointBuf::from_vec`] on construction paths where it matters.
+    fn truncate(&mut self, n: usize) {
+        match self {
+            PointBuf::Inline { len, .. } => *len = (*len).min(n as u8),
+            PointBuf::Heap(v) => v.truncate(n),
+        }
+    }
+
+    /// Apply `f` to every point, preserving the storage variant (no
+    /// allocation for inline curves).
+    fn map(&self, f: impl Fn(Rat, Rat) -> (Rat, Rat)) -> PointBuf {
+        match self {
+            PointBuf::Inline { len, buf } => {
+                let mut out = *buf;
+                for p in out.iter_mut().take(*len as usize) {
+                    *p = f(p.0, p.1);
+                }
+                PointBuf::Inline {
+                    len: *len,
+                    buf: out,
+                }
+            }
+            PointBuf::Heap(v) => PointBuf::Heap(v.iter().map(|&(x, y)| f(x, y)).collect()),
+        }
+    }
+}
+
+impl Deref for PointBuf {
+    type Target = [(Rat, Rat)];
+    #[inline]
+    fn deref(&self) -> &[(Rat, Rat)] {
+        self.as_slice()
+    }
+}
+
+impl Clone for PointBuf {
+    fn clone(&self) -> PointBuf {
+        match self {
+            PointBuf::Inline { len, buf } => PointBuf::Inline {
+                len: *len,
+                buf: *buf,
+            },
+            PointBuf::Heap(v) => {
+                // The telemetry trail for the interning work: every
+                // count here is a real allocation+copy of a segment
+                // list. `dnc profile` surfaces it as `curve.clone.heap`
+                // so cache/interning changes can prove copies dropped.
+                dnc_telemetry::counter("curve.clone.heap", 1);
+                PointBuf::Heap(v.clone())
+            }
+        }
+    }
+}
+
+impl PartialEq for PointBuf {
+    fn eq(&self, other: &PointBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PointBuf {}
+
+impl std::hash::Hash for PointBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
 
 /// A continuous piecewise-linear function `f : [0, ∞) → ℚ`.
 ///
@@ -18,8 +148,9 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Curve {
     /// Breakpoints; invariant: non-empty, `points[0].0 == 0`, strictly
-    /// increasing x, no collinear interior points.
-    points: Vec<(Rat, Rat)>,
+    /// increasing x, no collinear interior points. Stored inline for
+    /// the ≤ 4-breakpoint curves that dominate real topologies.
+    points: PointBuf,
     /// Slope after the last breakpoint.
     final_slope: Rat,
 }
@@ -63,7 +194,7 @@ impl Curve {
             );
         }
         let mut c = Curve {
-            points,
+            points: PointBuf::from_vec(points),
             final_slope,
         };
         c.canonicalize();
@@ -73,48 +204,51 @@ impl Curve {
 
     /// Remove interior breakpoints that lie on the line through their
     /// neighbours, and a final breakpoint whose incoming slope equals
-    /// `final_slope`.
+    /// `final_slope`. In place, allocation-free.
     fn canonicalize(&mut self) {
         loop {
-            let n = self.points.len();
+            let pts = self.points.as_slice();
+            let n = pts.len();
             if n == 1 {
                 return;
             }
             // Drop the last breakpoint if the segment into it has the same
             // slope as the final slope.
-            let (x_prev, y_prev) = self.points[n - 2]; // audit: allow(index, n >= 2 on this branch)
-            let (x_last, y_last) = self.points[n - 1]; // audit: allow(index, n >= 2 on this branch)
+            let (x_prev, y_prev) = pts[n - 2]; // audit: allow(index, n >= 2 on this branch)
+            let (x_last, y_last) = pts[n - 1]; // audit: allow(index, n >= 2 on this branch)
             let incoming = (y_last - y_prev) / (x_last - x_prev);
             if incoming == self.final_slope {
-                self.points.pop();
+                self.points.truncate(n - 1);
                 continue;
             }
             break;
         }
-        // Drop collinear interior points in one pass.
-        if self.points.len() > 2 {
-            let pts = std::mem::take(&mut self.points);
-            let mut out: Vec<(Rat, Rat)> = Vec::with_capacity(pts.len());
-            out.push(pts[0]); // audit: allow(index, len > 2 checked above)
-            for i in 1..pts.len() - 1 {
-                let (x0, y0) = *out.last().unwrap(); // audit: allow(unwrap, out is seeded with pts[0] before the loop)
-                let (x1, y1) = pts[i]; // audit: allow(index, loop index i < pts.len() - 1)
-                let (x2, y2) = pts[i + 1]; // audit: allow(index, loop index i < pts.len() - 1)
+        // Drop collinear interior points in one compaction pass: `w` is
+        // the write cursor, `s[w - 1]` the last kept point.
+        let n = self.points.len();
+        if n > 2 {
+            let s = self.points.as_mut_slice();
+            let mut w = 1usize;
+            for i in 1..n - 1 {
+                let (x0, y0) = s[w - 1]; // audit: allow(index, w >= 1 and w <= i throughout the compaction)
+                let (x1, y1) = s[i]; // audit: allow(index, loop index i < n - 1)
+                let (x2, y2) = s[i + 1]; // audit: allow(index, loop index i < n - 1)
                 let s01 = (y1 - y0) / (x1 - x0);
                 let s12 = (y2 - y1) / (x2 - x1);
                 if s01 != s12 {
-                    out.push(pts[i]); // audit: allow(index, loop index i < pts.len() - 1)
+                    s[w] = (x1, y1); // audit: allow(index, w <= i < n - 1)
+                    w += 1;
                 }
             }
-            out.push(*pts.last().unwrap()); // audit: allow(unwrap, len > 2 checked above)
-            self.points = out;
+            s[w] = s[n - 1]; // audit: allow(index, w <= n - 1 after dropping interior points)
+            self.points.truncate(w + 1);
         }
     }
 
     /// The breakpoints (canonical form).
     #[inline]
     pub fn points(&self) -> &[(Rat, Rat)] {
-        &self.points
+        self.points.as_slice()
     }
 
     /// Slope of the unbounded final piece (the *ultimate rate*).
@@ -221,7 +355,7 @@ impl Curve {
         }
         let y0 = self.eval(d);
         let mut pts = vec![(Rat::ZERO, y0)];
-        for &(x, y) in &self.points {
+        for &(x, y) in self.points.iter() {
             if x > d {
                 pts.push((x - d, y));
             }
@@ -243,7 +377,7 @@ impl Curve {
             return self.clone();
         }
         let mut pts = vec![(Rat::ZERO, self.at_zero())];
-        for &(x, y) in &self.points {
+        for &(x, y) in self.points.iter() {
             pts.push((x + d, y));
         }
         Curve::from_points(pts, self.final_slope)
@@ -270,7 +404,7 @@ impl Curve {
     /// and the nondecreasing property are unchanged.
     pub fn shift_up(&self, c: Rat) -> Curve {
         Curve {
-            points: self.points.iter().map(|&(x, y)| (x, y + c)).collect(),
+            points: self.points.map(|x, y| (x, y + c)),
             final_slope: self.final_slope,
         }
     }
@@ -280,7 +414,7 @@ impl Curve {
     /// concave/convex and reverses monotonicity.
     pub fn scale_y(&self, k: Rat) -> Curve {
         let mut c = Curve {
-            points: self.points.iter().map(|&(x, y)| (x, y * k)).collect(),
+            points: self.points.map(|x, y| (x, y * k)),
             final_slope: self.final_slope * k,
         };
         c.canonicalize();
@@ -295,7 +429,7 @@ impl Curve {
     pub fn scale_x(&self, k: Rat) -> Curve {
         assert!(k.is_positive(), "scale_x requires k > 0, got {k}");
         let mut c = Curve {
-            points: self.points.iter().map(|&(x, y)| (x * k, y)).collect(),
+            points: self.points.map(|x, y| (x * k, y)),
             final_slope: self.final_slope / k,
         };
         c.canonicalize();

@@ -43,9 +43,11 @@ mod error;
 
 pub mod bounds;
 pub mod cache;
+pub mod intern;
 pub mod invariant;
 pub mod limits;
 pub mod minplus;
+pub mod shape;
 pub mod transform;
 
 pub use curve::{Curve, Segment};

@@ -18,9 +18,38 @@
 //!
 //! The brute-force definitions are re-checked against these constructions
 //! by the property tests in `tests/prop_minplus.rs`.
+//!
+//! **The curve kernel.** When [`crate::intern::kernel_enabled`] (the
+//! default), [`conv`] and [`deconv`] first try the closed-form fast
+//! paths of [`crate::shape`] (token-bucket/rate-latency operands skip
+//! the envelope entirely) and otherwise memoize the envelope result in
+//! a global [`CurveCache`] keyed by interned [`CurveId`]s — the
+//! convolution key is order-normalized because ⊗ is commutative.
+//! Everything observable is unchanged: canonical representations are
+//! unique, so fast-path, memoized, and envelope results are
+//! bit-identical (re-proven per run by `tests/prop_intern.rs` and
+//! `cargo xtask kernel-bench`); [`crate::limits::checkpoint`] still
+//! runs once per call *before* any cache probe, so operation/segment
+//! budgets behave identically. [`conv_envelope`] / [`deconv_envelope`]
+//! expose the always-general path for differential testing.
 
+use crate::cache::{CacheKey, CurveCache};
+use crate::intern::{self, CurveId};
+use crate::shape;
 use crate::{Curve, CurveError};
 use dnc_num::Rat;
+use std::sync::OnceLock;
+
+static CONV_MEMO: OnceLock<CurveCache<CurveId>> = OnceLock::new();
+static DECONV_MEMO: OnceLock<CurveCache<CurveId>> = OnceLock::new();
+
+fn conv_memo() -> &'static CurveCache<CurveId> {
+    CONV_MEMO.get_or_init(CurveCache::default)
+}
+
+fn deconv_memo() -> &'static CurveCache<CurveId> {
+    DECONV_MEMO.get_or_init(CurveCache::default)
+}
 
 /// Min-plus convolution `f ⊗ g`.
 ///
@@ -37,6 +66,49 @@ pub fn conv(f: &Curve, g: &Curve) -> Curve {
     debug_assert!(f.is_nondecreasing(), "conv: f must be nondecreasing");
     debug_assert!(g.is_nondecreasing(), "conv: g must be nondecreasing");
 
+    let out = if intern::kernel_enabled() {
+        conv_kernel(f, g)
+    } else {
+        conv_core(f, g)
+    };
+    dnc_telemetry::gauge_u64("curve.conv.segments_out", || out.points().len() as u64);
+    crate::invariant::conv_post(f, g, &out);
+    out
+}
+
+/// The always-general candidate-envelope convolution, bypassing the
+/// shape fast paths and the operation memo regardless of the kernel
+/// knob. Same precondition as [`conv`]: both operands nondecreasing
+/// (debug-asserted). Bit-identical to [`conv`] — that is the property
+/// the differential tests assert by calling both.
+pub fn conv_envelope(f: &Curve, g: &Curve) -> Curve {
+    crate::limits::checkpoint(f.points().len() + g.points().len());
+    let _span = dnc_telemetry::span("curve.conv");
+    debug_assert!(f.is_nondecreasing(), "conv: f must be nondecreasing");
+    debug_assert!(g.is_nondecreasing(), "conv: g must be nondecreasing");
+    let out = conv_core(f, g);
+    crate::invariant::conv_post(f, g, &out);
+    out
+}
+
+/// Fast-path / memoized convolution (kernel on).
+fn conv_kernel(f: &Curve, g: &Curve) -> Curve {
+    let fid = intern::intern(f);
+    let gid = intern::intern(g);
+    if let Some(out) = shape::closed_conv(&intern::shape_of(fid), &intern::shape_of(gid)) {
+        dnc_telemetry::counter("curve.conv.fast_path", 1);
+        return out;
+    }
+    // ⊗ is commutative and canonical forms are unique, so (f, g) and
+    // (g, f) share one memo entry.
+    let (lo, hi) = if fid <= gid { (fid, gid) } else { (gid, fid) };
+    let key = CacheKey::new("curve.conv").curve_id(lo).curve_id(hi);
+    let out_id = conv_memo().get_or_insert_with(key, || intern::intern(&conv_core(f, g)));
+    (*intern::resolve(out_id)).clone()
+}
+
+/// The candidate-envelope construction itself.
+fn conv_core(f: &Curve, g: &Curve) -> Curve {
     let mut candidates: Vec<Curve> = Vec::new();
     for &(x, y) in f.points() {
         // f(x) + g(t − x), held constant at f(x) + g(0) before t = x.
@@ -45,10 +117,7 @@ pub fn conv(f: &Curve, g: &Curve) -> Curve {
     for &(u, v) in g.points() {
         candidates.push(f.shift_right_hold(u).shift_up(v));
     }
-    let out = Curve::min_all(candidates.iter());
-    dnc_telemetry::gauge_u64("curve.conv.segments_out", || out.points().len() as u64);
-    crate::invariant::conv_post(f, g, &out);
-    out
+    Curve::min_all(candidates.iter())
 }
 
 /// Min-plus convolution of many curves (left fold). As with [`conv`], the
@@ -86,6 +155,53 @@ pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
         });
     }
 
+    let out = if intern::kernel_enabled() {
+        deconv_kernel(f, g)
+    } else {
+        deconv_core(f, g)
+    };
+    dnc_telemetry::gauge_u64("curve.deconv.segments_out", || out.points().len() as u64);
+    crate::invariant::deconv_post(f, g, &out);
+    Ok(out)
+}
+
+/// The always-general candidate-envelope deconvolution, bypassing the
+/// shape fast paths and the operation memo regardless of the kernel
+/// knob. Same precondition as [`deconv`]: both operands nondecreasing
+/// (debug-asserted). Bit-identical to [`deconv`].
+pub fn deconv_envelope(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
+    crate::limits::checkpoint(f.points().len() + g.points().len());
+    let _span = dnc_telemetry::span("curve.deconv");
+    debug_assert!(f.is_nondecreasing(), "deconv: f must be nondecreasing");
+    debug_assert!(g.is_nondecreasing(), "deconv: g must be nondecreasing");
+    if f.final_slope() > g.final_slope() {
+        return Err(CurveError::Unstable {
+            arrival_rate: f.final_slope().to_string(),
+            service_rate: g.final_slope().to_string(),
+        });
+    }
+    let out = deconv_core(f, g);
+    crate::invariant::deconv_post(f, g, &out);
+    Ok(out)
+}
+
+/// Fast-path / memoized deconvolution (kernel on; stability already
+/// checked by the caller, so the envelope cannot fail).
+fn deconv_kernel(f: &Curve, g: &Curve) -> Curve {
+    let fid = intern::intern(f);
+    let gid = intern::intern(g);
+    if let Some(out) = shape::closed_deconv(&intern::shape_of(fid), &intern::shape_of(gid)) {
+        dnc_telemetry::counter("curve.deconv.fast_path", 1);
+        return out;
+    }
+    let key = CacheKey::new("curve.deconv").curve_id(fid).curve_id(gid);
+    let out_id = deconv_memo().get_or_insert_with(key, || intern::intern(&deconv_core(f, g)));
+    (*intern::resolve(out_id)).clone()
+}
+
+/// The candidate-envelope construction itself (requires
+/// `rate(f) ≤ rate(g)`, checked by the callers).
+fn deconv_core(f: &Curve, g: &Curve) -> Curve {
     let mut candidates: Vec<Curve> = Vec::new();
     // Family A: s pinned to a breakpoint u_j of g: f(t + u_j) − g(u_j).
     for &(u, v) in g.points() {
@@ -96,10 +212,7 @@ pub fn deconv(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
     for &(x, y) in f.points() {
         candidates.push(reverse_about(g, x).scale_y(-Rat::ONE).shift_up(y));
     }
-    let out = Curve::max_all(candidates.iter());
-    dnc_telemetry::gauge_u64("curve.deconv.segments_out", || out.points().len() as u64);
-    crate::invariant::deconv_post(f, g, &out);
-    Ok(out)
+    Curve::max_all(candidates.iter())
 }
 
 /// The curve `t ↦ g(x − t)` on `[0, x]`, extended by the constant `g(0)`
@@ -182,6 +295,28 @@ mod tests {
                 sn += 1;
             }
             assert!(c.eval(t) <= best, "conv above definition at t={t}");
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_envelope() {
+        // Mixed shapes exercise fast path, memo, and envelope on the
+        // same operands; every pairing must agree bit-for-bit.
+        let curves = [
+            Curve::token_bucket(int(2), int(3)),
+            Curve::token_bucket(int(0), int(1)),
+            Curve::rate_latency(int(3), int(2)),
+            Curve::rate(int(2)),
+            Curve::zero(),
+            Curve::token_bucket_peak(int(2), rat(1, 2), int(3)),
+        ];
+        for f in &curves {
+            for g in &curves {
+                assert_eq!(conv(f, g), conv_envelope(f, g), "conv {f} ⊗ {g}");
+                let fast = deconv(f, g);
+                let slow = deconv_envelope(f, g);
+                assert_eq!(fast, slow, "deconv {f} ⊘ {g}");
+            }
         }
     }
 

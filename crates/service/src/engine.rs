@@ -63,6 +63,14 @@ pub struct EngineConfig {
     /// operations (`None` disables compaction). Bounds recovery cost by
     /// churn since the last snapshot instead of lifetime history.
     pub snapshot_every: Option<u64>,
+    /// Memo tables to certify against. `None` gives the engine a
+    /// private cache, used on the fast path only. Providing a shared
+    /// cache opts the engine into memoization even when
+    /// `incremental = false`: certifications still run from scratch
+    /// (no splice base), but curve-level memos warmed by other
+    /// engines/stages are honored — this is how the throughput
+    /// harness threads one cache through its stages.
+    pub cache: Option<std::sync::Arc<AnalysisCache>>,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +82,7 @@ impl Default for EngineConfig {
             incremental: true,
             shed_seed: DEFAULT_RETRY_SEED,
             snapshot_every: None,
+            cache: None,
         }
     }
 }
@@ -251,8 +260,12 @@ pub struct ChurnEngine {
     runner: ResilientRunner,
     queue: ShedQueue,
     stats: EngineStats,
-    /// Memo tables shared across certifications (fast path only).
-    cache: AnalysisCache,
+    /// Memo tables shared across certifications — private by default,
+    /// externally shared when [`EngineConfig::cache`] was provided.
+    cache: std::sync::Arc<AnalysisCache>,
+    /// Whether `cache` came from the config (and must be honored even
+    /// with `incremental = false`).
+    shared_cache: bool,
     /// The group trace of the last analysis accepted for the live
     /// network — the splice base for incremental re-certification.
     /// Always in sync with `net`: refreshed on commit, kept on rollback
@@ -291,7 +304,8 @@ impl ChurnEngine {
             },
             queue: ShedQueue::with_seed(config.queue_capacity, config.shed_seed),
             stats: EngineStats::default(),
-            cache: AnalysisCache::new(),
+            shared_cache: config.cache.is_some(),
+            cache: config.cache.unwrap_or_default(),
             trace: None,
             incremental: config.incremental,
         })
@@ -659,9 +673,12 @@ impl ChurnEngine {
     /// from the mutation's `seed` servers; otherwise every run is from
     /// scratch.
     fn certify(&self, staged: &Network, prev: Option<(&GroupTrace, &[ServerId])>) -> FastReport {
-        if !self.incremental {
+        if !self.incremental && !self.shared_cache {
             return self.runner.analyze_fast(staged, None);
         }
+        // Non-incremental engines with a shared cache memoize curve
+        // operations but never splice off a previous trace.
+        let prev = if self.incremental { prev } else { None };
         let fast = self.runner.analyze_fast(
             staged,
             Some(FastPath {

@@ -1,0 +1,24 @@
+// deepcheck fixture — scanned as crates/fixture/src/delta.rs. Known
+// false-positive shapes that must stay clean: canonical `Curve` and
+// `CurveId` equality, iterating `.points()` without comparing the
+// slices, and slice comparisons on non-curve accessors.
+
+pub fn same_curve(a: &Curve, b: &Curve) -> bool {
+    a == b
+}
+
+pub fn same_id(a: CurveId, b: CurveId) -> bool {
+    a == b
+}
+
+pub fn breakpoint_count(c: &Curve) -> usize {
+    c.points().len()
+}
+
+pub fn first_matches(c: &Curve, p: &Point) -> bool {
+    c.points().first() == Some(p)
+}
+
+pub fn labels_equal(a: &Report, b: &Report) -> bool {
+    a.labels() == b.labels()
+}

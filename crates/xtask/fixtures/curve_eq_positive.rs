@@ -1,0 +1,16 @@
+// deepcheck fixture — scanned as crates/fixture/src/delta.rs. Seeded
+// true positives: curves compared segment-by-segment through their
+// `.points()` slices, with the call on the left operand, the right
+// operand (behind a field chain), and an inequality.
+
+pub fn same_shape(a: &Curve, b: &Curve) -> bool {
+    a.points() == b.points()
+}
+
+pub fn matches_expected(&self, got: &Curve) -> bool {
+    got == self.expected.points()
+}
+
+pub fn changed(prev: &Curve, next: &Curve) -> bool {
+    prev.points() != next.points()
+}

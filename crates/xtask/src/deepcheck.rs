@@ -9,7 +9,7 @@
 //! | determinism   | `det-hash-iter`, `det-wall-clock`       | bit-identical reports across worker counts  |
 //! | concurrency   | `conc-thread-local`, `conc-panic-payload` | `fan_out` jobs stay thread-local-clean    |
 //! | durability    | `dur-fsync`, `dur-framing`, `dur-group-ack`, `dur-atomic-publish` | fsync-before-ack; single-sourced framing; commit-dominated ack sink; crash-atomic snapshot publish |
-//! | contract      | `contract-exit`, `contract-span`        | unified exit codes; RAII spans held open    |
+//! | contract      | `contract-exit`, `contract-span`, `contract-curve-eq` | unified exit codes; RAII spans held open; canonical curve equality |
 //!
 //! All passes share the `// audit: allow(<lint>, <reason>)` escape hatch,
 //! but deepcheck lints must be named explicitly — blanket `allow(all)`
@@ -35,6 +35,7 @@ pub const DEEPCHECK_LINTS: &[&str] = &[
     "dur-atomic-publish",
     "contract-exit",
     "contract-span",
+    "contract-curve-eq",
 ];
 
 /// Files whose functions are *emit roots*: anything reachable from them
@@ -121,6 +122,7 @@ pub fn run(files: &[ScannedFile]) -> Vec<Finding> {
     lint_dur_atomic_publish(files, &idx, &mut out);
     lint_contract_exit(files, &mut out);
     lint_contract_span(files, &mut out);
+    lint_contract_curve_eq(files, &mut out);
     // Distinct passes can rediscover the same site (e.g. two fan_out
     // call sites reaching one bad function); report each site once.
     out.sort_by(|a, b| {
@@ -993,6 +995,64 @@ fn lint_contract_span(files: &[ScannedFile], out: &mut Vec<Finding>) {
     }
 }
 
+/// Canonical curve equality: the interner (DESIGN §18.1) guarantees
+/// two `Curve`s are functionally equal iff they are structurally
+/// equal, so `Curve`/`CurveId` `==` is both correct and O(1)-amortized.
+/// Comparing the raw segment slices (`a.points() == b.points()`)
+/// re-walks every breakpoint, bypasses the canonical-equality
+/// contract, and silently diverges if a future representation change
+/// makes slice identity stricter than curve identity.
+fn lint_contract_curve_eq(files: &[ScannedFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if !in_scope(&file.path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("points")
+                || i == 0
+                || !toks[i - 1].is_punct('.')
+                || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                || !toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            {
+                continue;
+            }
+            // `….points() ==` / `!=` — the slice is the left operand.
+            let left_operand = toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_punct('=') || t.is_punct('!'))
+                && toks.get(i + 4).is_some_and(|t| t.is_punct('='));
+            // `… == x.y.points()` — walk back over the receiver chain
+            // (`ident . ident . … .`) to see whether the whole call is
+            // the right operand of a comparison.
+            let mut j = i - 1; // the `.` before `points`
+            while j >= 2 && toks[j - 1].kind == TokenKind::Ident && toks[j - 2].is_punct('.') {
+                j -= 2;
+            }
+            // A further `.method()` after the call means the operand is
+            // whatever the chain produces, not the segment slice.
+            let chained = toks.get(i + 3).is_some_and(|t| t.is_punct('.'));
+            let right_operand = !chained
+                && j >= 3
+                && toks[j - 1].kind == TokenKind::Ident
+                && toks[j - 2].is_punct('=')
+                && (toks[j - 3].is_punct('=') || toks[j - 3].is_punct('!'));
+            if left_operand || right_operand {
+                emit(
+                    file,
+                    out,
+                    toks[i].line,
+                    "contract-curve-eq",
+                    "curve compared segment-by-segment via `.points()`; interned curves \
+                     are canonical, so compare the `Curve` (or `CurveId`) values directly \
+                     (DESIGN §18)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1288,6 +1348,47 @@ mod tests {
     }
 
     #[test]
+    fn segment_slice_comparisons_are_flagged_on_either_side() {
+        let files = vec![scan(
+            "crates/fake/src/delta.rs",
+            "fn f(a: &Curve, b: &Curve, want: &[Point]) -> bool {\n\
+                 let l = a.points() == b.points();\n\
+                 let r = want == self.base.points();\n\
+                 let n = a.points() != b.points();\n\
+                 l && r && n\n\
+             }\n",
+        )];
+        let f = run(&files);
+        assert_eq!(
+            lints_of(&f),
+            [
+                "contract-curve-eq",
+                "contract-curve-eq",
+                "contract-curve-eq"
+            ],
+            "{f:?}"
+        );
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        assert_eq!(f[2].line, 4);
+    }
+
+    #[test]
+    fn canonical_curve_equality_and_slice_inspection_stay_clean() {
+        let files = vec![scan(
+            "crates/fake/src/delta.rs",
+            "fn f(a: &Curve, b: &Curve) -> bool {\n\
+                 let eq = a == b;\n\
+                 let n = a.points().len() == b.points().len();\n\
+                 let head = a.points().first() == b.points().first();\n\
+                 eq && n && head\n\
+             }\n",
+        )];
+        let f = run(&files);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn span_definition_site_is_not_flagged() {
         let files = vec![scan(
             "crates/telemetry/src/record.rs",
@@ -1386,6 +1487,16 @@ mod tests {
                 "crates/fixture/src/bin/tool.rs",
                 &[],
             ),
+            (
+                "curve_eq_positive.rs",
+                "crates/fixture/src/delta.rs",
+                &[
+                    "contract-curve-eq",
+                    "contract-curve-eq",
+                    "contract-curve-eq",
+                ],
+            ),
+            ("curve_eq_negative.rs", "crates/fixture/src/delta.rs", &[]),
         ];
         for &(name, path, expected) in cases {
             let files = vec![fixture(name, path)];

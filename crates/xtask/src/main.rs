@@ -30,6 +30,7 @@
 mod bench;
 mod deepcheck;
 mod index;
+mod kernel_bench;
 mod lexer;
 mod lints;
 mod report;
@@ -75,6 +76,9 @@ const FLOAT_WHITELIST: &[&str] = &[
     "crates/bench/src/trajectory.rs",
     "crates/bench/src/dashboard.rs",
     "crates/bench/src/runner.rs",
+    // Kernel on/off wall-time ratio display; bounds are compared as Rat
+    // strings, only the reported speedup is lossy.
+    "crates/xtask/src/kernel_bench.rs",
 ];
 
 /// Directory trees never scanned (`fixtures` is the deepcheck lint
@@ -86,7 +90,7 @@ fn main() -> ExitCode {
     let (cmd, flags) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask <audit [--json] | deepcheck [--json] | bench [flags] | validate-metrics <file>... | validate-trace <file>... | validate-bench [--shape] <file>...>");
+            eprintln!("usage: cargo xtask <audit [--json] | deepcheck [--json] | bench [flags] | kernel-bench [flags] | validate-metrics <file>... | validate-trace <file>... | validate-bench [--shape] <file>...>");
             return ExitCode::FAILURE;
         }
     };
@@ -104,6 +108,7 @@ fn main() -> ExitCode {
             }
         }
         "bench" => bench::bench_cmd(flags),
+        "kernel-bench" => kernel_bench::kernel_bench_cmd(flags),
         "validate-metrics" => validate_files(cmd, flags, dnc_telemetry::schema::validate_metrics),
         "validate-trace" => validate_files(cmd, flags, dnc_telemetry::schema::validate_trace),
         "validate-bench" => {
@@ -117,7 +122,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "xtask: unknown task `{other}` (tasks: audit, deepcheck, bench, validate-metrics, validate-trace, validate-bench)"
+                "xtask: unknown task `{other}` (tasks: audit, deepcheck, bench, kernel-bench, validate-metrics, validate-trace, validate-bench)"
             );
             ExitCode::FAILURE
         }
